@@ -1,0 +1,673 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section IV) from the compiled code running on the CAM
+   simulator, plus Bechamel micro-benchmarks of the compiler itself.
+
+     dune exec bench/main.exe            -- all paper experiments
+     dune exec bench/main.exe -- fig8a   -- a single section
+     dune exec bench/main.exe -- micro   -- Bechamel compiler benches
+
+   Workload scale: the paper evaluates HDC on the 10k-image MNIST test
+   set and KNN on the ~5.8k-image pneumonia set. We keep the paper's
+   data geometry (8192 HDC dims and 10 classes; 1024 KNN features and
+   5120 stored patterns) but use 256 HDC queries / 8 KNN queries per
+   run — every reported metric is linear in the query count, so ratios
+   and shapes are unaffected. *)
+
+let sizes = [ 16; 32; 64; 128; 256 ]
+
+(* ---- shared workloads (deterministic) -------------------------------- *)
+
+let hdc_data =
+  lazy
+    (Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:8192 ~n_classes:10
+       ~n_queries:256 ~bits:1 ())
+
+let hdc_data_2bit =
+  lazy
+    (Workloads.Hdc.synthetic ~seed:13 ~noise:0.15 ~dims:8192 ~n_classes:10
+       ~n_queries:256 ~bits:2 ())
+
+let knn_data =
+  lazy
+    (let ds =
+       Workloads.Dataset.pneumonia_like ~seed:7 ~n_features:1024
+         ~samples_per_class:2600 ()
+     in
+     let train, test = Workloads.Dataset.split ~seed:3 ds ~train_fraction:0.99 in
+     (* exactly 5120 stored patterns, 8 test queries *)
+     let train =
+       {
+         train with
+         features = Array.sub train.features 0 5120;
+         labels = Array.sub train.labels 0 5120;
+       }
+     in
+     let queries = Array.sub test.features 0 8 in
+     let labels = Array.sub test.labels 0 8 in
+     (train, queries, labels))
+
+let geomean l =
+  exp (List.fold_left (fun acc x -> acc +. log x) 0. l /. float_of_int (List.length l))
+
+let section name = Printf.printf "\n===== %s =====\n\n" name
+
+(* ---- E10: IR at each abstraction level (Figures 4-6) ----------------- *)
+
+let ir_stages () =
+  section "ir_stages: IR after each lowering stage (Figures 4, 5, 6)";
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  let small = C4cam.Kernels.hdc_dot ~q:10 ~dims:128 ~classes:10 ~k:1 in
+  Printf.printf "TorchScript input:\n%s\n" small;
+  let c = C4cam.Driver.compile ~spec small in
+  List.iter
+    (fun (stage, text) ->
+      Printf.printf "---- %s IR ----\n%s\n" stage
+        (if String.length text > 4000 then String.sub text 0 4000 ^ "...\n"
+         else text))
+    (C4cam.Driver.stage_texts c)
+
+(* ---- E1/E2: validation against the hand-crafted mapping (Fig. 7) ----- *)
+
+let validation () =
+  section
+    "fig7: validation against the hand-crafted mapping (32xC subarrays)";
+  let run_one ~bits c_cols =
+    let data = Lazy.force (if bits = 1 then hdc_data else hdc_data_2bit) in
+    let spec =
+      Archspec.Spec.with_optimization
+        { (Archspec.Spec.square 32 Archspec.Spec.Base) with
+          cols = c_cols; bits }
+        Archspec.Spec.Base
+    in
+    let m = C4cam.Dse.hdc ~spec ~data () in
+    let manual =
+      C4cam.Validate.manual_similarity ~spec
+        ~queries:(Array.length data.queries) ~stored_rows:10 ~dims:8192
+        ~k:1 ()
+    in
+    (spec, m, manual)
+  in
+  let lat_devs = ref [] and en_devs = ref [] in
+  let rows =
+    List.concat_map
+      (fun bits ->
+        List.map
+          (fun c ->
+            let _spec, m, manual = run_one ~bits c in
+            let dev_l = Float.abs (m.latency -. manual.latency) /. manual.latency in
+            let dev_e = Float.abs (m.energy -. manual.energy) /. manual.energy in
+            lat_devs := dev_l :: !lat_devs;
+            en_devs := dev_e :: !en_devs;
+            [
+              Printf.sprintf "%d-bit 32x%d" bits c;
+              C4cam.Report.si_time m.latency;
+              C4cam.Report.si_time manual.latency;
+              Printf.sprintf "%.2f%%" (dev_l *. 100.);
+              C4cam.Report.si_energy m.energy;
+              C4cam.Report.si_energy manual.energy;
+              Printf.sprintf "%.2f%%" (dev_e *. 100.);
+            ])
+          [ 16; 32; 64; 128 ])
+      [ 1; 2 ]
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         [ "config"; "C4CAM lat"; "manual lat"; "dev"; "C4CAM energy";
+           "manual energy"; "dev" ]
+       rows);
+  Printf.printf
+    "\ngeomean deviation: latency %.2f%% (paper: 0.9%%), energy %.2f%% \
+     (paper: 5.5%%)\n"
+    (geomean (List.map (fun d -> 1. +. d) !lat_devs) *. 100. -. 100.)
+    (geomean (List.map (fun d -> 1. +. d) !en_devs) *. 100. -. 100.)
+
+(* ---- E3: GPU comparison ---------------------------------------------- *)
+
+let gpu_comparison () =
+  section "gpu_comparison: end-to-end HDC vs NVIDIA Quadro RTX 6000 model";
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  let r =
+    C4cam.Dse.gpu_comparison_hdc ~spec ~data:(Lazy.force hdc_data) ()
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:[ "metric"; "GPU"; "CAM (C4CAM)"; "improvement" ]
+       [
+         [
+           "execution time";
+           C4cam.Report.si_time r.gpu_latency;
+           C4cam.Report.si_time r.cam_latency;
+           Printf.sprintf "%.1fx (paper: 48x)" r.speedup;
+         ];
+         [
+           "energy";
+           C4cam.Report.si_energy r.gpu_energy;
+           C4cam.Report.si_energy r.cam_energy;
+           Printf.sprintf "%.1fx (paper: 46.8x)" r.energy_improvement;
+         ];
+       ])
+
+(* ---- E4: Table I — subarray counts ------------------------------------ *)
+
+let table1 () =
+  section "table1: subarrays used to implement HDC (8192 dims, 10 classes)";
+  let count opt side =
+    let spec = Archspec.Spec.square side opt in
+    let batches = Passes.Cim_partition.batches_for spec ~stored_rows:10 in
+    let m =
+      Passes.Cam_map.mapping_of spec ~row_chunks:1
+        ~col_chunks:(8192 / side) ~batches
+    in
+    m.slots
+  in
+  let paper_based = [ 512; 256; 128; 64; 32 ] in
+  let paper_density = [ 512; 86; 22; 6; 2 ] in
+  let rows =
+    [
+      "cam-based"
+      :: List.map (fun s -> string_of_int (count Archspec.Spec.Base s)) sizes;
+      "cam-density"
+      :: List.map
+           (fun s -> string_of_int (count Archspec.Spec.Density s))
+           sizes;
+      "paper cam-based" :: List.map string_of_int paper_based;
+      "paper cam-density" :: List.map string_of_int paper_density;
+    ]
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         ("config" :: List.map (fun s -> Printf.sprintf "%dx%d" s s) sizes)
+       rows)
+
+(* ---- E5-E7: Figure 8 — DSE over subarray size x optimization --------- *)
+
+let configs =
+  Archspec.Spec.[ Base; Power; Density; Power_density ]
+
+let fig8_measurements =
+  lazy
+    (let data = Lazy.force hdc_data in
+     List.map
+       (fun side ->
+         ( side,
+           List.map
+             (fun opt ->
+               (opt, C4cam.Dse.hdc ~spec:(Archspec.Spec.square side opt) ~data ()))
+             configs ))
+       sizes)
+
+let fig8 ~title ~value ~fmt () =
+  section title;
+  let ms = Lazy.force fig8_measurements in
+  let rows =
+    List.map
+      (fun (side, per_cfg) ->
+        let base = value (List.assoc Archspec.Spec.Base per_cfg) in
+        Printf.sprintf "%dx%d" side side
+        :: List.concat_map
+             (fun opt ->
+               let v = value (List.assoc opt per_cfg) in
+               [ fmt v; Printf.sprintf "(%.2fx)" (v /. base) ])
+             configs)
+      ms
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         ("subarray"
+         :: List.concat_map
+              (fun opt ->
+                [ "cam-" ^ Archspec.Spec.optimization_to_string opt; "vs base" ])
+              configs)
+       rows)
+
+let fig8a = fig8 ~title:"fig8a: HDC energy vs subarray size and optimization"
+    ~value:(fun (m : C4cam.Dse.measurement) -> m.energy)
+    ~fmt:C4cam.Report.si_energy
+
+let fig8b = fig8 ~title:"fig8b: HDC latency vs subarray size and optimization"
+    ~value:(fun (m : C4cam.Dse.measurement) -> m.latency)
+    ~fmt:C4cam.Report.si_time
+
+let fig8c = fig8 ~title:"fig8c: HDC power vs subarray size and optimization"
+    ~value:(fun (m : C4cam.Dse.measurement) -> m.power)
+    ~fmt:C4cam.Report.si_power
+
+(* ---- E8: Table II — KNN EDP and power --------------------------------- *)
+
+let table2 () =
+  section "table2: KNN execution (5120 stored x 1024 features, k=7)";
+  let train, queries, labels = Lazy.force knn_data in
+  let measure opt side =
+    C4cam.Dse.knn ~spec:(Archspec.Spec.square side opt) ~train ~queries
+      ~labels ~k:7 ()
+  in
+  let row opt name =
+    let ms = List.map (measure opt) sizes in
+    [
+      (name ^ " EDP")
+      :: List.map
+           (fun (m : C4cam.Dse.measurement) ->
+             Printf.sprintf "%.3e J.s" m.edp)
+           ms;
+      (name ^ " power")
+      :: List.map
+           (fun (m : C4cam.Dse.measurement) -> C4cam.Report.si_power m.power)
+           ms;
+    ]
+  in
+  let rows = row Archspec.Spec.Base "cam-based" @ row Archspec.Spec.Power "cam-power" in
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         ("metric" :: List.map (fun s -> Printf.sprintf "%dx%d" s s) sizes)
+       rows)
+
+(* ---- E9: Figure 9 — iso-capacity -------------------------------------- *)
+
+let fig9 () =
+  section
+    "fig9: iso-capacity (2^16 cells per array; subarrays-per-array varies)";
+  let data = Lazy.force hdc_data in
+  let iso_configs =
+    Archspec.Spec.[ Base; Density; Power_density ]
+  in
+  let rows =
+    List.map
+      (fun side ->
+        Printf.sprintf "%dx%d" side side
+        :: List.concat_map
+             (fun opt ->
+               let spec = C4cam.Dse.iso_capacity_spec ~side opt in
+               let m = C4cam.Dse.hdc ~spec ~data () in
+               [
+                 C4cam.Report.si_time m.latency;
+                 C4cam.Report.si_energy m.energy;
+                 C4cam.Report.si_power m.power;
+               ])
+             iso_configs)
+      sizes
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         ("subarray"
+         :: List.concat_map
+              (fun opt ->
+                let n = Archspec.Spec.optimization_to_string opt in
+                [ n ^ " lat"; n ^ " energy"; n ^ " power" ])
+              iso_configs)
+       rows)
+
+(* ---- iso-area companion to Figure 9 ----------------------------------- *)
+
+let iso_area () =
+  section
+    "iso_area: chip area of the iso-capacity setups (they are NOT \
+     iso-area; Section IV-C2)";
+  let tech = Camsim.Tech.fefet_45nm in
+  let rows =
+    List.map
+      (fun side ->
+        let spec = C4cam.Dse.iso_capacity_spec ~side Archspec.Spec.Base in
+        [
+          Printf.sprintf "%dx%d" side side;
+          string_of_int spec.subarrays_per_array;
+          Printf.sprintf "%.4f mm2" (Camsim.Area_model.bank_area tech ~spec);
+          Printf.sprintf "%.1f%%"
+            (Camsim.Area_model.peripheral_fraction tech ~spec *. 100.);
+        ])
+      sizes
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         [ "subarray"; "subarrays/array"; "area per bank"; "peripherals" ]
+       rows);
+  print_endline
+    "\nSmaller subarrays at fixed capacity need more peripherals, so the\n\
+     iso-capacity systems grow in area as the subarray shrinks — exactly\n\
+     the paper's caveat."
+
+(* ---- ablations of the design decisions in DESIGN.md ------------------- *)
+
+let ablation () =
+  section "ablation: design-decision ablations";
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:2048 ~n_classes:10
+      ~n_queries:64 ~bits:1 ()
+  in
+  let src = C4cam.Kernels.hdc_dot ~q:64 ~dims:2048 ~classes:10 ~k:1 in
+
+  (* 1. Backend: structured-IR interpreter vs flat-ISA VM. *)
+  let c = C4cam.Driver.compile ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base) src in
+  let a = C4cam.Driver.run_cam c ~queries:data.queries ~stored:data.stored in
+  let b = C4cam.Driver.run_vm c ~queries:data.queries ~stored:data.stored in
+  Printf.printf
+    "backend:    interpreter %s / %s  vs  VM %s / %s  (identical: %b)\n"
+    (C4cam.Report.si_time a.latency)
+    (C4cam.Report.si_energy a.energy)
+    (C4cam.Report.si_time b.latency)
+    (C4cam.Report.si_energy b.energy)
+    (a.latency = b.latency && a.energy = b.energy && a.indices = b.indices);
+
+  (* 2. cam-power as a spec access mode vs as a standalone IR rewrite on
+     base-mapped code: the latency composition must be identical. *)
+  let via_spec =
+    let c = C4cam.Driver.compile ~spec:(Archspec.Spec.square 32 Archspec.Spec.Power) src in
+    C4cam.Driver.run_cam c ~queries:data.queries ~stored:data.stored
+  in
+  let via_pass =
+    let c = C4cam.Driver.compile ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base) src in
+    let rewritten = Ir.Pass.run Passes.Cam_opt.power (C4cam.Driver.clone_module c.cam_ir) in
+    let c = { c with cam_ir = rewritten } in
+    C4cam.Driver.run_cam c ~queries:data.queries ~stored:data.stored
+  in
+  Printf.printf
+    "cam-power:  via spec %s  vs  via IR rewrite %s  (identical: %b)\n"
+    (C4cam.Report.si_time via_spec.latency)
+    (C4cam.Report.si_time via_pass.latency)
+    (via_spec.latency = via_pass.latency);
+
+  (* 3. The batch-switch penalty behind the cam-density latency curve. *)
+  let density_with tech =
+    let spec = Archspec.Spec.square 256 Archspec.Spec.Density in
+    (C4cam.Dse.hdc ~tech ~spec ~data ()).latency
+  in
+  let on = density_with Camsim.Tech.fefet_45nm in
+  let off =
+    density_with
+      { Camsim.Tech.fefet_45nm with t_batch_switch = 0.; t_batch_switch_per_col = 0. }
+  in
+  Printf.printf
+    "batch cost: density@256x256 latency %s with the row-decoder switch \
+     penalty, %s without (%.2fx)\n"
+    (C4cam.Report.si_time on) (C4cam.Report.si_time off) (on /. off)
+
+(* ---- CAM vs crossbar (the sibling device dialect of Figure 3) --------- *)
+
+let crossbar () =
+  section
+    "crossbar: similarity search on TCAM vs score-matmul on a ReRAM \
+     crossbar";
+  let data = Lazy.force hdc_data in
+  let q = Array.length data.queries in
+  let dims = Array.length data.stored.(0) in
+  let classes = Array.length data.stored in
+  let cam =
+    C4cam.Dse.hdc ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base) ~data ()
+  in
+  let xspec = { Xbar.default_spec with tile_rows = 128; tile_cols = classes } in
+  let xc =
+    C4cam.Driver.compile_crossbar ~xspec
+      (C4cam.Kernels.matmul ~m:q ~k:dims ~n:classes)
+  in
+  let weights =
+    Array.init dims (fun d ->
+        Array.init classes (fun c -> data.stored.(c).(d)))
+  in
+  let xr = C4cam.Driver.run_crossbar xc ~inputs:data.queries ~weights in
+  print_string
+    (C4cam.Report.table
+       ~headers:[ "fabric"; "latency"; "energy"; "EDP" ]
+       [
+         [
+           "TCAM 32x32 (C4CAM)";
+           C4cam.Report.si_time cam.latency;
+           C4cam.Report.si_energy cam.energy;
+           Printf.sprintf "%.2e J.s" (cam.energy *. cam.latency);
+         ];
+         [
+           "ReRAM crossbar + host top-1";
+           C4cam.Report.si_time xr.x_latency;
+           C4cam.Report.si_energy xr.x_energy;
+           Printf.sprintf "%.2e J.s" (xr.x_energy *. xr.x_latency);
+         ];
+       ]);
+  Printf.printf "\nCAM advantage: %.1fx latency, %.1fx EDP\n"
+    (xr.x_latency /. cam.latency)
+    (xr.x_energy *. xr.x_latency /. (cam.energy *. cam.latency))
+
+(* ---- robustness under device defects ----------------------------------- *)
+
+let robustness () =
+  section
+    "robustness: HDC accuracy under write-path cell defects (unreliable \
+     scaled FeFETs)";
+  (* deliberately hard setting (short vectors, 30%% query noise) so the
+     degradation curve is visible *)
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~noise:0.30 ~dims:512 ~n_classes:10
+      ~n_queries:128 ~bits:1 ()
+  in
+  let src = C4cam.Kernels.hdc_dot ~q:128 ~dims:512 ~classes:10 ~k:1 in
+  let c = C4cam.Driver.compile ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base) src in
+  let rows =
+    List.map
+      (fun rate ->
+        let r =
+          C4cam.Driver.run_cam ~defect_rate:rate ~defect_seed:5 c
+            ~queries:data.queries ~stored:data.stored
+        in
+        let correct = ref 0 in
+        Array.iteri
+          (fun i (row : int array) ->
+            if row.(0) = data.query_labels.(i) then incr correct)
+          r.indices;
+        [
+          Printf.sprintf "%.0f%%" (rate *. 100.);
+          Printf.sprintf "%.1f%%"
+            (float_of_int !correct /. 128. *. 100.);
+        ])
+      [ 0.; 0.02; 0.05; 0.10; 0.20; 0.30; 0.40; 0.45 ]
+  in
+  print_string
+    (C4cam.Report.table ~headers:[ "defect rate"; "HDC accuracy" ] rows);
+  print_endline
+    "\nHyperdimensional representations degrade gracefully: accuracy\n\
+     stays high well past 10% stuck cells — the associative-memory\n\
+     robustness the CAM-HDC literature reports."
+
+(* ---- autotuner --------------------------------------------------------- *)
+
+let autotune () =
+  section "autotune: best architecture per objective (compile-and-run search)";
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:2048 ~n_classes:10
+      ~n_queries:64 ~bits:1 ()
+  in
+  let candidates = C4cam.Autotune.evaluate_hdc ~data () in
+  Printf.printf "evaluated %d candidates (5 sizes x 4 optimizations)\n\n"
+    (List.length candidates);
+  let rows =
+    List.map
+      (fun obj ->
+        let c = C4cam.Autotune.best obj candidates in
+        [
+          C4cam.Autotune.objective_to_string obj;
+          c.measurement.config;
+          C4cam.Report.si_time c.measurement.latency;
+          C4cam.Report.si_energy c.measurement.energy;
+          C4cam.Report.si_power c.measurement.power;
+          Printf.sprintf "%.4f mm2" c.area_mm2;
+        ])
+      C4cam.Autotune.
+        [ Min_latency; Min_energy; Min_power; Min_edp; Min_area ]
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:[ "objective"; "winner"; "latency"; "energy"; "power"; "area" ]
+       rows);
+  let front =
+    C4cam.Autotune.pareto
+      (fun c -> c.measurement.latency)
+      (fun c -> c.measurement.power)
+      candidates
+  in
+  Printf.printf "\nlatency/power Pareto front (%d of %d candidates):\n"
+    (List.length front) (List.length candidates);
+  List.iter
+    (fun (c : C4cam.Autotune.candidate) ->
+      Printf.printf "  %-28s %10s  %10s\n" c.measurement.config
+        (C4cam.Report.si_time c.measurement.latency)
+        (C4cam.Report.si_power c.measurement.power))
+    front
+
+(* ---- E11: functional accuracy ----------------------------------------- *)
+
+let accuracy () =
+  section "accuracy: CAM functional results vs software references";
+  (* HDC with the full encode/train pipeline on synthetic MNIST-like data *)
+  let ds =
+    Workloads.Dataset.mnist_like ~seed:5 ~n_features:64 ~n_classes:10
+      ~samples_per_class:30 ()
+  in
+  let train, test = Workloads.Dataset.split ~seed:9 ds ~train_fraction:0.7 in
+  let config = { Workloads.Hdc.default_config with dims = 2048; levels = 8 } in
+  let im, model = Workloads.Hdc.train config train in
+  let sw_acc = Workloads.Hdc.accuracy_ref model im test in
+  let encoded_queries =
+    Array.map (Workloads.Hdc.encode config im) test.features
+  in
+  let data =
+    {
+      Workloads.Hdc.stored = model.class_hvs;
+      queries = encoded_queries;
+      query_labels = test.labels;
+    }
+  in
+  let m =
+    C4cam.Dse.hdc ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base) ~data ()
+  in
+  Printf.printf "HDC (trained pipeline, 2048 dims): software %.1f%%, CAM %.1f%%\n"
+    (sw_acc *. 100.) (m.accuracy *. 100.);
+  (* KNN on a small pneumonia-like dataset *)
+  let ds2 =
+    Workloads.Dataset.pneumonia_like ~seed:17 ~n_features:256
+      ~samples_per_class:280 ()
+  in
+  let train2, test2 = Workloads.Dataset.split ~seed:21 ds2 ~train_fraction:0.94 in
+  let train2 =
+    {
+      train2 with
+      Workloads.Dataset.features = Array.sub train2.features 0 512;
+      labels = Array.sub train2.labels 0 512;
+    }
+  in
+  let queries = Array.sub test2.features 0 16 in
+  let labels = Array.sub test2.labels 0 16 in
+  let sw =
+    let correct = ref 0 in
+    Array.iteri
+      (fun i q ->
+        if Workloads.Knn.classify ~train:train2 ~k:7 q = labels.(i) then
+          incr correct)
+      queries;
+    float_of_int !correct /. float_of_int (Array.length queries)
+  in
+  let m2 =
+    C4cam.Dse.knn ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
+      ~train:train2 ~queries ~labels ~k:7 ()
+  in
+  Printf.printf "KNN (512 stored, 256 features, k=7): software %.1f%%, CAM %.1f%%\n"
+    (sw *. 100.) (m2.accuracy *. 100.)
+
+(* ---- Bechamel micro-benchmarks: one Test.make per table/figure ------- *)
+
+let micro () =
+  section "micro: Bechamel benchmarks of the compiler (one per experiment)";
+  let open Bechamel in
+  let spec32 = Archspec.Spec.square 32 Archspec.Spec.Base in
+  let hdc_src = C4cam.Kernels.hdc_dot ~q:16 ~dims:1024 ~classes:10 ~k:1 in
+  let knn_src = C4cam.Kernels.knn_euclidean ~q:4 ~dims:256 ~n:128 ~k:3 in
+  let compile_test name spec src =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (C4cam.Driver.compile ~spec src)))
+  in
+  let small_data =
+    Workloads.Hdc.synthetic ~dims:1024 ~n_classes:10 ~n_queries:16 ~bits:1 ()
+  in
+  let compiled = C4cam.Driver.compile ~spec:spec32 hdc_src in
+  let tests =
+    Test.make_grouped ~name:"c4cam"
+      [
+        compile_test "fig7_validation_compile" spec32 hdc_src;
+        Test.make ~name:"fig8_dse_compile_and_run"
+          (Staged.stage (fun () ->
+               ignore
+                 (C4cam.Driver.run_cam compiled ~queries:small_data.queries
+                    ~stored:small_data.stored)));
+        compile_test "table1_density_mapping"
+          (Archspec.Spec.square 32 Archspec.Spec.Density)
+          hdc_src;
+        compile_test "table2_knn_compile"
+          { (Archspec.Spec.square 32 Archspec.Spec.Base) with
+            cam_kind = Archspec.Spec.Mcam }
+          knn_src;
+        compile_test "fig9_iso_capacity_compile"
+          (C4cam.Dse.iso_capacity_spec ~side:32 Archspec.Spec.Base)
+          hdc_src;
+        Test.make ~name:"fig4_frontend_parse"
+          (Staged.stage (fun () ->
+               ignore (Frontend.Tsparser.parse_program hdc_src)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> C4cam.Report.si_time (e /. 1e9)
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  print_string
+    (C4cam.Report.table ~headers:[ "benchmark"; "time/run" ]
+       (List.sort compare !rows))
+
+(* ---- main -------------------------------------------------------------- *)
+
+let all_sections =
+  [
+    ("ir_stages", ir_stages);
+    ("fig7", validation);
+    ("gpu_comparison", gpu_comparison);
+    ("table1", table1);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig8c", fig8c);
+    ("table2", table2);
+    ("fig9", fig9);
+    ("iso_area", iso_area);
+    ("ablation", ablation);
+    ("robustness", robustness);
+    ("crossbar", crossbar);
+    ("autotune", autotune);
+    ("accuracy", accuracy);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) all_sections
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all_sections with
+          | Some f -> f ()
+          | None when name = "micro" -> micro ()
+          | None ->
+              Printf.eprintf
+                "unknown section %s (available: %s, micro)\n" name
+                (String.concat ", " (List.map fst all_sections)))
+        names

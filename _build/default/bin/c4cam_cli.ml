@@ -1,0 +1,315 @@
+(* The c4cam command-line compiler driver.
+
+     c4cam compile --kernel k.ts --arch arch.conf --stage cam
+     c4cam run     --kernel k.ts --size 32 --opt density
+     c4cam sweep   --dims 8192 --classes 10 --queries 64
+     c4cam passes
+
+   When no kernel file is given, the built-in HDC dot-similarity kernel
+   is used (shapes controlled by --queries/--dims/--classes). *)
+
+open Cmdliner
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* ---- shared options ---------------------------------------------------- *)
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "kernel"; "k" ] ~docv:"FILE"
+        ~doc:"TorchScript kernel to compile (default: built-in HDC).")
+
+let arch_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "arch" ] ~docv:"FILE"
+        ~doc:"Architecture specification file (key = value lines).")
+
+let size_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "size" ] ~docv:"N" ~doc:"Square subarray side (default 32).")
+
+let opt_arg =
+  let parse s =
+    match s with
+    | "base" | "latency" -> Ok Archspec.Spec.Base
+    | "power" -> Ok Archspec.Spec.Power
+    | "density" | "utilization" -> Ok Archspec.Spec.Density
+    | "power+density" -> Ok Archspec.Spec.Power_density
+    | _ -> Error (`Msg ("unknown optimization: " ^ s))
+  in
+  let print fmt o =
+    Format.pp_print_string fmt (Archspec.Spec.optimization_to_string o)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Archspec.Spec.Base
+    & info [ "opt" ] ~docv:"TARGET"
+        ~doc:"Optimization target: base|power|density|power+density.")
+
+let queries_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "queries"; "q" ] ~docv:"N" ~doc:"Number of query rows.")
+
+let dims_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "dims"; "d" ] ~docv:"N" ~doc:"Vector dimensionality.")
+
+let classes_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "classes"; "c" ] ~docv:"N" ~doc:"Stored pattern count.")
+
+let spec_of ~arch ~size ~opt =
+  match arch with
+  | Some path -> (
+      match Archspec.Spec.load path with
+      | Ok s -> Ok (Archspec.Spec.with_optimization s opt)
+      | Error e -> Error ("bad architecture spec: " ^ e))
+  | None -> Ok (Archspec.Spec.square size opt)
+
+let kernel_of ~kernel ~queries ~dims ~classes =
+  match kernel with
+  | Some path -> read_file path
+  | None -> C4cam.Kernels.hdc_dot ~q:queries ~dims ~classes ~k:1
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("c4cam: " ^ msg);
+      exit 1
+
+let handle_errors f =
+  try f () with
+  | C4cam.Driver.Compile_error msg ->
+      prerr_endline ("c4cam: compile error: " ^ msg);
+      exit 1
+  | Sys_error msg ->
+      prerr_endline ("c4cam: " ^ msg);
+      exit 1
+
+(* ---- compile ------------------------------------------------------------ *)
+
+let stage_arg =
+  Arg.(
+    value & opt string "cam"
+    & info [ "stage" ] ~docv:"STAGE"
+        ~doc:"IR to print: torch, cim, cam or all.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-passes" ]
+        ~doc:"Print the IR after the frontend and after every pass.")
+
+let compile_cmd =
+  let run kernel arch size opt queries dims classes stage trace =
+    handle_errors (fun () ->
+        let spec = or_die (spec_of ~arch ~size ~opt) in
+        let src = kernel_of ~kernel ~queries ~dims ~classes in
+        if trace then
+          let _, entries = C4cam.Driver.compile_traced ~spec src in
+          List.iter
+            (fun (name, text) ->
+              Printf.printf "---- after %s ----\n%s\n" name text)
+            entries
+        else
+          let c = C4cam.Driver.compile ~spec src in
+          let stages = C4cam.Driver.stage_texts c in
+          match stage with
+          | "all" ->
+              List.iter
+                (fun (name, text) ->
+                  Printf.printf "---- %s ----\n%s\n" name text)
+                stages
+          | s -> (
+              match List.assoc_opt s stages with
+              | Some text -> print_string text
+              | None ->
+                  prerr_endline
+                    "c4cam: --stage must be torch, cim, cam or all";
+                  exit 1))
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and print the IR")
+    Term.(
+      const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
+      $ dims_arg $ classes_arg $ stage_arg $ trace_arg)
+
+(* ---- run ---------------------------------------------------------------- *)
+
+let backend_arg =
+  Arg.(
+    value & opt string "interp"
+    & info [ "backend" ] ~docv:"B"
+        ~doc:"Execution backend: interp (structured-IR interpreter) or vm \
+              (flat runtime ISA).")
+
+let run_cmd =
+  let run kernel arch size opt queries dims classes seed backend =
+    handle_errors (fun () ->
+        let spec = or_die (spec_of ~arch ~size ~opt) in
+        let src = kernel_of ~kernel ~queries ~dims ~classes in
+        let c = C4cam.Driver.compile ~spec src in
+        let data =
+          Workloads.Hdc.synthetic ~seed ~dims:c.info.d
+            ~n_classes:c.info.n ~n_queries:c.info.q ~bits:spec.bits ()
+        in
+        let r =
+          match backend with
+          | "interp" ->
+              C4cam.Driver.run_cam c ~queries:data.queries
+                ~stored:data.stored
+          | "vm" ->
+              C4cam.Driver.run_vm c ~queries:data.queries
+                ~stored:data.stored
+          | b ->
+              prerr_endline ("c4cam: unknown backend " ^ b);
+              exit 1
+        in
+        let correct =
+          Array.to_list r.indices
+          |> List.mapi (fun i (row : int array) ->
+                 if row.(0) = data.query_labels.(i) then 1 else 0)
+          |> List.fold_left ( + ) 0
+        in
+        Printf.printf "kernel   : %d queries x %d dims vs %d stored (%s)\n"
+          c.info.q c.info.d c.info.n
+          (C4cam.Dse.config_name spec);
+        Printf.printf "latency  : %s\n" (C4cam.Report.si_time r.latency);
+        Printf.printf "energy   : %s\n" (C4cam.Report.si_energy r.energy);
+        Printf.printf "power    : %s\n" (C4cam.Report.si_power r.power);
+        Printf.printf "accuracy : %d/%d on synthetic noisy queries\n" correct
+          c.info.q;
+        Printf.printf "%s\n" (Camsim.Stats.to_string r.stats))
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Data seed.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute on the CAM simulator")
+    Term.(
+      const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
+      $ dims_arg $ classes_arg $ seed_arg $ backend_arg)
+
+(* ---- asm: print the flat runtime ISA -------------------------------------- *)
+
+let asm_cmd =
+  let run kernel arch size opt queries dims classes =
+    handle_errors (fun () ->
+        let spec = or_die (spec_of ~arch ~size ~opt) in
+        let src = kernel_of ~kernel ~queries ~dims ~classes in
+        let c = C4cam.Driver.compile ~spec src in
+        print_string (Vm.Isa.to_string (C4cam.Driver.to_vm c)))
+  in
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:"Compile and print the flat runtime-ISA listing (llvm stage)")
+    Term.(
+      const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
+      $ dims_arg $ classes_arg)
+
+(* ---- tune ------------------------------------------------------------------ *)
+
+let tune_cmd =
+  let run queries dims classes objective =
+    handle_errors (fun () ->
+        let data =
+          Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
+            ~n_queries:queries ~bits:1 ()
+        in
+        let candidates = C4cam.Autotune.evaluate_hdc ~data () in
+        let obj =
+          match objective with
+          | "latency" -> C4cam.Autotune.Min_latency
+          | "energy" -> C4cam.Autotune.Min_energy
+          | "power" -> C4cam.Autotune.Min_power
+          | "edp" -> C4cam.Autotune.Min_edp
+          | "area" -> C4cam.Autotune.Min_area
+          | o ->
+              prerr_endline ("c4cam: unknown objective " ^ o);
+              exit 1
+        in
+        let c = C4cam.Autotune.best obj candidates in
+        Printf.printf "best for %s: %s\n"
+          (C4cam.Autotune.objective_to_string obj)
+          c.measurement.config;
+        Printf.printf
+          "latency %s | energy %s | power %s | area %.4f mm2\n\
+           spec:\n%s"
+          (C4cam.Report.si_time c.measurement.latency)
+          (C4cam.Report.si_energy c.measurement.energy)
+          (C4cam.Report.si_power c.measurement.power)
+          c.area_mm2
+          (Archspec.Spec.to_string c.spec))
+  in
+  let objective_arg =
+    Arg.(
+      value & opt string "edp"
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:"latency | energy | power | edp | area.")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Search the architecture grid for the best configuration")
+    Term.(const run $ queries_arg $ dims_arg $ classes_arg $ objective_arg)
+
+(* ---- sweep --------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run queries dims classes =
+    handle_errors (fun () ->
+        let data =
+          Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
+            ~n_queries:queries ~bits:1 ()
+        in
+        let rows =
+          List.concat_map
+            (fun side ->
+              List.map
+                (fun opt ->
+                  let spec = Archspec.Spec.square side opt in
+                  let m = C4cam.Dse.hdc ~spec ~data () in
+                  [
+                    m.config;
+                    C4cam.Report.si_time m.latency;
+                    C4cam.Report.si_energy m.energy;
+                    C4cam.Report.si_power m.power;
+                    string_of_int m.subarrays;
+                    string_of_int m.banks;
+                    Printf.sprintf "%.0f%%" (m.accuracy *. 100.);
+                  ])
+                Archspec.Spec.[ Base; Power; Density; Power_density ])
+            [ 16; 32; 64; 128; 256 ]
+        in
+        print_string
+          (C4cam.Report.table
+             ~headers:
+               [ "config"; "latency"; "energy"; "power"; "subarrays";
+                 "banks"; "accuracy" ]
+             rows))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Design-space exploration over sizes and optimizations")
+    Term.(const run $ queries_arg $ dims_arg $ classes_arg)
+
+(* ---- passes --------------------------------------------------------------- *)
+
+let passes_cmd =
+  let run () =
+    List.iter print_endline Passes.Pipelines.names
+  in
+  Cmd.v (Cmd.info "passes" ~doc:"List the available passes") Term.(const run $ const ())
+
+let () =
+  let doc = "C4CAM: a compiler for CAM-based in-memory accelerators" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "c4cam" ~doc)
+          [ compile_cmd; run_cmd; asm_cmd; sweep_cmd; tune_cmd; passes_cmd ]))

@@ -1,0 +1,1 @@
+examples/crossbar_vs_cam.ml: Archspec Array C4cam Printf Workloads Xbar

@@ -1,0 +1,1 @@
+examples/crossbar_vs_cam.mli:

@@ -1,0 +1,1 @@
+examples/decision_tree_tcam.ml: Archspec Array Camsim Printf Workloads

@@ -1,0 +1,1 @@
+examples/dse_explore.ml: Archspec C4cam List Printf Workloads

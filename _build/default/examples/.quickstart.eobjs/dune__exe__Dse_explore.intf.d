@@ -1,0 +1,1 @@
+examples/dse_explore.mli:

@@ -1,0 +1,1 @@
+examples/few_shot_memory.ml: Camsim List Printf Workloads

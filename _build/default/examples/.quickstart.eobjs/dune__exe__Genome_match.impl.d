@@ -1,0 +1,1 @@
+examples/genome_match.ml: Array Camsim List Printf String Workloads

@@ -1,0 +1,1 @@
+examples/hdc_mnist.ml: Archspec Array C4cam List Printf Workloads

@@ -1,0 +1,1 @@
+examples/hdc_mnist.mli:

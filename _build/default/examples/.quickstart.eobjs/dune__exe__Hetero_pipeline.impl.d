@@ -1,0 +1,1 @@
+examples/hetero_pipeline.ml: Archspec Array C4cam List Printf Workloads

@@ -1,0 +1,1 @@
+examples/knn_pneumonia.ml: Archspec Array C4cam List Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Archspec Array C4cam Camsim Interp Ir Printf Workloads

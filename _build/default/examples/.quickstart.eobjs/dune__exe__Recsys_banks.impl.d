@@ -1,0 +1,1 @@
+examples/recsys_banks.ml: Archspec Array C4cam Camsim Float List Printf String Workloads

@@ -1,0 +1,1 @@
+examples/recsys_banks.mli:

@@ -1,0 +1,1 @@
+examples/tcam_wildcard.ml: Archspec Array Camsim List Printf String

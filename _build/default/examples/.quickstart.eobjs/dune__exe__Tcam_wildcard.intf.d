@@ -1,0 +1,1 @@
+examples/tcam_wildcard.mli:

@@ -1,0 +1,58 @@
+(* Decision-tree inference on a TCAM (the DT2CAM scheme, reproduced as a
+   workload on the general simulator).
+
+   A CART tree is trained in software, flattened into ternary rules —
+   one TCAM row per leaf, with each path condition pinning a single
+   thermometer bit and everything else a don't-care — and queries are
+   classified with one exact-match search each. The CAM predictions are
+   compared against the software tree one by one.
+
+   Run with:  dune exec examples/decision_tree_tcam.exe *)
+
+let () =
+  let ds =
+    Workloads.Dataset.mnist_like ~seed:23 ~n_features:12 ~n_classes:4
+      ~samples_per_class:60 ()
+  in
+  let train, test = Workloads.Dataset.split ~seed:3 ds ~train_fraction:0.75 in
+  let model = Workloads.Decision_tree.train ~max_depth:6 ~bins:8 train in
+  let rules = Workloads.Decision_tree.to_rules model in
+  Printf.printf
+    "tree: depth %d, %d leaves -> %d ternary rules of %d cells each\n"
+    (Workloads.Decision_tree.depth model.tree)
+    (Workloads.Decision_tree.n_leaves model.tree)
+    (Array.length rules.patterns) rules.width;
+
+  (* one subarray large enough for the rule table *)
+  let spec =
+    {
+      (Archspec.Spec.square 32 Archspec.Spec.Base) with
+      rows = max 32 (Array.length rules.patterns);
+      cols = rules.width;
+    }
+  in
+  let sim = Camsim.Simulator.create spec in
+  Camsim.Simulator.set_query_hint sim (Workloads.Dataset.n_samples test);
+  let bank = Camsim.Simulator.alloc_bank sim ~rows:spec.rows ~cols:spec.cols in
+  let mat = Camsim.Simulator.alloc_mat sim bank in
+  let arr = Camsim.Simulator.alloc_array sim mat in
+  let sub = Camsim.Simulator.alloc_subarray sim arr in
+
+  let cam_predictions =
+    Workloads.Decision_tree.classify_cam sim sub rules model test.features
+  in
+  let agree = ref 0 and correct = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if p = Workloads.Decision_tree.predict model test.features.(i) then
+        incr agree;
+      if p = test.labels.(i) then incr correct)
+    cam_predictions;
+  let n = Workloads.Dataset.n_samples test in
+  Printf.printf "CAM agrees with the software tree on %d/%d queries\n"
+    !agree n;
+  Printf.printf "classification accuracy: software %.1f%%, CAM %.1f%%\n"
+    (Workloads.Decision_tree.accuracy model test *. 100.)
+    (float_of_int !correct /. float_of_int n *. 100.);
+  Printf.printf "\n%s\n"
+    (Camsim.Stats.to_string (Camsim.Simulator.stats sim))

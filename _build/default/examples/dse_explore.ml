@@ -1,0 +1,92 @@
+(* Design-space exploration without recoding the application: the same
+   TorchScript kernel is compiled against architecture specifications
+   written in C4CAM's configuration format (Section III-B), including
+   the iso-capacity setups of Section IV-C2 and the GPU comparison.
+
+   Run with:  dune exec examples/dse_explore.exe *)
+
+let spec_text ~side ~opt =
+  Printf.sprintf
+    "# generated architecture specification\n\
+     rows = %d\n\
+     cols = %d\n\
+     subarrays_per_array = 8\n\
+     arrays_per_mat = 4\n\
+     mats_per_bank = 4\n\
+     banks = auto\n\
+     cam = tcam\n\
+     bits = 1\n\
+     optimization = %s\n"
+    side side opt
+
+let () =
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~dims:4096 ~n_classes:10 ~n_queries:64
+      ~bits:1 ()
+  in
+
+  (* 1. Sweep subarray sizes and optimization targets from config text. *)
+  print_endline "== sweep from architecture-specification files ==";
+  let rows =
+    List.concat_map
+      (fun side ->
+        List.map
+          (fun opt ->
+            let spec =
+              match Archspec.Spec.of_string (spec_text ~side ~opt) with
+              | Ok s -> s
+              | Error e -> failwith e
+            in
+            let m = C4cam.Dse.hdc ~spec ~data () in
+            [
+              m.config;
+              C4cam.Report.si_time m.latency;
+              C4cam.Report.si_energy m.energy;
+              C4cam.Report.si_power m.power;
+              string_of_int m.subarrays;
+            ])
+          [ "latency"; "power"; "utilization" ])
+      [ 16; 64; 256 ]
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:[ "config"; "latency"; "energy"; "power"; "subarrays" ]
+       rows);
+
+  (* 2. Iso-capacity: 2^16 cells per array, subarray size varies. *)
+  print_endline "\n== iso-capacity (2^16 cells per array) ==";
+  let rows =
+    List.map
+      (fun side ->
+        let spec = C4cam.Dse.iso_capacity_spec ~side Archspec.Spec.Base in
+        let m = C4cam.Dse.hdc ~spec ~data () in
+        [
+          Printf.sprintf "%dx%d (%d subarrays/array)" side side
+            spec.subarrays_per_array;
+          C4cam.Report.si_time m.latency;
+          C4cam.Report.si_energy m.energy;
+          C4cam.Report.si_power m.power;
+        ])
+      [ 16; 32; 64; 128; 256 ]
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:[ "subarray"; "latency"; "energy"; "power" ]
+       rows);
+
+  (* 3. End-to-end comparison against the GPU model. *)
+  print_endline "\n== GPU comparison ==";
+  let r =
+    C4cam.Dse.gpu_comparison_hdc
+      ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
+      ~data ()
+  in
+  Printf.printf
+    "GPU %s / CAM %s  -> speedup %.1fx\nGPU %s / CIM-system %s -> energy \
+     improvement %.1fx\n"
+    (C4cam.Report.si_time r.gpu_latency)
+    (C4cam.Report.si_time r.cam_latency)
+    r.speedup
+    (C4cam.Report.si_energy r.gpu_energy)
+    (C4cam.Report.si_energy r.cam_system_energy)
+    r.energy_improvement

@@ -1,0 +1,44 @@
+(* Approximate genome pattern matching on a CAM (the EDAM use case).
+
+   The reference sequence's k-mers are stored one per row; a single
+   threshold search finds every position within the mismatch budget of
+   the query pattern. The CAM hit list is compared against a naive
+   software scan.
+
+   Run with:  dune exec examples/genome_match.exe *)
+
+let () =
+  let reference = Workloads.Genome.random_sequence ~seed:101 480 in
+  let k = 24 in
+  (* plant three mutated copies of a pattern in the reference *)
+  let pattern =
+    Workloads.Genome.of_string "ACGTTGCAACGTGGATCCTAGGCA"
+  in
+  assert (Array.length pattern = k);
+  let plant at mutations =
+    let copy = Workloads.Genome.mutate ~seed:at pattern ~rate:mutations in
+    Array.blit copy 0 reference at k
+  in
+  plant 37 0.0;
+  plant 191 0.06;
+  plant 402 0.15;
+
+  let index = Workloads.Genome.build_index ~reference ~k () in
+  Printf.printf "indexed %d k-mers (k = %d) of a %d-base reference\n"
+    index.positions k (Array.length reference);
+
+  List.iter
+    (fun budget ->
+      let cam = Workloads.Genome.scan_cam index ~pattern ~max_mismatches:budget in
+      let sw =
+        Workloads.Genome.scan_software ~reference ~pattern
+          ~max_mismatches:budget
+      in
+      Printf.printf
+        "<= %d mismatches: CAM finds positions [%s] (software agrees: %b)\n"
+        budget
+        (String.concat "; " (List.map string_of_int cam))
+        (cam = sw))
+    [ 0; 2; 4 ];
+  Printf.printf "\n%s\n"
+    (Camsim.Stats.to_string (Camsim.Simulator.stats index.sim))

@@ -1,0 +1,1 @@
+lib/archspec/spec.ml: In_channel Printf String

@@ -1,0 +1,1 @@
+lib/archspec/spec.mli:

@@ -1,0 +1,210 @@
+type access_mode = Sequential | Parallel
+type cam_kind = Tcam | Bcam | Mcam | Acam
+type optimization = Base | Power | Density | Power_density
+
+type t = {
+  rows : int;
+  cols : int;
+  subarrays_per_array : int;
+  arrays_per_mat : int;
+  mats_per_bank : int;
+  max_banks : int option;
+  bank_mode : access_mode;
+  mat_mode : access_mode;
+  array_mode : access_mode;
+  subarray_mode : access_mode;
+  cam_kind : cam_kind;
+  bits : int;
+  optimization : optimization;
+}
+
+let access_mode_to_string = function
+  | Sequential -> "sequential"
+  | Parallel -> "parallel"
+
+let access_mode_of_string = function
+  | "sequential" | "seq" -> Ok Sequential
+  | "parallel" | "par" -> Ok Parallel
+  | s -> Error ("unknown access mode: " ^ s)
+
+let cam_kind_to_string = function
+  | Tcam -> "tcam"
+  | Bcam -> "bcam"
+  | Mcam -> "mcam"
+  | Acam -> "acam"
+
+let cam_kind_of_string = function
+  | "tcam" -> Ok Tcam
+  | "bcam" -> Ok Bcam
+  | "mcam" -> Ok Mcam
+  | "acam" -> Ok Acam
+  | s -> Error ("unknown CAM kind: " ^ s)
+
+let optimization_to_string = function
+  | Base -> "base"
+  | Power -> "power"
+  | Density -> "density"
+  | Power_density -> "power+density"
+
+let optimization_of_string = function
+  | "base" | "latency" -> Ok Base
+  | "power" -> Ok Power
+  | "density" | "utilization" -> Ok Density
+  | "power+density" | "power_density" -> Ok Power_density
+  | s -> Error ("unknown optimization target: " ^ s)
+
+let default =
+  {
+    rows = 32;
+    cols = 32;
+    subarrays_per_array = 8;
+    arrays_per_mat = 4;
+    mats_per_bank = 4;
+    max_banks = None;
+    bank_mode = Parallel;
+    mat_mode = Parallel;
+    array_mode = Parallel;
+    subarray_mode = Parallel;
+    cam_kind = Tcam;
+    bits = 1;
+    optimization = Base;
+  }
+
+let with_optimization t optimization =
+  let subarray_mode =
+    match optimization with
+    | Power | Power_density -> Sequential
+    | Base | Density -> t.subarray_mode
+  in
+  { t with optimization; subarray_mode }
+
+let paper_config ?(rows = 32) ~cols ?(bits = 1) () =
+  { default with rows; cols; bits }
+
+let square side optimization =
+  with_optimization { default with rows = side; cols = side } optimization
+
+let subarrays_per_bank t =
+  t.subarrays_per_array * t.arrays_per_mat * t.mats_per_bank
+
+let cells_per_subarray t = t.rows * t.cols
+
+let validate t =
+  let pos name v =
+    if v >= 1 then Ok () else Error (name ^ " must be positive")
+  in
+  let ( >>> ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  pos "rows" t.rows >>> fun () ->
+  pos "cols" t.cols >>> fun () ->
+  pos "subarrays_per_array" t.subarrays_per_array >>> fun () ->
+  pos "arrays_per_mat" t.arrays_per_mat >>> fun () ->
+  pos "mats_per_bank" t.mats_per_bank >>> fun () ->
+  pos "bits" t.bits >>> fun () ->
+  (match t.max_banks with Some b -> pos "banks" b | None -> Ok ())
+  >>> fun () ->
+  if t.bits > 8 then Error "bits per cell larger than 8 is not modelled"
+  else Ok ()
+
+let to_string t =
+  String.concat "\n"
+    [
+      "rows = " ^ string_of_int t.rows;
+      "cols = " ^ string_of_int t.cols;
+      "subarrays_per_array = " ^ string_of_int t.subarrays_per_array;
+      "arrays_per_mat = " ^ string_of_int t.arrays_per_mat;
+      "mats_per_bank = " ^ string_of_int t.mats_per_bank;
+      "banks = "
+      ^ (match t.max_banks with None -> "auto" | Some b -> string_of_int b);
+      "bank_mode = " ^ access_mode_to_string t.bank_mode;
+      "mat_mode = " ^ access_mode_to_string t.mat_mode;
+      "array_mode = " ^ access_mode_to_string t.array_mode;
+      "subarray_mode = " ^ access_mode_to_string t.subarray_mode;
+      "cam = " ^ cam_kind_to_string t.cam_kind;
+      "bits = " ^ string_of_int t.bits;
+      "optimization = " ^ optimization_to_string t.optimization;
+    ]
+  ^ "\n"
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" key v)
+
+let apply t key v =
+  match key with
+  | "rows" ->
+      let* i = parse_int key v in
+      Ok { t with rows = i }
+  | "cols" ->
+      let* i = parse_int key v in
+      Ok { t with cols = i }
+  | "subarrays_per_array" ->
+      let* i = parse_int key v in
+      Ok { t with subarrays_per_array = i }
+  | "arrays_per_mat" ->
+      let* i = parse_int key v in
+      Ok { t with arrays_per_mat = i }
+  | "mats_per_bank" ->
+      let* i = parse_int key v in
+      Ok { t with mats_per_bank = i }
+  | "banks" ->
+      if v = "auto" then Ok { t with max_banks = None }
+      else
+        let* i = parse_int key v in
+        Ok { t with max_banks = Some i }
+  | "bank_mode" ->
+      let* m = access_mode_of_string v in
+      Ok { t with bank_mode = m }
+  | "mat_mode" ->
+      let* m = access_mode_of_string v in
+      Ok { t with mat_mode = m }
+  | "array_mode" ->
+      let* m = access_mode_of_string v in
+      Ok { t with array_mode = m }
+  | "subarray_mode" ->
+      let* m = access_mode_of_string v in
+      Ok { t with subarray_mode = m }
+  | "cam" ->
+      let* k = cam_kind_of_string v in
+      Ok { t with cam_kind = k }
+  | "bits" ->
+      let* i = parse_int key v in
+      Ok { t with bits = i }
+  | "optimization" ->
+      let* o = optimization_of_string v in
+      Ok (with_optimization t o)
+  | _ -> Error ("unknown configuration key: " ^ key)
+
+let of_string src =
+  let lines = String.split_on_char '\n' src in
+  let rec go t = function
+    | [] -> (
+        match validate t with Ok () -> Ok t | Error e -> Error e)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then go t rest
+        else
+          match String.index_opt line '=' with
+          | None -> Error ("expected key = value, got: " ^ line)
+          | Some i ->
+              let key = String.trim (String.sub line 0 i) in
+              let v =
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let* t = apply t key v in
+              go t rest)
+  in
+  go default lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> of_string src
+  | exception Sys_error e -> Error e

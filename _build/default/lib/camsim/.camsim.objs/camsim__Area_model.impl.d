@@ -1,0 +1,1 @@
+lib/camsim/area_model.ml: Archspec Tech

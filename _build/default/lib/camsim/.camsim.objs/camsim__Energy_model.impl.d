@@ -1,0 +1,1 @@
+lib/camsim/energy_model.ml: Option Tech

@@ -1,0 +1,1 @@
+lib/camsim/energy_model.mli: Tech

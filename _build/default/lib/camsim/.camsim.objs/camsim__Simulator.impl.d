@@ -1,0 +1,1 @@
+lib/camsim/simulator.ml: Archspec Array Energy_model Float Hashtbl Printf Rng Stats Subarray Tech Trace

@@ -1,0 +1,1 @@
+lib/camsim/simulator.mli: Archspec Energy_model Stats Tech Trace

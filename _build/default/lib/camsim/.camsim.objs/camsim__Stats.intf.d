@@ -1,0 +1,1 @@
+lib/camsim/stats.mli:

@@ -1,0 +1,1 @@
+lib/camsim/subarray.ml: Array Float Int64 Printf

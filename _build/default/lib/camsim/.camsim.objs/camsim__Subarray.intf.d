@@ -1,0 +1,1 @@
+lib/camsim/subarray.mli:

@@ -1,0 +1,1 @@
+lib/camsim/tech.mli:

@@ -1,0 +1,1 @@
+lib/camsim/trace.ml: Array List Printf String

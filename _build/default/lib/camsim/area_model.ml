@@ -1,0 +1,33 @@
+let um2_to_mm2 = 1e-6
+
+let subarray_area (tech : Tech.t) ~rows ~cols =
+  let r = float_of_int rows and c = float_of_int cols in
+  ((r *. c *. tech.a_cell)
+  +. (r *. tech.a_sense_per_row)
+  +. (c *. tech.a_driver_per_col)
+  +. tech.a_periph_subarray)
+  *. um2_to_mm2
+
+let array_area tech ~(spec : Archspec.Spec.t) =
+  (float_of_int spec.subarrays_per_array
+  *. subarray_area tech ~rows:spec.rows ~cols:spec.cols)
+  +. (tech.Tech.a_array_overhead *. um2_to_mm2)
+
+let mat_area tech ~(spec : Archspec.Spec.t) =
+  (float_of_int spec.arrays_per_mat *. array_area tech ~spec)
+  +. (tech.Tech.a_mat_overhead *. um2_to_mm2)
+
+let bank_area tech ~(spec : Archspec.Spec.t) =
+  (float_of_int spec.mats_per_bank *. mat_area tech ~spec)
+  +. (tech.Tech.a_bank_overhead *. um2_to_mm2)
+
+let chip_area tech ~spec ~banks = float_of_int banks *. bank_area tech ~spec
+
+let peripheral_fraction (tech : Tech.t) ~(spec : Archspec.Spec.t) =
+  let total = bank_area tech ~spec in
+  let cells =
+    float_of_int
+      (spec.rows * spec.cols * Archspec.Spec.subarrays_per_bank spec)
+    *. tech.a_cell *. um2_to_mm2
+  in
+  (total -. cells) /. total

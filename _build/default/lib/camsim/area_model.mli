@@ -1,0 +1,23 @@
+(** Chip-area estimation (the Eva-CAM "architectural modeling for
+    chip-level estimations" role).
+
+    Every subarray carries its own sense amplifiers, search-line drivers
+    and control; arrays, mats and banks add routing overheads. This is
+    what makes the paper's iso-capacity systems *not* iso-area
+    (Section IV-C2): splitting an array into more, smaller subarrays
+    multiplies the peripheral share. All results in mm^2. *)
+
+val subarray_area : Tech.t -> rows:int -> cols:int -> float
+(** Cell field plus per-subarray peripherals, mm^2. *)
+
+val array_area : Tech.t -> spec:Archspec.Spec.t -> float
+(** One array: its subarrays plus the array overhead. *)
+
+val bank_area : Tech.t -> spec:Archspec.Spec.t -> float
+
+val chip_area : Tech.t -> spec:Archspec.Spec.t -> banks:int -> float
+(** Total accelerator area for [banks] fully-populated banks. *)
+
+val peripheral_fraction : Tech.t -> spec:Archspec.Spec.t -> float
+(** Fraction of one bank's area that is not CAM cells — rises as
+    subarrays shrink. *)

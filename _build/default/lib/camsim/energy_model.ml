@@ -1,0 +1,83 @@
+type cost = { latency : float; energy : float }
+
+let zero = { latency = 0.; energy = 0. }
+
+let add a b =
+  { latency = a.latency +. b.latency; energy = a.energy +. b.energy }
+
+let search (tech : Tech.t) ~bits ~cols ~active_rows ?physical_rows ~kind
+    ~queries ~batch_extra () =
+  let q = float_of_int queries in
+  let r = float_of_int active_rows in
+  let c = float_of_int cols in
+  let vf = Tech.voltage_energy_factor tech ~bits in
+  let t_one =
+    Tech.search_latency tech ~cols
+    +.
+    if batch_extra then
+      tech.t_batch_switch +. (c *. tech.t_batch_switch_per_col)
+    else 0.
+  in
+  let e_sense_per_row =
+    match kind with
+    | `Best -> tech.e_sense_best_per_row
+    | `Exact | `Threshold | `Range -> tech.e_sense_exact_per_row
+  in
+  (* Batched subarrays (cam-density) lose the selective-precharge energy
+     benefit: the matchlines of the whole physical array are precharged
+     on every cycle, while sensing stays restricted to the active rows.
+     This is what makes density costly on large subarrays (Fig. 8a). *)
+  let precharge_rows =
+    if batch_extra then
+      float_of_int (Option.value ~default:active_rows physical_rows)
+    else r
+  in
+  let e_one =
+    (r *. c *. tech.e_cell_search *. vf)
+    +. (precharge_rows *. c *. tech.e_precharge_per_cell *. vf)
+    +. (c *. tech.e_driver_per_col *. vf)
+    +. (r *. e_sense_per_row)
+    +. tech.e_periph_subarray
+    +. if batch_extra then tech.e_batch_switch else 0.
+  in
+  { latency = q *. t_one; energy = q *. e_one }
+
+let write (tech : Tech.t) ~bits ~cols ~rows =
+  let vf = Tech.voltage_energy_factor tech ~bits in
+  {
+    latency = float_of_int rows *. tech.t_write_row;
+    energy =
+      float_of_int (rows * cols) *. tech.e_write_cell *. vf;
+  }
+
+let merge (tech : Tech.t) ~elems =
+  let n = float_of_int elems in
+  {
+    latency = n *. tech.t_merge_per_elem;
+    energy = n *. tech.e_merge_per_elem;
+  }
+
+let select (tech : Tech.t) ~elems_per_query ~k ~queries =
+  let q = float_of_int queries in
+  let n = float_of_int elems_per_query in
+  let depth = ceil (log (max 2. n) /. log 2.) in
+  let kf = float_of_int (max 1 k) in
+  {
+    latency =
+      q
+      *. (tech.t_select_base
+         +. (tech.t_select_per_log2 *. depth)
+         +. (tech.t_select_per_k *. (kf -. 1.)));
+    energy = q *. n *. tech.e_select_per_elem *. kf;
+  }
+
+let level_overhead (tech : Tech.t) ~level ~queries =
+  let q = float_of_int queries in
+  let e =
+    match level with
+    | `Bank -> tech.e_bank_per_query
+    | `Mat -> tech.e_mat_per_query
+    | `Array -> tech.e_array_per_query
+    | `Subarray -> 0.
+  in
+  { latency = 0.; energy = q *. e }

@@ -1,0 +1,43 @@
+(** Architectural latency/energy model on top of {!Tech} (the Eva-CAM
+    substitute). All costs are per-operation; power is derived by the
+    caller as total energy over total latency. *)
+
+type cost = { latency : float; energy : float }
+
+val zero : cost
+val add : cost -> cost -> cost
+
+val search :
+  Tech.t ->
+  bits:int ->
+  cols:int ->
+  active_rows:int ->
+  ?physical_rows:int ->
+  kind:[ `Exact | `Best | `Threshold | `Range ] ->
+  queries:int ->
+  batch_extra:bool ->
+  unit ->
+  cost
+(** Cost of searching [queries] query vectors against [active_rows]
+    pre-charged rows of a subarray with [cols] columns. With selective
+    row precharge only the active rows pay precharge and sensing energy.
+    [batch_extra] (cam-density) adds the row-decoder reconfiguration
+    cost and forfeits the precharge benefit: all [physical_rows] pay
+    matchline precharge on every cycle. *)
+
+val write : Tech.t -> bits:int -> cols:int -> rows:int -> cost
+(** Programming [rows] full rows. *)
+
+val merge : Tech.t -> elems:int -> cost
+(** Accumulating [elems] partial-result elements into a buffer. *)
+
+val select : Tech.t -> elems_per_query:int -> k:int -> queries:int -> cost
+(** Final top-k selection (winner-take-all tree) over the merged
+    distances. *)
+
+val level_overhead :
+  Tech.t -> level:[ `Bank | `Mat | `Array | `Subarray ] -> queries:int ->
+  cost
+(** Per-query routing/I-O overhead of one allocated hierarchy level
+    (charged once per allocated bank/mat/array for the whole query
+    batch; zero latency — it is pipelined with the searches). *)

@@ -1,0 +1,246 @@
+type id = int
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type node =
+  | Bank of { rows : int; cols : int; mutable mats : int }
+  | Mat of { bank : id; mutable arrays : int }
+  | Array_ of { mat : id; mutable subarrays : int }
+  | Sub of { array_ : id; sub : Subarray.t }
+
+type t = {
+  sim_spec : Archspec.Spec.t;
+  sim_tech : Tech.t;
+  sim_stats : Stats.t;
+  nodes : (id, node) Hashtbl.t;
+  mutable next_id : int;
+  mutable query_hint : int;
+  defect_rate : float;
+  defect_rng : Rng.t;
+  trace : Trace.t option;
+}
+
+let create ?(tech = Tech.fefet_45nm) ?(defect_rate = 0.)
+    ?(defect_seed = 1) ?trace spec =
+  (match Archspec.Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> err "invalid architecture spec: %s" e);
+  if defect_rate < 0. || defect_rate >= 1. then
+    err "defect rate must be in [0, 1)";
+  {
+    sim_spec = spec;
+    sim_tech = tech;
+    sim_stats = Stats.create ();
+    nodes = Hashtbl.create 256;
+    next_id = 0;
+    query_hint = 1;
+    defect_rate;
+    defect_rng = Rng.create defect_seed;
+    trace;
+  }
+
+let record t event =
+  match t.trace with Some tr -> Trace.record tr event | None -> ()
+
+(* Stuck-at / flipped-cell injection on the write path: with probability
+   [defect_rate] a binary cell stores the opposite value; a multi-bit
+   cell stores a random other level. Models the unreliable scaled FeFETs
+   that motivate robustness studies (HDGIM). *)
+let inject_defects t data =
+  if t.defect_rate = 0. then data
+  else
+    let max_val = (1 lsl t.sim_spec.bits) - 1 in
+    Array.map
+      (Array.map (fun v ->
+           if not (Rng.bool t.defect_rng t.defect_rate) then v
+           else if v = 0. then 1.
+           else if v = 1. && max_val = 1 then 0.
+           else if Float.is_integer v && v >= 0. && v <= float_of_int max_val
+           then float_of_int (Rng.int t.defect_rng (max_val + 1))
+           else -. v))
+      data
+
+let spec t = t.sim_spec
+let tech t = t.sim_tech
+let stats t = t.sim_stats
+let set_query_hint t q = t.query_hint <- max 1 q
+
+let fresh t node =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.nodes id node;
+  id
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> err "unknown device handle %d" id
+
+let charge_overhead t level =
+  let c =
+    Energy_model.level_overhead t.sim_tech ~level ~queries:t.query_hint
+  in
+  t.sim_stats.e_overhead <- t.sim_stats.e_overhead +. c.energy
+
+let alloc_bank t ~rows ~cols =
+  (match t.sim_spec.max_banks with
+  | Some b when t.sim_stats.n_banks >= b ->
+      err "bank allocation exceeds the configured %d banks" b
+  | _ -> ());
+  if rows <> t.sim_spec.rows || cols <> t.sim_spec.cols then
+    err "bank geometry %dx%d disagrees with the architecture spec %dx%d"
+      rows cols t.sim_spec.rows t.sim_spec.cols;
+  t.sim_stats.n_banks <- t.sim_stats.n_banks + 1;
+  charge_overhead t `Bank;
+  let id = fresh t (Bank { rows; cols; mats = 0 }) in
+  record t (Trace.Alloc { level = "bank"; id });
+  id
+
+let alloc_mat t bank_id =
+  match node t bank_id with
+  | Bank b ->
+      if b.mats >= t.sim_spec.mats_per_bank then
+        err "mat allocation exceeds %d mats per bank"
+          t.sim_spec.mats_per_bank;
+      b.mats <- b.mats + 1;
+      t.sim_stats.n_mats <- t.sim_stats.n_mats + 1;
+      charge_overhead t `Mat;
+      let id = fresh t (Mat { bank = bank_id; arrays = 0 }) in
+      record t (Trace.Alloc { level = "mat"; id });
+      id
+  | Mat _ | Array_ _ | Sub _ -> err "alloc_mat: handle %d is not a bank" bank_id
+
+let alloc_array t mat_id =
+  match node t mat_id with
+  | Mat m ->
+      if m.arrays >= t.sim_spec.arrays_per_mat then
+        err "array allocation exceeds %d arrays per mat"
+          t.sim_spec.arrays_per_mat;
+      m.arrays <- m.arrays + 1;
+      t.sim_stats.n_arrays <- t.sim_stats.n_arrays + 1;
+      charge_overhead t `Array;
+      let id = fresh t (Array_ { mat = mat_id; subarrays = 0 }) in
+      record t (Trace.Alloc { level = "array"; id });
+      id
+  | Bank _ | Array_ _ | Sub _ -> err "alloc_array: handle %d is not a mat" mat_id
+
+let alloc_subarray t array_id =
+  match node t array_id with
+  | Array_ a ->
+      if a.subarrays >= t.sim_spec.subarrays_per_array then
+        err "subarray allocation exceeds %d subarrays per array"
+          t.sim_spec.subarrays_per_array;
+      a.subarrays <- a.subarrays + 1;
+      t.sim_stats.n_subarrays <- t.sim_stats.n_subarrays + 1;
+      let sub =
+        Subarray.create ~rows:t.sim_spec.rows ~cols:t.sim_spec.cols
+          ~bits:t.sim_spec.bits
+      in
+      let id = fresh t (Sub { array_ = array_id; sub }) in
+      record t (Trace.Alloc { level = "subarray"; id });
+      id
+  | Bank _ | Mat _ | Sub _ ->
+      err "alloc_subarray: handle %d is not an array" array_id
+
+let subarray t id =
+  match node t id with
+  | Sub s -> s.sub
+  | Bank _ | Mat _ | Array_ _ -> err "handle %d is not a subarray" id
+
+let write_cost t rows =
+  Energy_model.write t.sim_tech ~bits:t.sim_spec.bits ~cols:t.sim_spec.cols
+    ~rows
+
+let write t id ~row_offset data =
+  let sub = subarray t id in
+  Subarray.write sub ~row_offset (inject_defects t data);
+  record t
+    (Trace.Write { sub = id; rows = Array.length data; row_offset });
+  let c = write_cost t (Array.length data) in
+  t.sim_stats.e_write <- t.sim_stats.e_write +. c.energy;
+  t.sim_stats.n_write_ops <- t.sim_stats.n_write_ops + 1;
+  c
+
+let write_ternary t id ~row_offset ~care data =
+  let sub = subarray t id in
+  Subarray.write sub ~row_offset ~care (inject_defects t data);
+  record t
+    (Trace.Write { sub = id; rows = Array.length data; row_offset });
+  let c = write_cost t (Array.length data) in
+  t.sim_stats.e_write <- t.sim_stats.e_write +. c.energy;
+  t.sim_stats.n_write_ops <- t.sim_stats.n_write_ops + 1;
+  c
+
+let search t id ~queries ~row_offset ~rows ~kind ~metric
+    ?(batch_extra = false) ?(threshold = 0.) () =
+  let sub = subarray t id in
+  (match kind with
+  | `Range ->
+      ignore (Subarray.search_range sub ~queries ~row_offset ~rows)
+  | `Threshold ->
+      ignore
+        (Subarray.search_threshold sub ~queries ~row_offset ~rows ~metric
+           ~threshold)
+  | `Exact | `Best ->
+      ignore (Subarray.search sub ~queries ~row_offset ~rows ~metric));
+  record t
+    (Trace.Search
+       {
+         sub = id;
+         queries = Array.length queries;
+         rows;
+         row_offset;
+         kind =
+           (match kind with
+           | `Exact -> "exact"
+           | `Best -> "best"
+           | `Threshold -> "threshold"
+           | `Range -> "range");
+       });
+  let q = Array.length queries in
+  let c =
+    Energy_model.search t.sim_tech ~bits:t.sim_spec.bits
+      ~cols:t.sim_spec.cols ~active_rows:rows
+      ~physical_rows:t.sim_spec.rows ~kind ~queries:q ~batch_extra ()
+  in
+  t.sim_stats.e_search <- t.sim_stats.e_search +. c.energy;
+  t.sim_stats.n_search_ops <- t.sim_stats.n_search_ops + 1;
+  t.sim_stats.n_query_cycles <- t.sim_stats.n_query_cycles + q;
+  c
+
+let read t id = Subarray.read (subarray t id)
+
+let merge t ~elems =
+  record t (Trace.Merge { elems });
+  let c = Energy_model.merge t.sim_tech ~elems in
+  t.sim_stats.e_merge <- t.sim_stats.e_merge +. c.energy;
+  c
+
+let select_best t ~dist ~k ~largest =
+  record t (Trace.Select { queries = Array.length dist; k });
+  let q = Array.length dist in
+  let n = if q = 0 then 0 else Array.length dist.(0) in
+  if k > n then err "select_best: k=%d exceeds %d candidates" k n;
+  let values = Array.make_matrix q k 0. in
+  let indices = Array.make_matrix q k 0 in
+  for qi = 0 to q - 1 do
+    let row = dist.(qi) in
+    let order = Array.init n (fun i -> i) in
+    let cmp a b =
+      let va = row.(a) and vb = row.(b) in
+      let c = if largest then compare vb va else compare va vb in
+      if c <> 0 then c else compare a b
+    in
+    Array.sort cmp order;
+    for j = 0 to k - 1 do
+      values.(qi).(j) <- row.(order.(j));
+      indices.(qi).(j) <- order.(j)
+    done
+  done;
+  let c =
+    Energy_model.select t.sim_tech ~elems_per_query:(max n 1) ~k ~queries:q
+  in
+  t.sim_stats.e_select <- t.sim_stats.e_select +. c.energy;
+  ((values, indices), c)

@@ -1,0 +1,79 @@
+(** The CAM-accelerator simulator: hierarchy allocation, functional
+    search, and the energy ledger. Latency composition across the
+    hierarchy is the IR interpreter's job; every call here returns its
+    own {!Energy_model.cost} and accumulates energy into {!stats}. *)
+
+type t
+
+type id = private int
+(** Handle to an allocated bank/mat/array/subarray. *)
+
+exception Error of string
+
+val create :
+  ?tech:Tech.t -> ?defect_rate:float -> ?defect_seed:int -> ?trace:Trace.t ->
+  Archspec.Spec.t -> t
+(** Defaults to {!Tech.fefet_45nm}, no defects, no trace.
+
+    [defect_rate] injects write-path cell faults with the given
+    probability (binary cells flip; multi-bit cells store a random other
+    level) — the unreliable-device regime of scaled FeFETs, for
+    robustness studies. Deterministic given [defect_seed].
+
+    [trace] records every device operation into the given ring buffer. *)
+
+val spec : t -> Archspec.Spec.t
+val tech : t -> Tech.t
+val stats : t -> Stats.t
+
+val set_query_hint : t -> int -> unit
+(** Number of queries processed per allocation round; used to charge the
+    per-query overhead energy of each allocated hierarchy level. *)
+
+(** {1 Allocation} — raises {!Error} when exceeding the specified
+    hierarchy capacity (mats per bank, etc.) or on invalid parents. *)
+
+val alloc_bank : t -> rows:int -> cols:int -> id
+val alloc_mat : t -> id -> id
+val alloc_array : t -> id -> id
+val alloc_subarray : t -> id -> id
+
+(** {1 Device operations} *)
+
+val write :
+  t -> id -> row_offset:int -> float array array -> Energy_model.cost
+
+val write_ternary :
+  t -> id -> row_offset:int -> care:bool array array -> float array array ->
+  Energy_model.cost
+(** TCAM write with explicit don't-care mask. *)
+
+val search :
+  t ->
+  id ->
+  queries:float array array ->
+  row_offset:int ->
+  rows:int ->
+  kind:[ `Exact | `Best | `Threshold | `Range ] ->
+  metric:[ `Hamming | `Euclidean ] ->
+  ?batch_extra:bool ->
+  ?threshold:float ->
+  unit ->
+  Energy_model.cost
+(** Performs the functional search (result latched in the subarray) and
+    charges its cost. [`Best] latches raw distances; [`Threshold]
+    latches 1/0 match flags against [threshold] (default 0, making it an
+    exact match); [`Range] latches ACAM range-violation counts. *)
+
+val read : t -> id -> float array array
+(** Last search result of a subarray, [Q x active_rows]. *)
+
+val merge : t -> elems:int -> Energy_model.cost
+(** Charge the cost of accumulating [elems] partial results. *)
+
+val select_best :
+  t -> dist:float array array -> k:int -> largest:bool ->
+  (float array array * int array array) * Energy_model.cost
+(** Top-k per query row over the merged distances: returns
+    ([values], [indices]) of shape [Q x k]. Ties break toward the lower
+    index, matching the software references. *)

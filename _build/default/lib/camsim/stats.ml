@@ -1,0 +1,56 @@
+type t = {
+  mutable e_search : float;
+  mutable e_write : float;
+  mutable e_merge : float;
+  mutable e_select : float;
+  mutable e_overhead : float;
+  mutable n_search_ops : int;
+  mutable n_query_cycles : int;
+  mutable n_write_ops : int;
+  mutable n_banks : int;
+  mutable n_mats : int;
+  mutable n_arrays : int;
+  mutable n_subarrays : int;
+}
+
+let create () =
+  {
+    e_search = 0.;
+    e_write = 0.;
+    e_merge = 0.;
+    e_select = 0.;
+    e_overhead = 0.;
+    n_search_ops = 0;
+    n_query_cycles = 0;
+    n_write_ops = 0;
+    n_banks = 0;
+    n_mats = 0;
+    n_arrays = 0;
+    n_subarrays = 0;
+  }
+
+let total_energy t =
+  t.e_search +. t.e_write +. t.e_merge +. t.e_select +. t.e_overhead
+
+let reset t =
+  t.e_search <- 0.;
+  t.e_write <- 0.;
+  t.e_merge <- 0.;
+  t.e_select <- 0.;
+  t.e_overhead <- 0.;
+  t.n_search_ops <- 0;
+  t.n_query_cycles <- 0;
+  t.n_write_ops <- 0;
+  t.n_banks <- 0;
+  t.n_mats <- 0;
+  t.n_arrays <- 0;
+  t.n_subarrays <- 0
+
+let to_string t =
+  Printf.sprintf
+    "energy: search=%.3e write=%.3e merge=%.3e select=%.3e overhead=%.3e \
+     (total %.3e J); ops: %d searches (%d query cycles), %d writes; \
+     allocated: %d banks, %d mats, %d arrays, %d subarrays"
+    t.e_search t.e_write t.e_merge t.e_select t.e_overhead (total_energy t)
+    t.n_search_ops t.n_query_cycles t.n_write_ops t.n_banks t.n_mats
+    t.n_arrays t.n_subarrays

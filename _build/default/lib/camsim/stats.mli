@@ -1,0 +1,21 @@
+(** Mutable energy/activity ledger of a simulation run. *)
+
+type t = {
+  mutable e_search : float;
+  mutable e_write : float;
+  mutable e_merge : float;
+  mutable e_select : float;
+  mutable e_overhead : float;  (** bank/mat/array level per-query cost *)
+  mutable n_search_ops : int;
+  mutable n_query_cycles : int;  (** search cycles = ops x queries *)
+  mutable n_write_ops : int;
+  mutable n_banks : int;
+  mutable n_mats : int;
+  mutable n_arrays : int;
+  mutable n_subarrays : int;
+}
+
+val create : unit -> t
+val total_energy : t -> float
+val reset : t -> unit
+val to_string : t -> string

@@ -1,0 +1,215 @@
+type cell =
+  | Value of float
+  | Dont_care
+  | Range of float * float
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  bits : int;
+  cells : cell array array; (* rows x cols *)
+  (* Packed 4-bit payloads per row for the Hamming fast path; [None]
+     when the row holds don't-cares, ranges, or out-of-range values. *)
+  packed : int64 array option array;
+  mutable last : float array array option;
+}
+
+let create ~rows ~cols ~bits =
+  if rows < 1 || cols < 1 then invalid_arg "Subarray.create: empty geometry";
+  {
+    n_rows = rows;
+    n_cols = cols;
+    bits;
+    cells = Array.init rows (fun _ -> Array.make cols (Value 0.));
+    packed = Array.make rows None;
+    last = None;
+  }
+
+let rows t = t.n_rows
+let cols t = t.n_cols
+
+(* --- packing ---------------------------------------------------------- *)
+
+let packable v = Float.is_integer v && v >= 0. && v < 16.
+
+let words_for cols = (cols + 15) / 16
+
+let pack_row cols values =
+  let words = Array.make (words_for cols) 0L in
+  let ok = ref true in
+  Array.iteri
+    (fun j v ->
+      if packable v then
+        let w = j / 16 and sh = j mod 16 * 4 in
+        words.(w) <-
+          Int64.logor words.(w)
+            (Int64.shift_left (Int64.of_int (int_of_float v)) sh)
+      else ok := false)
+    values;
+  if !ok && Array.length values = cols then Some words else None
+
+(* Number of non-zero nibbles per byte, for mismatch counting. *)
+let nonzero_nibbles =
+  Array.init 256 (fun b ->
+      (if b land 0x0F <> 0 then 1 else 0) + if b land 0xF0 <> 0 then 1 else 0)
+
+let count_mismatch_words a b n =
+  let total = ref 0 in
+  for w = 0 to n - 1 do
+    let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
+    if x <> 0L then begin
+      let x = Int64.to_int x (* low 62 bits: safe, nibbles preserved *) in
+      (* OCaml ints are 63-bit; Int64.to_int truncates the top bit of a
+         full 64-bit pattern, so handle the top byte from the Int64. *)
+      let hi = Int64.to_int (Int64.shift_right_logical (Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w)) 56) land 0xFF in
+      let lo = x land 0xFFFFFFFFFFFFFF (* low 56 bits *) in
+      let acc = ref nonzero_nibbles.(hi) in
+      let v = ref lo in
+      for _ = 0 to 6 do
+        acc := !acc + nonzero_nibbles.(!v land 0xFF);
+        v := !v lsr 8
+      done;
+      total := !total + !acc
+    end
+  done;
+  !total
+
+(* --- writes ----------------------------------------------------------- *)
+
+let check_window t ~row_offset ~rows =
+  if row_offset < 0 || rows < 1 || row_offset + rows > t.n_rows then
+    invalid_arg
+      (Printf.sprintf "Subarray: row window [%d, %d) out of [0, %d)"
+         row_offset (row_offset + rows) t.n_rows)
+
+let write t ?(row_offset = 0) ?care data =
+  let n = Array.length data in
+  check_window t ~row_offset ~rows:n;
+  Array.iteri
+    (fun i row ->
+      if Array.length row > t.n_cols then
+        invalid_arg "Subarray.write: row wider than the subarray";
+      let r = row_offset + i in
+      let cr = t.cells.(r) in
+      let all_care = ref true in
+      Array.iteri
+        (fun j v ->
+          let c =
+            match care with
+            | Some m when not m.(i).(j) ->
+                all_care := false;
+                Dont_care
+            | _ -> Value v
+          in
+          cr.(j) <- c)
+        row;
+      t.packed.(r) <-
+        (if !all_care && Array.length row = t.n_cols then
+           pack_row t.n_cols row
+         else None))
+    data
+
+let write_range t ~row_offset ~lo ~hi =
+  let n = Array.length lo in
+  if Array.length hi <> n then
+    invalid_arg "Subarray.write_range: lo/hi row count mismatch";
+  check_window t ~row_offset ~rows:n;
+  Array.iteri
+    (fun i lo_row ->
+      let hi_row = hi.(i) in
+      if Array.length lo_row <> Array.length hi_row then
+        invalid_arg "Subarray.write_range: lo/hi width mismatch";
+      let r = row_offset + i in
+      Array.iteri
+        (fun j l -> t.cells.(r).(j) <- Range (l, hi_row.(j)))
+        lo_row;
+      t.packed.(r) <- None)
+    lo
+
+let read_row t r =
+  if r < 0 || r >= t.n_rows then invalid_arg "Subarray.read_row";
+  Array.map
+    (function
+      | Value v -> v
+      | Dont_care -> Float.nan
+      | Range (lo, _) -> lo)
+    t.cells.(r)
+
+(* --- searches --------------------------------------------------------- *)
+
+let hamming_row cells query width =
+  let d = ref 0 in
+  for j = 0 to width - 1 do
+    match Array.unsafe_get cells j with
+    | Value v -> if v <> Array.unsafe_get query j then incr d
+    | Dont_care -> ()
+    | Range (lo, hi) ->
+        let q = Array.unsafe_get query j in
+        if q < lo || q > hi then incr d
+  done;
+  float_of_int !d
+
+let euclidean_row cells query width =
+  let d = ref 0. in
+  for j = 0 to width - 1 do
+    match Array.unsafe_get cells j with
+    | Value v ->
+        let diff = v -. Array.unsafe_get query j in
+        d := !d +. (diff *. diff)
+    | Dont_care -> ()
+    | Range (lo, hi) ->
+        let q = Array.unsafe_get query j in
+        if q < lo then d := !d +. ((lo -. q) *. (lo -. q))
+        else if q > hi then d := !d +. ((q -. hi) *. (q -. hi))
+  done;
+  !d
+
+let search t ~queries ~row_offset ~rows ~metric =
+  check_window t ~row_offset ~rows;
+  let q_count = Array.length queries in
+  Array.iter
+    (fun q ->
+      if Array.length q > t.n_cols then
+        invalid_arg "Subarray.search: query wider than the subarray")
+    queries;
+  let full_width = q_count > 0 && Array.length queries.(0) = t.n_cols in
+  let packed_queries =
+    if metric = `Hamming && full_width then
+      Array.map (fun q -> pack_row t.n_cols q) queries
+    else Array.make q_count None
+  in
+  let result =
+    Array.init q_count (fun qi ->
+        let query = queries.(qi) in
+        let width = Array.length query in
+        Array.init rows (fun i ->
+            let r = row_offset + i in
+            match (metric, packed_queries.(qi), t.packed.(r)) with
+            | `Hamming, Some pq, Some pr ->
+                float_of_int
+                  (count_mismatch_words pq pr (words_for t.n_cols))
+            | `Hamming, _, _ -> hamming_row t.cells.(r) query width
+            | `Euclidean, _, _ -> euclidean_row t.cells.(r) query width))
+  in
+  t.last <- Some result;
+  result
+
+let search_range t ~queries ~row_offset ~rows =
+  (* Range match is Hamming-style violation counting, which the generic
+     path already implements through the [Range] cell case. *)
+  search t ~queries ~row_offset ~rows ~metric:`Hamming
+
+let search_threshold t ~queries ~row_offset ~rows ~metric ~threshold =
+  let dists = search t ~queries ~row_offset ~rows ~metric in
+  let matches =
+    Array.map
+      (Array.map (fun d -> if d <= threshold then 1. else 0.))
+      dists
+  in
+  t.last <- Some matches;
+  matches
+
+let read t =
+  match t.last with
+  | Some r -> r
+  | None -> invalid_arg "Subarray.read: no search has been performed"

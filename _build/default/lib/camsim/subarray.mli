@@ -1,0 +1,66 @@
+(** Functional model of one CAM subarray.
+
+    A subarray stores [rows] patterns of [cols] cells. Cells can hold a
+    value, a ternary don't-care (TCAM), or a range (ACAM). A search
+    compares query vectors against a window of active rows (selective
+    row precharge) and yields one distance per (query, active row):
+
+    - [`Hamming]: number of mismatching care cells;
+    - [`Euclidean]: squared Euclidean distance over care cells (kept
+      squared — monotone for ranking, and what the analog ML voltage
+      encodes).
+
+    For ACAM ranges the "distance" is the number of cells whose query
+    element falls outside the stored range (0 = full range match).
+
+    Binary/small-integer payloads with no don't-cares take a packed
+    bit-parallel fast path for Hamming search. *)
+
+type t
+
+val create : rows:int -> cols:int -> bits:int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val write :
+  t -> ?row_offset:int -> ?care:bool array array -> float array array ->
+  unit
+(** [write t data] programs [Array.length data] consecutive rows starting
+    at [row_offset] (default 0). [care.(i).(j) = false] stores a ternary
+    don't-care. @raise Invalid_argument on geometry mismatch. *)
+
+val write_range :
+  t -> row_offset:int -> lo:float array array -> hi:float array array ->
+  unit
+(** Program ACAM range cells. *)
+
+val read_row : t -> int -> float array
+(** Stored values of one row (don't-care cells read back as [nan],
+    range cells as their lower bound). *)
+
+val search :
+  t ->
+  queries:float array array ->
+  row_offset:int ->
+  rows:int ->
+  metric:[ `Hamming | `Euclidean ] ->
+  float array array
+(** [search t ~queries ~row_offset ~rows ~metric] returns a
+    [Q x rows] distance matrix for the active row window. The result is
+    also latched as the subarray's last match-line state for {!read}.
+    @raise Invalid_argument when the window or query width is out of
+    bounds. *)
+
+val search_range : t -> queries:float array array -> row_offset:int ->
+  rows:int -> float array array
+(** ACAM range match: violation counts per (query, row). *)
+
+val search_threshold :
+  t -> queries:float array array -> row_offset:int -> rows:int ->
+  metric:[ `Hamming | `Euclidean ] -> threshold:float -> float array array
+(** Threshold-match sensing: 1.0 for rows within [threshold] of the
+    query, 0.0 otherwise (the TH scheme of Section II-B). *)
+
+val read : t -> float array array
+(** Last search result. @raise Invalid_argument before any search. *)

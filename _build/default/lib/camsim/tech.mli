@@ -1,0 +1,68 @@
+(** Technology parameters of a CAM cell/array design.
+
+    The default instance models the 2FeFET CAM of Yin et al. (FeCAM) at
+    the 45 nm node, with latency anchored to the paper's reported search
+    latencies (860 ps for a 16x16 array, 7.5 ns for 256x256) and energy
+    constants in the femtojoule-per-cell regime reported for FeFET CAMs
+    (Eva-CAM). All times are seconds, energies joules. *)
+
+type t = {
+  name : string;
+  node_nm : int;
+  (* --- latency --- *)
+  t_search_base : float;  (** fixed part of one search cycle *)
+  t_search_per_col : float;  (** matchline discharge scaling with C *)
+  t_write_row : float;  (** programming one row (all columns parallel) *)
+  t_batch_switch : float;
+      (** extra cycle time to reconfigure selective row precharge between
+          batches sharing a subarray *)
+  t_batch_switch_per_col : float;
+      (** column-dependent part of the batch reconfiguration (search-line
+          drivers re-broadcast the query slice) *)
+  t_merge_per_elem : float;  (** accumulating one partial result element *)
+  t_select_base : float;  (** fixed winner-take-all / top-k sensing time *)
+  t_select_per_log2 : float;  (** WTA tree depth component, per log2(N) *)
+  t_select_per_k : float;
+      (** pipelined extraction of each additional top-k candidate *)
+  (* --- energy --- *)
+  e_cell_search : float;  (** per active cell per search *)
+  e_precharge_per_cell : float;  (** ML precharge, active rows only *)
+  e_driver_per_col : float;  (** search-line driver, per column per search *)
+  e_sense_best_per_row : float;  (** best-match (ADC/WTA) sensing per row *)
+  e_sense_exact_per_row : float;  (** exact-match sensing per row *)
+  e_periph_subarray : float;  (** fixed peripheral cost per search *)
+  e_batch_switch : float;  (** per extra batch per search cycle *)
+  e_merge_per_elem : float;
+  e_select_per_elem : float;
+  e_write_cell : float;
+  e_bank_per_query : float;  (** bank-level I/O + routing per query *)
+  e_mat_per_query : float;
+  e_array_per_query : float;
+  (* --- multi-bit --- *)
+  multibit_volt_factor : float;
+      (** relative matchline/dataline voltage increase per extra bit;
+          energy scales with the square of the voltage *)
+  (* --- area, um^2 --- *)
+  a_cell : float;
+  a_sense_per_row : float;  (** sense amplifier per subarray row *)
+  a_driver_per_col : float;  (** search-line driver per subarray column *)
+  a_periph_subarray : float;  (** fixed decoder/control per subarray *)
+  a_array_overhead : float;
+  a_mat_overhead : float;
+  a_bank_overhead : float;
+}
+
+val fefet_45nm : t
+(** Default 2FeFET 45 nm CAM technology. *)
+
+val fefet_45nm_v2 : t
+(** A slightly different calibration of the same design, standing in for
+    the "different simulator version" used by the hand-crafted baseline
+    in the paper's validation (Section IV-B). *)
+
+val search_latency : t -> cols:int -> float
+(** Check: [search_latency fefet_45nm ~cols:16 = 860e-12] and
+    [~cols:256 = 7.5e-9] (up to rounding). *)
+
+val voltage_energy_factor : t -> bits:int -> float
+(** [1.0] for binary cells, [(1 + f*(bits-1))^2] for multi-bit. *)

@@ -1,0 +1,52 @@
+type event =
+  | Alloc of { level : string; id : int }
+  | Write of { sub : int; rows : int; row_offset : int }
+  | Search of {
+      sub : int;
+      queries : int;
+      rows : int;
+      row_offset : int;
+      kind : string;
+    }
+  | Merge of { elems : int }
+  | Select of { queries : int; k : int }
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 10000) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+
+let record t event =
+  t.buffer.(t.next) <- Some event;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let events t =
+  let n = min t.total t.capacity in
+  let start = (t.next - n + t.capacity) mod t.capacity in
+  List.init n (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let total_recorded t = t.total
+
+let event_to_string = function
+  | Alloc { level; id } -> Printf.sprintf "alloc %-8s -> #%d" level id
+  | Write { sub; rows; row_offset } ->
+      Printf.sprintf "write  #%d: %d rows at %d" sub rows row_offset
+  | Search { sub; queries; rows; row_offset; kind } ->
+      Printf.sprintf "search #%d: %d queries x %d rows at %d (%s)" sub
+        queries rows row_offset kind
+  | Merge { elems } -> Printf.sprintf "merge  %d elems" elems
+  | Select { queries; k } ->
+      Printf.sprintf "select top-%d for %d queries" k queries
+
+let dump t =
+  String.concat "\n" (List.map event_to_string (events t)) ^ "\n"

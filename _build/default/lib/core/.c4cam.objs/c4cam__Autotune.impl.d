@@ -1,0 +1,1 @@
+lib/core/autotune.ml: Archspec Camsim Dse List

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Archspec Array Camsim Dialects Frontend Interp Ir List Passes Printf String Vm Xbar

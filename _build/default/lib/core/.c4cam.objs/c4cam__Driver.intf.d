@@ -1,0 +1,1 @@
+lib/core/driver.mli: Archspec Camsim Dialects Interp Ir Vm Xbar

@@ -1,0 +1,1 @@
+lib/core/dse.ml: Archspec Array Driver Gpu_model Kernels Printf Workloads

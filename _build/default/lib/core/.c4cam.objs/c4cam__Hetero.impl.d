@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Driver Float Frontend List Printf String

@@ -1,0 +1,1 @@
+lib/core/hetero.mli: Archspec Camsim Driver

@@ -1,0 +1,62 @@
+type objective = Min_latency | Min_energy | Min_power | Min_edp | Min_area
+
+let objective_to_string = function
+  | Min_latency -> "latency"
+  | Min_energy -> "energy"
+  | Min_power -> "power"
+  | Min_edp -> "edp"
+  | Min_area -> "area"
+
+type candidate = {
+  spec : Archspec.Spec.t;
+  measurement : Dse.measurement;
+  area_mm2 : float;
+}
+
+let value objective c =
+  match objective with
+  | Min_latency -> c.measurement.latency
+  | Min_energy -> c.measurement.energy
+  | Min_power -> c.measurement.power
+  | Min_edp -> c.measurement.edp
+  | Min_area -> c.area_mm2
+
+let default_sides = [ 16; 32; 64; 128; 256 ]
+
+let default_opts =
+  Archspec.Spec.[ Base; Power; Density; Power_density ]
+
+let evaluate_hdc ?(tech = Camsim.Tech.fefet_45nm) ?(sides = default_sides)
+    ?(optimizations = default_opts) ~data () =
+  List.concat_map
+    (fun side ->
+      List.map
+        (fun opt ->
+          let spec = Archspec.Spec.square side opt in
+          let measurement = Dse.hdc ~tech ~spec ~data () in
+          {
+            spec;
+            measurement;
+            area_mm2 =
+              Camsim.Area_model.chip_area tech ~spec
+                ~banks:measurement.banks;
+          })
+        optimizations)
+    sides
+
+let best objective = function
+  | [] -> invalid_arg "Autotune.best: no candidates"
+  | c :: rest ->
+      List.fold_left
+        (fun acc c ->
+          if value objective c < value objective acc then c else acc)
+        c rest
+
+let pareto f g candidates =
+  let dominates a b =
+    f a <= f b && g a <= g b && (f a < f b || g a < g b)
+  in
+  candidates
+  |> List.filter (fun c ->
+         not (List.exists (fun other -> dominates other c) candidates))
+  |> List.sort (fun a b -> compare (f a) (f b))

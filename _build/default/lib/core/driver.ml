@@ -1,0 +1,375 @@
+type kernel_info = {
+  q : int;
+  n : int;
+  d : int;
+  k : int;
+  metric : Dialects.Cim.metric;
+  output : [ `Topk | `Scores ];
+  query_arg : int;
+  stored_arg : int;
+}
+
+type compiled = {
+  spec : Archspec.Spec.t;
+  source : string;
+  torch_ir : Ir.Func_ir.modul;
+  cim_ir : Ir.Func_ir.modul;
+  cam_ir : Ir.Func_ir.modul;
+  fn_name : string;
+  info : kernel_info;
+}
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let clone_module m =
+  Ir.Parser.parse_module (Ir.Printer.module_to_string m)
+
+let arg_position (fn : Ir.Func_ir.func) (v : Ir.Value.t) =
+  let rec go i = function
+    | [] -> None
+    | (a : Ir.Value.t) :: rest ->
+        if Ir.Value.equal a v then Some i else go (i + 1) rest
+  in
+  go 0 fn.fn_args
+
+let extract_info (m : Ir.Func_ir.modul) fn_name =
+  let fn = Ir.Func_ir.find_func_exn m fn_name in
+  let parts =
+    Ir.Walk.collect
+      (fun op ->
+        String.equal op.Ir.Op.op_name
+          Dialects.Cim.partitioned_similarity_name)
+      fn
+  in
+  match parts with
+  | [ p ] ->
+      let ai key = Ir.Attr.as_int (Ir.Op.attr_exn p key) in
+      let output =
+        match Ir.Attr.as_sym (Ir.Op.attr_exn p "output") with
+        | "topk" -> `Topk
+        | _ -> `Scores
+      in
+      (* The query operand is either a function argument or a reshape of
+         one (the batched-KNN squeeze). *)
+      let rec arg_of (v : Ir.Value.t) =
+        match arg_position fn v with
+        | Some i -> i
+        | None -> (
+            match Ir.Walk.find_def fn v with
+            | Some def when String.equal def.op_name Dialects.Cim.reshape_name
+              ->
+                arg_of (Ir.Op.operand def 0)
+            | _ -> fail "cannot trace a kernel operand back to an argument")
+      in
+      {
+        q = ai "q";
+        n = ai "n";
+        d = ai "d";
+        k = ai "k";
+        metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn p "metric");
+        output;
+        query_arg = arg_of (Ir.Op.operand p 0);
+        stored_arg = arg_of (Ir.Op.operand p 1);
+      }
+  | [] -> fail "no similarity pattern was recognised in the kernel"
+  | _ -> fail "more than one similarity kernel per function is unsupported"
+
+let run_passes passes m =
+  try Ir.Pass.run_pipeline ~verify:true passes m with
+  | Ir.Pass.Pass_error (p, msg) -> fail "pass %s: %s" p msg
+
+let run_passes_traced passes m =
+  try Ir.Pass.run_pipeline_traced ~verify:true passes m with
+  | Ir.Pass.Pass_error (p, msg) -> fail "pass %s: %s" p msg
+
+let compile_traced ~spec source =
+  Dialects.Register_all.register_all ();
+  (match Archspec.Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> fail "invalid architecture spec: %s" e);
+  let torch_ir =
+    try Frontend.Emit.compile_string source with
+    | Frontend.Tsparser.Parse_error e -> fail "parse error: %s" e
+    | Frontend.Emit.Emit_error e -> fail "frontend error: %s" e
+  in
+  let fn_name =
+    match torch_ir.funcs with
+    | [ f ] -> f.fn_name
+    | _ -> fail "expected exactly one kernel function"
+  in
+  let cim_ir, cim_trace =
+    run_passes_traced
+      (Passes.Pipelines.cim_pipeline @ [ Passes.Cim_partition.pass spec ])
+      (clone_module torch_ir)
+  in
+  let info = extract_info cim_ir fn_name in
+  let cam_passes =
+    [ Passes.Cam_map.pass spec ]
+    @ (match spec.optimization with
+      | Power | Power_density -> [ Passes.Cam_opt.power ]
+      | Base | Density -> [])
+    @ [ Passes.Canonicalize.pass ]
+  in
+  let cam_ir, cam_trace = run_passes_traced cam_passes (clone_module cim_ir) in
+  ( { spec; source; torch_ir; cim_ir; cam_ir; fn_name; info },
+    ("frontend", Ir.Printer.module_to_string torch_ir)
+    :: List.map
+         (fun (e : Ir.Pass.trace_entry) -> (e.after_pass, e.ir_text))
+         (cim_trace @ cam_trace) )
+
+let compile ~spec source =
+  Dialects.Register_all.register_all ();
+  (match Archspec.Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> fail "invalid architecture spec: %s" e);
+  let torch_ir =
+    try Frontend.Emit.compile_string source with
+    | Frontend.Tsparser.Parse_error e -> fail "parse error: %s" e
+    | Frontend.Emit.Emit_error e -> fail "frontend error: %s" e
+  in
+  let fn_name =
+    match torch_ir.funcs with
+    | [ f ] -> f.fn_name
+    | _ -> fail "expected exactly one kernel function"
+  in
+  let cim_ir =
+    run_passes
+      (Passes.Pipelines.cim_pipeline @ [ Passes.Cim_partition.pass spec ])
+      (clone_module torch_ir)
+  in
+  let info = extract_info cim_ir fn_name in
+  let cam_passes =
+    [ Passes.Cam_map.pass spec ]
+    @ (match spec.optimization with
+      | Power | Power_density -> [ Passes.Cam_opt.power ]
+      | Base | Density -> [])
+    @ [ Passes.Canonicalize.pass ]
+  in
+  let cam_ir = run_passes cam_passes (clone_module cim_ir) in
+  { spec; source; torch_ir; cim_ir; cam_ir; fn_name; info }
+
+let stage_texts c =
+  [
+    ("torch", Ir.Printer.module_to_string c.torch_ir);
+    ("cim", Ir.Printer.module_to_string c.cim_ir);
+    ("cam", Ir.Printer.module_to_string c.cam_ir);
+  ]
+
+type run_result = {
+  values : float array array;
+  indices : int array array;
+  scores : float array array option;
+  latency : float;
+  energy : float;
+  power : float;
+  stats : Camsim.Stats.t;
+}
+
+(* Order the two data operands according to the kernel's argument
+   positions, checking the row counts. *)
+let ordered_args info ~wrap ~queries ~stored =
+  if Array.length queries <> info.q then
+    fail "expected %d query rows, got %d" info.q (Array.length queries);
+  if Array.length stored <> info.n then
+    fail "expected %d stored rows, got %d" info.n (Array.length stored);
+  if info.query_arg < info.stored_arg then
+    [ wrap queries; wrap stored ]
+  else [ wrap stored; wrap queries ]
+
+let run_cam ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
+  let sim =
+    Camsim.Simulator.create ?tech ?defect_rate ?defect_seed ?trace c.spec
+  in
+  Camsim.Simulator.set_query_hint sim (Array.length queries);
+  let wrap rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows) in
+  let args = ordered_args c.info ~wrap ~queries ~stored in
+  let outcome =
+    try Interp.Machine.run ~sim c.cam_ir c.fn_name args
+    with Interp.Machine.Runtime_error e -> fail "runtime error: %s" e
+  in
+  let stats = Camsim.Simulator.stats sim in
+  let energy = Camsim.Stats.total_energy stats in
+  let latency = outcome.latency in
+  let values, indices, scores =
+    match (c.info.output, outcome.results) with
+    | `Topk, [ v; i ] ->
+        (Interp.Rtval.to_rows v, Interp.Rtval.to_int_rows i, None)
+    | `Scores, [ s ] ->
+        let rows = Interp.Rtval.to_rows s in
+        (rows, [||], Some rows)
+    | _ -> fail "unexpected result arity from the cam module"
+  in
+  {
+    values;
+    indices;
+    scores;
+    latency;
+    energy;
+    power = (if latency > 0. then energy /. latency else 0.);
+    stats;
+  }
+
+(* Build a tensor argument with the exact declared shape of the function
+   parameter (e.g. the [q,1,d] batched-KNN query). *)
+let tensor_args (m : Ir.Func_ir.modul) fn_name info ~queries ~stored =
+  let fn = Ir.Func_ir.find_func_exn m fn_name in
+  let shape_of i = Ir.Types.shape (List.nth fn.fn_args i).Ir.Value.ty in
+  let as_tensor rows shape =
+    Interp.Rtval.tensor shape (Array.concat (Array.to_list rows))
+  in
+  let qv = as_tensor queries (shape_of info.query_arg) in
+  let sv = as_tensor stored (shape_of info.stored_arg) in
+  if info.query_arg < info.stored_arg then [ qv; sv ] else [ sv; qv ]
+
+(* ---- the crossbar target (Figure 3's sibling device branch) --------- *)
+
+type crossbar_compiled = {
+  x_spec : Xbar.spec;
+  x_source : string;
+  x_torch_ir : Ir.Func_ir.modul;
+  x_ir : Ir.Func_ir.modul;
+  x_fn : string;
+  x_m : int;
+  x_k : int;
+  x_n : int;
+  x_inputs_arg : int;
+  x_weights_arg : int;
+}
+
+let compile_crossbar ~xspec source =
+  Dialects.Register_all.register_all ();
+  let torch_ir =
+    try Frontend.Emit.compile_string source with
+    | Frontend.Tsparser.Parse_error e -> fail "parse error: %s" e
+    | Frontend.Emit.Emit_error e -> fail "frontend error: %s" e
+  in
+  let fn_name =
+    match torch_ir.funcs with
+    | [ f ] -> f.fn_name
+    | _ -> fail "expected exactly one kernel function"
+  in
+  let cim_ir =
+    run_passes Passes.Pipelines.cim_pipeline (clone_module torch_ir)
+  in
+  (* locate the matmul before mapping to recover shapes and arg roles *)
+  let fn = Ir.Func_ir.find_func_exn cim_ir fn_name in
+  let matmul =
+    match
+      Ir.Walk.collect
+        (fun o ->
+          String.equal o.Ir.Op.op_name "cim.matmul"
+          || String.equal o.Ir.Op.op_name "cim.mm")
+        fn
+    with
+    | [ m ] -> m
+    | _ -> fail "the crossbar target expects a single-matmul kernel"
+  in
+  let a = Ir.Op.operand matmul 0 and bmat = Ir.Op.operand matmul 1 in
+  let m, k =
+    match Ir.Types.shape a.Ir.Value.ty with
+    | [ m; k ] -> (m, k)
+    | _ -> fail "matmul input must be rank-2"
+  in
+  let n = List.nth (Ir.Types.shape bmat.Ir.Value.ty) 1 in
+  let pos v =
+    match arg_position fn v with
+    | Some i -> i
+    | None -> fail "matmul operands must be kernel arguments"
+  in
+  let x_ir =
+    run_passes
+      [ Passes.Crossbar_map.pass xspec; Passes.Canonicalize.pass ]
+      (clone_module cim_ir)
+  in
+  {
+    x_spec = xspec;
+    x_source = source;
+    x_torch_ir = torch_ir;
+    x_ir;
+    x_fn = fn_name;
+    x_m = m;
+    x_k = k;
+    x_n = n;
+    x_inputs_arg = pos a;
+    x_weights_arg = pos bmat;
+  }
+
+type crossbar_result = {
+  product : float array array;
+  x_latency : float;
+  x_energy : float;
+  x_stats : Xbar.stats;
+}
+
+let run_crossbar ?tech c ~inputs ~weights =
+  if Array.length inputs <> c.x_m then
+    fail "expected %d input rows, got %d" c.x_m (Array.length inputs);
+  if Array.length weights <> c.x_k then
+    fail "expected %d weight rows, got %d" c.x_k (Array.length weights);
+  let xsim = Xbar.create ?tech c.x_spec in
+  let wrap rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows) in
+  let args =
+    if c.x_inputs_arg < c.x_weights_arg then [ wrap inputs; wrap weights ]
+    else [ wrap weights; wrap inputs ]
+  in
+  let outcome =
+    try Interp.Machine.run ~xsim c.x_ir c.x_fn args
+    with Interp.Machine.Runtime_error e -> fail "runtime error: %s" e
+  in
+  let product =
+    match outcome.results with
+    | [ out ] -> Interp.Rtval.to_rows out
+    | _ -> fail "unexpected result arity from the crossbar module"
+  in
+  let stats = Xbar.stats xsim in
+  {
+    product;
+    x_latency = outcome.latency;
+    x_energy = stats.x_energy;
+    x_stats = stats;
+  }
+
+let to_vm c = Vm.Lower.modul c.cam_ir c.fn_name
+
+let run_vm ?tech c ~queries ~stored =
+  let sim = Camsim.Simulator.create ?tech c.spec in
+  Camsim.Simulator.set_query_hint sim (Array.length queries);
+  let wrap rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows) in
+  let args = ordered_args c.info ~wrap ~queries ~stored in
+  let program = to_vm c in
+  let outcome =
+    try Vm.Exec.run ~sim program args with
+    | Vm.Exec.Exec_error e -> fail "vm error: %s" e
+    | Vm.Lower.Lower_error e -> fail "vm lowering error: %s" e
+  in
+  let stats = Camsim.Simulator.stats sim in
+  let energy = Camsim.Stats.total_energy stats in
+  let latency = outcome.latency in
+  let values, indices, scores =
+    match (c.info.output, outcome.results) with
+    | `Topk, [ v; i ] ->
+        (Interp.Rtval.to_rows v, Interp.Rtval.to_int_rows i, None)
+    | `Scores, [ s ] ->
+        let rows = Interp.Rtval.to_rows s in
+        (rows, [||], Some rows)
+    | _ -> fail "unexpected result arity from the vm program"
+  in
+  {
+    values;
+    indices;
+    scores;
+    latency;
+    energy;
+    power = (if latency > 0. then energy /. latency else 0.);
+    stats;
+  }
+
+let run_reference c ~queries ~stored =
+  let args = tensor_args c.torch_ir c.fn_name c.info ~queries ~stored in
+  (Interp.Machine.run c.torch_ir c.fn_name args).results
+
+let run_cim_software c ~queries ~stored =
+  let args = tensor_args c.cim_ir c.fn_name c.info ~queries ~stored in
+  (Interp.Machine.run c.cim_ir c.fn_name args).results

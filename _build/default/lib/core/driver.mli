@@ -1,0 +1,120 @@
+(** The end-to-end C4CAM driver: TorchScript source in, IR at every
+    abstraction level out, with execution entry points for
+    - the torch-level software reference,
+    - the cim-level partitioned software reference, and
+    - the cam-level run on the CAM simulator (energy + latency).
+
+    All three produce the same rankings on the same inputs; the tests
+    rely on this to validate the compiler functionally. *)
+
+type kernel_info = {
+  q : int;  (** query rows *)
+  n : int;  (** stored rows *)
+  d : int;  (** dimensionality *)
+  k : int;  (** selection size ([n] for the scores form) *)
+  metric : Dialects.Cim.metric;
+  output : [ `Topk | `Scores ];
+  query_arg : int;  (** positional index of the query argument *)
+  stored_arg : int;
+}
+
+type compiled = {
+  spec : Archspec.Spec.t;
+  source : string;
+  torch_ir : Ir.Func_ir.modul;
+  cim_ir : Ir.Func_ir.modul;  (** fused + partitioned *)
+  cam_ir : Ir.Func_ir.modul;  (** mapped + optimized *)
+  fn_name : string;
+  info : kernel_info;
+}
+
+exception Compile_error of string
+
+val clone_module : Ir.Func_ir.modul -> Ir.Func_ir.modul
+(** Deep copy via print/parse (passes mutate IR in place). *)
+
+val compile : spec:Archspec.Spec.t -> string -> compiled
+(** @raise Compile_error wrapping frontend/pass failures. *)
+
+val compile_traced :
+  spec:Archspec.Spec.t -> string -> compiled * (string * string) list
+(** Like {!compile}, additionally returning the printed IR after the
+    frontend and after every pass — the full lowering story of
+    Figures 4-6, one snapshot per pass. *)
+
+val stage_texts : compiled -> (string * string) list
+(** [(stage, printed IR)] for torch, cim and cam levels — the material
+    of Figures 4-6. *)
+
+type run_result = {
+  values : float array array;  (** [q x k] *)
+  indices : int array array;  (** [q x k]; row indices into stored *)
+  scores : float array array option;  (** [`Scores] kernels: [q x n] *)
+  latency : float;  (** seconds *)
+  energy : float;  (** joules *)
+  power : float;  (** watts, energy/latency *)
+  stats : Camsim.Stats.t;
+}
+
+val run_cam :
+  ?tech:Camsim.Tech.t -> ?defect_rate:float -> ?defect_seed:int ->
+  ?trace:Camsim.Trace.t -> compiled -> queries:float array array ->
+  stored:float array array -> run_result
+(** Execute the cam-level module on a fresh simulator. [queries] are
+    [q] rows of [d] values; [stored] are [n] rows. [defect_rate] and
+    [trace] are forwarded to {!Camsim.Simulator.create}. *)
+
+(** {1 The crossbar target} — Figure 3's sibling device branch: a
+    single-matmul kernel mapped onto resistive-crossbar tiles instead of
+    CAM subarrays. *)
+
+type crossbar_compiled = {
+  x_spec : Xbar.spec;
+  x_source : string;
+  x_torch_ir : Ir.Func_ir.modul;
+  x_ir : Ir.Func_ir.modul;  (** crossbar-mapped, bufferized *)
+  x_fn : string;
+  x_m : int;
+  x_k : int;
+  x_n : int;
+  x_inputs_arg : int;
+  x_weights_arg : int;
+}
+
+val compile_crossbar :
+  xspec:Xbar.spec -> string -> crossbar_compiled
+(** @raise Compile_error unless the kernel is a single
+    [torch.matmul]/[mm] (plus return). *)
+
+type crossbar_result = {
+  product : float array array;  (** the [m x n] result *)
+  x_latency : float;
+  x_energy : float;
+  x_stats : Xbar.stats;
+}
+
+val run_crossbar :
+  ?tech:Xbar.tech -> crossbar_compiled -> inputs:float array array ->
+  weights:float array array -> crossbar_result
+
+val to_vm : compiled -> Vm.Isa.program
+(** Lower the cam-level module to the flat runtime ISA (the llvm-stage
+    stand-in). *)
+
+val run_vm :
+  ?tech:Camsim.Tech.t -> compiled -> queries:float array array ->
+  stored:float array array -> run_result
+(** Like {!run_cam} but through {!to_vm} and the {!Vm.Exec} executor
+    instead of the structured-IR interpreter. Results, latency and
+    energy are identical to {!run_cam} (tested). *)
+
+val run_reference :
+  compiled -> queries:float array array -> stored:float array array ->
+  Interp.Rtval.t list
+(** Torch-level functional execution. *)
+
+val run_cim_software :
+  compiled -> queries:float array array -> stored:float array array ->
+  Interp.Rtval.t list
+(** Cim-level execution of the partitioned form (exercises slices,
+    partial similarities and merges in software). *)

@@ -1,0 +1,113 @@
+type measurement = {
+  config : string;
+  latency : float;
+  energy : float;
+  power : float;
+  edp : float;
+  accuracy : float;
+  subarrays : int;
+  banks : int;
+}
+
+let config_name (spec : Archspec.Spec.t) =
+  Printf.sprintf "cam-%s %dx%d"
+    (Archspec.Spec.optimization_to_string spec.optimization)
+    spec.rows spec.cols
+
+let measurement_of (spec : Archspec.Spec.t) (r : Driver.run_result)
+    ~accuracy =
+  {
+    config = config_name spec;
+    latency = r.latency;
+    energy = r.energy;
+    power = r.power;
+    edp = r.energy *. r.latency;
+    accuracy;
+    subarrays = r.stats.n_subarrays;
+    banks = r.stats.n_banks;
+  }
+
+let top1_accuracy indices labels =
+  let correct = ref 0 in
+  Array.iteri
+    (fun i (row : int array) -> if row.(0) = labels.(i) then incr correct)
+    indices;
+  float_of_int !correct /. float_of_int (Array.length labels)
+
+let hdc ?tech ?bits ~(spec : Archspec.Spec.t)
+    ~(data : Workloads.Hdc.synthetic) () =
+  let spec =
+    match bits with Some b -> { spec with bits = b } | None -> spec
+  in
+  let q = Array.length data.queries in
+  let classes = Array.length data.stored in
+  let dims = Array.length data.stored.(0) in
+  let source = Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  let compiled = Driver.compile ~spec source in
+  let r = Driver.run_cam ?tech compiled ~queries:data.queries ~stored:data.stored in
+  measurement_of spec r
+    ~accuracy:(top1_accuracy r.indices data.query_labels)
+
+let knn ?tech ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
+    ~queries ~labels ~k () =
+  let spec = { spec with cam_kind = Archspec.Spec.Mcam } in
+  let q = Array.length queries in
+  let n = Workloads.Dataset.n_samples train in
+  let dims = Workloads.Dataset.n_features train in
+  let source = Kernels.knn_euclidean ~q ~dims ~n ~k in
+  let compiled = Driver.compile ~spec source in
+  let r = Driver.run_cam ?tech compiled ~queries ~stored:train.features in
+  (* Majority vote over the k returned training indices. *)
+  let correct = ref 0 in
+  Array.iteri
+    (fun i (row : int array) ->
+      let votes = Array.make train.n_classes 0 in
+      Array.iter
+        (fun idx -> votes.(train.labels.(idx)) <- votes.(train.labels.(idx)) + 1)
+        row;
+      let best = ref 0 in
+      Array.iteri (fun c v -> if v > votes.(!best) then best := c) votes;
+      if !best = labels.(i) then incr correct)
+    r.indices;
+  measurement_of spec r
+    ~accuracy:(float_of_int !correct /. float_of_int (Array.length labels))
+
+let iso_capacity_spec ~side optimization =
+  let spec = Archspec.Spec.square side optimization in
+  Archspec.Spec.with_optimization
+    { spec with subarrays_per_array = max 1 (65536 / (side * side)) }
+    optimization
+
+type gpu_comparison = {
+  gpu_latency : float;
+  gpu_energy : float;
+  cam_latency : float;
+  cam_energy : float;
+  cam_system_energy : float;
+  speedup : float;
+  energy_improvement : float;
+}
+
+let gpu_comparison_hdc ?(gpu = Gpu_model.quadro_rtx6000)
+    ?(system_power = 190.) ~spec ~(data : Workloads.Hdc.synthetic) () =
+  let m = hdc ~spec ~data () in
+  let g =
+    Gpu_model.hdc_inference gpu
+      ~queries:(Array.length data.queries)
+      ~dims:(Array.length data.stored.(0))
+      ~classes:(Array.length data.stored)
+  in
+  (* The paper compares whole CIM-system energy, in which the CAM arrays
+     "contribute minimally": host + chip draw a near-constant envelope
+     while the kernel runs, which is why the reported energy improvement
+     tracks the speedup. We model that envelope explicitly. *)
+  let cam_system_energy = m.energy +. (system_power *. m.latency) in
+  {
+    gpu_latency = g.latency;
+    gpu_energy = g.energy;
+    cam_latency = m.latency;
+    cam_energy = m.energy;
+    cam_system_energy;
+    speedup = g.latency /. m.latency;
+    energy_improvement = g.energy /. cam_system_energy;
+  }

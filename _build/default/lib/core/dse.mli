@@ -1,0 +1,55 @@
+(** Design-space exploration driver (Section IV-C): compile-and-run a
+    workload over architecture configurations without recoding the
+    application — the retargetability demonstration of the paper. *)
+
+type measurement = {
+  config : string;  (** e.g. ["cam-base 32x32"] *)
+  latency : float;
+  energy : float;
+  power : float;
+  edp : float;  (** energy-delay product, J.s *)
+  accuracy : float;  (** fraction of queries classified correctly *)
+  subarrays : int;
+  banks : int;
+}
+
+val config_name : Archspec.Spec.t -> string
+
+val hdc :
+  ?tech:Camsim.Tech.t -> ?bits:int -> spec:Archspec.Spec.t ->
+  data:Workloads.Hdc.synthetic -> unit -> measurement
+(** Compile the HDC dot-similarity kernel for [spec] and run it on the
+    simulator with the given prototypes/queries. [bits] overrides the
+    spec's cell bit width (multi-bit validation runs). *)
+
+val knn :
+  ?tech:Camsim.Tech.t -> spec:Archspec.Spec.t -> train:Workloads.Dataset.t ->
+  queries:float array array -> labels:int array -> k:int -> unit ->
+  measurement
+(** Compile the batched-KNN kernel (Euclidean, MCAM) and run it;
+    accuracy is majority-vote over the returned neighbours. *)
+
+val iso_capacity_spec :
+  side:int -> Archspec.Spec.optimization -> Archspec.Spec.t
+(** Iso-capacity configuration of Section IV-C2: square subarrays of
+    the given side with 2^16 cells per array (so the subarrays-per-array
+    count varies), paper hierarchy above. *)
+
+type gpu_comparison = {
+  gpu_latency : float;
+  gpu_energy : float;
+  cam_latency : float;
+  cam_energy : float;  (** CAM arrays + peripherals only *)
+  cam_system_energy : float;
+      (** including the host/system power envelope — what the paper's
+          end-to-end comparison actually measures *)
+  speedup : float;
+  energy_improvement : float;  (** GPU energy over CIM-system energy *)
+}
+
+val gpu_comparison_hdc :
+  ?gpu:Gpu_model.t -> ?system_power:float -> spec:Archspec.Spec.t ->
+  data:Workloads.Hdc.synthetic -> unit -> gpu_comparison
+(** [system_power] (default 190 W) is the host+chip envelope drawn while
+    the CIM system executes; the paper's energy improvement is
+    GPU-energy over CIM-system energy ("CAMs contribute minimally"). *)

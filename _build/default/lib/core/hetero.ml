@@ -1,0 +1,84 @@
+(* Cut one function's text back out of the source: a function starts at
+   its "def" line and runs until the next "def" or EOF. Compiling the
+   excerpt reuses the single-kernel driver unchanged, so every stage and
+   invariant is identical to the homogeneous path. *)
+let source_of_func source name =
+  let lines = String.split_on_char '\n' source in
+  let starts_def l =
+    let l = String.trim l in
+    String.length l > 4 && String.sub l 0 4 = "def "
+  in
+  let name_of l =
+    let l = String.trim l in
+    match String.index_opt l '(' with
+    | Some i -> String.trim (String.sub l 4 (i - 4))
+    | None -> ""
+  in
+  let rec collect acc inside = function
+    | [] -> List.rev acc
+    | l :: rest ->
+        if starts_def l then
+          if name_of l = name then collect (l :: acc) true rest
+          else collect acc false rest
+        else if inside then collect (l :: acc) true rest
+        else collect acc false rest
+  in
+  String.concat "\n" (collect [] false lines) ^ "\n"
+
+let compile_module ~specs source =
+  let program =
+    try Frontend.Tsparser.parse_program source with
+    | Frontend.Tsparser.Parse_error e ->
+        raise (Driver.Compile_error ("parse error: " ^ e))
+  in
+  List.map
+    (fun (fn : Frontend.Ast.func) ->
+      let spec =
+        match List.assoc_opt fn.f_name specs with
+        | Some s -> s
+        | None ->
+            raise
+              (Driver.Compile_error
+                 (Printf.sprintf
+                    "no architecture specification for kernel %s"
+                    fn.f_name))
+      in
+      Driver.compile ~spec (source_of_func source fn.f_name))
+    program
+
+type task = {
+  t_compiled : Driver.compiled;
+  t_queries : float array array;
+  t_stored : float array array;
+}
+
+type outcome = {
+  per_task : Driver.run_result list;
+  latency : float;
+  sequential_latency : float;
+  energy : float;
+}
+
+let run_concurrent ?tech tasks =
+  let per_task =
+    List.map
+      (fun t ->
+        Driver.run_cam ?tech t.t_compiled ~queries:t.t_queries
+          ~stored:t.t_stored)
+      tasks
+  in
+  {
+    per_task;
+    latency =
+      List.fold_left
+        (fun acc (r : Driver.run_result) -> Float.max acc r.latency)
+        0. per_task;
+    sequential_latency =
+      List.fold_left
+        (fun acc (r : Driver.run_result) -> acc +. r.latency)
+        0. per_task;
+    energy =
+      List.fold_left
+        (fun acc (r : Driver.run_result) -> acc +. r.energy)
+        0. per_task;
+  }

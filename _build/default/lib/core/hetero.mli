@@ -1,0 +1,32 @@
+(** Heterogeneous multi-kernel compilation and task-level parallelism
+    (Section II-C's RecSys scenario and the conclusions' heterogeneous
+    systems: "each stage executes different tasks on different banks in
+    parallel").
+
+    A TorchScript source may define several kernels; each is compiled
+    against its own architecture specification (its own device), and a
+    batch of compiled kernels can be run concurrently: every kernel gets
+    its own simulator (its own banks), energies add, and the batch
+    latency is the maximum of the kernels' latencies. *)
+
+val compile_module :
+  specs:(string * Archspec.Spec.t) list -> string -> Driver.compiled list
+(** Compile every function of the source, looking up each function's
+    spec by name. @raise Driver.Compile_error when a function has no
+    spec or any single-kernel compilation fails. Results follow the
+    source order. *)
+
+type task = {
+  t_compiled : Driver.compiled;
+  t_queries : float array array;
+  t_stored : float array array;
+}
+
+type outcome = {
+  per_task : Driver.run_result list;
+  latency : float;  (** max over tasks — they run on different banks *)
+  sequential_latency : float;  (** sum — the one-device baseline *)
+  energy : float;  (** sum over tasks *)
+}
+
+val run_concurrent : ?tech:Camsim.Tech.t -> task list -> outcome

@@ -1,0 +1,53 @@
+let table ~headers rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width i =
+    List.fold_left
+      (fun w row ->
+        match List.nth_opt row i with
+        | Some cell -> max w (String.length cell)
+        | None -> w)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun i c -> pad c (List.nth widths i)) row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line headers :: sep :: List.map line rows) ^ "\n"
+
+let si value units =
+  let rec pick v = function
+    | [ (u, _) ] -> (v, u)
+    | (u, next) :: rest -> if Float.abs v < next then (v, u) else pick (v /. next) rest
+    | [] -> (v, "")
+  in
+  let v, u = pick value units in
+  if Float.abs v >= 100. then Printf.sprintf "%.0f %s" v u
+  else if Float.abs v >= 10. then Printf.sprintf "%.1f %s" v u
+  else Printf.sprintf "%.2f %s" v u
+
+let si_time s =
+  if s = 0. then "0 s"
+  else
+    si (s *. 1e12)
+      [ ("ps", 1e3); ("ns", 1e3); ("us", 1e3); ("ms", 1e3); ("s", 1e3) ]
+
+let si_energy j =
+  if j = 0. then "0 J"
+  else
+    si (j *. 1e15)
+      [ ("fJ", 1e3); ("pJ", 1e3); ("nJ", 1e3); ("uJ", 1e3); ("mJ", 1e3);
+        ("J", 1e3) ]
+
+let si_power w =
+  if w = 0. then "0 W"
+  else si (w *. 1e6) [ ("uW", 1e3); ("mW", 1e3); ("W", 1e3); ("kW", 1e3) ]
+
+let ratio a b = Printf.sprintf "%.2fx" (a /. b)
+
+let pct_dev a b =
+  Printf.sprintf "%.1f%%" (Float.abs (a -. b) /. Float.abs b *. 100.)

@@ -1,0 +1,19 @@
+(** Plain-text table formatting for the benchmark harness. *)
+
+val table : headers:string list -> string list list -> string
+(** Fixed-width table with a separator under the header row. *)
+
+val si_time : float -> string
+(** Engineering formatting: seconds as ps/ns/us/ms/s. *)
+
+val si_energy : float -> string
+(** Joules as fJ/pJ/nJ/uJ/mJ/J. *)
+
+val si_power : float -> string
+(** Watts as uW/mW/W/kW. *)
+
+val ratio : float -> float -> string
+(** ["12.3x"] style ratio of the first to the second. *)
+
+val pct_dev : float -> float -> string
+(** Percentage deviation of [a] from [b]. *)

@@ -1,0 +1,72 @@
+type result = {
+  latency : float;
+  energy : float;
+  subarrays : int;
+  arrays : int;
+  mats : int;
+  banks : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let manual_similarity ?(tech = Camsim.Tech.fefet_45nm_v2)
+    ~(spec : Archspec.Spec.t) ~queries ~stored_rows ~dims ~k () =
+  if dims mod spec.cols <> 0 then
+    invalid_arg "manual_similarity: dims must divide by the columns";
+  let tile_rows = min stored_rows spec.rows in
+  let row_chunks = ceil_div stored_rows tile_rows in
+  let col_chunks = dims / spec.cols in
+  let tiles = row_chunks * col_chunks in
+  let batches =
+    Passes.Cim_partition.batches_for spec ~stored_rows
+  in
+  let slots = ceil_div tiles batches in
+  let arrays = ceil_div slots spec.subarrays_per_array in
+  let mats = ceil_div arrays spec.arrays_per_mat in
+  let banks = ceil_div mats spec.mats_per_bank in
+  let bits = spec.bits in
+  (* --- per-tile cost chain, identical to the generated inner loop --- *)
+  let write = Camsim.Energy_model.write tech ~bits ~cols:spec.cols ~rows:tile_rows in
+  let search =
+    Camsim.Energy_model.search tech ~bits ~cols:spec.cols
+      ~active_rows:tile_rows ~physical_rows:spec.rows ~kind:`Best ~queries
+      ~batch_extra:(batches > 1) ()
+  in
+  let merge =
+    Camsim.Energy_model.merge tech ~elems:(queries * tile_rows)
+  in
+  let tile_latency = write.latency +. search.latency +. merge.latency in
+  (* The busiest subarray hosts [batches] tiles back to back. *)
+  let subarray_latency = float_of_int batches *. tile_latency in
+  (* Sequential levels multiply by the occupancy of the busiest unit;
+     parallel levels contribute their maximum (one unit's latency). *)
+  let level lat mode busiest =
+    match (mode : Archspec.Spec.access_mode) with
+    | Sequential -> lat *. float_of_int busiest
+    | Parallel -> lat
+  in
+  let per_array =
+    level subarray_latency spec.subarray_mode
+      (min spec.subarrays_per_array slots)
+  in
+  let per_mat = level per_array spec.array_mode (min spec.arrays_per_mat arrays) in
+  let per_bank = level per_mat spec.mat_mode (min spec.mats_per_bank mats) in
+  let all_banks = level per_bank spec.bank_mode banks in
+  let select =
+    Camsim.Energy_model.select tech ~elems_per_query:stored_rows ~k ~queries
+  in
+  let latency = all_banks +. select.latency in
+  (* --- energy: every tile pays its chain; levels pay per-query I/O --- *)
+  let tilesf = float_of_int tiles in
+  let overhead lvl count =
+    (Camsim.Energy_model.level_overhead tech ~level:lvl ~queries).energy
+    *. float_of_int count
+  in
+  let energy =
+    (tilesf *. (write.energy +. search.energy +. merge.energy))
+    +. select.energy
+    +. overhead `Bank banks
+    +. overhead `Mat mats
+    +. overhead `Array arrays
+  in
+  { latency; energy; subarrays = slots; arrays; mats; banks }

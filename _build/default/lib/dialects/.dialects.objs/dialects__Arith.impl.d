@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Ir List Vhelp

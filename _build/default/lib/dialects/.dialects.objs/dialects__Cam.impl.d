@@ -1,0 +1,1 @@
+lib/dialects/cam.ml: Ir List Vhelp

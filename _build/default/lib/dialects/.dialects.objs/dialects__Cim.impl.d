@@ -1,0 +1,1 @@
+lib/dialects/cim.ml: Ir List String Vhelp

@@ -1,0 +1,1 @@
+lib/dialects/crossbar.ml: Ir List Vhelp

@@ -1,0 +1,1 @@
+lib/dialects/crossbar.mli: Ir

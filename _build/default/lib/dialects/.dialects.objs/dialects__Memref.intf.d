@@ -1,0 +1,1 @@
+lib/dialects/memref.mli: Ir

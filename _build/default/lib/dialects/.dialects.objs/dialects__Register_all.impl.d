@@ -1,0 +1,1 @@
+lib/dialects/register_all.ml: Arith Cam Cim Crossbar Memref Scf Torch

@@ -1,0 +1,1 @@
+lib/dialects/register_all.mli:

@@ -1,0 +1,1 @@
+lib/dialects/torch.ml: Array Ir List Printf String Vhelp

@@ -1,0 +1,1 @@
+lib/dialects/torch.mli: Ir

@@ -1,0 +1,1 @@
+lib/dialects/vhelp.ml: Ir List Printf String

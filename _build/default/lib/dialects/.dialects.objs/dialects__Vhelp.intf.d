@@ -1,0 +1,1 @@
+lib/dialects/vhelp.mli: Ir

@@ -1,0 +1,109 @@
+open Vhelp
+
+let constant_name = "arith.constant"
+let cmpi_name = "arith.cmpi"
+
+let const_index b i =
+  Ir.Builder.op1 b ~attrs:[ ("value", Ir.Attr.Int i) ] constant_name
+    Ir.Types.Index
+
+let const_f32 b f =
+  Ir.Builder.op1 b ~attrs:[ ("value", Ir.Attr.Float f) ] constant_name
+    (Ir.Types.Scalar Ir.Types.F32)
+
+let binop name b x y =
+  Ir.Builder.op1 b ~operands:[ x; y ] ("arith." ^ name) Ir.Types.Index
+
+let addi b = binop "addi" b
+let subi b = binop "subi" b
+let muli b = binop "muli" b
+let divi b = binop "divi" b
+let remi b = binop "remi" b
+
+type pred = Lt | Le | Eq | Ne | Gt | Ge
+
+let pred_to_attr = function
+  | Lt -> Ir.Attr.Sym "lt"
+  | Le -> Ir.Attr.Sym "le"
+  | Eq -> Ir.Attr.Sym "eq"
+  | Ne -> Ir.Attr.Sym "ne"
+  | Gt -> Ir.Attr.Sym "gt"
+  | Ge -> Ir.Attr.Sym "ge"
+
+let pred_of_attr a =
+  match Ir.Attr.as_sym a with
+  | "lt" -> Lt
+  | "le" -> Le
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | s -> invalid_arg ("unknown predicate #" ^ s)
+
+let cmpi b pred x y =
+  Ir.Builder.op1 b ~operands:[ x; y ]
+    ~attrs:[ ("pred", pred_to_attr pred) ]
+    cmpi_name
+    (Ir.Types.Scalar Ir.Types.I1)
+
+(* Scalar float arithmetic, used by the host (loop-dialect) lowering. *)
+let fbinop name b x y =
+  Ir.Builder.op1 b ~operands:[ x; y ] ("arith." ^ name)
+    (Ir.Types.Scalar Ir.Types.F32)
+
+let addf b = fbinop "addf" b
+let subf b = fbinop "subf" b
+let mulf b = fbinop "mulf" b
+let divf b = fbinop "divf" b
+
+let cmpf b pred x y =
+  Ir.Builder.op1 b ~operands:[ x; y ]
+    ~attrs:[ ("pred", pred_to_attr pred) ]
+    "arith.cmpf"
+    (Ir.Types.Scalar Ir.Types.I1)
+
+let select b cond x y =
+  Ir.Builder.op1 b ~operands:[ cond; x; y ] "arith.select"
+    x.Ir.Value.ty
+
+let verify_constant op =
+  operands op 0 >>> fun () ->
+  results op 1 >>> fun () -> has_attr op "value"
+
+let verify_binop op =
+  operands op 2 >>> fun () ->
+  results op 1 >>> fun () ->
+  operand_is op 0 is_index "an index" >>> fun () ->
+  operand_is op 1 is_index "an index"
+
+let verify_cmpi op =
+  verify_binop op >>> fun () -> has_attr op "pred"
+
+let verify_fbinop op =
+  operands op 2 >>> fun () ->
+  results op 1 >>> fun () ->
+  operand_is op 0 is_scalar "a scalar" >>> fun () ->
+  operand_is op 1 is_scalar "a scalar"
+
+let verify_select op =
+  operands op 3 >>> fun () ->
+  results op 1 >>> fun () ->
+  operand_is op 0
+    (fun t -> t = Ir.Types.Scalar Ir.Types.I1)
+    "an i1 condition"
+
+let register () =
+  let reg mnemonic summary verify =
+    Ir.Registry.register_op ~dialect:"arith" ~mnemonic ~summary ~verify ()
+  in
+  reg "constant" "compile-time constant" verify_constant;
+  List.iter
+    (fun m -> reg m ("index " ^ m) verify_binop)
+    [ "addi"; "subi"; "muli"; "divi"; "remi" ];
+  reg "cmpi" "index comparison" verify_cmpi;
+  List.iter
+    (fun m -> reg m ("float " ^ m) verify_fbinop)
+    [ "addf"; "subf"; "mulf"; "divf" ];
+  reg "cmpf" "float comparison" (fun op ->
+      verify_fbinop op >>> fun () -> has_attr op "pred");
+  reg "select" "conditional value choice" verify_select

@@ -1,0 +1,171 @@
+open Vhelp
+
+let alloc_bank_name = "cam.alloc_bank"
+let alloc_mat_name = "cam.alloc_mat"
+let alloc_array_name = "cam.alloc_array"
+let alloc_subarray_name = "cam.alloc_subarray"
+let write_value_name = "cam.write_value"
+let search_name = "cam.search"
+let read_name = "cam.read"
+let merge_partial_name = "cam.merge_partial"
+let select_best_name = "cam.select_best"
+
+type search_kind = Exact | Best | Threshold | Range
+
+let search_kind_to_attr = function
+  | Exact -> Ir.Attr.Sym "exact"
+  | Best -> Ir.Attr.Sym "best"
+  | Threshold -> Ir.Attr.Sym "threshold"
+  | Range -> Ir.Attr.Sym "range"
+
+let search_kind_of_attr a =
+  match Ir.Attr.as_sym a with
+  | "exact" -> Exact
+  | "best" -> Best
+  | "threshold" -> Threshold
+  | "range" -> Range
+  | s -> invalid_arg ("unknown search kind #" ^ s)
+
+type search_metric = Hamming | Euclidean
+
+let search_metric_to_attr = function
+  | Hamming -> Ir.Attr.Sym "hamming"
+  | Euclidean -> Ir.Attr.Sym "eucl"
+
+let search_metric_of_attr a =
+  match Ir.Attr.as_sym a with
+  | "hamming" -> Hamming
+  | "eucl" | "euclidean" -> Euclidean
+  | s -> invalid_arg ("unknown search metric #" ^ s)
+
+let bank_type = Ir.Types.Handle "cam.bank_id"
+let mat_type = Ir.Types.Handle "cam.mat_id"
+let array_type = Ir.Types.Handle "cam.array_id"
+let subarray_type = Ir.Types.Handle "cam.subarray_id"
+
+let alloc_bank b ~rows ~cols =
+  Ir.Builder.op1 b
+    ~attrs:[ ("rows", Ir.Attr.Int rows); ("cols", Ir.Attr.Int cols) ]
+    alloc_bank_name bank_type
+
+let alloc_mat b bank = Ir.Builder.op1 b ~operands:[ bank ] alloc_mat_name mat_type
+
+let alloc_array b mat =
+  Ir.Builder.op1 b ~operands:[ mat ] alloc_array_name array_type
+
+let alloc_subarray b arr =
+  Ir.Builder.op1 b ~operands:[ arr ] alloc_subarray_name subarray_type
+
+let write_value b sub data ~row_offset =
+  Ir.Builder.op0 b ~operands:[ sub; data; row_offset ] write_value_name
+
+let search b sub queries ~kind ~metric ~row_offset ~rows ?threshold
+    ?(batch_extra = false) () =
+  let attrs =
+    [ ("kind", search_kind_to_attr kind);
+      ("metric", search_metric_to_attr metric);
+      ("rows", Ir.Attr.Int rows);
+    ]
+    @ (if batch_extra then [ ("batch_extra", Ir.Attr.Bool true) ] else [])
+    @
+    match threshold with
+    | Some t -> [ ("threshold", Ir.Attr.Float t) ]
+    | None -> []
+  in
+  Ir.Builder.op0 b ~operands:[ sub; queries; row_offset ] ~attrs search_name
+
+let read b sub ~queries ~rows =
+  Ir.Builder.op1 b ~operands:[ sub ]
+    ~attrs:[ ("queries", Ir.Attr.Int queries); ("rows", Ir.Attr.Int rows) ]
+    read_name
+    (Ir.Types.memref [ queries; rows ] Ir.Types.F32)
+
+let merge_partial b ~dst ~part =
+  Ir.Builder.op0 b ~operands:[ dst; part ]
+    ~attrs:
+      [ ("direction", Ir.Attr.Sym "horizontal"); ("kind", Ir.Attr.Sym "add") ]
+    merge_partial_name
+
+let select_best b dist ~k ~largest =
+  let q = List.hd (Ir.Types.shape dist.Ir.Value.ty) in
+  match
+    Ir.Builder.op b ~operands:[ dist ]
+      ~attrs:[ ("k", Ir.Attr.Int k); ("largest", Ir.Attr.Bool largest) ]
+      select_best_name
+      [ Ir.Types.memref [ q; k ] Ir.Types.F32;
+        Ir.Types.memref [ q; k ] Ir.Types.I32;
+      ]
+  with
+  | [ values; indices ] -> (values, indices)
+  | _ -> assert false
+
+(* Verifiers *)
+
+let verify_alloc_bank op =
+  operands op 0 >>> fun () ->
+  results op 1 >>> fun () ->
+  has_attr op "rows" >>> fun () ->
+  has_attr op "cols" >>> fun () ->
+  result_is op 0 (is_handle "cam.bank_id") "!cam.bank_id"
+
+let verify_alloc parent_handle result_handle op =
+  operands op 1 >>> fun () ->
+  results op 1 >>> fun () ->
+  operand_is op 0 (is_handle parent_handle) ("!" ^ parent_handle)
+  >>> fun () -> result_is op 0 (is_handle result_handle) ("!" ^ result_handle)
+
+let verify_write op =
+  operands op 3 >>> fun () ->
+  results op 0 >>> fun () ->
+  operand_is op 0 (is_handle "cam.subarray_id") "!cam.subarray_id"
+  >>> fun () ->
+  operand_is op 1 is_memref "a memref" >>> fun () ->
+  operand_is op 2 is_index "an index"
+
+let verify_search op =
+  operands op 3 >>> fun () ->
+  results op 0 >>> fun () ->
+  has_attr op "kind" >>> fun () ->
+  has_attr op "metric" >>> fun () ->
+  has_attr op "rows" >>> fun () ->
+  operand_is op 0 (is_handle "cam.subarray_id") "!cam.subarray_id"
+  >>> fun () ->
+  operand_is op 1 is_memref "a query memref" >>> fun () ->
+  operand_is op 2 is_index "an index"
+
+let verify_read op =
+  operands op 1 >>> fun () ->
+  results op 1 >>> fun () ->
+  operand_is op 0 (is_handle "cam.subarray_id") "!cam.subarray_id"
+  >>> fun () -> result_is op 0 is_memref "a memref"
+
+let verify_merge op =
+  operands op 2 >>> fun () ->
+  results op 0 >>> fun () ->
+  operand_is op 0 is_memref "a memref" >>> fun () ->
+  operand_is op 1 is_memref "a memref"
+
+let verify_select op =
+  operands op 1 >>> fun () ->
+  results op 2 >>> fun () ->
+  has_attr op "k" >>> fun () -> operand_is op 0 is_memref "a memref"
+
+let register () =
+  let reg mnemonic summary verify =
+    Ir.Registry.register_op ~dialect:"cam" ~mnemonic ~summary ~verify ()
+  in
+  reg "alloc_bank" "allocate a CAM bank" verify_alloc_bank;
+  reg "alloc_mat" "allocate a mat within a bank"
+    (verify_alloc "cam.bank_id" "cam.mat_id");
+  reg "alloc_array" "allocate an array within a mat"
+    (verify_alloc "cam.mat_id" "cam.array_id");
+  reg "alloc_subarray" "allocate a subarray within an array"
+    (verify_alloc "cam.array_id" "cam.subarray_id");
+  reg "write_value" "program subarray rows with stored patterns"
+    verify_write;
+  reg "search" "parallel associative search over active rows" verify_search;
+  reg "read" "read per-row results of the last search" verify_read;
+  reg "merge_partial" "accumulate partial distances into a buffer"
+    verify_merge;
+  reg "select_best" "top-k selection over the merged distances"
+    verify_select

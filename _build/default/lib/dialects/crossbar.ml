@@ -1,0 +1,55 @@
+open Vhelp
+
+let alloc_tile_name = "crossbar.alloc_tile"
+let write_name = "crossbar.write"
+let gemv_name = "crossbar.gemv"
+let accumulate_name = "crossbar.accumulate"
+let tile_type = Ir.Types.Handle "crossbar.tile_id"
+
+let alloc_tile b = Ir.Builder.op1 b alloc_tile_name tile_type
+
+let write b tile block =
+  Ir.Builder.op0 b ~operands:[ tile; block ] write_name
+
+let gemv b tile inputs ~rows =
+  let m = List.hd (Ir.Types.shape inputs.Ir.Value.ty) in
+  Ir.Builder.op1 b ~operands:[ tile; inputs ] gemv_name
+    (Ir.Types.memref [ m; rows ] Ir.Types.F32)
+
+let accumulate b ~dst ~part =
+  Ir.Builder.op0 b ~operands:[ dst; part ] accumulate_name
+
+let verify_alloc op =
+  operands op 0 >>> fun () ->
+  results op 1 >>> fun () ->
+  result_is op 0 (is_handle "crossbar.tile_id") "!crossbar.tile_id"
+
+let verify_write op =
+  operands op 2 >>> fun () ->
+  results op 0 >>> fun () ->
+  operand_is op 0 (is_handle "crossbar.tile_id") "!crossbar.tile_id"
+  >>> fun () -> operand_is op 1 is_memref "a weight-block memref"
+
+let verify_gemv op =
+  operands op 2 >>> fun () ->
+  results op 1 >>> fun () ->
+  operand_is op 0 (is_handle "crossbar.tile_id") "!crossbar.tile_id"
+  >>> fun () ->
+  operand_is op 1 is_memref "an input memref" >>> fun () ->
+  result_is op 0 is_memref "an output memref"
+
+let verify_accumulate op =
+  operands op 2 >>> fun () ->
+  results op 0 >>> fun () ->
+  operand_is op 0 is_memref "a memref" >>> fun () ->
+  operand_is op 1 is_memref "a memref"
+
+let register () =
+  let reg mnemonic summary verify =
+    Ir.Registry.register_op ~dialect:"crossbar" ~mnemonic ~summary ~verify ()
+  in
+  reg "alloc_tile" "allocate a crossbar tile" verify_alloc;
+  reg "write" "program a weight block into a tile" verify_write;
+  reg "gemv" "analog matrix-vector product against the stored block"
+    verify_gemv;
+  reg "accumulate" "digital partial-sum accumulation" verify_accumulate

@@ -1,0 +1,74 @@
+open Vhelp
+
+let alloc_name = "memref.alloc"
+let subview_name = "memref.subview"
+
+let alloc b shape elem =
+  Ir.Builder.op1 b alloc_name (Ir.Types.memref shape elem)
+
+let subview b base ~offsets ~sizes =
+  Ir.Builder.op1 b
+    ~operands:(base :: offsets)
+    ~attrs:[ ("sizes", Ir.Attr.Ints sizes) ]
+    subview_name
+    (Ir.Types.with_shape base.Ir.Value.ty sizes)
+
+let load_name = "memref.load"
+let store_name = "memref.store"
+
+let load b base ~indices =
+  Ir.Builder.op1 b
+    ~operands:(base :: indices)
+    load_name
+    (Ir.Types.Scalar (Ir.Types.element base.Ir.Value.ty))
+
+let store b value base ~indices =
+  Ir.Builder.op0 b ~operands:(value :: base :: indices) store_name
+
+let verify_load op =
+  results op 1 >>> fun () ->
+  check (List.length op.Ir.Op.operands >= 1) "load needs a base memref"
+  >>> fun () ->
+  operand_is op 0 is_memref "a memref" >>> fun () ->
+  check
+    (List.length op.Ir.Op.operands
+    = 1 + List.length (Ir.Types.shape (Ir.Op.operand op 0).ty))
+    "load needs one index per dimension"
+
+let verify_store op =
+  results op 0 >>> fun () ->
+  check (List.length op.Ir.Op.operands >= 2) "store needs value and memref"
+  >>> fun () ->
+  operand_is op 1 is_memref "a memref" >>> fun () ->
+  check
+    (List.length op.Ir.Op.operands
+    = 2 + List.length (Ir.Types.shape (Ir.Op.operand op 1).ty))
+    "store needs one index per dimension"
+
+let verify_alloc op =
+  operands op 0 >>> fun () ->
+  results op 1 >>> fun () -> result_is op 0 is_memref "a memref"
+
+let verify_subview op =
+  results op 1 >>> fun () ->
+  check (List.length op.Ir.Op.operands >= 1) "subview needs a base memref"
+  >>> fun () ->
+  operand_is op 0 is_memref "a memref" >>> fun () ->
+  has_attr op "sizes" >>> fun () ->
+  let rank = List.length (Ir.Types.shape (Ir.Op.operand op 0).ty) in
+  check
+    (List.length op.Ir.Op.operands = 1 + rank)
+    "subview needs one offset per dimension"
+  >>> fun () ->
+  check
+    (List.length (Ir.Attr.as_ints (Ir.Op.attr_exn op "sizes")) = rank)
+    "subview sizes rank mismatch"
+
+let register () =
+  let reg mnemonic summary verify =
+    Ir.Registry.register_op ~dialect:"memref" ~mnemonic ~summary ~verify ()
+  in
+  reg "alloc" "allocate a zero-initialised buffer" verify_alloc;
+  reg "subview" "aliasing view into a buffer" verify_subview;
+  reg "load" "read one buffer element" verify_load;
+  reg "store" "write one buffer element" verify_store

@@ -1,0 +1,8 @@
+let register_all () =
+  Torch.register ();
+  Cim.register ();
+  Cam.register ();
+  Scf.register ();
+  Arith.register ();
+  Memref.register ();
+  Crossbar.register ()

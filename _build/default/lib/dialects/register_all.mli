@@ -1,0 +1,4 @@
+(** Registers every dialect of the project in {!Ir.Registry}. *)
+
+val register_all : unit -> unit
+(** Idempotent; call before verifying or parsing modules strictly. *)

@@ -1,0 +1,65 @@
+open Vhelp
+
+let for_name = "scf.for"
+let parallel_name = "scf.parallel"
+let if_name = "scf.if"
+let yield_name = "scf.yield"
+
+let loop name b ~lb ~ub ~step body =
+  let iv = Ir.Value.fresh Ir.Types.Index in
+  let inner = Ir.Builder.create () in
+  body inner iv;
+  let ops = Ir.Builder.finish inner in
+  let region =
+    { Ir.Op.blocks = [ { Ir.Op.body = ops; block_args = [ iv ] } ] }
+  in
+  Ir.Builder.op0 b ~operands:[ lb; ub; step ] ~regions:[ region ] name
+
+let for_ b = loop for_name b
+let parallel b = loop parallel_name b
+
+let loop_of_mode = function
+  | `Sequential -> for_
+  | `Parallel -> parallel
+
+let if_ b cond body =
+  let inner = Ir.Builder.create () in
+  body inner;
+  let ops = Ir.Builder.finish inner in
+  Ir.Builder.op0 b ~operands:[ cond ] ~regions:[ Ir.Op.region ops ] if_name
+
+let yield b = Ir.Builder.op0 b yield_name
+
+let verify_loop op =
+  operands op 3 >>> fun () ->
+  operand_is op 0 is_index "lower bound" >>> fun () ->
+  operand_is op 1 is_index "upper bound" >>> fun () ->
+  operand_is op 2 is_index "step" >>> fun () ->
+  check (List.length op.Ir.Op.regions = 1) "loop needs one region"
+  >>> fun () ->
+  match op.Ir.Op.regions with
+  | [ { blocks = [ b ] } ] ->
+      check
+        (List.length b.block_args = 1
+        && (List.hd b.block_args).Ir.Value.ty = Ir.Types.Index)
+        "loop body must take a single index block argument"
+  | _ -> Error "loop region must have a single block"
+
+let verify_if op =
+  operands op 1 >>> fun () ->
+  operand_is op 0
+    (fun t -> t = Ir.Types.Scalar Ir.Types.I1)
+    "an i1 condition"
+  >>> fun () ->
+  check
+    (List.length op.Ir.Op.regions >= 1 && List.length op.Ir.Op.regions <= 2)
+    "if needs one or two regions"
+
+let register () =
+  let reg mnemonic summary verify =
+    Ir.Registry.register_op ~dialect:"scf" ~mnemonic ~summary ~verify ()
+  in
+  reg "for" "sequential counted loop" verify_loop;
+  reg "parallel" "parallel counted loop" verify_loop;
+  reg "if" "conditional execution" verify_if;
+  reg "yield" "region terminator" (fun _ -> Ok ())

@@ -1,0 +1,43 @@
+let check cond msg = if cond then Ok () else Error msg
+
+let ( >>> ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let operands (op : Ir.Op.t) n =
+  check
+    (List.length op.operands = n)
+    (Printf.sprintf "expected %d operands, got %d" n
+       (List.length op.operands))
+
+let results (op : Ir.Op.t) n =
+  check
+    (List.length op.results = n)
+    (Printf.sprintf "expected %d results, got %d" n (List.length op.results))
+
+let operand_is (op : Ir.Op.t) i pred desc =
+  match List.nth_opt op.operands i with
+  | None -> Error (Printf.sprintf "missing operand %d (%s)" i desc)
+  | Some (v : Ir.Value.t) ->
+      check (pred v.ty)
+        (Printf.sprintf "operand %d must be %s, got %s" i desc
+           (Ir.Types.to_string v.ty))
+
+let result_is (op : Ir.Op.t) i pred desc =
+  match List.nth_opt op.results i with
+  | None -> Error (Printf.sprintf "missing result %d (%s)" i desc)
+  | Some (v : Ir.Value.t) ->
+      check (pred v.ty)
+        (Printf.sprintf "result %d must be %s, got %s" i desc
+           (Ir.Types.to_string v.ty))
+
+let has_attr (op : Ir.Op.t) key =
+  check (Ir.Attr.find op.attrs key <> None) ("missing attribute " ^ key)
+
+let is_tensor = function Ir.Types.Tensor _ -> true | _ -> false
+let is_memref = function Ir.Types.Memref _ -> true | _ -> false
+let is_index = function Ir.Types.Index -> true | _ -> false
+
+let is_handle name = function
+  | Ir.Types.Handle h -> String.equal h name
+  | _ -> false
+
+let is_scalar = function Ir.Types.Scalar _ -> true | _ -> false

@@ -1,0 +1,29 @@
+(** Shared helpers for writing per-op verifiers. *)
+
+val check : bool -> string -> (unit, string) result
+(** [check cond msg] is [Ok ()] when [cond] holds, [Error msg] otherwise. *)
+
+val ( >>> ) :
+  (unit, string) result -> (unit -> (unit, string) result) ->
+  (unit, string) result
+(** Short-circuiting sequencing of checks. *)
+
+val operands : Ir.Op.t -> int -> (unit, string) result
+(** Exactly [n] operands. *)
+
+val results : Ir.Op.t -> int -> (unit, string) result
+
+val operand_is :
+  Ir.Op.t -> int -> (Ir.Types.t -> bool) -> string -> (unit, string) result
+(** [operand_is op i pred desc] checks the type of operand [i]. *)
+
+val result_is :
+  Ir.Op.t -> int -> (Ir.Types.t -> bool) -> string -> (unit, string) result
+
+val has_attr : Ir.Op.t -> string -> (unit, string) result
+
+val is_tensor : Ir.Types.t -> bool
+val is_memref : Ir.Types.t -> bool
+val is_index : Ir.Types.t -> bool
+val is_handle : string -> Ir.Types.t -> bool
+val is_scalar : Ir.Types.t -> bool

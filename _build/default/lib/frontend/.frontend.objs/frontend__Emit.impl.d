@@ -1,0 +1,1 @@
+lib/frontend/emit.ml: Ast Dialects Hashtbl Ir List Printf String Tsparser

@@ -1,0 +1,1 @@
+lib/frontend/emit.mli: Ast Ir

@@ -1,0 +1,1 @@
+lib/frontend/tslexer.ml: Array List Printf String

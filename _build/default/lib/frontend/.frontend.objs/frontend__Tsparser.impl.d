@@ -1,0 +1,1 @@
+lib/frontend/tsparser.ml: Array Ast List Printf String Tslexer

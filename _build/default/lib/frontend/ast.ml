@@ -1,0 +1,46 @@
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Call of string * expr list * (string * expr) list
+  | Method of expr * string * expr list * (string * expr) list
+  | Binop of binop * expr * expr
+
+and binop = Bsub | Bdiv
+
+type stmt = Assign of string list * expr | Return of expr list
+
+type func = {
+  f_name : string;
+  f_params : (string * int list) list;
+  f_body : stmt list;
+}
+
+type program = func list
+
+let rec expr_to_string = function
+  | Var v -> v
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Bool_lit b -> if b then "True" else "False"
+  | Call (path, args, kwargs) ->
+      Printf.sprintf "%s(%s)" path (args_to_string args kwargs)
+  | Method (recv, m, args, kwargs) ->
+      Printf.sprintf "%s.%s(%s)" (expr_to_string recv) m
+        (args_to_string args kwargs)
+  | Binop (Bsub, a, b) ->
+      Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
+  | Binop (Bdiv, a, b) ->
+      Printf.sprintf "(%s / %s)" (expr_to_string a) (expr_to_string b)
+
+and args_to_string args kwargs =
+  String.concat ", "
+    (List.map expr_to_string args
+    @ List.map (fun (k, v) -> k ^ "=" ^ expr_to_string v) kwargs)
+
+let stmt_to_string = function
+  | Assign (targets, e) ->
+      String.concat ", " targets ^ " = " ^ expr_to_string e
+  | Return es ->
+      "return " ^ String.concat ", " (List.map expr_to_string es)

@@ -1,0 +1,37 @@
+(** Abstract syntax of the TorchScript subset accepted by the C4CAM
+    frontend.
+
+    The subset covers the comparison-intensive kernels of the paper:
+    tensor-typed parameters with explicit shapes (standing in for the
+    shape information torch-mlir obtains from tracing), assignments,
+    tuple-destructuring assignments ([values, indices = torch.topk(...)]),
+    calls to [torch.*] functions, method calls, the binary operators
+    [-] and [/] (sugar for [torch.sub] / [torch.div]), and [return]. *)
+
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Call of string * expr list * (string * expr) list
+      (** [Call (path, args, kwargs)], path e.g. ["torch.matmul"] *)
+  | Method of expr * string * expr list * (string * expr) list
+      (** [x.transpose(-2, -1)] *)
+  | Binop of binop * expr * expr
+
+and binop = Bsub | Bdiv
+
+type stmt =
+  | Assign of string list * expr  (** one or more targets *)
+  | Return of expr list
+
+type func = {
+  f_name : string;
+  f_params : (string * int list) list;  (** name, tensor shape *)
+  f_body : stmt list;
+}
+
+type program = func list
+
+val expr_to_string : expr -> string
+val stmt_to_string : stmt -> string

@@ -1,0 +1,155 @@
+type token =
+  | DEF
+  | RETURN
+  | NAME of string
+  | INT of int
+  | FLOAT of float
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | EQUAL
+  | MINUS
+  | SLASH
+  | ARROW
+  | DOT
+  | NEWLINE
+  | INDENT
+  | EOF
+
+exception Lex_error of string * int
+
+let token_to_string = function
+  | DEF -> "def"
+  | RETURN -> "return"
+  | NAME s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | TRUE -> "True"
+  | FALSE -> "False"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | COLON -> ":"
+  | EQUAL -> "="
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | ARROW -> "->"
+  | DOT -> "."
+  | NEWLINE -> "<newline>"
+  | INDENT -> "<indent>"
+  | EOF -> "<eof>"
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let at_line_start = ref true in
+  let line_has_tokens = ref false in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let end_line () =
+    if !line_has_tokens then emit NEWLINE;
+    line_has_tokens := false;
+    at_line_start := true;
+    incr line
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then (
+      end_line ();
+      incr pos)
+    else if c = ' ' || c = '\t' || c = '\r' then (
+      if !at_line_start && not !line_has_tokens then (
+        (* Consume the whole indentation run as a single INDENT. *)
+        while
+          !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\t')
+        do
+          incr pos
+        done;
+        if !pos < n && src.[!pos] <> '\n' && src.[!pos] <> '#' then (
+          emit INDENT;
+          line_has_tokens := true);
+        at_line_start := false)
+      else incr pos)
+    else begin
+      if !at_line_start then at_line_start := false;
+      line_has_tokens := true;
+      if c = '#' then
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+      else if c = '(' then (emit LPAREN; incr pos)
+      else if c = ')' then (emit RPAREN; incr pos)
+      else if c = '[' then (emit LBRACKET; incr pos)
+      else if c = ']' then (emit RBRACKET; incr pos)
+      else if c = ',' then (emit COMMA; incr pos)
+      else if c = ':' then (emit COLON; incr pos)
+      else if c = '=' then (emit EQUAL; incr pos)
+      else if c = '/' then (emit SLASH; incr pos)
+      else if c = '.' && not (match peek 1 with Some d -> is_digit d | None -> false)
+      then (emit DOT; incr pos)
+      else if c = '-' then
+        if peek 1 = Some '>' then (
+          emit ARROW;
+          pos := !pos + 2)
+        else (emit MINUS; incr pos)
+      else if is_digit c || c = '.' then begin
+        let start = !pos in
+        let is_float = ref false in
+        while
+          !pos < n
+          && (is_digit src.[!pos] || src.[!pos] = '.' || src.[!pos] = 'e'
+             || src.[!pos] = 'E'
+             || ((src.[!pos] = '+' || src.[!pos] = '-')
+                && !pos > start
+                && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')))
+        do
+          if src.[!pos] = '.' || src.[!pos] = 'e' || src.[!pos] = 'E' then
+            is_float := true;
+          incr pos
+        done;
+        let s = String.sub src start (!pos - start) in
+        if !is_float then
+          match float_of_string_opt s with
+          | Some f -> emit (FLOAT f)
+          | None -> raise (Lex_error ("bad float literal " ^ s, !line))
+        else
+          match int_of_string_opt s with
+          | Some i -> emit (INT i)
+          | None -> raise (Lex_error ("bad int literal " ^ s, !line))
+      end
+      else if is_name_start c then begin
+        let start = !pos in
+        while !pos < n && is_name_char src.[!pos] do
+          incr pos
+        done;
+        let s = String.sub src start (!pos - start) in
+        match s with
+        | "def" -> emit DEF
+        | "return" -> emit RETURN
+        | "True" -> emit TRUE
+        | "False" -> emit FALSE
+        | _ -> emit (NAME s)
+      end
+      else
+        raise
+          (Lex_error (Printf.sprintf "unexpected character %c" c, !line))
+    end
+  done;
+  end_line ();
+  emit EOF;
+  Array.of_list (List.rev !toks)

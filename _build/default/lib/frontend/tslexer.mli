@@ -1,0 +1,32 @@
+(** Lexer for the TorchScript subset. Newlines are significant (they
+    terminate statements); indentation is recognised but only "inside a
+    def body or not" matters for the accepted subset. *)
+
+type token =
+  | DEF
+  | RETURN
+  | NAME of string  (** possibly dotted: [torch.matmul] *)
+  | INT of int
+  | FLOAT of float
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | EQUAL
+  | MINUS
+  | SLASH
+  | ARROW
+  | DOT
+  | NEWLINE
+  | INDENT  (** a line starting with whitespace *)
+  | EOF
+
+exception Lex_error of string * int  (** message, line number *)
+
+val token_to_string : token -> string
+val tokenize : string -> token array
+(** [#] comments run to end of line; blank lines produce no tokens. *)

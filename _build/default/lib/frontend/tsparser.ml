@@ -1,0 +1,280 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { toks : Tslexer.token array; mutable cur : int }
+
+let peek st = st.toks.(st.cur)
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then st.toks.(st.cur + 1)
+  else Tslexer.EOF
+
+let advance st = st.cur <- st.cur + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    fail "expected %s, got %s"
+      (Tslexer.token_to_string tok)
+      (Tslexer.token_to_string t)
+
+let expect_name st =
+  match next st with
+  | Tslexer.NAME s -> s
+  | t -> fail "expected a name, got %s" (Tslexer.token_to_string t)
+
+let skip_newlines st =
+  while peek st = Tslexer.NEWLINE do
+    advance st
+  done
+
+(* Dotted path after an initial name: name (DOT name)* *)
+let parse_dotted st first =
+  let rec go acc =
+    match (peek st, peek2 st) with
+    | Tslexer.DOT, Tslexer.NAME _ ->
+        advance st;
+        let part = expect_name st in
+        go (part :: acc)
+    | _ -> List.rev acc
+  in
+  String.concat "." (go [ first ])
+
+let rec parse_expr st =
+  let lhs = parse_primary st in
+  parse_binop_rest st lhs
+
+and parse_binop_rest st lhs =
+  match peek st with
+  | Tslexer.MINUS ->
+      advance st;
+      let rhs = parse_primary st in
+      parse_binop_rest st (Ast.Binop (Ast.Bsub, lhs, rhs))
+  | Tslexer.SLASH ->
+      advance st;
+      let rhs = parse_primary st in
+      parse_binop_rest st (Ast.Binop (Ast.Bdiv, lhs, rhs))
+  | _ -> lhs
+
+and parse_primary st =
+  match next st with
+  | Tslexer.INT i -> parse_postfix st (Ast.Int_lit i)
+  | Tslexer.FLOAT f -> parse_postfix st (Ast.Float_lit f)
+  | Tslexer.TRUE -> Ast.Bool_lit true
+  | Tslexer.FALSE -> Ast.Bool_lit false
+  | Tslexer.MINUS -> (
+      match next st with
+      | Tslexer.INT i -> Ast.Int_lit (-i)
+      | Tslexer.FLOAT f -> Ast.Float_lit (-.f)
+      | t ->
+          fail "unary minus only applies to literals, got %s"
+            (Tslexer.token_to_string t))
+  | Tslexer.LPAREN ->
+      let e = parse_expr st in
+      expect st Tslexer.RPAREN;
+      parse_postfix st e
+  | Tslexer.NAME first ->
+      if first = "torch" then begin
+        (* A torch function call, possibly via torch.ops.aten. *)
+        let path = parse_dotted st first in
+        match peek st with
+        | Tslexer.LPAREN ->
+            advance st;
+            let args, kwargs = parse_args st in
+            parse_postfix st (Ast.Call (path, args, kwargs))
+        | t ->
+            fail "expected a call after %s, got %s" path
+              (Tslexer.token_to_string t)
+      end
+      else
+        let base =
+          (* 'self.weight' refers to a parameter named 'weight'. *)
+          if first = "self" then begin
+            match (peek st, peek2 st) with
+            | Tslexer.DOT, Tslexer.NAME _ ->
+                advance st;
+                Ast.Var (expect_name st)
+            | _ -> fail "'self' must be followed by an attribute"
+          end
+          else Ast.Var first
+        in
+        parse_postfix st base
+  | t -> fail "unexpected token %s in expression" (Tslexer.token_to_string t)
+
+(* Postfix method calls: expr.method(args)... *)
+and parse_postfix st e =
+  match (peek st, peek2 st) with
+  | Tslexer.DOT, Tslexer.NAME _ -> (
+      advance st;
+      let m = expect_name st in
+      match peek st with
+      | Tslexer.LPAREN ->
+          advance st;
+          let args, kwargs = parse_args st in
+          parse_postfix st (Ast.Method (e, m, args, kwargs))
+      | t ->
+          fail "expected a call after method .%s, got %s" m
+            (Tslexer.token_to_string t))
+  | _ -> e
+
+and parse_args st =
+  if peek st = Tslexer.RPAREN then (
+    advance st;
+    ([], []))
+  else
+    let args = ref [] and kwargs = ref [] in
+    let rec go () =
+      (match (peek st, peek2 st) with
+      | Tslexer.NAME k, Tslexer.EQUAL ->
+          advance st;
+          advance st;
+          let v = parse_expr st in
+          kwargs := (k, v) :: !kwargs
+      | _ ->
+          let e = parse_expr st in
+          if !kwargs <> [] then
+            fail "positional argument after keyword argument";
+          args := e :: !args);
+      match next st with
+      | Tslexer.COMMA -> go ()
+      | Tslexer.RPAREN -> ()
+      | t -> fail "expected , or ) in call, got %s" (Tslexer.token_to_string t)
+    in
+    go ();
+    (List.rev !args, List.rev !kwargs)
+
+let parse_shape st =
+  expect st Tslexer.LBRACKET;
+  let rec go acc =
+    match next st with
+    | Tslexer.INT i -> (
+        match next st with
+        | Tslexer.COMMA -> go (i :: acc)
+        | Tslexer.RBRACKET -> List.rev (i :: acc)
+        | t -> fail "bad shape list: %s" (Tslexer.token_to_string t))
+    | t -> fail "expected a dimension, got %s" (Tslexer.token_to_string t)
+  in
+  go []
+
+let parse_param st =
+  let name = expect_name st in
+  expect st Tslexer.COLON;
+  let ty = expect_name st in
+  if ty <> "Tensor" then
+    fail "parameter %s: only Tensor parameters are supported, got %s" name
+      ty;
+  match peek st with
+  | Tslexer.LBRACKET -> (name, parse_shape st)
+  | _ ->
+      fail
+        "parameter %s: Tensor needs an explicit shape, e.g. \
+         Tensor[10, 8192]"
+        name
+
+let parse_stmt st =
+  match peek st with
+  | Tslexer.RETURN ->
+      advance st;
+      let rec exprs acc =
+        let e = parse_expr st in
+        match peek st with
+        | Tslexer.COMMA ->
+            advance st;
+            exprs (e :: acc)
+        | _ -> List.rev (e :: acc)
+      in
+      Ast.Return (exprs [])
+  | _ ->
+      let rec targets acc =
+        let t = expect_name st in
+        match next st with
+        | Tslexer.COMMA -> targets (t :: acc)
+        | Tslexer.EQUAL -> List.rev (t :: acc)
+        | tok ->
+            fail "expected , or = after assignment target, got %s"
+              (Tslexer.token_to_string tok)
+      in
+      let ts = targets [] in
+      let e = parse_expr st in
+      Ast.Assign (ts, e)
+
+let parse_func st =
+  expect st Tslexer.DEF;
+  let name = expect_name st in
+  expect st Tslexer.LPAREN;
+  let params =
+    if peek st = Tslexer.RPAREN then (
+      advance st;
+      [])
+    else
+      let rec go acc =
+        match (peek st, peek2 st) with
+        (* Ignore a bare 'self' parameter, as in the paper's listing. *)
+        | Tslexer.NAME "self", Tslexer.COMMA ->
+            advance st;
+            advance st;
+            go acc
+        | Tslexer.NAME "self", Tslexer.RPAREN ->
+            advance st;
+            advance st;
+            List.rev acc
+        | _ -> (
+            let p = parse_param st in
+            match next st with
+            | Tslexer.RPAREN -> List.rev (p :: acc)
+            | Tslexer.COMMA -> go (p :: acc)
+            | t -> fail "bad parameter list: %s" (Tslexer.token_to_string t))
+      in
+      go []
+  in
+  (* Optional return annotation: '-> Tensor' (shape optional, unused). *)
+  (match peek st with
+  | Tslexer.ARROW ->
+      advance st;
+      let _ = expect_name st in
+      (match peek st with
+      | Tslexer.LBRACKET -> ignore (parse_shape st)
+      | _ -> ())
+  | _ -> ());
+  expect st Tslexer.COLON;
+  expect st Tslexer.NEWLINE;
+  let rec body acc =
+    match peek st with
+    | Tslexer.INDENT ->
+        advance st;
+        let s = parse_stmt st in
+        (match peek st with
+        | Tslexer.NEWLINE -> advance st
+        | Tslexer.EOF -> ()
+        | t -> fail "expected end of line, got %s" (Tslexer.token_to_string t));
+        body (s :: acc)
+    | _ -> List.rev acc
+  in
+  let stmts = body [] in
+  if stmts = [] then fail "function %s has an empty body" name;
+  { Ast.f_name = name; f_params = params; f_body = stmts }
+
+let parse_program src =
+  let toks =
+    try Tslexer.tokenize src
+    with Tslexer.Lex_error (msg, line) ->
+      fail "lex error on line %d: %s" line msg
+  in
+  let st = { toks; cur = 0 } in
+  skip_newlines st;
+  let rec go acc =
+    match peek st with
+    | Tslexer.EOF -> List.rev acc
+    | _ ->
+        let f = parse_func st in
+        skip_newlines st;
+        go (f :: acc)
+  in
+  let prog = go [] in
+  if prog = [] then fail "no functions found";
+  prog

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the TorchScript subset. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** @raise Parse_error on malformed input. *)

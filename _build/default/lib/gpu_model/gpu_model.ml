@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  fp32_tflops : float;
+  mem_bw_gb_s : float;
+  board_power_w : float;
+  idle_power_w : float;
+  kernel_efficiency : float;
+  bw_efficiency : float;
+  launch_overhead_s : float;
+  utilization : float;
+}
+
+type cost = { latency : float; energy : float }
+
+let quadro_rtx6000 =
+  {
+    name = "Quadro RTX 6000";
+    fp32_tflops = 16.3;
+    mem_bw_gb_s = 672.;
+    board_power_w = 260.;
+    idle_power_w = 55.;
+    (* Small-batch integer similarity kernels run far from peak. *)
+    kernel_efficiency = 0.028;
+    bw_efficiency = 0.60;
+    launch_overhead_s = 8.0e-6;
+    utilization = 0.72;
+  }
+
+let kernel t ~flops ~bytes =
+  let compute =
+    flops /. (t.fp32_tflops *. 1e12 *. t.kernel_efficiency)
+  in
+  let memory = bytes /. (t.mem_bw_gb_s *. 1e9 *. t.bw_efficiency) in
+  let latency = Float.max compute memory +. t.launch_overhead_s in
+  { latency; energy = latency *. t.board_power_w *. t.utilization }
+
+let matmul t ~m ~k ~n ~elem_bytes =
+  let flops = 2. *. float_of_int m *. float_of_int k *. float_of_int n in
+  let bytes =
+    float_of_int elem_bytes
+    *. float_of_int ((m * k) + (k * n) + (m * n))
+  in
+  kernel t ~flops ~bytes
+
+let topk t ~rows ~cols ~k ~elem_bytes =
+  let n = float_of_int (rows * cols) in
+  let flops = n *. log (Float.max 2. (float_of_int (max 2 k))) in
+  let bytes = n *. float_of_int elem_bytes in
+  kernel t ~flops ~bytes
+
+let elementwise t ~elems ~elem_bytes =
+  let n = float_of_int elems in
+  kernel t ~flops:n ~bytes:(2. *. n *. float_of_int elem_bytes)
+
+let add a b = { latency = a.latency +. b.latency; energy = a.energy +. b.energy }
+
+let hdc_inference t ~queries ~dims ~classes =
+  let mm = matmul t ~m:queries ~k:dims ~n:classes ~elem_bytes:4 in
+  let tk = topk t ~rows:queries ~cols:classes ~k:1 ~elem_bytes:4 in
+  add mm tk
+
+let knn_inference t ~queries ~dims ~stored ~k =
+  let dist = matmul t ~m:queries ~k:dims ~n:stored ~elem_bytes:4 in
+  let sq = elementwise t ~elems:(queries * stored) ~elem_bytes:4 in
+  let tk = topk t ~rows:queries ~cols:stored ~k ~elem_bytes:4 in
+  add (add dist sq) tk

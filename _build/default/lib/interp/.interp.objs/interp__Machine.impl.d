@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Camsim Dialects Float Hashtbl Ir List Printf Rtval String Xbar

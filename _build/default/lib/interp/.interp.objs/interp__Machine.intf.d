@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Camsim Ir Rtval Xbar

@@ -1,0 +1,1 @@
+lib/interp/rtval.ml: Array Camsim Float List Printf String Xbar

@@ -1,0 +1,1 @@
+lib/interp/rtval.mli: Camsim Xbar

@@ -1,0 +1,766 @@
+type outcome = { results : Rtval.t list; latency : float }
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type state = {
+  env : (int, Rtval.t) Hashtbl.t;
+  sim : Camsim.Simulator.t option;
+  xsim : Xbar.t option;
+}
+
+let sim st =
+  match st.sim with
+  | Some s -> s
+  | None -> fail "cam ops need a simulator (pass ~sim to Machine.run)"
+
+let xsim st =
+  match st.xsim with
+  | Some s -> s
+  | None -> fail "crossbar ops need a crossbar (pass ~xsim to Machine.run)"
+
+let lookup st (v : Ir.Value.t) =
+  match Hashtbl.find_opt st.env v.id with
+  | Some r -> r
+  | None -> fail "use of unbound value %s" (Ir.Value.name v)
+
+let bind st (v : Ir.Value.t) r = Hashtbl.replace st.env v.id r
+
+let operand st op i = lookup st (Ir.Op.operand op i)
+
+let attr_i op key = Ir.Attr.as_int (Ir.Op.attr_exn op key)
+let attr_b op key = Ir.Attr.as_bool (Ir.Op.attr_exn op key)
+
+let norm_dim rank d = if d < 0 then rank + d else d
+
+(* ---------- torch-level helpers (value semantics) -------------------- *)
+
+let transpose_t (t : Rtval.tensor) d0 d1 =
+  let rank = List.length t.t_shape in
+  let d0 = norm_dim rank d0 and d1 = norm_dim rank d1 in
+  let shape = Array.of_list t.t_shape in
+  let out_shape = Array.copy shape in
+  out_shape.(d0) <- shape.(d1);
+  out_shape.(d1) <- shape.(d0);
+  let in_strides = Array.of_list (Rtval.row_major_strides t.t_shape) in
+  let out_shape_l = Array.to_list out_shape in
+  let out = Array.make (Rtval.numel out_shape_l) 0. in
+  let idx = Array.make rank 0 in
+  let n = Array.length out in
+  let rec fill pos linear =
+    if pos = rank then begin
+      (* map output index to input index by swapping d0/d1 *)
+      let src = ref 0 in
+      for k = 0 to rank - 1 do
+        let i =
+          if k = d0 then idx.(d1) else if k = d1 then idx.(d0) else idx.(k)
+        in
+        src := !src + (in_strides.(k) * i)
+      done;
+      out.(linear) <- t.t_data.(!src)
+    end
+    else
+      for i = 0 to out_shape.(pos) - 1 do
+        idx.(pos) <- i;
+        fill (pos + 1) ((linear * out_shape.(pos)) + i)
+      done
+  in
+  if n > 0 then fill 0 0;
+  { Rtval.t_shape = out_shape_l; t_data = out }
+
+let matmul_t (a : Rtval.tensor) (b : Rtval.tensor) =
+  match (a.t_shape, b.t_shape) with
+  | [ m; k ], [ k'; n ] when k = k' ->
+      let out = Array.make (m * n) 0. in
+      for i = 0 to m - 1 do
+        for l = 0 to k - 1 do
+          let av = a.t_data.((i * k) + l) in
+          if av <> 0. then
+            for j = 0 to n - 1 do
+              out.((i * n) + j) <-
+                out.((i * n) + j) +. (av *. b.t_data.((l * n) + j))
+            done
+        done
+      done;
+      { Rtval.t_shape = [ m; n ]; t_data = out }
+  | _ -> fail "matmul: rank-2 shapes required"
+
+let ew2 name f (a : Rtval.tensor) (b : Rtval.tensor) =
+  match (a.t_shape, b.t_shape) with
+  | s1, s2 when s1 = s2 ->
+      {
+        Rtval.t_shape = s1;
+        t_data = Array.mapi (fun i x -> f x b.t_data.(i)) a.t_data;
+      }
+  | [ n; d ], [ 1; d' ] when d = d' ->
+      let out = Array.make (n * d) 0. in
+      for i = 0 to n - 1 do
+        for j = 0 to d - 1 do
+          out.((i * d) + j) <- f a.t_data.((i * d) + j) b.t_data.(j)
+        done
+      done;
+      { Rtval.t_shape = [ n; d ]; t_data = out }
+  | [ 1; d ], [ n; d' ] when d = d' ->
+      let out = Array.make (n * d) 0. in
+      for i = 0 to n - 1 do
+        for j = 0 to d - 1 do
+          out.((i * d) + j) <- f a.t_data.(j) b.t_data.((i * d) + j)
+        done
+      done;
+      { Rtval.t_shape = [ n; d ]; t_data = out }
+  | [ q; 1; d ], [ n; d' ] when d = d' ->
+      (* batched KNN broadcast: [Q,1,D] op [N,D] -> [Q,N,D] *)
+      let out = Array.make (q * n * d) 0. in
+      for qi = 0 to q - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to d - 1 do
+            out.((((qi * n) + i) * d) + j) <-
+              f a.t_data.((qi * d) + j) b.t_data.((i * d) + j)
+          done
+        done
+      done;
+      { Rtval.t_shape = [ q; n; d ]; t_data = out }
+  | [ q; n ], [ q'; 1 ] when q = q' ->
+      let out = Array.make (q * n) 0. in
+      for i = 0 to q - 1 do
+        for j = 0 to n - 1 do
+          out.((i * n) + j) <- f a.t_data.((i * n) + j) b.t_data.(i)
+        done
+      done;
+      { Rtval.t_shape = [ q; n ]; t_data = out }
+  | [ q; n ], [ 1; n' ] when n = n' ->
+      let out = Array.make (q * n) 0. in
+      for i = 0 to q - 1 do
+        for j = 0 to n - 1 do
+          out.((i * n) + j) <- f a.t_data.((i * n) + j) b.t_data.(j)
+        done
+      done;
+      { Rtval.t_shape = [ q; n ]; t_data = out }
+  | _ -> fail "%s: unsupported broadcast" name
+
+let norm_t (t : Rtval.tensor) ~p ~dim ~keepdim =
+  let rank = List.length t.t_shape in
+  let dim = norm_dim rank dim in
+  let shape = Array.of_list t.t_shape in
+  let outer = ref 1 and inner = ref 1 in
+  for i = 0 to dim - 1 do
+    outer := !outer * shape.(i)
+  done;
+  for i = dim + 1 to rank - 1 do
+    inner := !inner * shape.(i)
+  done;
+  let d = shape.(dim) in
+  let out = Array.make (!outer * !inner) 0. in
+  let pf = float_of_int p in
+  for o = 0 to !outer - 1 do
+    for i = 0 to !inner - 1 do
+      let acc = ref 0. in
+      for l = 0 to d - 1 do
+        let v = Float.abs t.t_data.((((o * d) + l) * !inner) + i) in
+        acc := !acc +. (v ** pf)
+      done;
+      out.((o * !inner) + i) <- !acc ** (1. /. pf)
+    done
+  done;
+  let out_shape =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           if i = dim then if keepdim then [ 1 ] else [] else [ s ])
+         (Array.to_list shape))
+  in
+  { Rtval.t_shape = out_shape; t_data = out }
+
+let topk_t (t : Rtval.tensor) ~k ~dim ~largest =
+  let rank = List.length t.t_shape in
+  let dim = norm_dim rank dim in
+  if dim <> rank - 1 then fail "topk: only the last dimension is supported";
+  let rows, n =
+    match t.t_shape with
+    | [ n ] -> (1, n)
+    | [ r; n ] -> (r, n)
+    | _ -> fail "topk: rank-1 or rank-2 tensor required"
+  in
+  let values = Array.make (rows * k) 0. in
+  let indices = Array.make (rows * k) 0. in
+  for r = 0 to rows - 1 do
+    let slice = Array.sub t.t_data (r * n) n in
+    let order = Array.init n (fun i -> i) in
+    let cmp a b =
+      let va = slice.(a) and vb = slice.(b) in
+      let c = if largest then compare vb va else compare va vb in
+      if c <> 0 then c else compare a b
+    in
+    Array.sort cmp order;
+    for j = 0 to k - 1 do
+      values.((r * k) + j) <- slice.(order.(j));
+      indices.((r * k) + j) <- float_of_int order.(j)
+    done
+  done;
+  let out_shape =
+    match t.t_shape with [ _ ] -> [ k ] | _ -> [ rows; k ]
+  in
+  ( { Rtval.t_shape = out_shape; t_data = values },
+    { Rtval.t_shape = out_shape; t_data = indices } )
+
+(* Similarity scores at the cim software level. *)
+let rec scores_of metric (query : float array array) (stored : float array array)
+    =
+  let q = Array.length query and n = Array.length stored in
+  let out = Array.make_matrix q n 0. in
+  for i = 0 to q - 1 do
+    for j = 0 to n - 1 do
+      out.(i).(j) <-
+        (match metric with
+        | Dialects.Cim.Dot -> dot_arrays query.(i) stored.(j)
+        | Dialects.Cim.Cosine -> cosine_arrays query.(i) stored.(j)
+        | Dialects.Cim.Euclidean -> eucl_sq_arrays query.(i) stored.(j)
+        | Dialects.Cim.Hamming -> hamming_arrays query.(i) stored.(j))
+    done
+  done;
+  out
+
+and dot_arrays a b =
+  let s = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+and eucl_sq_arrays a b =
+  let s = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+and hamming_arrays a b =
+  let s = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) <> b.(i) then incr s
+  done;
+  float_of_int !s
+
+and cosine_arrays a b =
+  let d = dot_arrays a b in
+  let na = sqrt (dot_arrays a a) and nb = sqrt (dot_arrays b b) in
+  if na = 0. || nb = 0. then 0. else d /. (na *. nb)
+
+let topk_rows matrix ~k ~largest =
+  let q = Array.length matrix in
+  let values = Array.make_matrix q k 0. in
+  let indices = Array.make_matrix q k 0. in
+  for i = 0 to q - 1 do
+    let row = matrix.(i) in
+    let n = Array.length row in
+    let order = Array.init n (fun x -> x) in
+    let cmp a b =
+      let va = row.(a) and vb = row.(b) in
+      let c = if largest then compare vb va else compare va vb in
+      if c <> 0 then c else compare a b
+    in
+    Array.sort cmp order;
+    for j = 0 to k - 1 do
+      values.(i).(j) <- row.(order.(j));
+      indices.(i).(j) <- float_of_int order.(j)
+    done
+  done;
+  (values, indices)
+
+(* ---------------------------------------------------------------------- *)
+
+let rec exec_ops st (ops : Ir.Op.t list) :
+    [ `Return of Rtval.t list | `Yield of Rtval.t list | `Fall ] * float =
+  match ops with
+  | [] -> (`Fall, 0.)
+  | op :: rest -> (
+      match exec_op st op with
+      | `Terminated r, lat -> (r, lat)
+      | `Next, lat ->
+          let r, lat' = exec_ops st rest in
+          (r, lat +. lat'))
+
+and run_region st (r : Ir.Op.region) args_vals :
+    [ `Return of Rtval.t list | `Yield of Rtval.t list | `Fall ] * float =
+  match r.blocks with
+  | [ blk ] ->
+      List.iter2 (fun v rv -> bind st v rv) blk.block_args args_vals;
+      exec_ops st blk.body
+  | _ -> fail "only single-block regions are executable"
+
+and exec_op st (op : Ir.Op.t) :
+    [ `Next
+    | `Terminated of
+      [ `Return of Rtval.t list | `Yield of Rtval.t list | `Fall ] ]
+    * float =
+  let bind1 r = bind st (Ir.Op.result op) r in
+  let t i = Rtval.as_tensor (operand st op i) in
+  match op.op_name with
+  (* ---- terminators ---- *)
+  | "func.return" ->
+      (`Terminated (`Return (List.map (lookup st) op.operands)), 0.)
+  | "cim.yield" | "scf.yield" ->
+      (`Terminated (`Yield (List.map (lookup st) op.operands)), 0.)
+  (* ---- torch / cim compute twins ---- *)
+  | "torch.transpose" | "cim.transpose" ->
+      (match Ir.Attr.as_ints (Ir.Op.attr_exn op "dims") with
+      | [ d0; d1 ] -> bind1 (Rtval.Tensor (transpose_t (t 0) d0 d1))
+      | _ -> fail "transpose: bad dims");
+      (`Next, 0.)
+  | "torch.matmul" | "torch.mm" | "cim.matmul" | "cim.mm" ->
+      bind1 (Rtval.Tensor (matmul_t (t 0) (t 1)));
+      (`Next, 0.)
+  | "torch.sub" | "cim.sub" ->
+      bind1 (Rtval.Tensor (ew2 "sub" ( -. ) (t 0) (t 1)));
+      (`Next, 0.)
+  | "torch.div" | "cim.div" ->
+      (match op.operands with
+      | [ _; _ ] -> bind1 (Rtval.Tensor (ew2 "div" ( /. ) (t 0) (t 1)))
+      | [ _; _; _ ] ->
+          (* fused cosine division: x / (nq[i] * ns[j]) *)
+          let x = t 0 and nq = t 1 and ns = t 2 in
+          let q, n =
+            match x.t_shape with
+            | [ q; n ] -> (q, n)
+            | _ -> fail "div3: rank-2 scores required"
+          in
+          if Array.length nq.t_data <> q || Array.length ns.t_data <> n
+          then fail "div3: norm lengths disagree with the score matrix";
+          let out = Array.make (q * n) 0. in
+          for i = 0 to q - 1 do
+            for j = 0 to n - 1 do
+              out.((i * n) + j) <-
+                x.t_data.((i * n) + j) /. (nq.t_data.(i) *. ns.t_data.(j))
+            done
+          done;
+          bind1 (Rtval.Tensor { t_shape = [ q; n ]; t_data = out })
+      | _ -> fail "div: 2 or 3 operands expected");
+      (`Next, 0.)
+  | "torch.norm" | "cim.norm" ->
+      bind1
+        (Rtval.Tensor
+           (norm_t (t 0) ~p:(attr_i op "p") ~dim:(attr_i op "dim")
+              ~keepdim:
+                (match Ir.Op.attr op "keepdim" with
+                | Some a -> Ir.Attr.as_bool a
+                | None -> false)));
+      (`Next, 0.)
+  | "torch.topk" | "cim.topk" ->
+      let values, indices =
+        topk_t (t 0) ~k:(attr_i op "k") ~dim:(attr_i op "dim")
+          ~largest:(attr_b op "largest")
+      in
+      bind st (Ir.Op.result_n op 0) (Rtval.Tensor values);
+      bind st (Ir.Op.result_n op 1) (Rtval.Tensor indices);
+      (`Next, 0.)
+  (* ---- cim programming model ---- *)
+  | "cim.acquire" ->
+      bind1 Rtval.Unit;
+      (`Next, 0.)
+  | "cim.release" -> (`Next, 0.)
+  | "cim.execute" -> (
+      match op.regions with
+      | [ r ] -> (
+          match run_region st r [] with
+          | `Yield vs, lat ->
+              List.iter2 (fun v rv -> bind st v rv) op.results vs;
+              (`Next, lat)
+          | (`Return _ | `Fall), _ -> fail "execute region must yield")
+      | _ -> fail "execute needs one region")
+  | "cim.zeros" ->
+      bind1 (Rtval.zeros_tensor (Ir.Types.shape (Ir.Op.result op).ty));
+      (`Next, 0.)
+  | "cim.reshape" ->
+      let x = t 0 in
+      bind1
+        (Rtval.Tensor
+           { x with t_shape = Ir.Types.shape (Ir.Op.result op).ty });
+      (`Next, 0.)
+  | "cim.slice" ->
+      let x = t 0 in
+      let offsets = Ir.Attr.as_ints (Ir.Op.attr_exn op "offsets") in
+      let sizes = Ir.Attr.as_ints (Ir.Op.attr_exn op "sizes") in
+      (match (x.t_shape, offsets, sizes) with
+      | [ _; c ], [ o0; o1 ], [ s0; s1 ] ->
+          let out = Array.make (s0 * s1) 0. in
+          for i = 0 to s0 - 1 do
+            Array.blit x.t_data (((o0 + i) * c) + o1) out (i * s1) s1
+          done;
+          bind1 (Rtval.Tensor { t_shape = [ s0; s1 ]; t_data = out })
+      | _ -> fail "slice: rank-2 tensors only");
+      (`Next, 0.)
+  | "cim.similarity" | "cim.similarity_scores" ->
+      let metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn op "metric") in
+      let scores =
+        scores_of metric (Rtval.tensor_rows (t 0)) (Rtval.tensor_rows (t 1))
+      in
+      if String.equal op.op_name "cim.similarity_scores" then
+        bind1 (Rtval.tensor_of_rows scores)
+      else begin
+        let values, indices =
+          topk_rows scores ~k:(attr_i op "k") ~largest:(attr_b op "largest")
+        in
+        bind st (Ir.Op.result_n op 0) (Rtval.tensor_of_rows values);
+        bind st (Ir.Op.result_n op 1) (Rtval.tensor_of_rows indices)
+      end;
+      (`Next, 0.)
+  | "cim.similarity_partial" ->
+      let metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn op "metric") in
+      bind1
+        (Rtval.tensor_of_rows
+           (scores_of metric (Rtval.tensor_rows (t 0))
+              (Rtval.tensor_rows (t 1))));
+      (`Next, 0.)
+  | "cim.merge_partial" -> (
+      match Ir.Attr.as_sym (Ir.Op.attr_exn op "direction") with
+      | "horizontal" ->
+          let a = t 0 and b = t 1 in
+          bind1
+            (Rtval.Tensor
+               {
+                 a with
+                 t_data = Array.mapi (fun i x -> x +. b.t_data.(i)) a.t_data;
+               });
+          (`Next, 0.)
+      | "vertical" ->
+          let g = t 0 and part = t 1 in
+          let offset = attr_i op "offset" in
+          let q, n =
+            match g.t_shape with
+            | [ q; n ] -> (q, n)
+            | _ -> fail "merge vertical: rank-2 global"
+          in
+          let pn =
+            match part.t_shape with
+            | [ _; pn ] -> pn
+            | _ -> fail "merge vertical: rank-2 partial"
+          in
+          let out = Array.copy g.t_data in
+          for i = 0 to q - 1 do
+            for j = 0 to pn - 1 do
+              out.((i * n) + offset + j) <- part.t_data.((i * pn) + j)
+            done
+          done;
+          bind1 (Rtval.Tensor { t_shape = [ q; n ]; t_data = out });
+          (`Next, 0.)
+      | d -> fail "merge_partial: unknown direction %s" d)
+  | "cim.select_best" ->
+      (* accepts tensors (cim level) and buffers (the host-loops path) *)
+      let scores = Rtval.to_rows (operand st op 0) in
+      let values, indices =
+        topk_rows scores ~k:(attr_i op "k") ~largest:(attr_b op "largest")
+      in
+      bind st (Ir.Op.result_n op 0) (Rtval.tensor_of_rows values);
+      bind st (Ir.Op.result_n op 1) (Rtval.tensor_of_rows indices);
+      (`Next, 0.)
+  | "cim.partitioned_similarity" -> (
+      match op.regions with
+      | [ r ] -> (
+          match run_region st r [] with
+          | `Yield vs, lat ->
+              List.iter2 (fun v rv -> bind st v rv) op.results vs;
+              (`Next, lat)
+          | (`Return _ | `Fall), _ ->
+              fail "partitioned_similarity region must yield")
+      | _ -> fail "partitioned_similarity needs its region")
+  (* ---- arith ---- *)
+  | "arith.constant" ->
+      (match (Ir.Op.attr_exn op "value", (Ir.Op.result op).ty) with
+      | Ir.Attr.Int i, Ir.Types.Index -> bind1 (Rtval.Index i)
+      | Ir.Attr.Int i, _ -> bind1 (Rtval.Scalar (float_of_int i))
+      | Ir.Attr.Float f, _ -> bind1 (Rtval.Scalar f)
+      | _ -> fail "constant: unsupported value");
+      (`Next, 0.)
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divi" | "arith.remi"
+    ->
+      let a = Rtval.as_index (operand st op 0) in
+      let b = Rtval.as_index (operand st op 1) in
+      let v =
+        match op.op_name with
+        | "arith.addi" -> a + b
+        | "arith.subi" -> a - b
+        | "arith.muli" -> a * b
+        | "arith.divi" ->
+            if b = 0 then fail "divi: division by zero" else a / b
+        | _ -> if b = 0 then fail "remi: division by zero" else a mod b
+      in
+      bind1 (Rtval.Index v);
+      (`Next, 0.)
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" ->
+      let scalar i =
+        match operand st op i with
+        | Rtval.Scalar f -> f
+        | Rtval.Index n -> float_of_int n
+        | _ -> fail "%s: expected a scalar" op.op_name
+      in
+      let a = scalar 0 and b = scalar 1 in
+      let v =
+        match op.op_name with
+        | "arith.addf" -> a +. b
+        | "arith.subf" -> a -. b
+        | "arith.mulf" -> a *. b
+        | _ -> a /. b
+      in
+      bind1 (Rtval.Scalar v);
+      (`Next, 0.)
+  | "arith.cmpf" ->
+      let scalar i =
+        match operand st op i with
+        | Rtval.Scalar f -> f
+        | _ -> fail "cmpf: expected a scalar"
+      in
+      let a = scalar 0 and b = scalar 1 in
+      let r =
+        match Dialects.Arith.pred_of_attr (Ir.Op.attr_exn op "pred") with
+        | Dialects.Arith.Lt -> a < b
+        | Le -> a <= b
+        | Eq -> a = b
+        | Ne -> a <> b
+        | Gt -> a > b
+        | Ge -> a >= b
+      in
+      bind1 (Rtval.Boolean r);
+      (`Next, 0.)
+  | "arith.select" ->
+      bind1
+        (if Rtval.as_bool (operand st op 0) then operand st op 1
+         else operand st op 2);
+      (`Next, 0.)
+  | "arith.cmpi" ->
+      let a = Rtval.as_index (operand st op 0) in
+      let b = Rtval.as_index (operand st op 1) in
+      let r =
+        match Dialects.Arith.pred_of_attr (Ir.Op.attr_exn op "pred") with
+        | Dialects.Arith.Lt -> a < b
+        | Le -> a <= b
+        | Eq -> a = b
+        | Ne -> a <> b
+        | Gt -> a > b
+        | Ge -> a >= b
+      in
+      bind1 (Rtval.Boolean r);
+      (`Next, 0.)
+  (* ---- scf ---- *)
+  | "scf.for" | "scf.parallel" ->
+      let lb = Rtval.as_index (operand st op 0) in
+      let ub = Rtval.as_index (operand st op 1) in
+      let step = Rtval.as_index (operand st op 2) in
+      if step <= 0 then fail "loop: non-positive step";
+      let parallel = String.equal op.op_name "scf.parallel" in
+      let total = ref 0. in
+      let r = match op.regions with [ r ] -> r | _ -> fail "loop region" in
+      let i = ref lb in
+      while !i < ub do
+        let res, lat = run_region st r [ Rtval.Index !i ] in
+        (match res with
+        | `Fall | `Yield [] -> ()
+        | `Yield _ -> fail "loops do not yield values"
+        | `Return _ -> fail "cannot return from inside a loop");
+        if parallel then total := Float.max !total lat
+        else total := !total +. lat;
+        i := !i + step
+      done;
+      (`Next, !total)
+  | "scf.if" -> (
+      let cond = Rtval.as_bool (operand st op 0) in
+      match op.regions with
+      | [ then_r ] ->
+          if cond then (
+            let res, lat = run_region st then_r [] in
+            (match res with
+            | `Fall | `Yield [] -> ()
+            | _ -> fail "if region must not produce values");
+            (`Next, lat))
+          else (`Next, 0.)
+      | [ then_r; else_r ] ->
+          let res, lat = run_region st (if cond then then_r else else_r) [] in
+          (match res with
+          | `Fall | `Yield [] -> ()
+          | _ -> fail "if region must not produce values");
+          (`Next, lat)
+      | _ -> fail "if needs one or two regions")
+  (* ---- memref ---- *)
+  | "memref.alloc" ->
+      bind1 (Rtval.Buffer (Rtval.fresh_buffer (Ir.Types.shape (Ir.Op.result op).ty)));
+      (`Next, 0.)
+  | "memref.load" ->
+      let base = Rtval.as_buffer (operand st op 0) in
+      let indices =
+        List.map
+          (fun (v : Ir.Value.t) -> Rtval.as_index (lookup st v))
+          (List.tl op.operands)
+      in
+      bind1 (Rtval.Scalar (Rtval.buffer_get base indices));
+      (`Next, 0.)
+  | "memref.store" ->
+      let value =
+        match operand st op 0 with
+        | Rtval.Scalar f -> f
+        | Rtval.Index n -> float_of_int n
+        | _ -> fail "store: expected a scalar value"
+      in
+      let base = Rtval.as_buffer (operand st op 1) in
+      let indices =
+        List.map
+          (fun (v : Ir.Value.t) -> Rtval.as_index (lookup st v))
+          (List.tl (List.tl op.operands))
+      in
+      Rtval.buffer_set base indices value;
+      (`Next, 0.)
+  | "memref.subview" ->
+      let base = Rtval.as_buffer (operand st op 0) in
+      let offsets =
+        List.map
+          (fun (v : Ir.Value.t) -> Rtval.as_index (lookup st v))
+          (List.tl op.operands)
+      in
+      let sizes = Ir.Attr.as_ints (Ir.Op.attr_exn op "sizes") in
+      bind1 (Rtval.Buffer (Rtval.buffer_view base ~offsets ~sizes));
+      (`Next, 0.)
+  (* ---- cam ---- *)
+  | "cam.alloc_bank" ->
+      bind1
+        (Rtval.Handle
+           (Camsim.Simulator.alloc_bank (sim st) ~rows:(attr_i op "rows")
+              ~cols:(attr_i op "cols")));
+      (`Next, 0.)
+  | "cam.alloc_mat" ->
+      bind1
+        (Rtval.Handle
+           (Camsim.Simulator.alloc_mat (sim st)
+              (Rtval.as_handle (operand st op 0))));
+      (`Next, 0.)
+  | "cam.alloc_array" ->
+      bind1
+        (Rtval.Handle
+           (Camsim.Simulator.alloc_array (sim st)
+              (Rtval.as_handle (operand st op 0))));
+      (`Next, 0.)
+  | "cam.alloc_subarray" ->
+      bind1
+        (Rtval.Handle
+           (Camsim.Simulator.alloc_subarray (sim st)
+              (Rtval.as_handle (operand st op 0))));
+      (`Next, 0.)
+  | "cam.write_value" ->
+      let handle = Rtval.as_handle (operand st op 0) in
+      let data = Rtval.to_rows (operand st op 1) in
+      let row_offset = Rtval.as_index (operand st op 2) in
+      let cost = Camsim.Simulator.write (sim st) handle ~row_offset data in
+      (`Next, cost.Camsim.Energy_model.latency)
+  | "cam.search" ->
+      let handle = Rtval.as_handle (operand st op 0) in
+      let queries = Rtval.to_rows (operand st op 1) in
+      let row_offset = Rtval.as_index (operand st op 2) in
+      let kind =
+        match
+          Dialects.Cam.search_kind_of_attr (Ir.Op.attr_exn op "kind")
+        with
+        | Dialects.Cam.Exact -> `Exact
+        | Best -> `Best
+        | Threshold -> `Threshold
+        | Range -> `Range
+      in
+      let metric =
+        match
+          Dialects.Cam.search_metric_of_attr (Ir.Op.attr_exn op "metric")
+        with
+        | Dialects.Cam.Hamming -> `Hamming
+        | Euclidean -> `Euclidean
+      in
+      let batch_extra =
+        match Ir.Op.attr op "batch_extra" with
+        | Some a -> Ir.Attr.as_bool a
+        | None -> false
+      in
+      let threshold =
+        match Ir.Op.attr op "threshold" with
+        | Some a -> Ir.Attr.as_float a
+        | None -> 0.
+      in
+      let cost =
+        Camsim.Simulator.search (sim st) handle ~queries ~row_offset
+          ~rows:(attr_i op "rows") ~kind ~metric ~batch_extra ~threshold ()
+      in
+      (`Next, cost.Camsim.Energy_model.latency)
+  | "cam.read" ->
+      let handle = Rtval.as_handle (operand st op 0) in
+      bind1 (Rtval.Buffer (Rtval.buffer_of_rows (Camsim.Simulator.read (sim st) handle)));
+      (`Next, 0.)
+  | "cam.merge_partial" ->
+      let dst = Rtval.as_buffer (operand st op 0) in
+      let part = Rtval.as_buffer (operand st op 1) in
+      (match (dst.b_shape, part.b_shape) with
+      | [ q; r ], [ q'; r' ] when q = q' && r = r' ->
+          for i = 0 to q - 1 do
+            for j = 0 to r - 1 do
+              Rtval.buffer_set dst [ i; j ]
+                (Rtval.buffer_get dst [ i; j ]
+                +. Rtval.buffer_get part [ i; j ])
+            done
+          done
+      | _ -> fail "cam.merge_partial: shape mismatch");
+      let cost =
+        Camsim.Simulator.merge (sim st) ~elems:(Rtval.numel dst.b_shape)
+      in
+      (`Next, cost.Camsim.Energy_model.latency)
+  | "cam.select_best" ->
+      let dist = Rtval.to_rows (operand st op 0) in
+      let (values, indices), cost =
+        Camsim.Simulator.select_best (sim st) ~dist ~k:(attr_i op "k")
+          ~largest:(attr_b op "largest")
+      in
+      bind st (Ir.Op.result_n op 0) (Rtval.Buffer (Rtval.buffer_of_rows values));
+      bind st
+        (Ir.Op.result_n op 1)
+        (Rtval.Buffer
+           (Rtval.buffer_of_rows
+              (Array.map (Array.map float_of_int) indices)));
+      (`Next, cost.Camsim.Energy_model.latency)
+  (* ---- crossbar ---- *)
+  | "crossbar.alloc_tile" ->
+      bind1 (Rtval.Xtile (Xbar.alloc_tile (xsim st)));
+      (`Next, 0.)
+  | "crossbar.write" ->
+      let tile = Rtval.as_xtile (operand st op 0) in
+      let block = Rtval.to_rows (operand st op 1) in
+      let cost = Xbar.write (xsim st) tile block in
+      (`Next, cost.Xbar.latency)
+  | "crossbar.gemv" ->
+      let tile = Rtval.as_xtile (operand st op 0) in
+      let inputs = Rtval.to_rows (operand st op 1) in
+      let out, cost = Xbar.gemv (xsim st) tile inputs in
+      bind1 (Rtval.Buffer (Rtval.buffer_of_rows out));
+      (`Next, cost.Xbar.latency)
+  | "crossbar.accumulate" ->
+      let dst = Rtval.as_buffer (operand st op 0) in
+      let part = Rtval.as_buffer (operand st op 1) in
+      (match (dst.b_shape, part.b_shape) with
+      | [ q; r ], [ q'; r' ] when q = q' && r = r' ->
+          for i = 0 to q - 1 do
+            for j = 0 to r - 1 do
+              Rtval.buffer_set dst [ i; j ]
+                (Rtval.buffer_get dst [ i; j ]
+                +. Rtval.buffer_get part [ i; j ])
+            done
+          done
+      | _ -> fail "crossbar.accumulate: shape mismatch");
+      (`Next, 0.)
+  | name -> fail "unsupported op %s" name
+
+let run ?sim ?xsim (m : Ir.Func_ir.modul) fn_name args =
+  let fn =
+    match Ir.Func_ir.find_func m fn_name with
+    | Some f -> f
+    | None -> fail "no function @%s in the module" fn_name
+  in
+  if List.length fn.fn_args <> List.length args then
+    fail "@%s expects %d arguments, got %d" fn_name
+      (List.length fn.fn_args) (List.length args);
+  let st = { env = Hashtbl.create 256; sim; xsim } in
+  List.iter2 (fun v rv -> bind st v rv) fn.fn_args args;
+  match exec_ops st fn.fn_body.body with
+  | `Return results, latency -> { results; latency }
+  | (`Yield _ | `Fall), _ -> fail "@%s finished without returning" fn_name

@@ -1,0 +1,24 @@
+(** The IR interpreter.
+
+    Executes modules at any abstraction level:
+    - torch / cim ops run functionally on the host (zero latency) — the
+      software reference path;
+    - cam / scf / memref ops run against a {!Camsim.Simulator}, which
+      accounts energy, while the interpreter composes latency
+      structurally: statements in sequence and [scf.for] iterations add
+      up, [scf.parallel] iterations combine by maximum. This is exactly
+      how the architecture spec's access modes shape the performance of
+      the generated code. *)
+
+type outcome = { results : Rtval.t list; latency : float }
+
+exception Runtime_error of string
+
+val run :
+  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> Ir.Func_ir.modul -> string ->
+  Rtval.t list -> outcome
+(** [run m fn args] executes function [fn] of module [m]. A CAM
+    simulator is required iff the function contains [cam] ops; a
+    crossbar iff it contains [crossbar] ops.
+    @raise Runtime_error on missing functions, arity mismatches, or
+    unsupported ops. *)

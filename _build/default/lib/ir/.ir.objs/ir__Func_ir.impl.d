@@ -1,0 +1,1 @@
+lib/ir/func_ir.ml: List Op String Types Value

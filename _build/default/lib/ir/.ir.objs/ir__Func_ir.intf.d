@@ -1,0 +1,1 @@
+lib/ir/func_ir.mli: Op Types Value

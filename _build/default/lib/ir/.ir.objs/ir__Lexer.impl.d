@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Array Buffer Char Float List Printf String

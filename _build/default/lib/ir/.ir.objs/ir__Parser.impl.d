@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Attr Func_ir Hashtbl Lexer List Op Printf String Types Value

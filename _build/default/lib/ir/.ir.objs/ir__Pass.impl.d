@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Func_ir List Printer Verifier

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Float Format Func_ir List Op Printf String Types Value

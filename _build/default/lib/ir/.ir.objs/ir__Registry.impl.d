@@ -1,0 +1,1 @@
+lib/ir/registry.ml: Hashtbl List Op

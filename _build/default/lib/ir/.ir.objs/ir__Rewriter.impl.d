@@ -1,0 +1,1 @@
+lib/ir/rewriter.ml: Array List Op Option String Value

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Func_ir Hashtbl List Op Printf Registry Value

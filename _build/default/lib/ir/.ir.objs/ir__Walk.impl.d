@@ -1,0 +1,1 @@
+lib/ir/walk.ml: Func_ir Hashtbl List Op Value

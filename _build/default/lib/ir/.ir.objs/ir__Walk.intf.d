@@ -1,0 +1,1 @@
+lib/ir/walk.mli: Func_ir Op Value

@@ -1,0 +1,29 @@
+type func = {
+  fn_name : string;
+  mutable fn_args : Value.t list;
+  mutable fn_ret : Types.t list;
+  mutable fn_body : Op.block;
+}
+
+type modul = { mutable funcs : func list }
+
+let func fn_name ~args ~ret body =
+  { fn_name; fn_args = args; fn_ret = ret; fn_body = Op.block body }
+
+let modul funcs = { funcs }
+
+let find_func m name =
+  List.find_opt (fun f -> String.equal f.fn_name name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg ("Func_ir.find_func_exn: no function " ^ name)
+
+let map_funcs f m = { funcs = List.map f m.funcs }
+
+let num_ops m =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left (fun acc o -> acc + Op.num_ops o) acc f.fn_body.body)
+    0 m.funcs

@@ -1,0 +1,20 @@
+(** Functions and modules (top-level IR containers). *)
+
+type func = {
+  fn_name : string;
+  mutable fn_args : Value.t list;
+  mutable fn_ret : Types.t list;
+  mutable fn_body : Op.block;
+}
+
+type modul = { mutable funcs : func list }
+
+val func : string -> args:Value.t list -> ret:Types.t list -> Op.t list -> func
+val modul : func list -> modul
+
+val find_func : modul -> string -> func option
+val find_func_exn : modul -> string -> func
+
+val map_funcs : (func -> func) -> modul -> modul
+val num_ops : modul -> int
+(** Total op count over all functions (nested ops included). *)

@@ -1,0 +1,34 @@
+(** Lexer for the textual IR form. *)
+
+type token =
+  | IDENT of string  (** bare identifiers and keywords, e.g. [func] *)
+  | VALUE of int  (** [%12] *)
+  | AT_IDENT of string  (** [@forward] *)
+  | SYM of string  (** [#exact] *)
+  | BANG_TYPE of string  (** [!cam.bank_id] (payload without the bang) *)
+  | SHAPED_TYPE of string * string
+      (** [tensor<10x8xf32>] as [("tensor", "10x8xf32")] *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | EQUAL
+  | ARROW
+  | CARET
+  | EOF
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val token_to_string : token -> string
+
+val tokenize : string -> token array
+(** @raise Lex_error on invalid input. Comments run from [//] to end of
+    line. *)

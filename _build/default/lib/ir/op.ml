@@ -1,0 +1,77 @@
+type t = {
+  op_name : string;
+  mutable operands : Value.t list;
+  mutable results : Value.t list;
+  mutable attrs : (string * Attr.t) list;
+  mutable regions : region list;
+}
+
+and block = { mutable body : t list; mutable block_args : Value.t list }
+and region = { mutable blocks : block list }
+
+let create ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = [])
+    op_name =
+  { op_name; operands; results; attrs; regions }
+
+let block ?(args = []) body = { body; block_args = args }
+let region ?(args = []) body = { blocks = [ block ~args body ] }
+
+let dialect op =
+  match String.index_opt op.op_name '.' with
+  | Some i -> String.sub op.op_name 0 i
+  | None -> ""
+
+let mnemonic op =
+  match String.index_opt op.op_name '.' with
+  | Some i ->
+      String.sub op.op_name (i + 1) (String.length op.op_name - i - 1)
+  | None -> op.op_name
+
+let attr op key = Attr.find op.attrs key
+
+let attr_exn op key =
+  match Attr.find op.attrs key with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "op %s: missing attribute %s" op.op_name key)
+
+let set_attr op key v = op.attrs <- (key, v) :: List.remove_assoc key op.attrs
+
+let result op =
+  match op.results with
+  | [ v ] -> v
+  | l ->
+      invalid_arg
+        (Printf.sprintf "op %s: expected single result, has %d" op.op_name
+           (List.length l))
+
+let result_n op n =
+  match List.nth_opt op.results n with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "op %s: no result %d" op.op_name n)
+
+let operand op n =
+  match List.nth_opt op.operands n with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "op %s: no operand %d" op.op_name n)
+
+let entry_block op =
+  match op.regions with
+  | { blocks = b :: _ } :: _ -> b
+  | _ -> invalid_arg (Printf.sprintf "op %s: no entry block" op.op_name)
+
+let body_ops op =
+  match op.regions with { blocks = b :: _ } :: _ -> b.body | _ -> []
+
+let rec num_ops op =
+  1
+  + List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc b ->
+            List.fold_left (fun acc o -> acc + num_ops o) acc b.body)
+          acc r.blocks)
+      0 op.regions

@@ -1,0 +1,55 @@
+(** Operations, blocks and regions.
+
+    An operation has a fully-qualified name ["dialect.mnemonic"], a list
+    of operand values, result values, named attributes and nested regions.
+    A region holds a list of blocks; most regions in this IR are
+    single-block. Blocks carry their own arguments (used by [scf] loops
+    for induction variables). *)
+
+type t = {
+  op_name : string;
+  mutable operands : Value.t list;
+  mutable results : Value.t list;
+  mutable attrs : (string * Attr.t) list;
+  mutable regions : region list;
+}
+
+and block = { mutable body : t list; mutable block_args : Value.t list }
+and region = { mutable blocks : block list }
+
+val create :
+  ?operands:Value.t list ->
+  ?results:Value.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:region list ->
+  string ->
+  t
+
+val block : ?args:Value.t list -> t list -> block
+val region : ?args:Value.t list -> t list -> region
+(** Single-block region with the given ops. *)
+
+val dialect : t -> string
+(** Dialect prefix of the op name (["torch.matmul"] -> ["torch"]). *)
+
+val mnemonic : t -> string
+(** Name without the dialect prefix. *)
+
+val attr : t -> string -> Attr.t option
+val attr_exn : t -> string -> Attr.t
+val set_attr : t -> string -> Attr.t -> unit
+val result : t -> Value.t
+(** Sole result. @raise Invalid_argument when results <> 1. *)
+
+val result_n : t -> int -> Value.t
+val operand : t -> int -> Value.t
+
+val entry_block : t -> block
+(** First block of the first region.
+    @raise Invalid_argument when there is none. *)
+
+val body_ops : t -> t list
+(** Ops of the entry block ([[]] when the op has no region). *)
+
+val num_ops : t -> int
+(** Total number of ops nested under (and including) this op. *)

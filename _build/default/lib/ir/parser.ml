@@ -1,0 +1,316 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  toks : Lexer.token array;
+  mutable cur : int;
+  env : (int, Value.t) Hashtbl.t;
+}
+
+let peek st = st.toks.(st.cur)
+let advance st = st.cur <- st.cur + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    fail "expected %s, got %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string t)
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> fail "expected identifier, got %s" (Lexer.token_to_string t)
+
+let shaped_of_body kind body =
+  let parts = String.split_on_char 'x' body in
+  match List.rev parts with
+  | elem :: dims_rev -> (
+      match Types.elem_of_string elem with
+      | None -> fail "bad element type %s in %s<%s>" elem kind body
+      | Some e ->
+          let dims =
+            List.rev_map
+              (fun d ->
+                match int_of_string_opt d with
+                | Some i -> i
+                | None -> fail "bad dimension %s in %s<%s>" d kind body)
+              dims_rev
+          in
+          if kind = "tensor" then Types.Tensor (dims, e)
+          else Types.Memref (dims, e))
+  | [] -> fail "empty shaped type"
+
+let type_of_token = function
+  | Lexer.SHAPED_TYPE (kind, body) -> shaped_of_body kind body
+  | Lexer.BANG_TYPE h -> Types.Handle h
+  | Lexer.IDENT "index" -> Types.Index
+  | Lexer.IDENT "none" -> Types.None_type
+  | Lexer.IDENT s -> (
+      match Types.elem_of_string s with
+      | Some e -> Types.Scalar e
+      | None -> fail "unknown type %s" s)
+  | t -> fail "expected a type, got %s" (Lexer.token_to_string t)
+
+let parse_type_tok st = type_of_token (next st)
+
+(* A type list is either "()" (empty), a single type, or "(T, T, ...)". *)
+let parse_type_list st =
+  match peek st with
+  | Lexer.LPAREN ->
+      advance st;
+      if peek st = Lexer.RPAREN then (
+        advance st;
+        [])
+      else
+        let rec go acc =
+          let t = parse_type_tok st in
+          match next st with
+          | Lexer.COMMA -> go (t :: acc)
+          | Lexer.RPAREN -> List.rev (t :: acc)
+          | tok ->
+              fail "expected , or ) in type list, got %s"
+                (Lexer.token_to_string tok)
+        in
+        go []
+  | _ -> [ parse_type_tok st ]
+
+let parse_value_ids st =
+  (* Comma-separated %N names; returns the raw ids. *)
+  let rec go acc =
+    match peek st with
+    | Lexer.VALUE id -> (
+        advance st;
+        match peek st with
+        | Lexer.COMMA ->
+            advance st;
+            go (id :: acc)
+        | _ -> List.rev (id :: acc))
+    | _ -> List.rev acc
+  in
+  go []
+
+let lookup st id =
+  match Hashtbl.find_opt st.env id with
+  | Some v -> v
+  | None -> fail "use of undefined value %%%d" id
+
+let define st (v : Value.t) = Hashtbl.replace st.env v.id v
+
+let parse_attr st =
+  match next st with
+  | Lexer.INT i -> Attr.Int i
+  | Lexer.FLOAT f -> Attr.Float f
+  | Lexer.STRING s -> Attr.Str s
+  | Lexer.SYM s -> Attr.Sym s
+  | Lexer.IDENT "true" -> Attr.Bool true
+  | Lexer.IDENT "false" -> Attr.Bool false
+  | Lexer.LBRACKET ->
+      if peek st = Lexer.RBRACKET then (
+        advance st;
+        Attr.Ints [])
+      else
+        let rec go acc =
+          match next st with
+          | Lexer.INT i -> (
+              match next st with
+              | Lexer.COMMA -> go (i :: acc)
+              | Lexer.RBRACKET -> List.rev (i :: acc)
+              | t -> fail "bad int list: %s" (Lexer.token_to_string t))
+          | t -> fail "bad int list element: %s" (Lexer.token_to_string t)
+        in
+        Attr.Ints (go [])
+  | (Lexer.SHAPED_TYPE _ | Lexer.BANG_TYPE _) as t ->
+      Attr.Type_attr (type_of_token t)
+  | Lexer.IDENT s -> (
+      match Types.elem_of_string s with
+      | Some e -> Attr.Type_attr (Types.Scalar e)
+      | None ->
+          if s = "index" then Attr.Type_attr Types.Index
+          else fail "unknown attribute value %s" s)
+  | t -> fail "expected attribute value, got %s" (Lexer.token_to_string t)
+
+let parse_attrs st =
+  expect st Lexer.LBRACE;
+  if peek st = Lexer.RBRACE then (
+    advance st;
+    [])
+  else
+    let rec go acc =
+      let key = expect_ident st in
+      expect st Lexer.EQUAL;
+      let v = parse_attr st in
+      match next st with
+      | Lexer.COMMA -> go ((key, v) :: acc)
+      | Lexer.RBRACE -> List.rev ((key, v) :: acc)
+      | t -> fail "expected , or } in attributes, got %s"
+               (Lexer.token_to_string t)
+    in
+    go []
+
+let rec parse_op st : Op.t =
+  let result_ids =
+    match peek st with
+    | Lexer.VALUE _ ->
+        let ids = parse_value_ids st in
+        expect st Lexer.EQUAL;
+        ids
+    | _ -> []
+  in
+  let name =
+    match next st with
+    | Lexer.STRING s -> s
+    | t -> fail "expected op name string, got %s" (Lexer.token_to_string t)
+  in
+  expect st Lexer.LPAREN;
+  let operand_ids =
+    if peek st = Lexer.RPAREN then []
+    else parse_value_ids st
+  in
+  expect st Lexer.RPAREN;
+  let operands = List.map (lookup st) operand_ids in
+  let attrs = if peek st = Lexer.LBRACE then parse_attrs st else [] in
+  let regions =
+    if peek st = Lexer.LPAREN then (
+      advance st;
+      let rec go acc =
+        let r = parse_region st in
+        match next st with
+        | Lexer.COMMA -> go (r :: acc)
+        | Lexer.RPAREN -> List.rev (r :: acc)
+        | t -> fail "expected , or ) after region, got %s"
+                 (Lexer.token_to_string t)
+      in
+      go [])
+    else []
+  in
+  expect st Lexer.COLON;
+  let operand_tys = parse_type_list st in
+  expect st Lexer.ARROW;
+  let result_tys = parse_type_list st in
+  if List.length operand_tys <> List.length operands then
+    fail "op %s: %d operands but %d operand types" name
+      (List.length operands) (List.length operand_tys);
+  List.iter2
+    (fun (v : Value.t) ty ->
+      if not (Types.equal v.ty ty) then
+        fail "op %s: operand %s has type %s, annotation says %s" name
+          (Value.name v) (Types.to_string v.ty) (Types.to_string ty))
+    operands operand_tys;
+  if List.length result_ids <> List.length result_tys then
+    fail "op %s: %d results but %d result types" name
+      (List.length result_ids) (List.length result_tys);
+  let results =
+    List.map2
+      (fun id ty ->
+        let v = Value.with_id id ty in
+        define st v;
+        v)
+      result_ids result_tys
+  in
+  Op.create ~operands ~results ~attrs ~regions name
+
+and parse_region st : Op.region =
+  expect st Lexer.LBRACE;
+  let args =
+    if peek st = Lexer.CARET then (
+      advance st;
+      expect st Lexer.LPAREN;
+      let rec go acc =
+        match next st with
+        | Lexer.VALUE id -> (
+            expect st Lexer.COLON;
+            let ty = parse_type_tok st in
+            let v = Value.with_id id ty in
+            define st v;
+            match next st with
+            | Lexer.COMMA -> go (v :: acc)
+            | Lexer.RPAREN -> List.rev (v :: acc)
+            | t -> fail "bad block arg list: %s" (Lexer.token_to_string t))
+        | Lexer.RPAREN -> List.rev acc
+        | t -> fail "bad block arg: %s" (Lexer.token_to_string t)
+      in
+      let args = go [] in
+      expect st Lexer.COLON;
+      args)
+    else []
+  in
+  let rec ops acc =
+    match peek st with
+    | Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+    | _ -> ops (parse_op st :: acc)
+  in
+  let body = ops [] in
+  { Op.blocks = [ { Op.body; block_args = args } ] }
+
+let parse_func st : Func_ir.func =
+  (match next st with
+  | Lexer.IDENT "func" -> ()
+  | t -> fail "expected 'func', got %s" (Lexer.token_to_string t));
+  let name =
+    match next st with
+    | Lexer.AT_IDENT s -> s
+    | t -> fail "expected @name, got %s" (Lexer.token_to_string t)
+  in
+  expect st Lexer.LPAREN;
+  let rec go acc =
+    match next st with
+    | Lexer.VALUE id -> (
+        expect st Lexer.COLON;
+        let ty = parse_type_tok st in
+        let v = Value.with_id id ty in
+        define st v;
+        match next st with
+        | Lexer.COMMA -> go (v :: acc)
+        | Lexer.RPAREN -> List.rev (v :: acc)
+        | t -> fail "bad parameter list: %s" (Lexer.token_to_string t))
+    | Lexer.RPAREN -> List.rev acc
+    | t -> fail "bad parameter: %s" (Lexer.token_to_string t)
+  in
+  let args = go [] in
+  let ret =
+    if peek st = Lexer.ARROW then (
+      advance st;
+      parse_type_list st)
+    else []
+  in
+  expect st Lexer.LBRACE;
+  let rec ops acc =
+    match peek st with
+    | Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+    | _ -> ops (parse_op st :: acc)
+  in
+  let body = ops [] in
+  Func_ir.func name ~args ~ret body
+
+let parse_type s =
+  let toks =
+    try Lexer.tokenize s
+    with Lexer.Lex_error (msg, pos) -> fail "lex error at %d: %s" pos msg
+  in
+  let st = { toks; cur = 0; env = Hashtbl.create 4 } in
+  let t = parse_type_tok st in
+  expect st Lexer.EOF;
+  t
+
+let parse_module src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Lex_error (msg, pos) -> fail "lex error at %d: %s" pos msg
+  in
+  let st = { toks; cur = 0; env = Hashtbl.create 64 } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ -> go (parse_func st :: acc)
+  in
+  Func_ir.modul (go [])

@@ -1,0 +1,11 @@
+(** Parser for the textual IR form produced by {!Printer}. *)
+
+exception Parse_error of string
+
+val parse_type : string -> Types.t
+(** Parse a single type, e.g. ["tensor<10x8192xf32>"].
+    @raise Parse_error on malformed input. *)
+
+val parse_module : string -> Func_ir.modul
+(** @raise Parse_error on malformed input. Only single-block regions are
+    supported (the printer never emits anything else). *)

@@ -1,0 +1,35 @@
+type t = { pass_name : string; run : Func_ir.modul -> Func_ir.modul }
+
+exception Pass_error of string * string
+
+let make pass_name run = { pass_name; run }
+let fail ~pass msg = raise (Pass_error (pass, msg))
+
+let run ?(verify = true) pass m =
+  let m' = pass.run m in
+  if verify then (
+    match Verifier.verify_module ~strict:false m' with
+    | Ok () -> ()
+    | Error e ->
+        raise (Pass_error (pass.pass_name, Verifier.error_to_string e)));
+  m'
+
+let run_pipeline ?verify passes m =
+  List.fold_left (fun m pass -> run ?verify pass m) m passes
+
+type trace_entry = { after_pass : string; ir_text : string }
+
+let run_pipeline_traced ?verify passes m =
+  let trace = ref [] in
+  let m' =
+    List.fold_left
+      (fun m pass ->
+        let m' = run ?verify pass m in
+        trace :=
+          { after_pass = pass.pass_name;
+            ir_text = Printer.module_to_string m' }
+          :: !trace;
+        m')
+      m passes
+  in
+  (m', List.rev !trace)

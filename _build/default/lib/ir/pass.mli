@@ -1,0 +1,25 @@
+(** Pass manager: named module-to-module transformations composed into
+    pipelines, optionally verifying the IR after each pass. *)
+
+type t = { pass_name : string; run : Func_ir.modul -> Func_ir.modul }
+
+exception Pass_error of string * string
+(** [(pass_name, message)] *)
+
+val make : string -> (Func_ir.modul -> Func_ir.modul) -> t
+
+val fail : pass:string -> string -> 'a
+(** Raise {!Pass_error} from inside a pass body. *)
+
+val run : ?verify:bool -> t -> Func_ir.modul -> Func_ir.modul
+(** Run a single pass; with [verify] (default [true]) the result module
+    is verified (non-strict: unregistered ops are allowed). *)
+
+val run_pipeline : ?verify:bool -> t list -> Func_ir.modul -> Func_ir.modul
+
+type trace_entry = { after_pass : string; ir_text : string }
+
+val run_pipeline_traced :
+  ?verify:bool -> t list -> Func_ir.modul -> Func_ir.modul * trace_entry list
+(** Like {!run_pipeline} but also records the printed IR after every
+    pass (used by the CLI's [--dump] mode and by the IR-stages bench). *)

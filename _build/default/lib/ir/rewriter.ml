@@ -1,0 +1,40 @@
+type operand_ref = External | Res of int
+type node = { node_op : string; node_uses : operand_ref list }
+type pattern = node list
+
+let node node_op node_uses = { node_op; node_uses }
+
+let op_uses_result_of (op : Op.t) (producer : Op.t) =
+  List.exists
+    (fun (operand : Value.t) ->
+      List.exists (Value.equal operand) producer.results)
+    op.operands
+
+let matches_at (ops : Op.t array) i (n : node) =
+  let op = ops.(i) in
+  String.equal op.op_name n.node_op
+  && List.for_all
+       (function
+         | External -> true
+         | Res j -> j < i && op_uses_result_of op ops.(j))
+       n.node_uses
+
+let similar_dfg ops pattern =
+  List.length ops = List.length pattern
+  &&
+  let arr = Array.of_list ops in
+  List.for_all
+    (fun (i, n) -> matches_at arr i n)
+    (List.mapi (fun i n -> (i, n)) pattern)
+
+let match_prefix ops pattern =
+  let k = List.length pattern in
+  let rec take n = function
+    | [] -> if n = 0 then Some [] else None
+    | x :: rest ->
+        if n = 0 then Some []
+        else Option.map (fun l -> x :: l) (take (n - 1) rest)
+  in
+  match take k ops with
+  | Some prefix when similar_dfg prefix pattern -> Some prefix
+  | _ -> None

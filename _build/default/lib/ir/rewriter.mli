@@ -1,0 +1,24 @@
+(** Dataflow-graph pattern matching over op lists, the mechanism behind
+    the paper's Algorithm 1 ([similarDFG]).
+
+    A pattern is an ordered list of nodes. Node [i] matches the [i]-th op
+    of the candidate list when the op name agrees and, for every
+    [Res j] operand reference, the candidate op uses a result of the
+    [j]-th matched op as one of its operands. [External] references
+    always match (they stand for values produced outside the block). *)
+
+type operand_ref = External | Res of int
+
+type node = { node_op : string; node_uses : operand_ref list }
+
+type pattern = node list
+
+val node : string -> operand_ref list -> node
+
+val similar_dfg : Op.t list -> pattern -> bool
+(** [similar_dfg ops pattern] implements the paper's [similarDFG]: exact
+    length match plus per-node name and dataflow checks. *)
+
+val match_prefix : Op.t list -> pattern -> Op.t list option
+(** Match the pattern against the first [length pattern] ops of the
+    list; return the matched ops on success. *)

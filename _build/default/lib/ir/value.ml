@@ -1,0 +1,17 @@
+type t = { id : int; ty : Types.t }
+
+let counter = ref 0
+
+let fresh ty =
+  let id = !counter in
+  incr counter;
+  { id; ty }
+
+let with_id id ty =
+  if id >= !counter then counter := id + 1;
+  { id; ty }
+
+let equal a b = a.id = b.id
+let name v = "%" ^ string_of_int v.id
+let pp fmt v = Format.pp_print_string fmt (name v)
+let reset_counter () = counter := 0

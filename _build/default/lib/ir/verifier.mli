@@ -1,0 +1,18 @@
+(** Structural and per-op verification.
+
+    Checks performed:
+    - SSA: every operand is defined before use (function arguments, block
+      arguments of enclosing regions, or results of earlier ops);
+    - no value is defined twice;
+    - every op name is registered (unless [strict] is [false]);
+    - each registered op's own [verify] hook passes. *)
+
+type error = { func : string; op : string; message : string }
+
+val error_to_string : error -> string
+
+val verify_func : ?strict:bool -> Func_ir.func -> (unit, error) result
+val verify_module : ?strict:bool -> Func_ir.modul -> (unit, error) result
+
+val verify_exn : ?strict:bool -> Func_ir.modul -> unit
+(** @raise Failure with a formatted message on the first error. *)

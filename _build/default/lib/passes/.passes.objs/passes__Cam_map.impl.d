@@ -1,0 +1,1 @@
+lib/passes/cam_map.ml: Archspec Dialects Ir List Printf String

@@ -1,0 +1,1 @@
+lib/passes/cam_map.mli: Archspec Ir

@@ -1,0 +1,1 @@
+lib/passes/cam_opt.ml: Dialects Ir List String

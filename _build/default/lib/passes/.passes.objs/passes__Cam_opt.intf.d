@@ -1,0 +1,1 @@
+lib/passes/cam_opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/passes/canonicalize.ml: Dialects Hashtbl Ir List Option String

@@ -1,0 +1,1 @@
+lib/passes/canonicalize.mli: Ir

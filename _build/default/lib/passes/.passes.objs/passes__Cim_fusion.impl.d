@@ -1,0 +1,1 @@
+lib/passes/cim_fusion.ml: Array Dialects Hashtbl Ir List String

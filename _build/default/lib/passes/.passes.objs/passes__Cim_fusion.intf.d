@@ -1,0 +1,1 @@
+lib/passes/cim_fusion.mli: Ir

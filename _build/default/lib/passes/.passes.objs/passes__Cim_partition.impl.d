@@ -1,0 +1,1 @@
+lib/passes/cim_partition.ml: Archspec Dialects Ir List Printf String

@@ -1,0 +1,1 @@
+lib/passes/cim_partition.mli: Archspec Ir

@@ -1,0 +1,1 @@
+lib/passes/cim_to_loops.mli: Ir

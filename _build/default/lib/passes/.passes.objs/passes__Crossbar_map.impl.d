@@ -1,0 +1,1 @@
+lib/passes/crossbar_map.ml: Dialects Ir List Printf String Xbar

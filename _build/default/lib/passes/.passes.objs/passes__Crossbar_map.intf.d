@@ -1,0 +1,1 @@
+lib/passes/crossbar_map.mli: Ir Xbar

@@ -1,0 +1,1 @@
+lib/passes/host_fallback.ml: Dialects Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/passes/host_fallback.mli: Ir

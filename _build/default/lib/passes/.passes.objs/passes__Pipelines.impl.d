@@ -1,0 +1,1 @@
+lib/passes/pipelines.ml: Archspec Cam_map Cam_opt Canonicalize Cim_fusion Cim_partition Cim_to_loops Host_fallback Torch_to_cim

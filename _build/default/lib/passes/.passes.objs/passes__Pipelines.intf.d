@@ -1,0 +1,1 @@
+lib/passes/pipelines.mli: Archspec Ir

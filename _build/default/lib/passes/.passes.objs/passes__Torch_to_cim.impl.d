@@ -1,0 +1,1 @@
+lib/passes/torch_to_cim.ml: Dialects Ir List

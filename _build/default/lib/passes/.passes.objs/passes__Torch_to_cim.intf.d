@@ -1,0 +1,1 @@
+lib/passes/torch_to_cim.mli: Ir

@@ -1,0 +1,54 @@
+(* A loop is "the subarray loop" when a cam.alloc_subarray appears below
+   it without crossing another loop. *)
+let rec contains_alloc_sub_direct (op : Ir.Op.t) =
+  List.exists
+    (fun (r : Ir.Op.region) ->
+      List.exists
+        (fun (blk : Ir.Op.block) ->
+          List.exists
+            (fun (o : Ir.Op.t) ->
+              String.equal o.op_name Dialects.Cam.alloc_subarray_name
+              || ((not
+                     (String.equal o.op_name Dialects.Scf.for_name
+                     || String.equal o.op_name Dialects.Scf.parallel_name))
+                 && contains_alloc_sub_direct o))
+            blk.body)
+        r.blocks)
+    op.regions
+
+let is_subarray_parallel (op : Ir.Op.t) =
+  String.equal op.op_name Dialects.Scf.parallel_name
+  && contains_alloc_sub_direct op
+
+let subarray_loops m =
+  Ir.Walk.collect_module
+    (fun op ->
+      (String.equal op.Ir.Op.op_name Dialects.Scf.parallel_name
+      || String.equal op.Ir.Op.op_name Dialects.Scf.for_name)
+      && contains_alloc_sub_direct op)
+    m
+
+(* Op names are immutable; rebuild the op in place by replacing it in
+   its parent block. We do this with a top-down rewrite. *)
+let rec rewrite_block (blk : Ir.Op.block) =
+  blk.body <-
+    List.map
+      (fun (op : Ir.Op.t) ->
+        let op =
+          if is_subarray_parallel op then
+            Ir.Op.create ~operands:op.operands ~results:op.results
+              ~attrs:op.attrs ~regions:op.regions Dialects.Scf.for_name
+          else op
+        in
+        List.iter
+          (fun (r : Ir.Op.region) -> List.iter rewrite_block r.blocks)
+          op.regions;
+        op)
+      blk.body
+
+let power =
+  Ir.Pass.make "cam-power" (fun m ->
+      List.iter
+        (fun (fn : Ir.Func_ir.func) -> rewrite_block fn.fn_body)
+        m.funcs;
+      m)

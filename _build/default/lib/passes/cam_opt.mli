@@ -1,0 +1,15 @@
+(** Built-in cam-level optimizations (Section III-D2).
+
+    [power] is the cam-power transformation applied to already-mapped
+    IR: the subarray-level [scf.parallel] loop (the one whose body
+    allocates subarrays) is rewritten into a sequential [scf.for], so at
+    most one subarray per array is active at a time. Energy is
+    unchanged; latency grows; average power drops.
+
+    The density optimization is applied earlier (it changes data
+    placement, not loop structure): see {!Cim_partition.batches_for}. *)
+
+val power : Ir.Pass.t
+
+val subarray_loops : Ir.Func_ir.modul -> Ir.Op.t list
+(** The loops [power] would rewrite (exposed for tests/ablation). *)

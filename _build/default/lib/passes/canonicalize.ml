@@ -1,0 +1,174 @@
+let pure_prefixes = [ "torch."; "arith." ]
+
+let pure_ops =
+  [
+    Dialects.Cim.similarity_name;
+    Dialects.Cim.similarity_partial_name;
+    Dialects.Cim.similarity_scores_name;
+    Dialects.Cim.slice_name;
+    Dialects.Cim.merge_partial_name;
+    Dialects.Cim.select_best_name;
+    Dialects.Cim.zeros_name;
+    "cim.reshape";
+    "cim.transpose";
+    "cim.matmul";
+    "cim.mm";
+    "cim.sub";
+    "cim.div";
+    "cim.norm";
+    "cim.topk";
+    Dialects.Memref.subview_name;
+  ]
+
+let is_pure name =
+  List.exists (fun p -> String.length name >= String.length p
+                        && String.sub name 0 (String.length p) = p)
+    pure_prefixes
+  || List.mem name pure_ops
+
+(* ---- DCE -------------------------------------------------------------- *)
+
+(* Iterate to a fixpoint within each block: removing one dead op can make
+   its producers dead too. Uses are counted across nested regions. *)
+let dce_func (fn : Ir.Func_ir.func) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let uses : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    Ir.Walk.iter_ops
+      (fun op ->
+        List.iter
+          (fun (v : Ir.Value.t) ->
+            Hashtbl.replace uses v.id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt uses v.id)))
+          op.operands)
+      fn;
+    let dead (op : Ir.Op.t) =
+      is_pure op.op_name
+      && op.regions = []
+      && List.for_all
+           (fun (v : Ir.Value.t) -> not (Hashtbl.mem uses v.id))
+           op.results
+    in
+    let rec clean_block (blk : Ir.Op.block) =
+      let before = List.length blk.body in
+      blk.body <- List.filter (fun op -> not (dead op)) blk.body;
+      if List.length blk.body <> before then changed := true;
+      List.iter
+        (fun (op : Ir.Op.t) ->
+          List.iter
+            (fun (r : Ir.Op.region) -> List.iter clean_block r.blocks)
+            op.regions)
+        blk.body
+    in
+    clean_block fn.fn_body
+  done;
+  fn
+
+let dce = Ir.Pass.make "dce" (Ir.Func_ir.map_funcs dce_func)
+
+(* ---- Constant folding -------------------------------------------------- *)
+
+let fold_func (fn : Ir.Func_ir.func) =
+  (* Map from value id to known constant index value. *)
+  let known : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let const_of (v : Ir.Value.t) = Hashtbl.find_opt known v.id in
+  let rec fold_block (blk : Ir.Op.block) =
+    blk.body <-
+      List.map
+        (fun (op : Ir.Op.t) ->
+          List.iter
+            (fun (r : Ir.Op.region) -> List.iter fold_block r.blocks)
+            op.regions;
+          match op.op_name with
+          | "arith.constant" ->
+              (match (Ir.Op.attr op "value", op.results) with
+              | Some (Ir.Attr.Int i), [ r ] when r.ty = Ir.Types.Index ->
+                  Hashtbl.replace known r.id i
+              | _ -> ());
+              op
+          | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divi"
+          | "arith.remi" -> (
+              match
+                (const_of (Ir.Op.operand op 0), const_of (Ir.Op.operand op 1))
+              with
+              | Some a, Some b ->
+                  let f =
+                    match op.op_name with
+                    | "arith.addi" -> ( + )
+                    | "arith.subi" -> ( - )
+                    | "arith.muli" -> ( * )
+                    | "arith.divi" -> ( / )
+                    | _ -> fun a b -> a mod b
+                  in
+                  if
+                    (op.op_name = "arith.divi" || op.op_name = "arith.remi")
+                    && b = 0
+                  then op
+                  else begin
+                    let v = f a b in
+                    Hashtbl.replace known (Ir.Op.result op).id v;
+                    Ir.Op.create ~results:op.results
+                      ~attrs:[ ("value", Ir.Attr.Int v) ]
+                      "arith.constant"
+                  end
+              | _ -> op)
+          | _ -> op)
+        blk.body
+  in
+  fold_block fn.fn_body;
+  fn
+
+let fold_constants =
+  Ir.Pass.make "fold-constants" (Ir.Func_ir.map_funcs fold_func)
+
+(* ---- Common-subexpression elimination ---------------------------------- *)
+
+let cse_key (op : Ir.Op.t) =
+  ( op.op_name,
+    List.map (fun (v : Ir.Value.t) -> v.id) op.operands,
+    List.sort compare op.attrs )
+
+let cse_func (fn : Ir.Func_ir.func) =
+  (* Global value substitution accumulated over all removed ops. *)
+  let subst : (int, Ir.Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let resolve (v : Ir.Value.t) =
+    match Hashtbl.find_opt subst v.id with Some v' -> v' | None -> v
+  in
+  let rec clean_block (blk : Ir.Op.block) =
+    (* Available expressions are tracked per block: using a value from a
+       sibling region would break dominance. *)
+    let seen = Hashtbl.create 32 in
+    blk.body <-
+      List.filter
+        (fun (op : Ir.Op.t) ->
+          op.operands <- List.map resolve op.operands;
+          List.iter
+            (fun (r : Ir.Op.region) -> List.iter clean_block r.blocks)
+            op.regions;
+          if is_pure op.op_name && op.regions = [] then begin
+            let key = cse_key op in
+            match Hashtbl.find_opt seen key with
+            | Some (earlier : Ir.Op.t) ->
+                List.iter2
+                  (fun (dead : Ir.Value.t) live ->
+                    Hashtbl.replace subst dead.id live)
+                  op.results earlier.results;
+                false
+            | None ->
+                Hashtbl.replace seen key op;
+                true
+          end
+          else true)
+        blk.body
+  in
+  clean_block fn.fn_body;
+  fn
+
+let cse = Ir.Pass.make "cse" (Ir.Func_ir.map_funcs cse_func)
+
+let pass =
+  Ir.Pass.make "canonicalize" (fun m ->
+      Ir.Pass.run ~verify:false dce
+        (Ir.Pass.run ~verify:false cse
+           (Ir.Pass.run ~verify:false fold_constants m)))

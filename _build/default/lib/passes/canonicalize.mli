@@ -1,0 +1,16 @@
+(** Canonicalization: dead-code elimination of pure ops and constant
+    folding of index arithmetic. *)
+
+val is_pure : string -> bool
+(** Ops safe to remove when their results are unused. *)
+
+val dce : Ir.Pass.t
+val fold_constants : Ir.Pass.t
+
+val cse : Ir.Pass.t
+(** Common-subexpression elimination: within each block, a pure,
+    region-free op whose name, operands and attributes equal an earlier
+    op's is removed and its results replaced by the earlier op's. *)
+
+val pass : Ir.Pass.t
+(** Folding, CSE, then DCE. *)

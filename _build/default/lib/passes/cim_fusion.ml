@@ -1,0 +1,292 @@
+let acquire = Dialects.Cim.acquire_name
+let execute = Dialects.Cim.execute_name
+let release = Dialects.Cim.release_name
+let yield = Dialects.Cim.yield_name
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: merge adjacent acquire/execute/release triples.            *)
+(* ------------------------------------------------------------------ *)
+
+type triple = { exec : Ir.Op.t }
+
+(* Substitute values according to [map] in an op and its regions. *)
+let rec substitute map (op : Ir.Op.t) =
+  op.operands <-
+    List.map
+      (fun (v : Ir.Value.t) ->
+        match Hashtbl.find_opt map v.Ir.Value.id with
+        | Some v' -> v'
+        | None -> v)
+      op.operands;
+  List.iter
+    (fun (r : Ir.Op.region) ->
+      List.iter
+        (fun (b : Ir.Op.block) -> List.iter (substitute map) b.body)
+        r.blocks)
+    op.regions
+
+let body_and_yield (exec : Ir.Op.t) =
+  match List.rev (Ir.Op.body_ops exec) with
+  | last :: rev_body when String.equal last.Ir.Op.op_name yield ->
+      (List.rev rev_body, last)
+  | _ -> Ir.Pass.fail ~pass:"cim-fuse-ops" "execute region without yield"
+
+let merge_run (run : triple list) (used_after : (int, unit) Hashtbl.t) :
+    Ir.Op.t list =
+  let subst : (int, Ir.Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let inner_ops = ref [] in
+  (* Map each execute's outer results to the yielded inner values, then
+     inline the bodies with the accumulated substitution applied. *)
+  List.iter
+    (fun { exec } ->
+      let body, yield_op = body_and_yield exec in
+      List.iter
+        (fun op ->
+          substitute subst op;
+          inner_ops := op :: !inner_ops)
+        body;
+      List.iter2
+        (fun (outer : Ir.Value.t) (inner : Ir.Value.t) ->
+          let inner =
+            match Hashtbl.find_opt subst inner.Ir.Value.id with
+            | Some v -> v
+            | None -> inner
+          in
+          Hashtbl.replace subst outer.Ir.Value.id inner)
+        exec.results yield_op.operands)
+    run;
+  (* Results that survive the merged block: outer values still used
+     after the run, in program order. *)
+  let outer_results =
+    List.concat_map
+      (fun { exec } ->
+        List.filter
+          (fun (v : Ir.Value.t) -> Hashtbl.mem used_after v.Ir.Value.id)
+          exec.results)
+      run
+  in
+  let yielded =
+    List.map
+      (fun (v : Ir.Value.t) ->
+        match Hashtbl.find_opt subst v.Ir.Value.id with
+        | Some v' -> v'
+        | None -> v)
+      outer_results
+  in
+  let b = Ir.Builder.create () in
+  let dev = Dialects.Cim.acquire b ~device:"cam" in
+  let region_ops =
+    List.rev (Ir.Op.create ~operands:yielded yield :: !inner_ops)
+  in
+  Ir.Builder.add b
+    (Ir.Op.create ~operands:[ dev ] ~results:outer_results
+       ~regions:[ { Ir.Op.blocks = [ Ir.Op.block region_ops ] } ]
+       execute);
+  Dialects.Cim.release b dev;
+  Ir.Builder.finish b
+
+(* Group the top-level ops of a function body into runs of triples. *)
+let fuse_function (fn : Ir.Func_ir.func) =
+  let ops = Array.of_list fn.fn_body.body in
+  let n = Array.length ops in
+  (* used_after.(i): set of value ids used by ops at index >= i. *)
+  let used_from = Array.make (n + 1) (Hashtbl.create 0) in
+  used_from.(n) <- Hashtbl.create 4;
+  for i = n - 1 downto 0 do
+    let h = Hashtbl.copy used_from.(i + 1) in
+    let rec note (op : Ir.Op.t) =
+      List.iter
+        (fun (v : Ir.Value.t) -> Hashtbl.replace h v.Ir.Value.id ())
+        op.operands;
+      List.iter
+        (fun (r : Ir.Op.region) ->
+          List.iter
+            (fun (b : Ir.Op.block) -> List.iter note b.body)
+            r.blocks)
+        op.regions
+    in
+    note ops.(i);
+    used_from.(i) <- h
+  done;
+  let out = ref [] in
+  let emit op = out := op :: !out in
+  let i = ref 0 in
+  while !i < n do
+    (* Detect a run of acquire/execute/release triples starting here. *)
+    let run = ref [] in
+    let j = ref !i in
+    let continue = ref true in
+    while !continue && !j + 2 < n + 1 do
+      if
+        !j + 2 < n
+        && String.equal ops.(!j).op_name acquire
+        && String.equal ops.(!j + 1).op_name execute
+        && String.equal ops.(!j + 2).op_name release
+        (* the triple must use its own device handle *)
+        && Ir.Value.equal (Ir.Op.result ops.(!j)) (Ir.Op.operand ops.(!j + 1) 0)
+        && Ir.Value.equal (Ir.Op.result ops.(!j)) (Ir.Op.operand ops.(!j + 2) 0)
+      then begin
+        run := { exec = ops.(!j + 1) } :: !run;
+        j := !j + 3
+      end
+      else continue := false
+    done;
+    let run = List.rev !run in
+    match run with
+    | [] | [ _ ] ->
+        emit ops.(!i);
+        incr i
+    | _ :: _ ->
+        List.iter emit (merge_run run used_from.(!j));
+        i := !j
+  done;
+  fn.fn_body.body <- List.rev !out;
+  fn
+
+let fuse_blocks =
+  Ir.Pass.make "cim-fuse-blocks" (Ir.Func_ir.map_funcs fuse_function)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: Algorithm 1 — SimilarityMatching.                          *)
+(* ------------------------------------------------------------------ *)
+
+let node = Ir.Rewriter.node
+let res i = Ir.Rewriter.Res i
+
+let dot_pattern =
+  [
+    node "cim.transpose" [];
+    node "cim.matmul" [ res 0 ];
+    node "cim.topk" [ res 1 ];
+    node yield [ res 2 ];
+  ]
+
+let eucl_pattern =
+  [
+    node "cim.sub" [];
+    node "cim.norm" [ res 0 ];
+    node "cim.topk" [ res 1 ];
+    node yield [ res 2 ];
+  ]
+
+let cosine_pattern =
+  [
+    node "cim.norm" [];
+    node "cim.norm" [];
+    node "cim.transpose" [];
+    node "cim.matmul" [ res 2 ];
+    node "cim.div" [ res 3 ];
+    node yield [ res 4 ];
+  ]
+
+let similarity_matching (ops : Ir.Op.t list) =
+  match List.length ops with
+  | 4 ->
+      if Ir.Rewriter.similar_dfg ops dot_pattern then Some `Dot
+      else if Ir.Rewriter.similar_dfg ops eucl_pattern then Some `Eucl
+      else None
+  | 6 ->
+      if Ir.Rewriter.similar_dfg ops cosine_pattern then Some `Cosine
+      else None
+  | _ -> None
+
+let find_op ops name =
+  List.find (fun (o : Ir.Op.t) -> String.equal o.op_name name) ops
+
+let not_result_of (producer : Ir.Op.t) (v : Ir.Value.t) =
+  not (List.exists (Ir.Value.equal v) producer.results)
+
+(* Build the replacement similarity op, reusing the original result
+   values so the yield and the enclosing execute need no retyping. *)
+let rewrite_execute (exec : Ir.Op.t) =
+  let body, yield_op = body_and_yield exec in
+  match similarity_matching (body @ [ yield_op ]) with
+  | None -> ()
+  | Some kind ->
+      let mk ~query ~stored ~attrs ~results name =
+        let sim =
+          Ir.Op.create ~operands:[ query; stored ] ~attrs ~results name
+        in
+        (match Ir.Op.entry_block exec with
+        | blk -> blk.body <- [ sim; yield_op ])
+      in
+      (match kind with
+      | `Dot ->
+          let transpose = find_op body "cim.transpose" in
+          let matmul = find_op body "cim.matmul" in
+          let topk = find_op body "cim.topk" in
+          let query =
+            List.find (not_result_of transpose) matmul.operands
+          in
+          let stored = Ir.Op.operand transpose 0 in
+          mk ~query ~stored
+            ~attrs:
+              [
+                ("metric", Dialects.Cim.metric_to_attr Dialects.Cim.Dot);
+                ("k", Ir.Op.attr_exn topk "k");
+                ("largest", Ir.Op.attr_exn topk "largest");
+              ]
+            ~results:topk.results Dialects.Cim.similarity_name
+      | `Eucl ->
+          let sub = find_op body "cim.sub" in
+          let topk = find_op body "cim.topk" in
+          let a = Ir.Op.operand sub 0 and b = Ir.Op.operand sub 1 in
+          let shape (v : Ir.Value.t) = Ir.Types.shape v.ty in
+          (* Accept both the single-query form ([1,d] vs [n,d]) and the
+             batched broadcast idiom ([q,1,d] vs [n,d]); the latter
+             needs the broadcast dimension squeezed away. *)
+          let query, stored, squeeze =
+            match (shape a, shape b) with
+            | [ 1; _ ], [ n; _ ] when n > 1 -> (a, b, None)
+            | [ n; _ ], [ 1; _ ] when n > 1 -> (b, a, None)
+            | [ q; 1; d ], [ _; _ ] -> (a, b, Some [ q; d ])
+            | [ _; _ ], [ q; 1; d ] -> (b, a, Some [ q; d ])
+            | _ ->
+                Ir.Pass.fail ~pass:"cim-fuse-ops"
+                  "euclidean pattern: cannot tell query from stored \
+                   (expected shapes [1,d]/[q,1,d] and [n,d])"
+          in
+          let prefix = Ir.Builder.create () in
+          let query =
+            match squeeze with
+            | None -> query
+            | Some shape -> Dialects.Cim.reshape prefix query shape
+          in
+          let sim =
+            Ir.Op.create ~operands:[ query; stored ]
+              ~attrs:
+                [
+                  ( "metric",
+                    Dialects.Cim.metric_to_attr Dialects.Cim.Euclidean );
+                  ("k", Ir.Op.attr_exn topk "k");
+                  ("largest", Ir.Op.attr_exn topk "largest");
+                ]
+              ~results:topk.results Dialects.Cim.similarity_name
+          in
+          let blk = Ir.Op.entry_block exec in
+          blk.body <- Ir.Builder.finish prefix @ [ sim; yield_op ]
+      | `Cosine ->
+          let transpose = find_op body "cim.transpose" in
+          let matmul = find_op body "cim.matmul" in
+          let div = find_op body "cim.div" in
+          let query =
+            List.find (not_result_of transpose) matmul.operands
+          in
+          let stored = Ir.Op.operand transpose 0 in
+          mk ~query ~stored
+            ~attrs:
+              [ ("metric", Dialects.Cim.metric_to_attr Dialects.Cim.Cosine) ]
+            ~results:div.results Dialects.Cim.similarity_scores_name)
+
+let fuse_similarity =
+  Ir.Pass.make "cim-fuse-similarity" (fun m ->
+      Ir.Walk.iter_module
+        (fun op ->
+          if String.equal op.Ir.Op.op_name execute then rewrite_execute op)
+        m;
+      m)
+
+let pass =
+  Ir.Pass.make "cim-fuse-ops" (fun m ->
+      Ir.Pass.run ~verify:false fuse_similarity
+        (Ir.Pass.run ~verify:false fuse_blocks m))

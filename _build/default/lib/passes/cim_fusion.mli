@@ -1,0 +1,26 @@
+(** The cim-fuse-ops pass (Section III-D1, Algorithm 1).
+
+    Phase 1 merges maximal runs of adjacent
+    [cim.acquire] / [cim.execute] / [cim.release] triples into a single
+    triple whose region contains all the inner ops (Figure 5b).
+
+    Phase 2 runs Algorithm 1 on every execute region: blocks matching
+    the dot-product, Euclidean-norm, or cosine dataflow patterns are
+    rewritten into a single [cim.similarity] (or
+    [cim.similarity_scores] for the cosine pattern, which carries no
+    top-k) reusing the original result values (Figure 5c). *)
+
+val fuse_blocks : Ir.Pass.t
+(** Phase 1 only. *)
+
+val fuse_similarity : Ir.Pass.t
+(** Phase 2 only ([cim-fuse-ops] with the similarity flag). *)
+
+val pass : Ir.Pass.t
+(** Both phases. *)
+
+(** Exposed for testing. *)
+
+val similarity_matching : Ir.Op.t list -> [ `Dot | `Eucl | `Cosine ] option
+(** Algorithm 1: does the op list (yield included) match a similarity
+    pattern? *)

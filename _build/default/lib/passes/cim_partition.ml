@@ -1,0 +1,188 @@
+let pass_name = "cim-partition"
+
+let batches_for (spec : Archspec.Spec.t) ~stored_rows =
+  match spec.optimization with
+  | Density | Power_density when stored_rows < spec.rows ->
+      max 1 (spec.rows / stored_rows)
+  | Density | Power_density | Base | Power -> 1
+
+type params = {
+  q : int;
+  n : int;
+  d : int;
+  tile_rows : int;
+  row_chunks : int;
+  col_chunks : int;
+  batches : int;
+}
+
+let plan (spec : Archspec.Spec.t) ~q ~n ~d =
+  if d mod spec.cols <> 0 then
+    Ir.Pass.fail ~pass:pass_name
+      (Printf.sprintf
+         "data dimension %d is not divisible by the subarray columns %d" d
+         spec.cols);
+  let tile_rows = min n spec.rows in
+  if n > spec.rows && n mod spec.rows <> 0 then
+    Ir.Pass.fail ~pass:pass_name
+      (Printf.sprintf
+         "stored rows %d are not divisible by the subarray rows %d" n
+         spec.rows);
+  {
+    q;
+    n;
+    d;
+    tile_rows;
+    row_chunks = n / tile_rows;
+    col_chunks = d / spec.cols;
+    batches = batches_for spec ~stored_rows:n;
+  }
+
+(* Build the expanded tile program (the region of the wrapper op). *)
+let expanded_region (spec : Archspec.Spec.t) p ~query ~stored ~metric
+    ~select : Ir.Op.region * Ir.Value.t list =
+  let b = Ir.Builder.create () in
+  let global = ref (Dialects.Cim.zeros b [ p.q; p.n ]) in
+  for rc = 0 to p.row_chunks - 1 do
+    let acc = ref None in
+    for cc = 0 to p.col_chunks - 1 do
+      let q_sl =
+        Dialects.Cim.slice b query
+          ~offsets:[ 0; cc * spec.cols ]
+          ~sizes:[ p.q; spec.cols ]
+      in
+      let s_sl =
+        Dialects.Cim.slice b stored
+          ~offsets:[ rc * p.tile_rows; cc * spec.cols ]
+          ~sizes:[ p.tile_rows; spec.cols ]
+      in
+      let part = Dialects.Cim.similarity_partial b ~query:q_sl ~stored:s_sl ~metric in
+      acc :=
+        Some
+          (match !acc with
+          | None -> part
+          | Some a -> Dialects.Cim.merge_partial_h b a part)
+    done;
+    match !acc with
+    | Some a ->
+        global :=
+          Dialects.Cim.merge_partial_v b !global a
+            ~offset:(rc * p.tile_rows)
+    | None -> ()
+  done;
+  let results =
+    match select with
+    | `Topk (k, largest) ->
+        let values, indices = Dialects.Cim.select_best b !global ~k ~largest in
+        [ values; indices ]
+    | `Scores -> [ !global ]
+  in
+  Dialects.Cim.yield b results;
+  (Ir.Op.region (Ir.Builder.finish b), results)
+
+(* Above this tile count the expanded region is replaced by a compact
+   single-op form: the wrapper's attributes still drive cam-map, and the
+   region stays executable in software, but we avoid materialising
+   hundreds of thousands of slice ops for inspection. *)
+let default_expand_limit = 4096
+
+let compact_region ~query ~stored ~metric ~select =
+  let b = Ir.Builder.create () in
+  let results =
+    match select with
+    | `Topk (k, largest) ->
+        let values, indices =
+          Dialects.Cim.similarity b ~query ~stored ~metric ~k ~largest
+        in
+        [ values; indices ]
+    | `Scores ->
+        [
+          Ir.Builder.op1 b ~operands:[ query; stored ]
+            ~attrs:[ ("metric", Dialects.Cim.metric_to_attr metric) ]
+            Dialects.Cim.similarity_scores_name
+            (Ir.Types.tensor
+               [
+                 List.hd (Ir.Types.shape query.Ir.Value.ty);
+                 List.hd (Ir.Types.shape stored.Ir.Value.ty);
+               ]
+               Ir.Types.F32);
+        ]
+  in
+  Dialects.Cim.yield b results;
+  Ir.Op.region (Ir.Builder.finish b)
+
+let rewrite ?(expand_limit = default_expand_limit) spec (exec : Ir.Op.t) =
+  let body = Ir.Op.body_ops exec in
+  let sim =
+    List.find_opt
+      (fun (o : Ir.Op.t) ->
+        String.equal o.op_name Dialects.Cim.similarity_name
+        || String.equal o.op_name Dialects.Cim.similarity_scores_name)
+      body
+  in
+  match sim with
+  | None -> ()
+  | Some sim ->
+      let query = Ir.Op.operand sim 0 and stored = Ir.Op.operand sim 1 in
+      let q, d =
+        match Ir.Types.shape query.Ir.Value.ty with
+        | [ q; d ] -> (q, d)
+        | _ -> Ir.Pass.fail ~pass:pass_name "query must be rank-2"
+      in
+      let n =
+        match Ir.Types.shape stored.Ir.Value.ty with
+        | [ n; _ ] -> n
+        | _ -> Ir.Pass.fail ~pass:pass_name "stored must be rank-2"
+      in
+      let p = plan spec ~q ~n ~d in
+      let metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn sim "metric") in
+      let select =
+        if String.equal sim.op_name Dialects.Cim.similarity_name then
+          `Topk
+            ( Ir.Attr.as_int (Ir.Op.attr_exn sim "k"),
+              Ir.Attr.as_bool (Ir.Op.attr_exn sim "largest") )
+        else `Scores
+      in
+      let region =
+        if p.row_chunks * p.col_chunks <= expand_limit then
+          fst (expanded_region spec p ~query ~stored ~metric ~select)
+        else compact_region ~query ~stored ~metric ~select
+      in
+      let attrs =
+        [
+          ("q", Ir.Attr.Int p.q);
+          ("n", Ir.Attr.Int p.n);
+          ("d", Ir.Attr.Int p.d);
+          ("rows", Ir.Attr.Int p.tile_rows);
+          ("cols", Ir.Attr.Int spec.cols);
+          ("row_chunks", Ir.Attr.Int p.row_chunks);
+          ("col_chunks", Ir.Attr.Int p.col_chunks);
+          ("batches", Ir.Attr.Int p.batches);
+          ("metric", Dialects.Cim.metric_to_attr metric);
+          ( "output",
+            Ir.Attr.Sym
+              (match select with `Topk _ -> "topk" | `Scores -> "scores") );
+        ]
+        @
+        match select with
+        | `Topk (k, largest) ->
+            [ ("k", Ir.Attr.Int k); ("largest", Ir.Attr.Bool largest) ]
+        | `Scores -> [ ("k", Ir.Attr.Int n) ]
+      in
+      let wrapper =
+        Ir.Op.create ~operands:[ query; stored ] ~results:sim.results ~attrs
+          ~regions:[ region ]
+          Dialects.Cim.partitioned_similarity_name
+      in
+      let blk = Ir.Op.entry_block exec in
+      blk.body <-
+        List.map (fun (o : Ir.Op.t) -> if o == sim then wrapper else o) blk.body
+
+let pass ?expand_limit spec =
+  Ir.Pass.make pass_name (fun m ->
+      Ir.Walk.iter_module
+        (fun op ->
+          if String.equal op.Ir.Op.op_name Dialects.Cim.execute_name then
+            rewrite ?expand_limit spec op)
+        m;
+      m)

@@ -1,0 +1,26 @@
+(** Compulsory partitioning (Section III-D1, Figure 5d): tile fused
+    [cim.similarity] / [cim.similarity_scores] ops into subarray-sized
+    pieces with [cim.merge_partial] accumulation.
+
+    The result is a [cim.partitioned_similarity] wrapper whose region
+    holds the fully-expanded tile program (slices, partial similarities
+    and merges) — executable at the cim level as a software reference —
+    and whose attributes carry the tiling parameters consumed by the
+    cam-map pass.
+
+    Tiling is hierarchy-oblivious by design (the paper keeps hardware
+    mapping out of the cim dialect); only the subarray geometry and, for
+    the density optimization, the number of batches packed per subarray
+    are used. Requires the data dimension to divide evenly by the
+    subarray columns, and the stored rows by the subarray rows when they
+    exceed them. *)
+
+val batches_for : Archspec.Spec.t -> stored_rows:int -> int
+(** Tiles sharing one subarray: [floor(rows/n)] under [Density] /
+    [Power_density] when [n < rows], otherwise 1. *)
+
+val pass : ?expand_limit:int -> Archspec.Spec.t -> Ir.Pass.t
+(** [expand_limit] (default 4096 tiles) bounds the size of the expanded
+    region; larger tilings get a compact single-op region (still
+    executable in software — the wrapper attributes alone drive
+    cam-map). *)

@@ -1,0 +1,118 @@
+let pass_name = "cim-to-loops"
+
+let fail fmt = Printf.ksprintf (fun s -> Ir.Pass.fail ~pass:pass_name s) fmt
+
+let find_similarity (fn : Ir.Func_ir.func) =
+  let sims =
+    List.concat_map
+      (fun (op : Ir.Op.t) ->
+        if String.equal op.op_name Dialects.Cim.execute_name then
+          List.filter
+            (fun (o : Ir.Op.t) ->
+              String.equal o.op_name Dialects.Cim.similarity_name
+              || String.equal o.op_name Dialects.Cim.similarity_scores_name)
+            (Ir.Op.body_ops op)
+        else [])
+      fn.fn_body.body
+  in
+  match sims with [ s ] -> Some s | _ -> None
+
+(* acc += contribution(a, b) for one dimension, per metric *)
+let emit_contribution b metric ~a ~bv ~acc_cell ~zero_idx =
+  let acc =
+    Dialects.Memref.load b acc_cell ~indices:[ zero_idx; zero_idx ]
+  in
+  let contribution =
+    match (metric : Dialects.Cim.metric) with
+    | Dot | Cosine -> Dialects.Arith.mulf b a bv
+    | Euclidean ->
+        let diff = Dialects.Arith.subf b a bv in
+        Dialects.Arith.mulf b diff diff
+    | Hamming ->
+        let ne = Dialects.Arith.cmpf b Dialects.Arith.Ne a bv in
+        let one = Dialects.Arith.const_f32 b 1. in
+        let zero = Dialects.Arith.const_f32 b 0. in
+        Dialects.Arith.select b ne one zero
+  in
+  let acc' = Dialects.Arith.addf b acc contribution in
+  Dialects.Memref.store b acc' acc_cell ~indices:[ zero_idx; zero_idx ]
+
+let rewrite_func (fn : Ir.Func_ir.func) =
+  match find_similarity fn with
+  | None -> fn
+  | Some sim ->
+      let rec underlying (v : Ir.Value.t) =
+        match Ir.Walk.find_def fn v with
+        | Some def
+          when String.equal def.op_name Dialects.Cim.reshape_name ->
+            underlying (Ir.Op.operand def 0)
+        | _ -> v
+      in
+      let old_query = underlying (Ir.Op.operand sim 0) in
+      let old_stored = underlying (Ir.Op.operand sim 1) in
+      let n, d =
+        match Ir.Types.shape (Ir.Op.operand sim 1).Ir.Value.ty with
+        | [ n; d ] -> (n, d)
+        | _ -> fail "stored must be rank-2"
+      in
+      let q = List.hd (Ir.Types.shape (Ir.Op.operand sim 0).Ir.Value.ty) in
+      let metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn sim "metric") in
+      let topk =
+        if String.equal sim.op_name Dialects.Cim.similarity_name then
+          Some
+            ( Ir.Attr.as_int (Ir.Op.attr_exn sim "k"),
+              Ir.Attr.as_bool (Ir.Op.attr_exn sim "largest") )
+        else None
+      in
+      let query = Ir.Value.fresh (Ir.Types.memref [ q; d ] Ir.Types.F32) in
+      let stored = Ir.Value.fresh (Ir.Types.memref [ n; d ] Ir.Types.F32) in
+      let args =
+        List.map
+          (fun (arg : Ir.Value.t) ->
+            if Ir.Value.equal arg old_query then query
+            else if Ir.Value.equal arg old_stored then stored
+            else arg)
+          fn.fn_args
+      in
+      let b = Ir.Builder.create () in
+      let dist = Dialects.Memref.alloc b [ q; n ] Ir.Types.F32 in
+      let c0 = Dialects.Arith.const_index b 0 in
+      let c1 = Dialects.Arith.const_index b 1 in
+      let cq = Dialects.Arith.const_index b q in
+      let cn = Dialects.Arith.const_index b n in
+      let cd = Dialects.Arith.const_index b d in
+      Dialects.Scf.for_ b ~lb:c0 ~ub:cq ~step:c1 (fun b qi ->
+          Dialects.Scf.for_ b ~lb:c0 ~ub:cn ~step:c1 (fun b ni ->
+              let acc_cell = Dialects.Memref.alloc b [ 1; 1 ] Ir.Types.F32 in
+              Dialects.Scf.for_ b ~lb:c0 ~ub:cd ~step:c1 (fun b di ->
+                  let a = Dialects.Memref.load b query ~indices:[ qi; di ] in
+                  let bv =
+                    Dialects.Memref.load b stored ~indices:[ ni; di ]
+                  in
+                  emit_contribution b metric ~a ~bv ~acc_cell ~zero_idx:c0);
+              let total =
+                Dialects.Memref.load b acc_cell ~indices:[ c0; c0 ]
+              in
+              Dialects.Memref.store b total dist ~indices:[ qi; ni ]));
+      let results =
+        match topk with
+        | Some (k, largest) ->
+            (* host top-k selection over the computed scores *)
+            let values = Ir.Value.fresh (Ir.Types.tensor [ q; k ] Ir.Types.F32) in
+            let indices = Ir.Value.fresh (Ir.Types.tensor [ q; k ] Ir.Types.I32) in
+            Ir.Builder.add b
+              (Ir.Op.create ~operands:[ dist ]
+                 ~results:[ values; indices ]
+                 ~attrs:
+                   [ ("k", Ir.Attr.Int k); ("largest", Ir.Attr.Bool largest) ]
+                 Dialects.Cim.select_best_name);
+            [ values; indices ]
+        | None -> [ dist ]
+      in
+      Ir.Builder.op0 b ~operands:results Dialects.Torch.return_name;
+      Ir.Func_ir.func fn.fn_name ~args
+        ~ret:(List.map (fun (v : Ir.Value.t) -> v.ty) results)
+        (Ir.Builder.finish b)
+
+let pass =
+  Ir.Pass.make pass_name (fun m -> Ir.Func_ir.map_funcs rewrite_func m)

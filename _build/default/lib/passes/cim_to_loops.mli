@@ -1,0 +1,14 @@
+(** The "loop" lowering branch of Figure 3: execute the fused similarity
+    on the HOST as explicit scf loops over scalar float arithmetic and
+    memref loads/stores — the path taken when no accelerator is
+    targeted.
+
+    Consumes the fused form
+    ([cim.acquire]; [cim.execute([cim.similarity(_scores); yield])];
+    [cim.release]; [return]) and produces a bufferized function: a
+    triple loop nest computing the [Q x N] score matrix cell by cell
+    (metric-specific inner body) followed by a host top-k selection.
+    Host ops carry no device cost — the interpreter reports zero latency
+    for this path, which only provides functional execution. *)
+
+val pass : Ir.Pass.t

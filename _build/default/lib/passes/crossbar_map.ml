@@ -1,0 +1,88 @@
+let pass_name = "crossbar-map"
+
+let fail fmt = Printf.ksprintf (fun s -> Ir.Pass.fail ~pass:pass_name s) fmt
+
+(* Match a function whose only compute is a single cim.matmul inside the
+   acquire/execute/release pattern; return the matmul op. *)
+let find_matmul (fn : Ir.Func_ir.func) =
+  let matmuls =
+    List.concat_map
+      (fun (op : Ir.Op.t) ->
+        if String.equal op.op_name Dialects.Cim.execute_name then
+          List.filter
+            (fun (o : Ir.Op.t) ->
+              String.equal o.op_name "cim.matmul"
+              || String.equal o.op_name "cim.mm")
+            (Ir.Op.body_ops op)
+        else [])
+      fn.fn_body.body
+  in
+  match matmuls with [ m ] -> Some m | _ -> None
+
+let rewrite_func (xspec : Xbar.spec) (fn : Ir.Func_ir.func) =
+  match find_matmul fn with
+  | None -> fn
+  | Some matmul ->
+      let a = Ir.Op.operand matmul 0 and bmat = Ir.Op.operand matmul 1 in
+      let m, k =
+        match Ir.Types.shape a.Ir.Value.ty with
+        | [ m; k ] -> (m, k)
+        | _ -> fail "matmul input must be rank-2"
+      in
+      let n =
+        match Ir.Types.shape bmat.Ir.Value.ty with
+        | [ k'; n ] when k' = k -> n
+        | _ -> fail "matmul weight shape disagrees"
+      in
+      if k mod xspec.tile_rows <> 0 then
+        fail "K=%d does not divide by the %d tile rows" k xspec.tile_rows;
+      if n mod xspec.tile_cols <> 0 then
+        fail "N=%d does not divide by the %d tile cols" n xspec.tile_cols;
+      let k_chunks = k / xspec.tile_rows in
+      let n_chunks = n / xspec.tile_cols in
+      let inputs = Ir.Value.fresh (Ir.Types.memref [ m; k ] Ir.Types.F32) in
+      let weights = Ir.Value.fresh (Ir.Types.memref [ k; n ] Ir.Types.F32) in
+      let args =
+        List.map
+          (fun (arg : Ir.Value.t) ->
+            if Ir.Value.equal arg a then inputs
+            else if Ir.Value.equal arg bmat then weights
+            else arg)
+          fn.fn_args
+      in
+      let b = Ir.Builder.create () in
+      let out = Dialects.Memref.alloc b [ m; n ] Ir.Types.F32 in
+      let c0 = Dialects.Arith.const_index b 0 in
+      let c1 = Dialects.Arith.const_index b 1 in
+      let c_kc = Dialects.Arith.const_index b k_chunks in
+      let c_nc = Dialects.Arith.const_index b n_chunks in
+      let c_kt = Dialects.Arith.const_index b xspec.tile_rows in
+      let c_nt = Dialects.Arith.const_index b xspec.tile_cols in
+      Dialects.Scf.parallel b ~lb:c0 ~ub:c_kc ~step:c1 (fun b kt ->
+          let k_off = Dialects.Arith.muli b kt c_kt in
+          Dialects.Scf.parallel b ~lb:c0 ~ub:c_nc ~step:c1 (fun b nt ->
+              let n_off = Dialects.Arith.muli b nt c_nt in
+              let tile = Dialects.Crossbar.alloc_tile b in
+              let block =
+                Dialects.Memref.subview b weights ~offsets:[ k_off; n_off ]
+                  ~sizes:[ xspec.tile_rows; xspec.tile_cols ]
+              in
+              Dialects.Crossbar.write b tile block;
+              let x =
+                Dialects.Memref.subview b inputs ~offsets:[ c0; k_off ]
+                  ~sizes:[ m; xspec.tile_rows ]
+              in
+              let y = Dialects.Crossbar.gemv b tile x ~rows:xspec.tile_cols in
+              let dst =
+                Dialects.Memref.subview b out ~offsets:[ c0; n_off ]
+                  ~sizes:[ m; xspec.tile_cols ]
+              in
+              Dialects.Crossbar.accumulate b ~dst ~part:y));
+      Ir.Builder.op0 b ~operands:[ out ] Dialects.Torch.return_name;
+      Ir.Func_ir.func fn.fn_name ~args
+        ~ret:[ out.Ir.Value.ty ]
+        (Ir.Builder.finish b)
+
+let pass xspec =
+  Ir.Pass.make pass_name (fun m ->
+      Ir.Func_ir.map_funcs (rewrite_func xspec) m)

@@ -1,0 +1,12 @@
+(** Lowering of plain-matmul cim blocks onto the crossbar device — the
+    "other device dialects, such as crossbar" branch of Figure 3.
+
+    Consumes functions of the shape
+    [cim.acquire; cim.execute([cim.matmul; yield]); cim.release; return]
+    and produces a bufferized function: the weight matrix is split into
+    tile-sized blocks, each block programmed into its own crossbar tile,
+    inputs streamed through [crossbar.gemv] in parallel over tiles, and
+    partial products accumulated into the output buffer. K and N must
+    divide by the tile geometry (as with the cam partitioner). *)
+
+val pass : Xbar.spec -> Ir.Pass.t

@@ -1,0 +1,68 @@
+let offloadable_names =
+  [
+    Dialects.Cim.similarity_name;
+    Dialects.Cim.similarity_scores_name;
+    Dialects.Cim.partitioned_similarity_name;
+  ]
+
+let has_offloadable (exec : Ir.Op.t) =
+  List.exists
+    (fun (o : Ir.Op.t) -> List.mem o.op_name offloadable_names)
+    (Ir.Op.body_ops exec)
+
+(* Raise a cim compute twin back to its torch form; other ops keep their
+   names (slices, reshapes and merges are host-executable as they are). *)
+let raise_name name =
+  match String.index_opt name '.' with
+  | Some i when String.sub name 0 i = "cim" ->
+      let m = String.sub name (i + 1) (String.length name - i - 1) in
+      if List.mem ("cim." ^ m) Dialects.Cim.compute_op_names then
+        "torch." ^ m
+      else name
+  | _ -> name
+
+let fallback_func (fn : Ir.Func_ir.func) =
+  let subst : (int, Ir.Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let resolve (v : Ir.Value.t) =
+    match Hashtbl.find_opt subst v.id with Some v' -> v' | None -> v
+  in
+  let rec rewrite (ops : Ir.Op.t list) =
+    match ops with
+    | acquire :: exec :: release :: rest
+      when String.equal acquire.Ir.Op.op_name Dialects.Cim.acquire_name
+           && String.equal exec.Ir.Op.op_name Dialects.Cim.execute_name
+           && String.equal release.Ir.Op.op_name Dialects.Cim.release_name
+           && Ir.Value.equal (Ir.Op.result acquire) (Ir.Op.operand exec 0)
+           && Ir.Value.equal (Ir.Op.result acquire) (Ir.Op.operand release 0)
+           && not (has_offloadable exec) ->
+        let body, yield_op =
+          match List.rev (Ir.Op.body_ops exec) with
+          | last :: rev when String.equal last.Ir.Op.op_name Dialects.Cim.yield_name
+            ->
+              (List.rev rev, last)
+          | _ -> Ir.Pass.fail ~pass:"cim-host-fallback" "execute without yield"
+        in
+        let inlined =
+          List.map
+            (fun (op : Ir.Op.t) ->
+              Ir.Op.create
+                ~operands:(List.map resolve op.operands)
+                ~results:op.results ~attrs:op.attrs ~regions:op.regions
+                (raise_name op.op_name))
+            body
+        in
+        List.iter2
+          (fun (outer : Ir.Value.t) inner ->
+            Hashtbl.replace subst outer.id (resolve inner))
+          exec.results yield_op.operands;
+        inlined @ rewrite rest
+    | op :: rest ->
+        op.operands <- List.map resolve op.operands;
+        op :: rewrite rest
+    | [] -> []
+  in
+  fn.fn_body.body <- rewrite fn.fn_body.body;
+  fn
+
+let pass =
+  Ir.Pass.make "cim-host-fallback" (Ir.Func_ir.map_funcs fallback_func)

@@ -1,0 +1,13 @@
+(** Host fallback (Section III-D1): execution blocks that did not match
+    any CAM-amenable pattern after fusion "follow the standard MLIR
+    pipeline to generate llvm code for execution on the host processor".
+
+    This pass implements that routing decision: every
+    [cim.acquire]/[cim.execute]/[cim.release] triple whose region holds
+    no fused similarity op is unwrapped — its body is inlined at the top
+    level with the cim compute twins raised back to their torch forms —
+    so the host (the functional interpreter, in this reproduction) runs
+    it directly. Triples holding a similarity stay untouched for the cam
+    pipeline. *)
+
+val pass : Ir.Pass.t

@@ -1,0 +1,28 @@
+let convert_op (op : Ir.Op.t) : Ir.Op.t list =
+  match Dialects.Cim.torch_twin op.op_name with
+  | None -> [ op ]
+  | Some twin ->
+      let b = Ir.Builder.create () in
+      let dev = Dialects.Cim.acquire b ~device:"cam" in
+      (* The inner twin op defines fresh values; the outer execute op
+         reuses the original torch results so later uses keep working. *)
+      let inner_results =
+        List.map (fun (v : Ir.Value.t) -> Ir.Value.fresh v.ty) op.results
+      in
+      let inner =
+        Ir.Op.create ~operands:op.operands ~results:inner_results
+          ~attrs:op.attrs twin
+      in
+      let yield_op =
+        Ir.Op.create ~operands:inner_results Dialects.Cim.yield_name
+      in
+      Ir.Builder.add b
+        (Ir.Op.create ~operands:[ dev ] ~results:op.results
+           ~regions:[ Ir.Op.region [ inner; yield_op ] ]
+           Dialects.Cim.execute_name);
+      Dialects.Cim.release b dev;
+      Ir.Builder.finish b
+
+let pass =
+  Ir.Pass.make "torch-to-cim" (fun m ->
+      Ir.Func_ir.map_funcs (Ir.Walk.map_top_ops convert_op) m)

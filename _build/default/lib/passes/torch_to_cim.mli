@@ -1,0 +1,7 @@
+(** The torch-to-cim conversion (Section III-D): every supported torch
+    op is wrapped into its own [cim.acquire] / [cim.execute] /
+    [cim.release] triple containing the op's cim twin, mirroring the
+    paper's Figure 5a. Ops without a cim twin (only [func.return] in the
+    accepted subset) are left untouched. *)
+
+val pass : Ir.Pass.t

@@ -1,0 +1,25 @@
+(** Deterministic SplitMix64 pseudo-random generator. All datasets are
+    generated from explicit seeds so every experiment is reproducible
+    bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

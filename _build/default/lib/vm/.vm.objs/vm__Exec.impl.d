@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Camsim Float Hashtbl Interp Isa List Printf

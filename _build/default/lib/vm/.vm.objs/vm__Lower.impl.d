@@ -1,0 +1,1 @@
+lib/vm/lower.ml: Array Dialects Hashtbl Ir Isa List Printf String

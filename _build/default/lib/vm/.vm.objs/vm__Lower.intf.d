@@ -1,0 +1,1 @@
+lib/vm/lower.mli: Ir Isa

@@ -1,0 +1,18 @@
+(** Executor for the flat runtime ISA.
+
+    Functionally equivalent to interpreting the structured cam IR with
+    {!Interp.Machine}; timing frames reproduce the same latency
+    composition (sequential iterations add, parallel iterations
+    max-combine). The test suite checks both executors agree exactly on
+    results and latency. *)
+
+type outcome = { results : Interp.Rtval.t list; latency : float }
+
+exception Exec_error of string
+
+val run :
+  ?sim:Camsim.Simulator.t -> ?fuel:int -> Isa.program ->
+  Interp.Rtval.t list -> outcome
+(** [fuel] (default 100 million instructions) guards against diverging
+    programs. @raise Exec_error on type errors, missing simulator for
+    cam instructions, unbalanced frames, or fuel exhaustion. *)

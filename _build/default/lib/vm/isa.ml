@@ -1,0 +1,132 @@
+type reg = int
+type label = int
+type binop = Add | Sub | Mul | Div | Rem
+type pred = Lt | Le | Eq | Ne | Gt | Ge
+type mode = Seq | Par
+
+type search_params = {
+  s_kind : [ `Exact | `Best | `Threshold | `Range ];
+  s_metric : [ `Hamming | `Euclidean ];
+  s_rows : int;
+  s_batch_extra : bool;
+  s_threshold : float;
+}
+
+type instr =
+  | Const of reg * int
+  | Binop of binop * reg * reg * reg
+  | Cmp of pred * reg * reg * reg
+  | Jump of label
+  | Branch of reg * label * label
+  | Alloc_buf of reg * int list
+  | Subview of reg * reg * reg list * int list
+  | Cam_alloc_bank of reg * int * int
+  | Cam_alloc_mat of reg * reg
+  | Cam_alloc_array of reg * reg
+  | Cam_alloc_subarray of reg * reg
+  | Cam_write of reg * reg * reg
+  | Cam_search of reg * reg * reg * search_params
+  | Cam_read of reg * reg
+  | Cam_merge of reg * reg
+  | Cam_select of reg * reg * reg * int * bool
+  | Frame_enter of mode
+  | Iter_begin
+  | Iter_end
+  | Frame_exit
+  | Ret of reg list
+  | Label of label
+
+type program = {
+  instrs : instr array;
+  n_regs : int;
+  arg_regs : reg list;
+  entry : string;
+}
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+
+let pred_name = function
+  | Lt -> "lt"
+  | Le -> "le"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let r i = "r" ^ string_of_int i
+let l i = "L" ^ string_of_int i
+let regs rs = String.concat ", " (List.map r rs)
+
+let dims_str dims = String.concat "x" (List.map string_of_int dims)
+
+let pp_instr fmt instr =
+  let s =
+    match instr with
+    | Const (d, v) -> Printf.sprintf "%s = const %d" (r d) v
+    | Binop (op, d, a, b) ->
+        Printf.sprintf "%s = %s %s, %s" (r d) (binop_name op) (r a) (r b)
+    | Cmp (p, d, a, b) ->
+        Printf.sprintf "%s = cmp.%s %s, %s" (r d) (pred_name p) (r a) (r b)
+    | Jump lab -> Printf.sprintf "jump %s" (l lab)
+    | Branch (c, t, e) ->
+        Printf.sprintf "branch %s, %s, %s" (r c) (l t) (l e)
+    | Alloc_buf (d, dims) ->
+        Printf.sprintf "%s = alloc_buf <%s>" (r d) (dims_str dims)
+    | Subview (d, base, offs, sizes) ->
+        Printf.sprintf "%s = subview %s [%s] <%s>" (r d) (r base)
+          (regs offs) (dims_str sizes)
+    | Cam_alloc_bank (d, rows, cols) ->
+        Printf.sprintf "%s = cam.alloc_bank %dx%d" (r d) rows cols
+    | Cam_alloc_mat (d, p) -> Printf.sprintf "%s = cam.alloc_mat %s" (r d) (r p)
+    | Cam_alloc_array (d, p) ->
+        Printf.sprintf "%s = cam.alloc_array %s" (r d) (r p)
+    | Cam_alloc_subarray (d, p) ->
+        Printf.sprintf "%s = cam.alloc_subarray %s" (r d) (r p)
+    | Cam_write (s, data, off) ->
+        Printf.sprintf "cam.write %s, %s, row %s" (r s) (r data) (r off)
+    | Cam_search (s, q, off, p) ->
+        Printf.sprintf "cam.search %s, %s, row %s {%s, %s, rows %d%s}" (r s)
+          (r q) (r off)
+          (match p.s_kind with
+          | `Exact -> "exact"
+          | `Best -> "best"
+          | `Threshold -> "threshold"
+          | `Range -> "range")
+          (match p.s_metric with `Hamming -> "ham" | `Euclidean -> "eucl")
+          p.s_rows
+          (if p.s_batch_extra then ", batched" else "")
+    | Cam_read (d, s) -> Printf.sprintf "%s = cam.read %s" (r d) (r s)
+    | Cam_merge (d, p) -> Printf.sprintf "cam.merge %s += %s" (r d) (r p)
+    | Cam_select (v, i, dist, k, largest) ->
+        Printf.sprintf "%s, %s = cam.select %s {k %d, %s}" (r v) (r i)
+          (r dist) k
+          (if largest then "largest" else "smallest")
+    | Frame_enter Seq -> "frame.enter seq"
+    | Frame_enter Par -> "frame.enter par"
+    | Iter_begin -> "iter.begin"
+    | Iter_end -> "iter.end"
+    | Frame_exit -> "frame.exit"
+    | Ret rs -> Printf.sprintf "ret %s" (regs rs)
+    | Label lab -> l lab ^ ":"
+  in
+  Format.pp_print_string fmt s
+
+let to_string p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "; program @%s: %d instrs, %d regs, args [%s]\n"
+       p.entry (Array.length p.instrs) p.n_regs (regs p.arg_regs));
+  Array.iteri
+    (fun i instr ->
+      let line = Format.asprintf "%a" pp_instr instr in
+      let indent =
+        match instr with Label _ -> "" | _ -> "  "
+      in
+      Buffer.add_string buf (Printf.sprintf "%4d %s%s\n" i indent line))
+    p.instrs;
+  Buffer.contents buf

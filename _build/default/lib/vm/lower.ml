@@ -1,0 +1,200 @@
+exception Lower_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+type state = {
+  mutable out : Isa.instr list;  (** reversed *)
+  regs : (int, Isa.reg) Hashtbl.t;  (** value id -> register *)
+  mutable next_reg : int;
+  mutable next_label : int;
+}
+
+let emit st i = st.out <- i :: st.out
+
+let reg_of st (v : Ir.Value.t) =
+  match Hashtbl.find_opt st.regs v.id with
+  | Some r -> r
+  | None ->
+      let r = st.next_reg in
+      st.next_reg <- r + 1;
+      Hashtbl.replace st.regs v.id r;
+      r
+
+let fresh_reg st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let fresh_label st =
+  let l = st.next_label in
+  st.next_label <- l + 1;
+  l
+
+let binop_of = function
+  | "arith.addi" -> Isa.Add
+  | "arith.subi" -> Isa.Sub
+  | "arith.muli" -> Isa.Mul
+  | "arith.divi" -> Isa.Div
+  | "arith.remi" -> Isa.Rem
+  | n -> fail "not an index binop: %s" n
+
+let pred_of (p : Dialects.Arith.pred) =
+  match p with
+  | Dialects.Arith.Lt -> Isa.Lt
+  | Le -> Isa.Le
+  | Eq -> Isa.Eq
+  | Ne -> Isa.Ne
+  | Gt -> Isa.Gt
+  | Ge -> Isa.Ge
+
+let search_params (op : Ir.Op.t) : Isa.search_params =
+  {
+    s_kind =
+      (match Dialects.Cam.search_kind_of_attr (Ir.Op.attr_exn op "kind") with
+      | Dialects.Cam.Exact -> `Exact
+      | Best -> `Best
+      | Threshold -> `Threshold
+      | Range -> `Range);
+    s_metric =
+      (match
+         Dialects.Cam.search_metric_of_attr (Ir.Op.attr_exn op "metric")
+       with
+      | Dialects.Cam.Hamming -> `Hamming
+      | Euclidean -> `Euclidean);
+    s_rows = Ir.Attr.as_int (Ir.Op.attr_exn op "rows");
+    s_batch_extra =
+      (match Ir.Op.attr op "batch_extra" with
+      | Some a -> Ir.Attr.as_bool a
+      | None -> false);
+    s_threshold =
+      (match Ir.Op.attr op "threshold" with
+      | Some a -> Ir.Attr.as_float a
+      | None -> 0.);
+  }
+
+let rec lower_op st (op : Ir.Op.t) =
+  let operand i = reg_of st (Ir.Op.operand op i) in
+  let result () = reg_of st (Ir.Op.result op) in
+  match op.op_name with
+  | "arith.constant" -> (
+      match Ir.Op.attr_exn op "value" with
+      | Ir.Attr.Int v -> emit st (Isa.Const (result (), v))
+      | _ -> fail "only integer constants are lowered")
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divi" | "arith.remi"
+    ->
+      emit st (Isa.Binop (binop_of op.op_name, result (), operand 0, operand 1))
+  | "arith.cmpi" ->
+      let p = Dialects.Arith.pred_of_attr (Ir.Op.attr_exn op "pred") in
+      emit st (Isa.Cmp (pred_of p, result (), operand 0, operand 1))
+  | "memref.alloc" ->
+      emit st
+        (Isa.Alloc_buf (result (), Ir.Types.shape (Ir.Op.result op).ty))
+  | "memref.subview" ->
+      let offsets =
+        List.map (reg_of st) (List.tl op.operands)
+      in
+      let sizes = Ir.Attr.as_ints (Ir.Op.attr_exn op "sizes") in
+      emit st (Isa.Subview (result (), operand 0, offsets, sizes))
+  | "cam.alloc_bank" ->
+      emit st
+        (Isa.Cam_alloc_bank
+           ( result (),
+             Ir.Attr.as_int (Ir.Op.attr_exn op "rows"),
+             Ir.Attr.as_int (Ir.Op.attr_exn op "cols") ))
+  | "cam.alloc_mat" -> emit st (Isa.Cam_alloc_mat (result (), operand 0))
+  | "cam.alloc_array" -> emit st (Isa.Cam_alloc_array (result (), operand 0))
+  | "cam.alloc_subarray" ->
+      emit st (Isa.Cam_alloc_subarray (result (), operand 0))
+  | "cam.write_value" ->
+      emit st (Isa.Cam_write (operand 0, operand 1, operand 2))
+  | "cam.search" ->
+      emit st
+        (Isa.Cam_search (operand 0, operand 1, operand 2, search_params op))
+  | "cam.read" -> emit st (Isa.Cam_read (result (), operand 0))
+  | "cam.merge_partial" -> emit st (Isa.Cam_merge (operand 0, operand 1))
+  | "cam.select_best" ->
+      emit st
+        (Isa.Cam_select
+           ( reg_of st (Ir.Op.result_n op 0),
+             reg_of st (Ir.Op.result_n op 1),
+             operand 0,
+             Ir.Attr.as_int (Ir.Op.attr_exn op "k"),
+             Ir.Attr.as_bool (Ir.Op.attr_exn op "largest") ))
+  | "scf.for" | "scf.parallel" -> lower_loop st op
+  | "scf.if" -> lower_if st op
+  | "scf.yield" -> ()
+  | "func.return" -> emit st (Isa.Ret (List.map (reg_of st) op.operands))
+  | name -> fail "op %s cannot be lowered to the runtime ISA" name
+
+and lower_body st (op : Ir.Op.t) =
+  List.iter (lower_op st) (Ir.Op.body_ops op)
+
+and lower_loop st (op : Ir.Op.t) =
+  let mode =
+    if String.equal op.op_name "scf.parallel" then Isa.Par else Isa.Seq
+  in
+  let lb = reg_of st (Ir.Op.operand op 0) in
+  let ub = reg_of st (Ir.Op.operand op 1) in
+  let step = reg_of st (Ir.Op.operand op 2) in
+  let iv =
+    match (Ir.Op.entry_block op).block_args with
+    | [ a ] -> reg_of st a
+    | _ -> fail "loop must have a single induction variable"
+  in
+  let zero = fresh_reg st in
+  let cond = fresh_reg st in
+  let head = fresh_label st in
+  let body = fresh_label st in
+  let exit_ = fresh_label st in
+  emit st (Isa.Frame_enter mode);
+  emit st (Isa.Const (zero, 0));
+  emit st (Isa.Binop (Isa.Add, iv, lb, zero));
+  emit st (Isa.Label head);
+  emit st (Isa.Cmp (Isa.Lt, cond, iv, ub));
+  emit st (Isa.Branch (cond, body, exit_));
+  emit st (Isa.Label body);
+  emit st Isa.Iter_begin;
+  lower_body st op;
+  emit st Isa.Iter_end;
+  emit st (Isa.Binop (Isa.Add, iv, iv, step));
+  emit st (Isa.Jump head);
+  emit st (Isa.Label exit_);
+  emit st Isa.Frame_exit
+
+and lower_if st (op : Ir.Op.t) =
+  let cond = reg_of st (Ir.Op.operand op 0) in
+  let then_l = fresh_label st in
+  let end_l = fresh_label st in
+  match op.regions with
+  | [ _then_r ] ->
+      emit st (Isa.Branch (cond, then_l, end_l));
+      emit st (Isa.Label then_l);
+      lower_body st op;
+      emit st (Isa.Label end_l)
+  | [ then_r; else_r ] ->
+      let else_l = fresh_label st in
+      emit st (Isa.Branch (cond, then_l, else_l));
+      emit st (Isa.Label then_l);
+      List.iter (lower_op st)
+        (match then_r.blocks with [ b ] -> b.body | _ -> fail "if block");
+      emit st (Isa.Jump end_l);
+      emit st (Isa.Label else_l);
+      List.iter (lower_op st)
+        (match else_r.blocks with [ b ] -> b.body | _ -> fail "if block");
+      emit st (Isa.Label end_l)
+  | _ -> fail "if needs one or two regions"
+
+let func (fn : Ir.Func_ir.func) =
+  let st =
+    { out = []; regs = Hashtbl.create 64; next_reg = 0; next_label = 0 }
+  in
+  let arg_regs = List.map (reg_of st) fn.fn_args in
+  List.iter (lower_op st) fn.fn_body.body;
+  {
+    Isa.instrs = Array.of_list (List.rev st.out);
+    n_regs = st.next_reg;
+    arg_regs;
+    entry = fn.fn_name;
+  }
+
+let modul m name = func (Ir.Func_ir.find_func_exn m name)

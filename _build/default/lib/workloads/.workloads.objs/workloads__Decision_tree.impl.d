@@ -1,0 +1,1 @@
+lib/workloads/decision_tree.ml: Array Camsim Dataset Float List Printf

@@ -1,0 +1,1 @@
+lib/workloads/decision_tree.mli: Camsim Dataset

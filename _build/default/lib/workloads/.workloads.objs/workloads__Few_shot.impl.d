@@ -1,0 +1,1 @@
+lib/workloads/few_shot.ml: Archspec Array Camsim Distance Prng

@@ -1,0 +1,1 @@
+lib/workloads/few_shot.mli: Archspec Camsim

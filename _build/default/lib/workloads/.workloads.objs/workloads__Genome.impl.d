@@ -1,0 +1,1 @@
+lib/workloads/genome.ml: Archspec Array Camsim List Printf Prng String

@@ -1,0 +1,1 @@
+lib/workloads/hdc.ml: Array Dataset Distance Prng

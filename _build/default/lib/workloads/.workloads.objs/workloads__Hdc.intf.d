@@ -1,0 +1,1 @@
+lib/workloads/hdc.mli: Dataset

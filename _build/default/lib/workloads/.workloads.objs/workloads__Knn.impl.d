@@ -1,0 +1,1 @@
+lib/workloads/knn.ml: Array Dataset Distance

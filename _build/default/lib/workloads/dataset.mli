@@ -1,0 +1,29 @@
+(** Synthetic datasets standing in for the paper's MNIST (HDC) and
+    chest-X-ray Pneumonia (KNN) data. Class structure is controlled so
+    the functional pipelines achieve realistic, verifiable accuracy;
+    the architectural experiments only depend on the dataset
+    dimensions, which follow the paper. *)
+
+type t = {
+  features : float array array;  (** [n_samples x n_features] *)
+  labels : int array;
+  n_classes : int;
+}
+
+val n_samples : t -> int
+val n_features : t -> int
+
+val mnist_like :
+  ?seed:int -> ?noise:float -> n_features:int -> n_classes:int ->
+  samples_per_class:int -> unit -> t
+(** Digit-like data: each class has a smooth random template in [0,1];
+    samples are the template plus bounded noise (default 0.15). *)
+
+val pneumonia_like :
+  ?seed:int -> ?separation:float -> n_features:int ->
+  samples_per_class:int -> unit -> t
+(** Two-class image-feature data (normal vs pneumonia): Gaussian class
+    clusters with the given mean separation (default 1.2). *)
+
+val split : ?seed:int -> t -> train_fraction:float -> t * t
+(** Shuffled train/test split, stratification-free. *)

@@ -1,0 +1,63 @@
+(** CART decision trees and their TCAM mapping (the DT2CAM scheme the
+    paper cites as prior, specialised CAM tooling — reproduced here as a
+    workload on top of the general simulator).
+
+    Features are quantised into [bins] levels and encoded with
+    thermometer codes; each root-to-leaf path becomes one ternary TCAM
+    row: the path's threshold conditions pin single thermometer bits to
+    0 or 1 and every other cell is a don't-care. Because the leaves
+    partition the feature space, exactly one stored row exact-matches
+    any encoded sample, and that row's class is the prediction. *)
+
+type tree =
+  | Leaf of int  (** class label *)
+  | Node of { feature : int; threshold : int; left : tree; right : tree }
+      (** go left when [bin(feature) <= threshold] *)
+
+type model = {
+  tree : tree;
+  bins : int;
+  mins : float array;  (** per-feature quantisation range *)
+  maxs : float array;
+  n_classes : int;
+}
+
+val train :
+  ?max_depth:int -> ?min_samples:int -> ?bins:int -> Dataset.t -> model
+(** Greedy CART with Gini impurity on the quantised features
+    (defaults: depth 6, min 4 samples per node, 16 bins). *)
+
+val predict : model -> float array -> int
+(** Software reference prediction. *)
+
+val accuracy : model -> Dataset.t -> float
+
+val quantize : model -> float array -> int array
+(** Per-feature bin indices of a sample. *)
+
+val depth : tree -> int
+val n_leaves : tree -> int
+
+(** {1 TCAM mapping} *)
+
+type rules = {
+  patterns : float array array;  (** one row per leaf *)
+  care : bool array array;
+  classes : int array;  (** class of each row *)
+  width : int;  (** n_features x (bins - 1) cells *)
+}
+
+val to_rules : model -> rules
+(** Flatten the tree into ternary rules. *)
+
+val encode_query : model -> float array -> float array
+(** Thermometer encoding of a sample, ready to search against
+    {!to_rules} patterns. *)
+
+val classify_cam :
+  Camsim.Simulator.t -> Camsim.Simulator.id -> rules ->
+  model -> float array array -> int array
+(** Write the rules into a subarray (ternary write), exact-match search
+    the encoded queries, and decode the matching rows into classes.
+    @raise Failure when a query matches no rule (cannot happen for
+    in-range data; out-of-range values are clamped). *)

@@ -1,0 +1,59 @@
+let check_lengths a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Distance: length mismatch (%d vs %d)"
+         (Array.length a) (Array.length b))
+
+let hamming a b =
+  check_lengths a b;
+  let d = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    if Array.unsafe_get a i <> Array.unsafe_get b i then incr d
+  done;
+  float_of_int !d
+
+let dot a b =
+  check_lengths a b;
+  let s = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !s
+
+let euclidean_sq a b =
+  check_lengths a b;
+  let s = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = Array.unsafe_get a i -. Array.unsafe_get b i in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+let euclidean a b = sqrt (euclidean_sq a b)
+let norm2 a = sqrt (dot a a)
+
+let cosine a b =
+  let na = norm2 a and nb = norm2 b in
+  if na = 0. || nb = 0. then 0. else dot a b /. (na *. nb)
+
+let topk ?(largest = false) ~k values =
+  let n = Array.length values in
+  if k < 0 || k > n then invalid_arg "Distance.topk: bad k";
+  let order = Array.init n (fun i -> i) in
+  let cmp a b =
+    let va = values.(a) and vb = values.(b) in
+    let c = if largest then compare vb va else compare va vb in
+    if c <> 0 then c else compare a b
+  in
+  Array.sort cmp order;
+  Array.init k (fun j -> (values.(order.(j)), order.(j)))
+
+let argmin values =
+  match topk ~k:1 values with
+  | [| (_, i) |] -> i
+  | _ -> invalid_arg "Distance.argmin: empty array"
+
+let argmax values =
+  match topk ~largest:true ~k:1 values with
+  | [| (_, i) |] -> i
+  | _ -> invalid_arg "Distance.argmax: empty array"

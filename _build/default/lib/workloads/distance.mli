@@ -1,0 +1,20 @@
+(** Reference distance metrics and top-k selection, used both by the
+    software baselines and by the functional-accuracy tests. *)
+
+val hamming : float array -> float array -> float
+(** Number of unequal positions. @raise Invalid_argument on length
+    mismatch. *)
+
+val dot : float array -> float array -> float
+val euclidean_sq : float array -> float array -> float
+val euclidean : float array -> float array -> float
+val norm2 : float array -> float
+val cosine : float array -> float array -> float
+(** Cosine similarity; 0 when either vector is all-zero. *)
+
+val topk : ?largest:bool -> k:int -> float array -> (float * int) array
+(** The [k] smallest (default) or largest entries as (value, index),
+    ordered; ties break toward the lower index. *)
+
+val argmin : float array -> int
+val argmax : float array -> int

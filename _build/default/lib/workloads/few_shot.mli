@@ -1,0 +1,43 @@
+(** Few-shot / one-shot learning with a CAM episodic memory (the
+    paper's motivating references [4] and [24]: FeFET TCAMs as key-value
+    memories for memory-augmented networks).
+
+    An "embedding network" (a fixed random projection with a sign
+    non-linearity — the training-free binary embedding used in the
+    one-shot TCAM literature) maps raw feature vectors to binary keys.
+    Each episode writes the N x K support keys into a CAM and classifies
+    queries by best-match search with majority voting over the K nearest
+    keys. *)
+
+type embedder
+
+val embedder : ?seed:int -> in_dim:int -> out_dim:int -> unit -> embedder
+(** Random signed projection, fixed across episodes. *)
+
+val embed : embedder -> float array -> float array
+(** Binary key in {0,1}^out_dim. *)
+
+type episode = {
+  support : float array array;  (** [n_way * k_shot] raw feature vectors *)
+  support_labels : int array;
+  queries : float array array;
+  query_labels : int array;
+}
+
+val make_episode :
+  ?seed:int -> ?noise:float -> n_way:int -> k_shot:int -> n_queries:int ->
+  dim:int -> unit -> episode
+(** Synthetic episode: [n_way] novel class prototypes; support and query
+    samples are noisy copies. *)
+
+val classify_software :
+  embedder -> episode -> k:int -> int array
+(** Majority vote over the [k] Hamming-nearest support keys. *)
+
+val classify_cam :
+  ?spec:Archspec.Spec.t -> embedder -> episode -> k:int ->
+  int array * Camsim.Stats.t
+(** Same protocol on the CAM: write the support keys once, best-match
+    search all queries, vote. Matches {!classify_software} (tested). *)
+
+val episode_accuracy : int array -> int array -> float

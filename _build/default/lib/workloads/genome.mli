@@ -1,0 +1,55 @@
+(** Approximate genome pattern matching (the EDAM-style use case the
+    paper cites: "edit distance tolerant approximate matching CAM").
+
+    A reference DNA sequence is decomposed into overlapping k-mers,
+    one per CAM row (bases one-hot encoded with 4 cells each, so a
+    base mismatch costs Hamming distance 2). A threshold search returns
+    every position whose k-mer lies within the mismatch budget of the
+    query pattern — the CAM does in one cycle what a software scan does
+    in O(sequence x k). *)
+
+type base = A | C | G | T
+
+type sequence = base array
+
+val random_sequence : ?seed:int -> int -> sequence
+
+val mutate : ?seed:int -> sequence -> rate:float -> sequence
+(** Point-mutate each base with the given probability (to a different
+    base). *)
+
+val to_string : sequence -> string
+val of_string : string -> sequence
+(** @raise Invalid_argument on characters outside ACGT. *)
+
+val encode : sequence -> float array
+(** One-hot: 4 cells per base. *)
+
+val kmers : sequence -> k:int -> sequence array
+(** All overlapping windows, index [i] starting at position [i]. *)
+
+val mismatches : sequence -> sequence -> int
+(** Base-level Hamming distance. @raise Invalid_argument on length
+    mismatch. *)
+
+val scan_software : reference:sequence -> pattern:sequence ->
+  max_mismatches:int -> int list
+(** Naive software scan: positions whose window is within the budget. *)
+
+type cam_index = {
+  sim : Camsim.Simulator.t;
+  sub : Camsim.Simulator.id;
+  k : int;
+  positions : int;  (** number of stored k-mers *)
+}
+
+val build_index :
+  ?spec:Archspec.Spec.t -> reference:sequence -> k:int -> unit -> cam_index
+(** Store every k-mer of the reference in one subarray (the reference
+    must fit: positions <= rows, 4k <= cols). The default spec is sized
+    to fit. *)
+
+val scan_cam :
+  cam_index -> pattern:sequence -> max_mismatches:int -> int list
+(** Threshold search over the index; equals {!scan_software} on the
+    same reference (tested). *)

@@ -1,0 +1,20 @@
+let neighbours ~(train : Dataset.t) ~k query =
+  let dists =
+    Array.map (fun x -> Distance.euclidean_sq x query) train.features
+  in
+  Distance.topk ~k dists
+
+let classify ~(train : Dataset.t) ~k query =
+  let nn = neighbours ~train ~k query in
+  let votes = Array.make train.n_classes 0 in
+  Array.iter
+    (fun (_, i) -> votes.(train.labels.(i)) <- votes.(train.labels.(i)) + 1)
+    nn;
+  Distance.argmax (Array.map float_of_int votes)
+
+let accuracy ~train ~(test : Dataset.t) ~k =
+  let correct = ref 0 in
+  Array.iteri
+    (fun i q -> if classify ~train ~k q = test.labels.(i) then incr correct)
+    test.features;
+  float_of_int !correct /. float_of_int (Dataset.n_samples test)

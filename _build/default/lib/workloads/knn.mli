@@ -1,0 +1,13 @@
+(** Reference K-nearest-neighbours classifier (software baseline for the
+    paper's KNN benchmark). *)
+
+val neighbours :
+  train:Dataset.t -> k:int -> float array -> (float * int) array
+(** The [k] nearest training samples (squared-Euclidean), as
+    (distance, train index). *)
+
+val classify : train:Dataset.t -> k:int -> float array -> int
+(** Majority label of the [k] nearest neighbours; ties break toward the
+    smaller label. *)
+
+val accuracy : train:Dataset.t -> test:Dataset.t -> k:int -> float

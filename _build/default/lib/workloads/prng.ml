@@ -1,0 +1,3 @@
+(* Re-export of the shared deterministic generator so existing
+   Workloads.Prng users keep working. *)
+include Rng

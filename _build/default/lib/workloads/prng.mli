@@ -1,0 +1,4 @@
+(** Deterministic SplitMix64 generator — alias of {!Rng} (shared
+    with the simulator's defect-injection machinery). *)
+
+include module type of Rng

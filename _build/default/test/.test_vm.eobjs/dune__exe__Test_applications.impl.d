@@ -1,0 +1,1 @@
+test/test_applications.ml: Alcotest Archspec Array Distance Few_shot Genome List Printf Prng Tutil Workloads

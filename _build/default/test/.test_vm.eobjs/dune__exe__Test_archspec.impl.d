@@ -1,0 +1,1 @@
+test/test_archspec.ml: Alcotest Archspec List QCheck QCheck_alcotest Spec

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Archspec C4cam Camsim Lazy List Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_cam_map.ml: Alcotest Archspec Attr C4cam Func_ir Ir List Op Parser Pass Passes Printf String Tutil Types Value Verifier Walk Workloads

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Archspec C4cam Ir List Tutil

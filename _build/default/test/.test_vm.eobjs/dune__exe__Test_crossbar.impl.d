@@ -1,0 +1,1 @@
+test/test_crossbar.ml: Alcotest Archspec Array C4cam Ir Lazy List Printf String Tutil Workloads Xbar

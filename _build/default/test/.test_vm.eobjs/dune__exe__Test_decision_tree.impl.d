@@ -1,0 +1,1 @@
+test/test_decision_tree.ml: Alcotest Archspec Array Camsim Dataset Decision_tree Printf QCheck QCheck_alcotest Tutil Workloads

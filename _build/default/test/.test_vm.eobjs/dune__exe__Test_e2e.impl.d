@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Archspec Array C4cam Camsim Float Interp Ir List Option Printf QCheck QCheck_alcotest Tutil Workloads

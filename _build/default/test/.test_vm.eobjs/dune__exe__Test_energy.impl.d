@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Camsim Float Gen QCheck QCheck_alcotest Tutil

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array C4cam Emit Frontend Ir List Tslexer Tsparser Tutil

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest C4cam Float Gpu_model Printf Tutil Workloads

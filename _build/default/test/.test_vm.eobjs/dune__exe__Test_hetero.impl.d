@@ -1,0 +1,1 @@
+test/test_hetero.ml: Alcotest Archspec Array C4cam Dialects Float Interp Ir Lazy List Passes QCheck QCheck_alcotest String Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Camsim Dialects Func_ir Interp Ir List Tutil Types Value

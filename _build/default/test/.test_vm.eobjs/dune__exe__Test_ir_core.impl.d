@@ -1,0 +1,1 @@
+test/test_ir_core.ml: Alcotest Attr Builder Func_ir Ir List Op String Tutil Types Value Walk

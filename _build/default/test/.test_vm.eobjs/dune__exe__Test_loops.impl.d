@@ -1,0 +1,1 @@
+test/test_loops.ml: Alcotest Array C4cam Frontend Func_ir Interp Ir List Op Pass Passes Printf String Tutil Types Value Verifier Walk Workloads

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Archspec Array Attr Func_ir Interp Ir List Op Pass Passes Printf String Tutil Types Value Walk Workloads

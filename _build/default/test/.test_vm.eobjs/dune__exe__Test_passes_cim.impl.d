@@ -1,0 +1,1 @@
+test/test_passes_cim.ml: Alcotest Array Attr C4cam Frontend Func_ir Interp Ir List Op Parser Pass Passes Printer String Tutil Types Value Walk Workloads

@@ -1,0 +1,1 @@
+test/test_printer_parser.ml: Alcotest Archspec Attr C4cam Float Func_ir Ir List Op Parser Printer Printf QCheck QCheck_alcotest String Tutil Types Value

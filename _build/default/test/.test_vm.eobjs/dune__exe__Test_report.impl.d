@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest C4cam List String

@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Ir List Op Passes Rewriter Types Value

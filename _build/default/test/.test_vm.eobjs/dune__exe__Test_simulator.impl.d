@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Camsim List Printf Simulator Stats String Tutil

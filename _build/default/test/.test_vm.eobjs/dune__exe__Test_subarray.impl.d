@@ -1,0 +1,1 @@
+test/test_subarray.ml: Alcotest Array Camsim Float Gen List Printf QCheck QCheck_alcotest Tutil Workloads

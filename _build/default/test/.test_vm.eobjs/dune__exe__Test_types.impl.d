@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Attr Ir List Option Tutil Types

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Dialects Func_ir Ir List Op Registry String Types Value Verifier

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Archspec Array C4cam Camsim Interp List String Tutil Vm Workloads

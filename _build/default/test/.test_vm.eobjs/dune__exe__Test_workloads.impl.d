@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dataset Distance Float Gen Hdc Knn List Printf Prng QCheck QCheck_alcotest Tutil Workloads

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Archspec Array C4cam Dialects Float Format Frontend String

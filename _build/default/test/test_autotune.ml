@@ -1,0 +1,135 @@
+(* Architecture auto-tuning and the area model. *)
+
+let data =
+  lazy
+    (Workloads.Hdc.synthetic ~seed:51 ~dims:512 ~n_classes:8 ~n_queries:12
+       ~bits:1 ())
+
+let candidates =
+  lazy
+    (C4cam.Autotune.evaluate_hdc ~sides:[ 16; 32; 64 ]
+       ~data:(Lazy.force data) ())
+
+let test_grid_size () =
+  Alcotest.(check int) "3 sides x 4 opts" 12
+    (List.length (Lazy.force candidates))
+
+let test_best_is_minimal () =
+  let cs = Lazy.force candidates in
+  List.iter
+    (fun obj ->
+      let b = C4cam.Autotune.best obj cs in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (C4cam.Autotune.objective_to_string obj ^ " minimal")
+            true
+            (C4cam.Autotune.value obj b <= C4cam.Autotune.value obj c))
+        cs)
+    C4cam.Autotune.[ Min_latency; Min_energy; Min_power; Min_edp; Min_area ]
+
+let test_best_empty_rejected () =
+  Tutil.check_raises_invalid "empty candidates" (fun () ->
+      C4cam.Autotune.best C4cam.Autotune.Min_latency [])
+
+let test_expected_winners () =
+  let cs = Lazy.force candidates in
+  (* fastest = smallest base subarray; lowest power = power+density *)
+  let fastest = C4cam.Autotune.best C4cam.Autotune.Min_latency cs in
+  Alcotest.(check bool) "latency winner is a base config" true
+    (fastest.spec.optimization = Archspec.Spec.Base);
+  let coolest = C4cam.Autotune.best C4cam.Autotune.Min_power cs in
+  Alcotest.(check bool) "power winner restricts activation" true
+    (match coolest.spec.optimization with
+    | Archspec.Spec.Power | Archspec.Spec.Power_density
+    | Archspec.Spec.Density -> true
+    | Archspec.Spec.Base -> false)
+
+let test_pareto_front () =
+  let cs = Lazy.force candidates in
+  let f (c : C4cam.Autotune.candidate) = c.measurement.latency in
+  let g (c : C4cam.Autotune.candidate) = c.measurement.power in
+  let front = C4cam.Autotune.pareto f g cs in
+  Alcotest.(check bool) "front is non-empty and not everything" true
+    (List.length front >= 1 && List.length front <= List.length cs);
+  (* no front member dominates another *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a != b then
+            Alcotest.(check bool) "no domination inside the front" false
+              (f a <= f b && g a <= g b && (f a < f b || g a < g b)))
+        front)
+    front;
+  (* the front is sorted by the first objective *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> f a <= f b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted front);
+  (* every candidate is dominated by or equal to someone on the front *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "covered by front" true
+        (List.exists (fun p -> f p <= f c && g p <= g c) front))
+    cs
+
+(* ---- area model -------------------------------------------------------- *)
+
+let tech = Camsim.Tech.fefet_45nm
+
+let test_area_monotone_in_cells () =
+  let a16 = Camsim.Area_model.subarray_area tech ~rows:16 ~cols:16 in
+  let a64 = Camsim.Area_model.subarray_area tech ~rows:64 ~cols:64 in
+  Alcotest.(check bool) "bigger subarray, bigger area" true (a64 > a16);
+  Alcotest.(check bool) "positive" true (a16 > 0.)
+
+let test_iso_capacity_not_iso_area () =
+  (* Same cells per array, more subarrays -> more peripherals -> more
+     area (the paper's explicit caveat). *)
+  let area side =
+    let spec = C4cam.Dse.iso_capacity_spec ~side Archspec.Spec.Base in
+    Camsim.Area_model.array_area tech ~spec
+  in
+  Alcotest.(check bool) "16x16 array larger than 256x256" true
+    (area 16 > 1.5 *. area 256)
+
+let test_peripheral_fraction_shrinks () =
+  let frac side =
+    Camsim.Area_model.peripheral_fraction tech
+      ~spec:(Archspec.Spec.square side Archspec.Spec.Base)
+  in
+  Alcotest.(check bool) "peripheral share falls with subarray size" true
+    (frac 16 > frac 64 && frac 64 > frac 256);
+  Alcotest.(check bool) "fractions are sane" true
+    (frac 16 < 1. && frac 256 > 0.)
+
+let test_chip_area_linear_in_banks () =
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  let one = Camsim.Area_model.chip_area tech ~spec ~banks:1 in
+  let four = Camsim.Area_model.chip_area tech ~spec ~banks:4 in
+  Tutil.check_float ~eps:1e-12 "linear in banks" (4. *. one) four
+
+let () =
+  Alcotest.run "autotune"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "grid size" `Quick test_grid_size;
+          Alcotest.test_case "best is minimal" `Quick test_best_is_minimal;
+          Alcotest.test_case "empty rejected" `Quick test_best_empty_rejected;
+          Alcotest.test_case "expected winners" `Quick test_expected_winners;
+          Alcotest.test_case "pareto front" `Quick test_pareto_front;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "monotone" `Quick test_area_monotone_in_cells;
+          Alcotest.test_case "iso-capacity is not iso-area" `Quick
+            test_iso_capacity_not_iso_area;
+          Alcotest.test_case "peripheral fraction" `Quick
+            test_peripheral_fraction_shrinks;
+          Alcotest.test_case "linear in banks" `Quick
+            test_chip_area_linear_in_banks;
+        ] );
+    ]

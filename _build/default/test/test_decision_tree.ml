@@ -1,0 +1,140 @@
+(* CART decision trees and their DT2CAM-style ternary mapping. *)
+
+open Workloads
+
+let dataset ?(seed = 23) () =
+  Dataset.mnist_like ~seed ~n_features:10 ~n_classes:3 ~samples_per_class:40
+    ()
+
+let test_train_shape () =
+  let model = Decision_tree.train ~max_depth:4 ~bins:8 (dataset ()) in
+  Alcotest.(check bool) "depth bounded" true
+    (Decision_tree.depth model.tree <= 4);
+  Alcotest.(check bool) "has leaves" true
+    (Decision_tree.n_leaves model.tree >= 2);
+  Alcotest.(check int) "bins stored" 8 model.bins
+
+let test_training_accuracy () =
+  let ds = dataset () in
+  let train, test = Dataset.split ~seed:4 ds ~train_fraction:0.75 in
+  let model = Decision_tree.train ~max_depth:6 ~bins:8 train in
+  let acc = Decision_tree.accuracy model test in
+  Alcotest.(check bool)
+    (Printf.sprintf "test accuracy %.2f > 0.8" acc)
+    true (acc > 0.8)
+
+let test_pure_node_is_leaf () =
+  (* A one-class dataset trains to a single leaf. *)
+  let ds =
+    {
+      Dataset.features = Array.make 10 [| 0.5; 0.5 |];
+      labels = Array.make 10 1;
+      n_classes = 2;
+    }
+  in
+  let model = Decision_tree.train ds in
+  Alcotest.(check int) "single leaf" 1 (Decision_tree.n_leaves model.tree);
+  Alcotest.(check int) "predicts the class" 1
+    (Decision_tree.predict model [| 0.; 0. |])
+
+let test_quantize_clamps () =
+  let ds = dataset () in
+  let model = Decision_tree.train ~bins:8 ds in
+  let below = Array.map (fun lo -> lo -. 100.) model.mins in
+  let above = Array.map (fun hi -> hi +. 100.) model.maxs in
+  Array.iter
+    (fun b -> Alcotest.(check int) "clamped low" 0 b)
+    (Decision_tree.quantize model below);
+  Array.iter
+    (fun b -> Alcotest.(check int) "clamped high" 7 b)
+    (Decision_tree.quantize model above)
+
+let test_rules_structure () =
+  let model = Decision_tree.train ~max_depth:5 ~bins:8 (dataset ()) in
+  let rules = Decision_tree.to_rules model in
+  Alcotest.(check int) "one rule per leaf"
+    (Decision_tree.n_leaves model.tree)
+    (Array.length rules.patterns);
+  Alcotest.(check int) "width = features x (bins-1)" (10 * 7) rules.width;
+  (* each rule pins at most depth cells *)
+  Array.iter
+    (fun care ->
+      let pinned = Array.fold_left (fun a c -> if c then a + 1 else a) 0 care in
+      Alcotest.(check bool) "sparse constraints" true
+        (pinned <= Decision_tree.depth model.tree))
+    rules.care
+
+let test_thermometer_encoding () =
+  let model = Decision_tree.train ~bins:4 (dataset ()) in
+  let q = Decision_tree.encode_query model model.mins in
+  (* minimum value -> bin 0 -> all thermometer bits 0 *)
+  Array.iter (fun b -> Tutil.check_float "min encodes to zeros" 0. b) q;
+  let q = Decision_tree.encode_query model model.maxs in
+  Array.iter (fun b -> Tutil.check_float "max encodes to ones" 1. b) q
+
+let test_cam_matches_software () =
+  let ds = dataset ~seed:31 () in
+  let train, test = Dataset.split ~seed:8 ds ~train_fraction:0.7 in
+  let model = Decision_tree.train ~max_depth:6 ~bins:8 train in
+  let rules = Decision_tree.to_rules model in
+  let spec =
+    {
+      (Archspec.Spec.square 32 Archspec.Spec.Base) with
+      rows = max 32 (Array.length rules.patterns);
+      cols = rules.width;
+    }
+  in
+  let sim = Camsim.Simulator.create spec in
+  let bank = Camsim.Simulator.alloc_bank sim ~rows:spec.rows ~cols:spec.cols in
+  let mat = Camsim.Simulator.alloc_mat sim bank in
+  let arr = Camsim.Simulator.alloc_array sim mat in
+  let sub = Camsim.Simulator.alloc_subarray sim arr in
+  let cam = Decision_tree.classify_cam sim sub rules model test.features in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check int)
+        (Printf.sprintf "query %d" i)
+        (Decision_tree.predict model test.features.(i))
+        p)
+    cam
+
+(* Property: every in-range sample matches exactly one rule. *)
+let prop_rules_partition =
+  QCheck.Test.make ~count:100 ~name:"leaf rules partition the input space"
+    (QCheck.make
+       QCheck.Gen.(list_size (return 10) (float_bound_inclusive 1.)))
+    (fun sample ->
+      let model = Decision_tree.train ~max_depth:5 ~bins:8 (dataset ()) in
+      let rules = Decision_tree.to_rules model in
+      let q = Decision_tree.encode_query model (Array.of_list sample) in
+      let matching = ref 0 in
+      Array.iteri
+        (fun r pattern ->
+          let ok = ref true in
+          Array.iteri
+            (fun j v -> if rules.care.(r).(j) && v <> q.(j) then ok := false)
+            pattern;
+          if !ok then incr matching)
+        rules.patterns;
+      !matching = 1)
+
+let () =
+  Alcotest.run "decision_tree"
+    [
+      ( "cart",
+        [
+          Alcotest.test_case "train shape" `Quick test_train_shape;
+          Alcotest.test_case "accuracy" `Quick test_training_accuracy;
+          Alcotest.test_case "pure node" `Quick test_pure_node_is_leaf;
+          Alcotest.test_case "quantize clamps" `Quick test_quantize_clamps;
+        ] );
+      ( "tcam mapping",
+        [
+          Alcotest.test_case "rules structure" `Quick test_rules_structure;
+          Alcotest.test_case "thermometer encoding" `Quick
+            test_thermometer_encoding;
+          Alcotest.test_case "cam matches software" `Quick
+            test_cam_matches_software;
+          QCheck_alcotest.to_alcotest prop_rules_partition;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Energy/latency model: paper anchors, monotonicity, multi-bit penalty,
+   density penalties, and selection costs. *)
+
+let tech = Camsim.Tech.fefet_45nm
+
+let search ?(cols = 32) ?(active_rows = 10) ?(bits = 1)
+    ?(kind = `Best) ?(queries = 1) ?(batch_extra = false) ?physical_rows ()
+    =
+  Camsim.Energy_model.search tech ~bits ~cols ~active_rows ?physical_rows
+    ~kind ~queries ~batch_extra ()
+
+let test_latency_anchors () =
+  (* The paper's two anchor points: 860 ps at 16x16, 7.5 ns at 256x256. *)
+  Tutil.check_float ~eps:1e-6 "16 columns" 860e-12
+    (Camsim.Tech.search_latency tech ~cols:16);
+  Tutil.check_float ~eps:1e-6 "256 columns" 7.5e-9
+    (Camsim.Tech.search_latency tech ~cols:256)
+
+let test_latency_monotone_in_cols () =
+  let l c = (search ~cols:c ()).latency in
+  Alcotest.(check bool) "ML discharge slows with C" true
+    (l 16 < l 32 && l 32 < l 64 && l 64 < l 128 && l 128 < l 256)
+
+let test_latency_linear_in_queries () =
+  let l q = (search ~queries:q ()).latency in
+  Tutil.check_float ~eps:1e-9 "10 queries = 10x" (10. *. l 1) (l 10)
+
+let test_energy_monotone_in_rows () =
+  let e r = (search ~active_rows:r ()).energy in
+  Alcotest.(check bool) "more active rows, more energy" true
+    (e 4 < e 8 && e 8 < e 16)
+
+let test_selective_precharge_saves () =
+  (* Selective row precharge: fewer active rows cost less than a full
+     array search on the same geometry. *)
+  let partial = (search ~cols:64 ~active_rows:10 ()).energy in
+  let full = (search ~cols:64 ~active_rows:64 ()).energy in
+  Alcotest.(check bool) "selective saves energy" true (partial < full /. 2.)
+
+let test_multibit_penalty () =
+  let e1 = (search ~bits:1 ()).energy in
+  let e2 = (search ~bits:2 ()).energy in
+  let e3 = (search ~bits:3 ()).energy in
+  Alcotest.(check bool) "multi-bit costs more" true (e1 < e2 && e2 < e3);
+  Tutil.check_float "voltage factor squared" (1.3 *. 1.3)
+    (Camsim.Tech.voltage_energy_factor tech ~bits:2);
+  Tutil.check_float "binary factor is 1" 1.
+    (Camsim.Tech.voltage_energy_factor tech ~bits:1)
+
+let test_exact_cheaper_than_best () =
+  let eb = (search ~kind:`Best ()).energy in
+  let ee = (search ~kind:`Exact ()).energy in
+  Alcotest.(check bool) "exact sensing is cheaper" true (ee < eb)
+
+let test_batch_extra_penalties () =
+  let base = search () in
+  let batched = search ~batch_extra:true ~physical_rows:32 () in
+  Alcotest.(check bool) "batching costs extra time" true
+    (batched.latency > base.latency);
+  Alcotest.(check bool) "batching costs extra energy" true
+    (batched.energy > base.energy);
+  (* the precharge penalty grows with the physical row count *)
+  let big = search ~batch_extra:true ~physical_rows:256 ~cols:256 () in
+  let small = search ~batch_extra:true ~physical_rows:32 ~cols:256 () in
+  Alcotest.(check bool) "penalty scales with rows" true
+    (big.energy > small.energy)
+
+let test_write_cost () =
+  let w = Camsim.Energy_model.write tech ~bits:1 ~cols:32 ~rows:10 in
+  Tutil.check_float ~eps:1e-9 "row-serial write" (10. *. tech.t_write_row)
+    w.latency;
+  let w2 = Camsim.Energy_model.write tech ~bits:2 ~cols:32 ~rows:10 in
+  Alcotest.(check bool) "multibit write dearer" true (w2.energy > w.energy)
+
+let test_merge_cost_linear () =
+  let m n = Camsim.Energy_model.merge tech ~elems:n in
+  Tutil.check_float ~eps:1e-9 "linear energy" (2. *. (m 10).energy)
+    (m 20).energy;
+  Tutil.check_float ~eps:1e-9 "linear latency" (2. *. (m 10).latency)
+    (m 20).latency
+
+let test_select_cost () =
+  let s n k = Camsim.Energy_model.select tech ~elems_per_query:n ~k ~queries:1 in
+  Alcotest.(check bool) "latency grows with log n" true
+    ((s 16 1).latency < (s 4096 1).latency);
+  Alcotest.(check bool) "latency grows with k" true
+    ((s 256 1).latency < (s 256 8).latency);
+  Alcotest.(check bool) "energy grows with n" true
+    ((s 16 1).energy < (s 4096 1).energy)
+
+let test_level_overheads_ordered () =
+  let e l =
+    (Camsim.Energy_model.level_overhead tech ~level:l ~queries:1).energy
+  in
+  Alcotest.(check bool) "bank > mat > array > subarray" true
+    (e `Bank > e `Mat && e `Mat > e `Array && e `Array > e `Subarray);
+  Tutil.check_float "subarray overhead is zero" 0. (e `Subarray)
+
+let test_v2_close_but_different () =
+  let v2 = Camsim.Tech.fefet_45nm_v2 in
+  let e1 = (search ()).energy in
+  let e2 =
+    (Camsim.Energy_model.search v2 ~bits:1 ~cols:32 ~active_rows:10
+       ~kind:`Best ~queries:1 ~batch_extra:false ()).energy
+  in
+  let dev = Float.abs (e2 -. e1) /. e1 in
+  Alcotest.(check bool) "within 15%" true (dev < 0.15);
+  Alcotest.(check bool) "but not identical" true (dev > 0.001)
+
+let test_cost_add () =
+  let a = { Camsim.Energy_model.latency = 1.; energy = 2. } in
+  let b = { Camsim.Energy_model.latency = 3.; energy = 4. } in
+  let c = Camsim.Energy_model.add a b in
+  Tutil.check_float "latency adds" 4. c.latency;
+  Tutil.check_float "energy adds" 6. c.energy;
+  Tutil.check_float "zero" 0. Camsim.Energy_model.zero.latency
+
+let prop_energy_positive =
+  QCheck.Test.make ~count:200 ~name:"search cost is always positive"
+    QCheck.(
+      quad (Gen.int_range 1 512 |> QCheck.make) (QCheck.make (Gen.int_range 1 512))
+        (QCheck.make (Gen.int_range 1 4))
+        (QCheck.make (Gen.int_range 1 64)))
+    (fun (cols, rows, bits, queries) ->
+      let c = search ~cols ~active_rows:rows ~bits ~queries () in
+      c.energy > 0. && c.latency > 0.)
+
+let () =
+  Alcotest.run "energy"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "paper anchors" `Quick test_latency_anchors;
+          Alcotest.test_case "monotone in cols" `Quick
+            test_latency_monotone_in_cols;
+          Alcotest.test_case "linear in queries" `Quick
+            test_latency_linear_in_queries;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "monotone in rows" `Quick
+            test_energy_monotone_in_rows;
+          Alcotest.test_case "selective precharge" `Quick
+            test_selective_precharge_saves;
+          Alcotest.test_case "multi-bit penalty" `Quick test_multibit_penalty;
+          Alcotest.test_case "exact vs best sensing" `Quick
+            test_exact_cheaper_than_best;
+          Alcotest.test_case "batch penalties" `Quick
+            test_batch_extra_penalties;
+          Alcotest.test_case "write" `Quick test_write_cost;
+          Alcotest.test_case "merge linear" `Quick test_merge_cost_linear;
+          Alcotest.test_case "select" `Quick test_select_cost;
+          Alcotest.test_case "level overheads" `Quick
+            test_level_overheads_ordered;
+          Alcotest.test_case "v2 calibration" `Quick
+            test_v2_close_but_different;
+          Alcotest.test_case "cost add" `Quick test_cost_add;
+          QCheck_alcotest.to_alcotest prop_energy_positive;
+        ] );
+    ]

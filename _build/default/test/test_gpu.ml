@@ -1,0 +1,76 @@
+(* GPU analytical baseline. *)
+
+let gpu = Gpu_model.quadro_rtx6000
+
+let test_kernel_positive () =
+  let c = Gpu_model.matmul gpu ~m:16 ~k:64 ~n:10 ~elem_bytes:4 in
+  Alcotest.(check bool) "positive" true (c.latency > 0. && c.energy > 0.)
+
+let test_launch_overhead_floor () =
+  let c = Gpu_model.matmul gpu ~m:1 ~k:1 ~n:1 ~elem_bytes:4 in
+  Alcotest.(check bool) "tiny kernel pays the launch overhead" true
+    (c.latency >= gpu.launch_overhead_s)
+
+let test_monotone_in_size () =
+  let t m = (Gpu_model.matmul gpu ~m ~k:8192 ~n:10 ~elem_bytes:4).latency in
+  Alcotest.(check bool) "latency grows with batch" true
+    (t 128 < t 1024 && t 1024 < t 8192)
+
+let test_energy_proportional_to_time () =
+  let c = Gpu_model.matmul gpu ~m:1024 ~k:8192 ~n:10 ~elem_bytes:4 in
+  Tutil.check_float ~eps:1e-9 "E = P x t x util"
+    (c.latency *. gpu.board_power_w *. gpu.utilization)
+    c.energy
+
+let test_hdc_inference_composition () =
+  let mm = Gpu_model.matmul gpu ~m:256 ~k:8192 ~n:10 ~elem_bytes:4 in
+  let tk = Gpu_model.topk gpu ~rows:256 ~cols:10 ~k:1 ~elem_bytes:4 in
+  let e2e = Gpu_model.hdc_inference gpu ~queries:256 ~dims:8192 ~classes:10 in
+  Tutil.check_float ~eps:1e-9 "sum of kernels" (mm.latency +. tk.latency)
+    e2e.latency
+
+let test_knn_inference () =
+  let c = Gpu_model.knn_inference gpu ~queries:16 ~dims:1024 ~stored:5120 ~k:7 in
+  Alcotest.(check bool) "knn positive" true (c.latency > 0.);
+  let bigger =
+    Gpu_model.knn_inference gpu ~queries:16 ~dims:1024 ~stored:10240 ~k:7
+  in
+  Alcotest.(check bool) "more stored, slower" true
+    (bigger.latency > c.latency)
+
+let test_paper_regime () =
+  (* The end-to-end HDC comparison should land near the paper's 48x. *)
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~dims:8192 ~n_classes:10 ~n_queries:64
+      ~bits:1 ()
+  in
+  let r =
+    C4cam.Dse.gpu_comparison_hdc ~spec:Tutil.spec32 ~data ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.1fx within [20x, 90x]" r.speedup)
+    true
+    (r.speedup > 20. && r.speedup < 90.);
+  Alcotest.(check bool)
+    (Printf.sprintf "energy improvement %.1fx tracks speedup" r.energy_improvement)
+    true
+    (Float.abs (r.energy_improvement -. r.speedup) /. r.speedup < 0.25);
+  Alcotest.(check bool) "device energy is a tiny fraction of system" true
+    (r.cam_energy < 0.05 *. r.cam_system_energy)
+
+let () =
+  Alcotest.run "gpu"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "kernel positive" `Quick test_kernel_positive;
+          Alcotest.test_case "launch floor" `Quick test_launch_overhead_floor;
+          Alcotest.test_case "monotone" `Quick test_monotone_in_size;
+          Alcotest.test_case "energy ~ time" `Quick
+            test_energy_proportional_to_time;
+          Alcotest.test_case "hdc composition" `Quick
+            test_hdc_inference_composition;
+          Alcotest.test_case "knn" `Quick test_knn_inference;
+          Alcotest.test_case "paper regime" `Quick test_paper_regime;
+        ] );
+    ]

@@ -1,0 +1,386 @@
+(* Interpreter semantics: torch ops, control flow, latency composition,
+   and buffer aliasing. *)
+
+open Ir
+
+let tensor shape data = Interp.Rtval.tensor shape data
+
+let run_expr ~args ~arg_types build =
+  (* Build a one-function module and run it. *)
+  let arg_vals = List.map Value.fresh arg_types in
+  let b = Builder.create () in
+  let results = build b arg_vals in
+  Builder.op0 b ~operands:results "func.return";
+  let m =
+    Func_ir.modul
+      [
+        Func_ir.func "f" ~args:arg_vals
+          ~ret:(List.map (fun (v : Value.t) -> v.ty) results)
+          (Builder.finish b);
+      ]
+  in
+  (Interp.Machine.run m "f" args).results
+
+let f32 shape = Types.tensor shape Types.F32
+
+let test_transpose () =
+  let r =
+    run_expr
+      ~args:[ tensor [ 2; 3 ] [| 1.; 2.; 3.; 4.; 5.; 6. |] ]
+      ~arg_types:[ f32 [ 2; 3 ] ]
+      (fun b -> function
+        | [ x ] -> [ Dialects.Torch.transpose b x ~d0:(-2) ~d1:(-1) ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (list int)) "shape" [ 3; 2 ] t.t_shape;
+      Alcotest.(check (array (float 0.))) "data"
+        [| 1.; 4.; 2.; 5.; 3.; 6. |] t.t_data
+  | _ -> Alcotest.fail "bad result"
+
+let test_matmul () =
+  let r =
+    run_expr
+      ~args:
+        [
+          tensor [ 2; 2 ] [| 1.; 2.; 3.; 4. |];
+          tensor [ 2; 2 ] [| 5.; 6.; 7.; 8. |];
+        ]
+      ~arg_types:[ f32 [ 2; 2 ]; f32 [ 2; 2 ] ]
+      (fun b -> function
+        | [ x; y ] -> [ Dialects.Torch.matmul b x y ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (array (float 0.))) "product"
+        [| 19.; 22.; 43.; 50. |] t.t_data
+  | _ -> Alcotest.fail "bad result"
+
+let test_sub_broadcast_1row () =
+  let r =
+    run_expr
+      ~args:
+        [
+          tensor [ 2; 2 ] [| 1.; 2.; 3.; 4. |];
+          tensor [ 1; 2 ] [| 1.; 1. |];
+        ]
+      ~arg_types:[ f32 [ 2; 2 ]; f32 [ 1; 2 ] ]
+      (fun b -> function
+        | [ x; y ] -> [ Dialects.Torch.sub b x y ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (array (float 0.))) "broadcast sub"
+        [| 0.; 1.; 2.; 3. |] t.t_data
+  | _ -> Alcotest.fail "bad result"
+
+let test_sub_knn_broadcast () =
+  (* [2,1,2] - [3,2] -> [2,3,2] *)
+  let r =
+    run_expr
+      ~args:
+        [
+          tensor [ 2; 1; 2 ] [| 0.; 0.; 10.; 10. |];
+          tensor [ 3; 2 ] [| 1.; 2.; 3.; 4.; 5.; 6. |];
+        ]
+      ~arg_types:[ f32 [ 2; 1; 2 ]; f32 [ 3; 2 ] ]
+      (fun b -> function
+        | [ x; y ] -> [ Dialects.Torch.sub b x y ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (list int)) "shape" [ 2; 3; 2 ] t.t_shape;
+      Tutil.check_float "q0 vs s0 elem0" (-1.) t.t_data.(0);
+      Tutil.check_float "q1 vs s2 elem1" 4. t.t_data.(11)
+  | _ -> Alcotest.fail "bad result"
+
+let test_norm_rank2 () =
+  let r =
+    run_expr
+      ~args:[ tensor [ 2; 2 ] [| 3.; 4.; 0.; 5. |] ]
+      ~arg_types:[ f32 [ 2; 2 ] ]
+      (fun b -> function
+        | [ x ] -> [ Dialects.Torch.norm b x ~p:2 ~dim:(-1) ~keepdim:false ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (list int)) "shape" [ 2 ] t.t_shape;
+      Tutil.check_float "row0 norm" 5. t.t_data.(0);
+      Tutil.check_float "row1 norm" 5. t.t_data.(1)
+  | _ -> Alcotest.fail "bad result"
+
+let test_norm_rank3_middle_dim_kept () =
+  (* norm over the last dim of [2,2,2] -> [2,2] *)
+  let r =
+    run_expr
+      ~args:[ tensor [ 2; 2; 2 ] [| 3.; 4.; 1.; 0.; 0.; 0.; 6.; 8. |] ]
+      ~arg_types:[ f32 [ 2; 2; 2 ] ]
+      (fun b -> function
+        | [ x ] -> [ Dialects.Torch.norm b x ~p:2 ~dim:(-1) ~keepdim:false ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (list int)) "shape" [ 2; 2 ] t.t_shape;
+      Alcotest.(check (array (float 1e-9))) "norms"
+        [| 5.; 1.; 0.; 10. |] t.t_data
+  | _ -> Alcotest.fail "bad result"
+
+let test_topk_smallest_and_ties () =
+  let r =
+    run_expr
+      ~args:[ tensor [ 1; 4 ] [| 2.; 1.; 1.; 3. |] ]
+      ~arg_types:[ f32 [ 1; 4 ] ]
+      (fun b -> function
+        | [ x ] ->
+            let v, i = Dialects.Torch.topk b x ~k:2 ~dim:(-1) ~largest:false in
+            [ v; i ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor v; Interp.Rtval.Tensor i ] ->
+      Alcotest.(check (array (float 0.))) "values" [| 1.; 1. |] v.t_data;
+      (* ties break toward the lower index *)
+      Alcotest.(check (array (float 0.))) "indices" [| 1.; 2. |] i.t_data
+  | _ -> Alcotest.fail "bad result"
+
+let test_div3 () =
+  let r =
+    run_expr
+      ~args:
+        [
+          tensor [ 2; 2 ] [| 8.; 12.; 20.; 30. |];
+          tensor [ 2 ] [| 2.; 5. |];
+          tensor [ 2 ] [| 2.; 3. |];
+        ]
+      ~arg_types:[ f32 [ 2; 2 ]; f32 [ 2 ]; f32 [ 2 ] ]
+      (fun b -> function
+        | [ x; nq; ns ] -> [ Dialects.Torch.div3 b x nq ns ]
+        | _ -> assert false)
+  in
+  match r with
+  | [ Interp.Rtval.Tensor t ] ->
+      Alcotest.(check (array (float 1e-9))) "fused division"
+        [| 2.; 2.; 2.; 2. |] t.t_data
+  | _ -> Alcotest.fail "bad result"
+
+(* ---- control flow and latency composition ----------------------------- *)
+
+(* Build a cam-level module with a loop around a search and check the
+   latency composition: parallel = max, sequential = sum. *)
+let latency_module ~parallel ~iters =
+  let spec = { Tutil.spec32 with subarrays_per_array = iters } in
+  let b = Builder.create () in
+  let c0 = Dialects.Arith.const_index b 0 in
+  let c1 = Dialects.Arith.const_index b 1 in
+  let cn = Dialects.Arith.const_index b iters in
+  let query = Value.fresh (Types.memref [ 1; 32 ] Types.F32) in
+  let bank = Dialects.Cam.alloc_bank b ~rows:32 ~cols:32 in
+  let mat = Dialects.Cam.alloc_mat b bank in
+  let arr = Dialects.Cam.alloc_array b mat in
+  let loop = if parallel then Dialects.Scf.parallel else Dialects.Scf.for_ in
+  loop b ~lb:c0 ~ub:cn ~step:c1 (fun b _iv ->
+      let sub = Dialects.Cam.alloc_subarray b arr in
+      Dialects.Cam.search b sub query ~kind:Dialects.Cam.Best
+        ~metric:Dialects.Cam.Hamming ~row_offset:c0 ~rows:4 ());
+  Builder.op0 b "func.return";
+  ( Func_ir.modul
+      [ Func_ir.func "f" ~args:[ query ] ~ret:[] (Builder.finish b) ],
+    spec )
+
+let run_latency ~parallel ~iters =
+  let m, spec = latency_module ~parallel ~iters in
+  let sim = Camsim.Simulator.create spec in
+  let q = Interp.Rtval.Buffer (Interp.Rtval.fresh_buffer [ 1; 32 ]) in
+  (Interp.Machine.run ~sim m "f" [ q ]).latency
+
+let test_latency_composition () =
+  let lp = run_latency ~parallel:true ~iters:4 in
+  let ls = run_latency ~parallel:false ~iters:4 in
+  Tutil.check_float ~eps:1e-6 "sequential is 4x parallel" (4. *. lp) ls;
+  let l1 = run_latency ~parallel:false ~iters:1 in
+  Tutil.check_float ~eps:1e-6 "parallel equals one iteration" l1 lp
+
+let test_scf_if () =
+  let b = Builder.create () in
+  let c2 = Dialects.Arith.const_index b 2 in
+  let c3 = Dialects.Arith.const_index b 3 in
+  let cond = Dialects.Arith.cmpi b Dialects.Arith.Lt c2 c3 in
+  let buf = Dialects.Memref.alloc b [ 1; 1 ] Types.F32 in
+  Dialects.Scf.if_ b cond (fun b ->
+      (* merge 1.0 into the buffer through a self-merge of a fresh
+         buffer is awkward; use cam-free memref writes via merge  *)
+      ignore b);
+  Builder.op0 b ~operands:[ buf ] "func.return";
+  let m =
+    Func_ir.modul [ Func_ir.func "f" ~args:[] ~ret:[ Types.memref [1;1] Types.F32 ] (Builder.finish b) ]
+  in
+  let r = Interp.Machine.run m "f" [] in
+  Alcotest.(check int) "if executed, one result" 1 (List.length r.results)
+
+let test_runtime_errors () =
+  let expect_error what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected a runtime error" what
+    | exception Interp.Machine.Runtime_error _ -> ()
+  in
+  let m = Tutil.hdc_torch () in
+  expect_error "missing function" (fun () ->
+      Interp.Machine.run m "nope" []);
+  expect_error "arity mismatch" (fun () -> Interp.Machine.run m "forward" []);
+  (* cam op without a simulator *)
+  let b = Builder.create () in
+  let _bank = Dialects.Cam.alloc_bank b ~rows:4 ~cols:4 in
+  Builder.op0 b "func.return";
+  let m2 =
+    Func_ir.modul [ Func_ir.func "f" ~args:[] ~ret:[] (Builder.finish b) ]
+  in
+  expect_error "cam without sim" (fun () -> Interp.Machine.run m2 "f" [])
+
+(* ---- scalar float ops (the host-loops path) ---------------------------- *)
+
+let test_float_arith () =
+  let b = Builder.create () in
+  let x = Dialects.Arith.const_f32 b 6. in
+  let y = Dialects.Arith.const_f32 b 4. in
+  let s = Dialects.Arith.addf b x y in
+  let d = Dialects.Arith.subf b x y in
+  let p = Dialects.Arith.mulf b s d in
+  let q = Dialects.Arith.divf b p y in
+  let cell = Dialects.Memref.alloc b [ 1; 1 ] Types.F32 in
+  let c0 = Dialects.Arith.const_index b 0 in
+  Dialects.Memref.store b q cell ~indices:[ c0; c0 ];
+  Builder.op0 b ~operands:[ cell ] "func.return";
+  let m =
+    Func_ir.modul
+      [ Func_ir.func "f" ~args:[] ~ret:[ Types.memref [ 1; 1 ] Types.F32 ]
+          (Builder.finish b) ]
+  in
+  match (Interp.Machine.run m "f" []).results with
+  | [ Interp.Rtval.Buffer buf ] ->
+      (* (6+4)*(6-4)/4 = 5 *)
+      Tutil.check_float "float chain" 5. (Interp.Rtval.buffer_get buf [ 0; 0 ])
+  | _ -> Alcotest.fail "bad result"
+
+let test_cmpf_select () =
+  let b = Builder.create () in
+  let x = Dialects.Arith.const_f32 b 1. in
+  let y = Dialects.Arith.const_f32 b 2. in
+  let ne = Dialects.Arith.cmpf b Dialects.Arith.Ne x y in
+  let one = Dialects.Arith.const_f32 b 10. in
+  let zero = Dialects.Arith.const_f32 b 20. in
+  let sel = Dialects.Arith.select b ne one zero in
+  let eq = Dialects.Arith.cmpf b Dialects.Arith.Eq x x in
+  let sel2 = Dialects.Arith.select b eq one zero in
+  let cell = Dialects.Memref.alloc b [ 1; 2 ] Types.F32 in
+  let c0 = Dialects.Arith.const_index b 0 in
+  let c1 = Dialects.Arith.const_index b 1 in
+  Dialects.Memref.store b sel cell ~indices:[ c0; c0 ];
+  Dialects.Memref.store b sel2 cell ~indices:[ c0; c1 ];
+  Builder.op0 b ~operands:[ cell ] "func.return";
+  let m =
+    Func_ir.modul
+      [ Func_ir.func "f" ~args:[] ~ret:[ Types.memref [ 1; 2 ] Types.F32 ]
+          (Builder.finish b) ]
+  in
+  match (Interp.Machine.run m "f" []).results with
+  | [ Interp.Rtval.Buffer buf ] ->
+      Tutil.check_float "ne picks then" 10.
+        (Interp.Rtval.buffer_get buf [ 0; 0 ]);
+      Tutil.check_float "eq picks then" 10.
+        (Interp.Rtval.buffer_get buf [ 0; 1 ])
+  | _ -> Alcotest.fail "bad result"
+
+let test_load_store_through_view () =
+  let b = Builder.create () in
+  let buf = Dialects.Memref.alloc b [ 4; 4 ] Types.F32 in
+  let c0 = Dialects.Arith.const_index b 0 in
+  let c1 = Dialects.Arith.const_index b 1 in
+  let c2 = Dialects.Arith.const_index b 2 in
+  let view = Dialects.Memref.subview b buf ~offsets:[ c1; c2 ] ~sizes:[ 2; 2 ] in
+  let v = Dialects.Arith.const_f32 b 7. in
+  Dialects.Memref.store b v view ~indices:[ c0; c1 ];
+  let back = Dialects.Memref.load b buf ~indices:[ c1; (* 2+1 *) Dialects.Arith.addi b c2 c1 ] in
+  let cell = Dialects.Memref.alloc b [ 1; 1 ] Types.F32 in
+  Dialects.Memref.store b back cell ~indices:[ c0; c0 ];
+  Builder.op0 b ~operands:[ cell ] "func.return";
+  let m =
+    Func_ir.modul
+      [ Func_ir.func "f" ~args:[] ~ret:[ Types.memref [ 1; 1 ] Types.F32 ]
+          (Builder.finish b) ]
+  in
+  match (Interp.Machine.run m "f" []).results with
+  | [ Interp.Rtval.Buffer out ] ->
+      Tutil.check_float "store through view, load from base" 7.
+        (Interp.Rtval.buffer_get out [ 0; 0 ])
+  | _ -> Alcotest.fail "bad result"
+
+(* ---- buffers ----------------------------------------------------------- *)
+
+let test_buffer_subview_aliases () =
+  let base = Interp.Rtval.fresh_buffer [ 4; 4 ] in
+  let view =
+    Interp.Rtval.buffer_view base ~offsets:[ 1; 2 ] ~sizes:[ 2; 2 ]
+  in
+  Interp.Rtval.buffer_set view [ 0; 0 ] 7.;
+  Tutil.check_float "writes through" 7.
+    (Interp.Rtval.buffer_get base [ 1; 2 ]);
+  Interp.Rtval.buffer_set base [ 2; 3 ] 9.;
+  Tutil.check_float "reads through" 9.
+    (Interp.Rtval.buffer_get view [ 1; 1 ])
+
+let test_buffer_view_bounds () =
+  let base = Interp.Rtval.fresh_buffer [ 4; 4 ] in
+  Alcotest.(check bool) "oob view rejected" true
+    (match Interp.Rtval.buffer_view base ~offsets:[ 3; 0 ] ~sizes:[ 2; 2 ] with
+    | _ -> false
+    | exception Interp.Rtval.Type_error _ -> true)
+
+let test_buffer_rows_of_view () =
+  let base = Interp.Rtval.buffer_of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |]; [| 7.; 8.; 9. |] |] in
+  let view = Interp.Rtval.buffer_view base ~offsets:[ 1; 1 ] ~sizes:[ 2; 2 ] in
+  Alcotest.(check Tutil.rows_testable) "strided rows"
+    [| [| 5.; 6. |]; [| 8.; 9. |] |]
+    (Interp.Rtval.buffer_rows view)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "torch ops",
+        [
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "sub broadcast" `Quick test_sub_broadcast_1row;
+          Alcotest.test_case "knn broadcast" `Quick test_sub_knn_broadcast;
+          Alcotest.test_case "norm rank2" `Quick test_norm_rank2;
+          Alcotest.test_case "norm rank3" `Quick test_norm_rank3_middle_dim_kept;
+          Alcotest.test_case "topk ties" `Quick test_topk_smallest_and_ties;
+          Alcotest.test_case "div3" `Quick test_div3;
+        ] );
+      ( "control flow",
+        [
+          Alcotest.test_case "latency composition" `Quick
+            test_latency_composition;
+          Alcotest.test_case "scf.if" `Quick test_scf_if;
+          Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+        ] );
+      ( "scalar float",
+        [
+          Alcotest.test_case "arith chain" `Quick test_float_arith;
+          Alcotest.test_case "cmpf/select" `Quick test_cmpf_select;
+          Alcotest.test_case "load/store via view" `Quick
+            test_load_store_through_view;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "subview aliases" `Quick
+            test_buffer_subview_aliases;
+          Alcotest.test_case "view bounds" `Quick test_buffer_view_bounds;
+          Alcotest.test_case "rows of view" `Quick test_buffer_rows_of_view;
+        ] );
+    ]

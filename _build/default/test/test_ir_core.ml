@@ -1,0 +1,157 @@
+(* Unit tests for Ir.Value, Ir.Op, Ir.Builder, Ir.Func_ir and Ir.Walk. *)
+
+open Ir
+
+let v ty = Value.fresh ty
+let f32t shape = Types.tensor shape Types.F32
+
+let test_value_fresh_unique () =
+  let a = v Types.Index and b = v Types.Index in
+  Alcotest.(check bool) "distinct ids" false (Value.equal a b);
+  Alcotest.(check bool) "self equal" true (Value.equal a a)
+
+let test_value_with_id () =
+  let a = Value.with_id 100000 Types.Index in
+  let b = Value.fresh Types.Index in
+  Alcotest.(check bool) "counter advanced" true (b.Value.id > a.Value.id);
+  Alcotest.(check string) "name" "%100000" (Value.name a)
+
+let test_op_accessors () =
+  let x = v (f32t [ 2; 2 ]) in
+  let r = v (f32t [ 2; 2 ]) in
+  let op =
+    Op.create ~operands:[ x ] ~results:[ r ]
+      ~attrs:[ ("k", Attr.Int 3) ]
+      "torch.matmul"
+  in
+  Alcotest.(check string) "dialect" "torch" (Op.dialect op);
+  Alcotest.(check string) "mnemonic" "matmul" (Op.mnemonic op);
+  Alcotest.(check bool) "result" true (Value.equal (Op.result op) r);
+  Alcotest.(check bool) "operand" true (Value.equal (Op.operand op 0) x);
+  Alcotest.(check int) "attr" 3 (Attr.as_int (Op.attr_exn op "k"));
+  Alcotest.(check bool) "missing attr" true (Op.attr op "nope" = None);
+  Tutil.check_raises_invalid "operand out of range" (fun () ->
+      Op.operand op 5);
+  Tutil.check_raises_invalid "attr_exn missing" (fun () ->
+      Op.attr_exn op "nope")
+
+let test_op_set_attr () =
+  let op = Op.create "x.y" in
+  Op.set_attr op "a" (Attr.Int 1);
+  Op.set_attr op "a" (Attr.Int 2);
+  Alcotest.(check int) "set_attr replaces" 2 (Attr.as_int (Op.attr_exn op "a"));
+  Alcotest.(check int) "no duplicates" 1 (List.length op.attrs)
+
+let test_op_result_arity () =
+  let op = Op.create ~results:[ v Types.Index; v Types.Index ] "a.b" in
+  Tutil.check_raises_invalid "result on two-result op" (fun () ->
+      Op.result op);
+  Alcotest.(check bool) "result_n" true
+    (Value.equal (Op.result_n op 1) (List.nth op.results 1))
+
+let test_num_ops_nested () =
+  let inner = Op.create "a.inner" in
+  let loop = Op.create ~regions:[ Op.region [ inner ] ] "scf.for" in
+  Alcotest.(check int) "nested count" 2 (Op.num_ops loop);
+  Alcotest.(check int) "flat count" 1 (Op.num_ops inner)
+
+let test_builder () =
+  let ops =
+    Builder.build (fun b ->
+        let x = Builder.op1 b "a.one" Types.Index in
+        Builder.op0 b ~operands:[ x ] "a.sink")
+  in
+  Alcotest.(check int) "two ops" 2 (List.length ops);
+  Alcotest.(check string) "order preserved" "a.one"
+    (List.hd ops).Op.op_name
+
+let test_func_helpers () =
+  let m = Tutil.hdc_torch () in
+  Alcotest.(check bool) "find existing" true
+    (Func_ir.find_func m "forward" <> None);
+  Alcotest.(check bool) "find missing" true
+    (Func_ir.find_func m "nope" = None);
+  Tutil.check_raises_invalid "find_func_exn missing" (fun () ->
+      Func_ir.find_func_exn m "nope");
+  Alcotest.(check int) "op count" 4 (Func_ir.num_ops m)
+
+let test_walk_collect () =
+  let m = Tutil.hdc_torch () in
+  let fn = Func_ir.find_func_exn m "forward" in
+  let matmuls =
+    Walk.collect (fun o -> String.equal o.Op.op_name "torch.matmul") fn
+  in
+  Alcotest.(check int) "one matmul" 1 (List.length matmuls);
+  let all = Walk.collect (fun _ -> true) fn in
+  Alcotest.(check int) "all ops" 4 (List.length all)
+
+let test_walk_find_def () =
+  let m = Tutil.hdc_torch () in
+  let fn = Func_ir.find_func_exn m "forward" in
+  let matmul =
+    List.hd (Walk.collect (fun o -> String.equal o.Op.op_name "torch.matmul") fn)
+  in
+  (match Walk.find_def fn (Op.operand matmul 1) with
+  | Some def ->
+      Alcotest.(check string) "transpose defines operand 1" "torch.transpose"
+        def.Op.op_name
+  | None -> Alcotest.fail "no def found");
+  (* function arguments have no defining op *)
+  Alcotest.(check bool) "arg has no def" true
+    (Walk.find_def fn (List.hd fn.fn_args) = None)
+
+let test_walk_used_values () =
+  (* free values of an op with a region: operands of nested ops that are
+     not defined inside *)
+  let outer_val = v Types.Index in
+  let inner = Op.create ~operands:[ outer_val ] "a.use" in
+  let loop = Op.create ~regions:[ Op.region [ inner ] ] "scf.for" in
+  let free = Walk.used_values loop in
+  Alcotest.(check int) "one free value" 1 (List.length free);
+  Alcotest.(check bool) "the outer one" true
+    (Value.equal (List.hd free) outer_val);
+  (* a block-arg use is not free *)
+  let iv = v Types.Index in
+  let inner2 = Op.create ~operands:[ iv ] "a.use" in
+  let region =
+    { Op.blocks = [ { Op.body = [ inner2 ]; block_args = [ iv ] } ] }
+  in
+  let loop2 = Op.create ~regions:[ region ] "scf.for" in
+  Alcotest.(check int) "block arg not free" 0
+    (List.length (Walk.used_values loop2))
+
+let test_map_top_ops () =
+  let m = Tutil.hdc_torch () in
+  let fn = Func_ir.find_func_exn m "forward" in
+  let doubled =
+    Walk.map_top_ops (fun op -> [ op; Op.create "a.marker" ]) fn
+  in
+  Alcotest.(check int) "doubled" 8 (List.length doubled.fn_body.body)
+
+let () =
+  Alcotest.run "ir_core"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "fresh unique" `Quick test_value_fresh_unique;
+          Alcotest.test_case "with_id" `Quick test_value_with_id;
+        ] );
+      ( "op",
+        [
+          Alcotest.test_case "accessors" `Quick test_op_accessors;
+          Alcotest.test_case "set_attr" `Quick test_op_set_attr;
+          Alcotest.test_case "result arity" `Quick test_op_result_arity;
+          Alcotest.test_case "num_ops nested" `Quick test_num_ops_nested;
+        ] );
+      ( "builder",
+        [ Alcotest.test_case "build order" `Quick test_builder ] );
+      ( "func",
+        [ Alcotest.test_case "helpers" `Quick test_func_helpers ] );
+      ( "walk",
+        [
+          Alcotest.test_case "collect" `Quick test_walk_collect;
+          Alcotest.test_case "find_def" `Quick test_walk_find_def;
+          Alcotest.test_case "used_values" `Quick test_walk_used_values;
+          Alcotest.test_case "map_top_ops" `Quick test_map_top_ops;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* cim-partition: tiling arithmetic, Table I reproduction, expanded
+   region structure, and software equivalence of the partitioned form. *)
+
+open Ir
+
+let partitioned ?expand_limit ~spec ?(q = 4) ?(dims = 64) ?(classes = 4) () =
+  Tutil.hdc_torch ~q ~dims ~classes ()
+  |> Pass.run Passes.Torch_to_cim.pass
+  |> Pass.run Passes.Cim_fusion.pass
+  |> Pass.run (Passes.Cim_partition.pass ?expand_limit spec)
+
+let find_wrapper m =
+  let fn = Func_ir.find_func_exn m "forward" in
+  List.hd
+    (Walk.collect
+       (fun o ->
+         String.equal o.Op.op_name "cim.partitioned_similarity")
+       fn)
+
+let attr_i op key = Attr.as_int (Op.attr_exn op key)
+
+let test_tiling_attrs () =
+  let spec = Archspec.Spec.square 16 Archspec.Spec.Base in
+  let p = find_wrapper (partitioned ~spec ~q:4 ~dims:64 ~classes:4 ()) in
+  Alcotest.(check int) "q" 4 (attr_i p "q");
+  Alcotest.(check int) "n" 4 (attr_i p "n");
+  Alcotest.(check int) "d" 64 (attr_i p "d");
+  Alcotest.(check int) "tile rows" 4 (attr_i p "rows");
+  Alcotest.(check int) "col chunks" 4 (attr_i p "col_chunks");
+  Alcotest.(check int) "row chunks" 1 (attr_i p "row_chunks");
+  Alcotest.(check int) "no batching" 1 (attr_i p "batches")
+
+let test_row_chunking () =
+  (* stored rows (32) exceed the subarray rows (16): two row chunks. *)
+  let spec = Archspec.Spec.square 16 Archspec.Spec.Base in
+  let p = find_wrapper (partitioned ~spec ~q:2 ~dims:32 ~classes:32 ()) in
+  Alcotest.(check int) "row chunks" 2 (attr_i p "row_chunks");
+  Alcotest.(check int) "tile rows" 16 (attr_i p "rows")
+
+let test_density_batches () =
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Density in
+  let p = find_wrapper (partitioned ~spec ~q:2 ~dims:128 ~classes:10 ()) in
+  Alcotest.(check int) "three batches of 10 rows" 3 (attr_i p "batches")
+
+let test_batches_for_table1 () =
+  (* The cam-density row of Table I derives from these batch counts. *)
+  List.iter
+    (fun (side, expect) ->
+      let spec = Archspec.Spec.square side Archspec.Spec.Density in
+      Alcotest.(check int)
+        (Printf.sprintf "batches at %dx%d" side side)
+        expect
+        (Passes.Cim_partition.batches_for spec ~stored_rows:10))
+    [ (16, 1); (32, 3); (64, 6); (128, 12); (256, 25) ];
+  (* base never batches *)
+  let spec = Archspec.Spec.square 256 Archspec.Spec.Base in
+  Alcotest.(check int) "base batches" 1
+    (Passes.Cim_partition.batches_for spec ~stored_rows:10);
+  (* no batching when rows fill the subarray *)
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Density in
+  Alcotest.(check int) "full rows" 1
+    (Passes.Cim_partition.batches_for spec ~stored_rows:32)
+
+let test_divisibility_errors () =
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  (* dims 48 not divisible by 32 *)
+  (match partitioned ~spec ~q:2 ~dims:48 ~classes:4 () with
+  | _ -> Alcotest.fail "expected a pass error"
+  | exception Pass.Pass_error (_, msg) ->
+      Alcotest.(check bool) "mentions divisibility" true
+        (String.length msg > 0));
+  (* stored rows 40 > 32 and not divisible *)
+  match partitioned ~spec ~q:2 ~dims:64 ~classes:40 () with
+  | _ -> Alcotest.fail "expected a pass error"
+  | exception Pass.Pass_error _ -> ()
+
+let test_expanded_region_structure () =
+  let spec = Archspec.Spec.square 16 Archspec.Spec.Base in
+  let p = find_wrapper (partitioned ~spec ~q:4 ~dims:64 ~classes:4 ()) in
+  let names = List.map (fun (o : Op.t) -> o.op_name) (Op.body_ops p) in
+  let count n = List.length (List.filter (String.equal n) names) in
+  Alcotest.(check int) "4 partials (4 col chunks)" 4
+    (count "cim.similarity_partial");
+  Alcotest.(check int) "8 slices" 8 (count "cim.slice");
+  (* 3 horizontal merges within the row chunk + 1 vertical *)
+  Alcotest.(check int) "4 merges" 4 (count "cim.merge_partial");
+  Alcotest.(check int) "one select" 1 (count "cim.select_best");
+  Alcotest.(check int) "one zeros" 1 (count "cim.zeros")
+
+let test_compact_region_above_limit () =
+  let spec = Archspec.Spec.square 16 Archspec.Spec.Base in
+  let p =
+    find_wrapper
+      (partitioned ~expand_limit:2 ~spec ~q:4 ~dims:64 ~classes:4 ())
+  in
+  let names = List.map (fun (o : Op.t) -> o.op_name) (Op.body_ops p) in
+  Alcotest.(check (list string)) "compact form"
+    [ "cim.similarity"; "cim.yield" ]
+    names
+
+let run_software m ~queries ~stored =
+  let fn = Func_ir.find_func_exn m "forward" in
+  let args =
+    List.map2
+      (fun (v : Value.t) rows ->
+        Interp.Rtval.tensor (Types.shape v.ty)
+          (Array.concat (Array.to_list rows)))
+      fn.fn_args [ queries; stored ]
+  in
+  (Interp.Machine.run m "forward" args).results
+
+let test_partitioned_matches_torch () =
+  (* The expanded partitioned form computes the same top-1 indices as
+     the torch reference, for several subarray geometries. *)
+  let synth =
+    Workloads.Hdc.synthetic ~seed:3 ~dims:64 ~n_classes:6 ~n_queries:5
+      ~bits:1 ()
+  in
+  let torch = Tutil.hdc_torch ~q:5 ~dims:64 ~classes:6 () in
+  let torch_indices =
+    match run_software torch ~queries:synth.queries ~stored:synth.stored with
+    | [ _; i ] -> Interp.Rtval.to_int_rows i
+    | _ -> Alcotest.fail "bad arity"
+  in
+  List.iter
+    (fun side ->
+      let spec = Archspec.Spec.square side Archspec.Spec.Base in
+      let m = partitioned ~spec ~q:5 ~dims:64 ~classes:6 () in
+      match run_software m ~queries:synth.queries ~stored:synth.stored with
+      | [ _; i ] ->
+          Alcotest.(check Tutil.int_rows_testable)
+            (Printf.sprintf "indices at %dx%d" side side)
+            torch_indices (Interp.Rtval.to_int_rows i)
+      | _ -> Alcotest.fail "bad arity")
+    [ 16; 32; 64 ]
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "tiling",
+        [
+          Alcotest.test_case "attrs" `Quick test_tiling_attrs;
+          Alcotest.test_case "row chunking" `Quick test_row_chunking;
+          Alcotest.test_case "density batches" `Quick test_density_batches;
+          Alcotest.test_case "table1 batch counts" `Quick
+            test_batches_for_table1;
+          Alcotest.test_case "divisibility errors" `Quick
+            test_divisibility_errors;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "expanded structure" `Quick
+            test_expanded_region_structure;
+          Alcotest.test_case "compact above limit" `Quick
+            test_compact_region_above_limit;
+        ] );
+      ( "software equivalence",
+        [
+          Alcotest.test_case "matches torch" `Quick
+            test_partitioned_matches_torch;
+        ] );
+    ]

@@ -1,0 +1,50 @@
+(* Report formatting. *)
+
+let test_table_alignment () =
+  let t =
+    C4cam.Report.table ~headers:[ "a"; "long header" ]
+      [ [ "xx"; "1" ]; [ "y"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  (* all non-empty lines have equal width *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_si_time () =
+  Alcotest.(check string) "ps" "860 ps" (C4cam.Report.si_time 860e-12);
+  Alcotest.(check string) "ns" "7.50 ns" (C4cam.Report.si_time 7.5e-9);
+  Alcotest.(check string) "us" "2.37 us" (C4cam.Report.si_time 2.37e-6);
+  Alcotest.(check string) "ms" "15.0 ms" (C4cam.Report.si_time 15.0e-3);
+  Alcotest.(check string) "zero" "0 s" (C4cam.Report.si_time 0.)
+
+let test_si_energy () =
+  Alcotest.(check string) "fJ" "220 fJ" (C4cam.Report.si_energy 220e-15);
+  Alcotest.(check string) "nJ" "1.50 nJ" (C4cam.Report.si_energy 1.5e-9);
+  Alcotest.(check string) "J" "2.00 J" (C4cam.Report.si_energy 2.)
+
+let test_si_power () =
+  Alcotest.(check string) "mW" "64.0 mW" (C4cam.Report.si_power 64e-3);
+  Alcotest.(check string) "W" "44.1 W" (C4cam.Report.si_power 44.14)
+
+let test_ratio_and_dev () =
+  Alcotest.(check string) "ratio" "2.00x" (C4cam.Report.ratio 4. 2.);
+  Alcotest.(check string) "pct" "10.0%" (C4cam.Report.pct_dev 1.1 1.0)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "formatting",
+        [
+          Alcotest.test_case "table" `Quick test_table_alignment;
+          Alcotest.test_case "time" `Quick test_si_time;
+          Alcotest.test_case "energy" `Quick test_si_energy;
+          Alcotest.test_case "power" `Quick test_si_power;
+          Alcotest.test_case "ratio" `Quick test_ratio_and_dev;
+        ] );
+    ]

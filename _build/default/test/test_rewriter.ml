@@ -1,0 +1,135 @@
+(* DFG pattern matching (the mechanism of Algorithm 1). *)
+
+open Ir
+
+let f32 shape = Types.tensor shape Types.F32
+
+(* Build the torch-level HDC chain as raw ops for matching. *)
+let dot_chain () =
+  let input = Value.fresh (f32 [ 4; 64 ]) in
+  let weight = Value.fresh (f32 [ 4; 64 ]) in
+  let t = Value.fresh (f32 [ 64; 4 ]) in
+  let mm = Value.fresh (f32 [ 4; 4 ]) in
+  let v = Value.fresh (f32 [ 4; 1 ]) in
+  let i = Value.fresh (Types.tensor [ 4; 1 ] Types.I32) in
+  [
+    Op.create ~operands:[ weight ] ~results:[ t ] "cim.transpose";
+    Op.create ~operands:[ input; t ] ~results:[ mm ] "cim.matmul";
+    Op.create ~operands:[ mm ] ~results:[ v; i ] "cim.topk";
+    Op.create ~operands:[ i ] "cim.yield";
+  ]
+
+let pattern =
+  Rewriter.
+    [
+      node "cim.transpose" [];
+      node "cim.matmul" [ Res 0 ];
+      node "cim.topk" [ Res 1 ];
+      node "cim.yield" [ Res 2 ];
+    ]
+
+let test_match () =
+  Alcotest.(check bool) "dot chain matches" true
+    (Rewriter.similar_dfg (dot_chain ()) pattern)
+
+let test_length_mismatch () =
+  Alcotest.(check bool) "short list" false
+    (Rewriter.similar_dfg (List.tl (dot_chain ())) pattern)
+
+let test_name_mismatch () =
+  let ops = dot_chain () in
+  let renamed =
+    List.mapi
+      (fun i (op : Op.t) ->
+        if i = 1 then { op with op_name = "cim.mm" } else op)
+      ops
+  in
+  Alcotest.(check bool) "wrong op name" false
+    (Rewriter.similar_dfg renamed pattern)
+
+let test_dataflow_mismatch () =
+  (* Break the edge: make topk consume the transpose result instead of
+     the matmul result. *)
+  let ops = dot_chain () in
+  let transpose = List.nth ops 0 in
+  let topk = List.nth ops 2 in
+  topk.Op.operands <- [ Op.result transpose ];
+  Alcotest.(check bool) "broken dataflow" false
+    (Rewriter.similar_dfg ops pattern)
+
+let test_external_always_matches () =
+  let p =
+    Rewriter.
+      [
+        node "cim.transpose" [ External ];
+        node "cim.matmul" [ External; Res 0 ];
+        node "cim.topk" [ Res 1 ];
+        node "cim.yield" [ Res 2 ];
+      ]
+  in
+  Alcotest.(check bool) "externals ok" true
+    (Rewriter.similar_dfg (dot_chain ()) p)
+
+let test_forward_reference_rejected () =
+  (* A node may only reference earlier nodes. *)
+  let p =
+    Rewriter.
+      [
+        node "cim.transpose" [ Res 1 ];
+        node "cim.matmul" [];
+        node "cim.topk" [];
+        node "cim.yield" [];
+      ]
+  in
+  Alcotest.(check bool) "forward ref fails" false
+    (Rewriter.similar_dfg (dot_chain ()) p)
+
+let test_match_prefix () =
+  let ops = dot_chain () @ [ Op.create "cim.extra" ] in
+  (match Rewriter.match_prefix ops pattern with
+  | Some matched -> Alcotest.(check int) "prefix length" 4 (List.length matched)
+  | None -> Alcotest.fail "prefix should match");
+  Alcotest.(check bool) "too-short list" true
+    (Rewriter.match_prefix [ List.hd ops ] pattern = None)
+
+let test_algorithm1 () =
+  (* The exported SimilarityMatching over the same chains. *)
+  Alcotest.(check bool) "dot recognized" true
+    (Passes.Cim_fusion.similarity_matching (dot_chain ()) = Some `Dot);
+  (* euclidean chain *)
+  let stored = Value.fresh (f32 [ 8; 64 ]) in
+  let query = Value.fresh (f32 [ 1; 64 ]) in
+  let diff = Value.fresh (f32 [ 8; 64 ]) in
+  let dist = Value.fresh (f32 [ 8 ]) in
+  let v = Value.fresh (f32 [ 3 ]) in
+  let i = Value.fresh (Types.tensor [ 3 ] Types.I32) in
+  let chain =
+    [
+      Op.create ~operands:[ stored; query ] ~results:[ diff ] "cim.sub";
+      Op.create ~operands:[ diff ] ~results:[ dist ] "cim.norm";
+      Op.create ~operands:[ dist ] ~results:[ v; i ] "cim.topk";
+      Op.create ~operands:[ v; i ] "cim.yield";
+    ]
+  in
+  Alcotest.(check bool) "eucl recognized" true
+    (Passes.Cim_fusion.similarity_matching chain = Some `Eucl);
+  Alcotest.(check bool) "wrong size rejected" true
+    (Passes.Cim_fusion.similarity_matching (List.tl chain) = None)
+
+let () =
+  Alcotest.run "rewriter"
+    [
+      ( "similar_dfg",
+        [
+          Alcotest.test_case "match" `Quick test_match;
+          Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+          Alcotest.test_case "name mismatch" `Quick test_name_mismatch;
+          Alcotest.test_case "dataflow mismatch" `Quick test_dataflow_mismatch;
+          Alcotest.test_case "external refs" `Quick test_external_always_matches;
+          Alcotest.test_case "forward refs rejected" `Quick
+            test_forward_reference_rejected;
+          Alcotest.test_case "match_prefix" `Quick test_match_prefix;
+        ] );
+      ( "algorithm1",
+        [ Alcotest.test_case "similarity matching" `Quick test_algorithm1 ] );
+    ]

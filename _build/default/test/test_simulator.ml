@@ -1,0 +1,291 @@
+(* Hierarchy simulator: allocation discipline, stats ledger, functional
+   search/read/select. *)
+
+open Camsim
+
+let sim ?(spec = Tutil.spec32) () = Simulator.create spec
+
+let alloc_chain s =
+  let bank = Simulator.alloc_bank s ~rows:32 ~cols:32 in
+  let mat = Simulator.alloc_mat s bank in
+  let arr = Simulator.alloc_array s mat in
+  let sub = Simulator.alloc_subarray s arr in
+  (bank, mat, arr, sub)
+
+let test_alloc_and_stats () =
+  let s = sim () in
+  let _ = alloc_chain s in
+  let st = Simulator.stats s in
+  Alcotest.(check int) "banks" 1 st.n_banks;
+  Alcotest.(check int) "mats" 1 st.n_mats;
+  Alcotest.(check int) "arrays" 1 st.n_arrays;
+  Alcotest.(check int) "subarrays" 1 st.n_subarrays
+
+let test_capacity_limits () =
+  let s = sim () in
+  let bank = Simulator.alloc_bank s ~rows:32 ~cols:32 in
+  (* 4 mats per bank in the default spec *)
+  for _ = 1 to 4 do
+    ignore (Simulator.alloc_mat s bank)
+  done;
+  Alcotest.(check bool) "fifth mat rejected" true
+    (match Simulator.alloc_mat s bank with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let test_max_banks_enforced () =
+  let s = sim ~spec:{ Tutil.spec32 with max_banks = Some 1 } () in
+  ignore (Simulator.alloc_bank s ~rows:32 ~cols:32);
+  Alcotest.(check bool) "second bank rejected" true
+    (match Simulator.alloc_bank s ~rows:32 ~cols:32 with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let test_geometry_must_match_spec () =
+  let s = sim () in
+  Alcotest.(check bool) "wrong geometry rejected" true
+    (match Simulator.alloc_bank s ~rows:16 ~cols:16 with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let test_parent_kind_checked () =
+  let s = sim () in
+  let bank = Simulator.alloc_bank s ~rows:32 ~cols:32 in
+  Alcotest.(check bool) "array from bank rejected" true
+    (match Simulator.alloc_array s bank with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let test_write_search_read () =
+  let s = sim () in
+  let _, _, _, sub = alloc_chain s in
+  let stored = [| [| 0.; 1.; 0. |]; [| 1.; 1.; 1. |] |] in
+  let _ = Simulator.write s sub ~row_offset:0 stored in
+  let c =
+    Simulator.search s sub
+      ~queries:[| [| 0.; 1.; 0. |] |]
+      ~row_offset:0 ~rows:2 ~kind:`Best ~metric:`Hamming ()
+  in
+  Alcotest.(check bool) "search has a cost" true (c.latency > 0.);
+  let r = Simulator.read s sub in
+  Tutil.check_float "match" 0. r.(0).(0);
+  Tutil.check_float "two off" 2. r.(0).(1);
+  let st = Simulator.stats s in
+  Alcotest.(check int) "one search op" 1 st.n_search_ops;
+  Alcotest.(check int) "one query cycle" 1 st.n_query_cycles;
+  Alcotest.(check int) "one write" 1 st.n_write_ops;
+  Alcotest.(check bool) "energy recorded" true
+    (st.e_search > 0. && st.e_write > 0.)
+
+let test_write_ternary () =
+  let s = sim () in
+  let _, _, _, sub = alloc_chain s in
+  let _ =
+    Simulator.write_ternary s sub ~row_offset:0
+      ~care:[| [| true; false |] |]
+      [| [| 1.; 0. |] |]
+  in
+  let _ =
+    Simulator.search s sub ~queries:[| [| 1.; 1. |] |] ~row_offset:0 ~rows:1
+      ~kind:`Best ~metric:`Hamming ()
+  in
+  Tutil.check_float "wildcard ignored" 0. (Simulator.read s sub).(0).(0)
+
+let test_select_best () =
+  let s = sim () in
+  let dist = [| [| 3.; 1.; 2. |]; [| 0.; 5.; 0. |] |] in
+  let (values, indices), cost =
+    Simulator.select_best s ~dist ~k:2 ~largest:false
+  in
+  Alcotest.(check Tutil.int_rows_testable) "indices"
+    [| [| 1; 2 |]; [| 0; 2 |] |]
+    indices;
+  Alcotest.(check Tutil.rows_testable) "values"
+    [| [| 1.; 2. |]; [| 0.; 0. |] |]
+    values;
+  Alcotest.(check bool) "select cost" true (cost.latency > 0.);
+  let (_, idx_l), _ = Simulator.select_best s ~dist ~k:1 ~largest:true in
+  Alcotest.(check Tutil.int_rows_testable) "largest" [| [| 0 |]; [| 1 |] |]
+    idx_l
+
+let test_threshold_search () =
+  let s = sim () in
+  let _, _, _, sub = alloc_chain s in
+  let _ =
+    Simulator.write s sub ~row_offset:0
+      [| [| 0.; 0.; 0. |]; [| 0.; 1.; 1. |]; [| 1.; 1.; 1. |] |]
+  in
+  let _ =
+    Simulator.search s sub ~queries:[| [| 0.; 0.; 0. |] |] ~row_offset:0
+      ~rows:3 ~kind:`Threshold ~metric:`Hamming ~threshold:1.5 ()
+  in
+  Alcotest.(check Tutil.rows_testable) "rows within distance 1.5 match"
+    [| [| 1.; 0.; 0. |] |]
+    (Simulator.read s sub);
+  (* threshold 0 behaves like exact match *)
+  let _ =
+    Simulator.search s sub ~queries:[| [| 0.; 1.; 1. |] |] ~row_offset:0
+      ~rows:3 ~kind:`Threshold ~metric:`Hamming ~threshold:0. ()
+  in
+  Alcotest.(check Tutil.rows_testable) "exact row flagged"
+    [| [| 0.; 1.; 0. |] |]
+    (Simulator.read s sub)
+
+let test_range_search_via_simulator () =
+  let s = sim () in
+  let _, _, _, sub = alloc_chain s in
+  (* program an ACAM range row directly through the subarray API *)
+  let _ = Simulator.write s sub ~row_offset:0 [| [| 0.; 0. |] |] in
+  let _ =
+    Simulator.search s sub ~queries:[| [| 0.; 0. |] |] ~row_offset:0 ~rows:1
+      ~kind:`Range ~metric:`Hamming ()
+  in
+  Tutil.check_float "plain values behave as point ranges" 0.
+    (Simulator.read s sub).(0).(0)
+
+let test_select_best_k_too_large () =
+  let s = sim () in
+  Alcotest.(check bool) "k > n rejected" true
+    (match Simulator.select_best s ~dist:[| [| 1. |] |] ~k:2 ~largest:false with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let test_query_hint_scales_overhead () =
+  let run hint =
+    let s = sim () in
+    Simulator.set_query_hint s hint;
+    let _ = alloc_chain s in
+    (Simulator.stats s).e_overhead
+  in
+  let e1 = run 1 and e10 = run 10 in
+  Tutil.check_float ~eps:1e-9 "overhead linear in queries" (10. *. e1) e10
+
+let test_energy_ledger_totals () =
+  let s = sim () in
+  let _, _, _, sub = alloc_chain s in
+  let _ = Simulator.write s sub ~row_offset:0 [| [| 0.; 1. |] |] in
+  let _ =
+    Simulator.search s sub ~queries:[| [| 0.; 1. |] |] ~row_offset:0 ~rows:1
+      ~kind:`Best ~metric:`Hamming ()
+  in
+  let _ = Simulator.merge s ~elems:10 in
+  let _, _ = Simulator.select_best s ~dist:[| [| 1.; 0. |] |] ~k:1 ~largest:false in
+  let st = Simulator.stats s in
+  Tutil.check_float ~eps:1e-12 "total is the sum of categories"
+    (st.e_search +. st.e_write +. st.e_merge +. st.e_select +. st.e_overhead)
+    (Stats.total_energy st)
+
+let test_stats_reset_and_print () =
+  let s = sim () in
+  let _ = alloc_chain s in
+  let st = Simulator.stats s in
+  Alcotest.(check bool) "to_string mentions banks" true
+    (String.length (Stats.to_string st) > 20);
+  Stats.reset st;
+  Alcotest.(check int) "reset banks" 0 st.n_banks;
+  Tutil.check_float "reset energy" 0. (Stats.total_energy st)
+
+let test_trace_records_operations () =
+  let trace = Camsim.Trace.create () in
+  let s = Simulator.create ~trace Tutil.spec32 in
+  let _, _, _, sub = alloc_chain s in
+  let _ = Simulator.write s sub ~row_offset:0 [| [| 0.; 1. |] |] in
+  let _ =
+    Simulator.search s sub ~queries:[| [| 0.; 1. |] |] ~row_offset:0 ~rows:1
+      ~kind:`Best ~metric:`Hamming ()
+  in
+  let events = Camsim.Trace.events trace in
+  let count pred = List.length (List.filter pred events) in
+  Alcotest.(check int) "4 allocs" 4
+    (count (function Camsim.Trace.Alloc _ -> true | _ -> false));
+  Alcotest.(check int) "1 write" 1
+    (count (function Camsim.Trace.Write _ -> true | _ -> false));
+  Alcotest.(check int) "1 search" 1
+    (count (function Camsim.Trace.Search _ -> true | _ -> false));
+  Alcotest.(check bool) "dump is readable" true
+    (String.length (Camsim.Trace.dump trace) > 40)
+
+let test_trace_ring_buffer () =
+  let trace = Camsim.Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Camsim.Trace.record trace (Camsim.Trace.Merge { elems = i })
+  done;
+  Alcotest.(check int) "total counts everything" 5
+    (Camsim.Trace.total_recorded trace);
+  Alcotest.(check bool) "keeps the last three" true
+    (Camsim.Trace.events trace
+    = [ Camsim.Trace.Merge { elems = 3 }; Merge { elems = 4 };
+        Merge { elems = 5 } ])
+
+let test_defect_injection () =
+  (* rate 0: bits are stored faithfully *)
+  let run rate =
+    let s = Simulator.create ~defect_rate:rate ~defect_seed:7 Tutil.spec32 in
+    let _, _, _, sub = alloc_chain s in
+    let zeros = [| Array.make 32 0. |] in
+    let _ = Simulator.write s sub ~row_offset:0 zeros in
+    let _ =
+      Simulator.search s sub ~queries:zeros ~row_offset:0 ~rows:1
+        ~kind:`Best ~metric:`Hamming ()
+    in
+    (Simulator.read s sub).(0).(0)
+  in
+  Tutil.check_float "no defects, exact match" 0. (run 0.);
+  let flipped = run 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "heavy defects flip cells (%g mismatches)" flipped)
+    true
+    (flipped > 5. && flipped < 28.);
+  (* determinism: same seed, same corruption *)
+  Tutil.check_float "deterministic given the seed" flipped (run 0.5);
+  Alcotest.(check bool) "invalid rate rejected" true
+    (match Simulator.create ~defect_rate:1.5 Tutil.spec32 with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let test_invalid_spec_rejected () =
+  Alcotest.(check bool) "zero rows rejected" true
+    (match Simulator.create { Tutil.spec32 with rows = 0 } with
+    | _ -> false
+    | exception Simulator.Error _ -> true)
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "allocation",
+        [
+          Alcotest.test_case "chain and stats" `Quick test_alloc_and_stats;
+          Alcotest.test_case "capacity limits" `Quick test_capacity_limits;
+          Alcotest.test_case "max banks" `Quick test_max_banks_enforced;
+          Alcotest.test_case "geometry check" `Quick
+            test_geometry_must_match_spec;
+          Alcotest.test_case "parent kinds" `Quick test_parent_kind_checked;
+          Alcotest.test_case "invalid spec" `Quick test_invalid_spec_rejected;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "write/search/read" `Quick test_write_search_read;
+          Alcotest.test_case "ternary write" `Quick test_write_ternary;
+          Alcotest.test_case "select_best" `Quick test_select_best;
+          Alcotest.test_case "threshold search" `Quick test_threshold_search;
+          Alcotest.test_case "range kind" `Quick
+            test_range_search_via_simulator;
+          Alcotest.test_case "select k too large" `Quick
+            test_select_best_k_too_large;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "query hint" `Quick
+            test_query_hint_scales_overhead;
+          Alcotest.test_case "totals" `Quick test_energy_ledger_totals;
+          Alcotest.test_case "reset and print" `Quick
+            test_stats_reset_and_print;
+        ] );
+      ( "trace & defects",
+        [
+          Alcotest.test_case "trace records" `Quick
+            test_trace_records_operations;
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer;
+          Alcotest.test_case "defect injection" `Quick test_defect_injection;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Functional CAM subarray: Hamming (packed and generic paths),
+   Euclidean, ternary don't-cares, ACAM ranges, and selective windows. *)
+
+let mk ?(rows = 8) ?(cols = 16) ?(bits = 1) () =
+  Camsim.Subarray.create ~rows ~cols ~bits
+
+let row_of_list l = Array.of_list (List.map float_of_int l)
+
+let test_hamming_basic () =
+  let s = mk ~rows:2 ~cols:4 () in
+  Camsim.Subarray.write s [| row_of_list [ 0; 1; 0; 1 ]; row_of_list [ 1; 1; 1; 1 ] |];
+  let r =
+    Camsim.Subarray.search s
+      ~queries:[| row_of_list [ 0; 1; 0; 1 ] |]
+      ~row_offset:0 ~rows:2 ~metric:`Hamming
+  in
+  Tutil.check_float "exact row" 0. r.(0).(0);
+  Tutil.check_float "two mismatches" 2. r.(0).(1)
+
+let test_euclidean () =
+  let s = mk ~rows:2 ~cols:2 () in
+  Camsim.Subarray.write s [| [| 0.; 0. |]; [| 3.; 4. |] |];
+  let r =
+    Camsim.Subarray.search s ~queries:[| [| 0.; 0. |] |] ~row_offset:0
+      ~rows:2 ~metric:`Euclidean
+  in
+  Tutil.check_float "zero distance" 0. r.(0).(0);
+  Tutil.check_float "squared distance" 25. r.(0).(1)
+
+let test_dont_care_matches_everything () =
+  let s = mk ~rows:1 ~cols:4 () in
+  let care = [| [| true; false; true; false |] |] in
+  Camsim.Subarray.write s ~care [| row_of_list [ 0; 0; 1; 1 ] |];
+  let r =
+    Camsim.Subarray.search s
+      ~queries:[| row_of_list [ 0; 1; 1; 0 ] |]
+      ~row_offset:0 ~rows:1 ~metric:`Hamming
+  in
+  (* positions 1 and 3 are wildcards; 0 and 2 match *)
+  Tutil.check_float "wildcards ignored" 0. r.(0).(0);
+  let r2 =
+    Camsim.Subarray.search s
+      ~queries:[| row_of_list [ 1; 1; 1; 0 ] |]
+      ~row_offset:0 ~rows:1 ~metric:`Hamming
+  in
+  Tutil.check_float "care position counts" 1. r2.(0).(0)
+
+let test_acam_range () =
+  let s = mk ~rows:1 ~cols:3 () in
+  Camsim.Subarray.write_range s ~row_offset:0
+    ~lo:[| [| 0.; 10.; -1. |] |]
+    ~hi:[| [| 5.; 20.; 1. |] |];
+  let inside =
+    Camsim.Subarray.search_range s ~queries:[| [| 2.; 15.; 0. |] |]
+      ~row_offset:0 ~rows:1
+  in
+  Tutil.check_float "inside all ranges" 0. inside.(0).(0);
+  let outside =
+    Camsim.Subarray.search_range s ~queries:[| [| 7.; 15.; 3. |] |]
+      ~row_offset:0 ~rows:1
+  in
+  Tutil.check_float "two violations" 2. outside.(0).(0)
+
+let test_range_euclidean_distance () =
+  (* Euclidean to a range counts distance to the nearest bound. *)
+  let s = mk ~rows:1 ~cols:1 () in
+  Camsim.Subarray.write_range s ~row_offset:0 ~lo:[| [| 2. |] |]
+    ~hi:[| [| 4. |] |];
+  let r =
+    Camsim.Subarray.search s ~queries:[| [| 7. |] |] ~row_offset:0 ~rows:1
+      ~metric:`Euclidean
+  in
+  Tutil.check_float "distance to hi bound" 9. r.(0).(0)
+
+let test_selective_window () =
+  let s = mk ~rows:4 ~cols:2 () in
+  Camsim.Subarray.write s
+    [| [| 0.; 0. |]; [| 1.; 1. |]; [| 0.; 1. |]; [| 1.; 0. |] |];
+  let r =
+    Camsim.Subarray.search s ~queries:[| [| 1.; 1. |] |] ~row_offset:1
+      ~rows:2 ~metric:`Hamming
+  in
+  Alcotest.(check int) "window width" 2 (Array.length r.(0));
+  Tutil.check_float "row 1 exact" 0. r.(0).(0);
+  Tutil.check_float "row 2 one off" 1. r.(0).(1)
+
+let test_batch_overwrite_window () =
+  (* Two batches at different row offsets coexist (cam-density). *)
+  let s = mk ~rows:4 ~cols:2 () in
+  Camsim.Subarray.write s ~row_offset:0 [| [| 0.; 0. |]; [| 0.; 1. |] |];
+  Camsim.Subarray.write s ~row_offset:2 [| [| 1.; 0. |]; [| 1.; 1. |] |];
+  let q = [| [| 1.; 1. |] |] in
+  let batch0 =
+    Camsim.Subarray.search s ~queries:q ~row_offset:0 ~rows:2
+      ~metric:`Hamming
+  in
+  let batch1 =
+    Camsim.Subarray.search s ~queries:q ~row_offset:2 ~rows:2
+      ~metric:`Hamming
+  in
+  Tutil.check_float "batch0 row0" 2. batch0.(0).(0);
+  Tutil.check_float "batch1 row1" 0. batch1.(0).(1)
+
+let test_read_returns_last () =
+  let s = mk ~rows:2 ~cols:2 () in
+  Camsim.Subarray.write s [| [| 0.; 0. |]; [| 1.; 1. |] |];
+  Alcotest.(check bool) "read before search fails" true
+    (match Camsim.Subarray.read s with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let r =
+    Camsim.Subarray.search s ~queries:[| [| 0.; 0. |] |] ~row_offset:0
+      ~rows:2 ~metric:`Hamming
+  in
+  Alcotest.(check Tutil.rows_testable) "read latches result" r
+    (Camsim.Subarray.read s)
+
+let test_read_row () =
+  let s = mk ~rows:2 ~cols:2 () in
+  Camsim.Subarray.write s ~care:[| [| true; false |] |] [| [| 1.; 0. |] |];
+  let r = Camsim.Subarray.read_row s 0 in
+  Tutil.check_float "value" 1. r.(0);
+  Alcotest.(check bool) "dont-care reads nan" true (Float.is_nan r.(1))
+
+let test_geometry_errors () =
+  let s = mk ~rows:2 ~cols:2 () in
+  Tutil.check_raises_invalid "write too many rows" (fun () ->
+      Camsim.Subarray.write s
+        [| [| 0.; 0. |]; [| 0.; 0. |]; [| 0.; 0. |] |]);
+  Tutil.check_raises_invalid "write too wide" (fun () ->
+      Camsim.Subarray.write s [| [| 0.; 0.; 0. |] |]);
+  Camsim.Subarray.write s [| [| 0.; 0. |] |];
+  Tutil.check_raises_invalid "search window oob" (fun () ->
+      ignore
+        (Camsim.Subarray.search s ~queries:[| [| 0.; 0. |] |] ~row_offset:1
+           ~rows:2 ~metric:`Hamming));
+  Tutil.check_raises_invalid "query too wide" (fun () ->
+      ignore
+        (Camsim.Subarray.search s ~queries:[| [| 0.; 0.; 0. |] |]
+           ~row_offset:0 ~rows:1 ~metric:`Hamming));
+  Tutil.check_raises_invalid "zero geometry" (fun () ->
+      Camsim.Subarray.create ~rows:0 ~cols:4 ~bits:1)
+
+(* Property: the packed Hamming fast path agrees with a straightforward
+   reference implementation, for binary and for multi-bit payloads. *)
+let hamming_agrees ~maxval =
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "packed hamming = reference (values < %d)" maxval)
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 6)
+              (list_size (int_range 1 64) (int_range 0 (maxval - 1))))
+           (list_size (int_range 1 4)
+              (list_size (int_range 1 64) (int_range 0 (maxval - 1))))))
+    (fun (stored, queries) ->
+      QCheck.assume (stored <> [] && queries <> []);
+      let cols = List.length (List.hd stored) in
+      QCheck.assume
+        (List.for_all (fun r -> List.length r = cols) stored
+        && List.for_all (fun r -> List.length r = cols) queries);
+      let rows = List.length stored in
+      let to_arr l = Array.of_list (List.map float_of_int l) in
+      let s = Camsim.Subarray.create ~rows ~cols ~bits:4 in
+      let stored_a = Array.of_list (List.map to_arr stored) in
+      let queries_a = Array.of_list (List.map to_arr queries) in
+      Camsim.Subarray.write s stored_a;
+      let got =
+        Camsim.Subarray.search s ~queries:queries_a ~row_offset:0 ~rows
+          ~metric:`Hamming
+      in
+      Array.for_all
+        (fun ok -> ok)
+        (Array.mapi
+           (fun qi q ->
+             Array.for_all (fun ok -> ok)
+               (Array.mapi
+                  (fun ri srow ->
+                    got.(qi).(ri) = Workloads.Distance.hamming q srow)
+                  stored_a))
+           queries_a))
+
+let prop_euclidean_symmetric =
+  QCheck.Test.make ~count:100 ~name:"euclidean distance symmetry"
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 8) (float_bound_inclusive 10.))
+        (array_of_size (Gen.return 8) (float_bound_inclusive 10.)))
+    (fun (a, b) ->
+      let s = Camsim.Subarray.create ~rows:1 ~cols:8 ~bits:4 in
+      Camsim.Subarray.write s [| a |];
+      let d_ab =
+        (Camsim.Subarray.search s ~queries:[| b |] ~row_offset:0 ~rows:1
+           ~metric:`Euclidean).(0).(0)
+      in
+      Camsim.Subarray.write s [| b |];
+      let d_ba =
+        (Camsim.Subarray.search s ~queries:[| a |] ~row_offset:0 ~rows:1
+           ~metric:`Euclidean).(0).(0)
+      in
+      Float.abs (d_ab -. d_ba) < 1e-9)
+
+let () =
+  Alcotest.run "subarray"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "hamming" `Quick test_hamming_basic;
+          Alcotest.test_case "euclidean" `Quick test_euclidean;
+          Alcotest.test_case "ternary wildcards" `Quick
+            test_dont_care_matches_everything;
+          Alcotest.test_case "acam ranges" `Quick test_acam_range;
+          Alcotest.test_case "range euclidean" `Quick
+            test_range_euclidean_distance;
+          Alcotest.test_case "selective window" `Quick test_selective_window;
+          Alcotest.test_case "batches coexist" `Quick
+            test_batch_overwrite_window;
+          Alcotest.test_case "read latches" `Quick test_read_returns_last;
+          Alcotest.test_case "read_row" `Quick test_read_row;
+          Alcotest.test_case "geometry errors" `Quick test_geometry_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest (hamming_agrees ~maxval:2);
+          QCheck_alcotest.to_alcotest (hamming_agrees ~maxval:16);
+          QCheck_alcotest.to_alcotest prop_euclidean_symmetric;
+        ] );
+    ]

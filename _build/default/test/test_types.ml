@@ -1,0 +1,126 @@
+(* Unit tests for Ir.Types and Ir.Attr. *)
+
+open Ir
+
+let test_elem_round_trip () =
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "elem round trip"
+        (Some (Types.elem_to_string e))
+        (Option.map Types.elem_to_string
+           (Types.elem_of_string (Types.elem_to_string e))))
+    [ Types.F32; F64; I1; I32; I64 ]
+
+let test_to_string () =
+  Alcotest.(check string)
+    "tensor" "tensor<10x8192xf32>"
+    (Types.to_string (Types.tensor [ 10; 8192 ] Types.F32));
+  Alcotest.(check string)
+    "memref" "memref<4x4xi32>"
+    (Types.to_string (Types.memref [ 4; 4 ] Types.I32));
+  Alcotest.(check string) "index" "index" (Types.to_string Types.Index);
+  Alcotest.(check string)
+    "handle" "!cam.bank_id"
+    (Types.to_string (Types.Handle "cam.bank_id"));
+  Alcotest.(check string)
+    "scalar" "f64"
+    (Types.to_string (Types.Scalar Types.F64));
+  Alcotest.(check string)
+    "rank-0 tensor" "tensor<f32>"
+    (Types.to_string (Types.tensor [] Types.F32))
+
+let test_equal () =
+  Alcotest.(check bool)
+    "equal tensors" true
+    (Types.equal (Types.tensor [ 2; 3 ] Types.F32)
+       (Types.tensor [ 2; 3 ] Types.F32));
+  Alcotest.(check bool)
+    "different shapes" false
+    (Types.equal (Types.tensor [ 2; 3 ] Types.F32)
+       (Types.tensor [ 3; 2 ] Types.F32));
+  Alcotest.(check bool)
+    "tensor vs memref" false
+    (Types.equal (Types.tensor [ 2 ] Types.F32)
+       (Types.memref [ 2 ] Types.F32));
+  Alcotest.(check bool)
+    "handles by name" false
+    (Types.equal (Types.Handle "a") (Types.Handle "b"))
+
+let test_shape_accessors () =
+  Alcotest.(check (list int))
+    "shape" [ 2; 3 ]
+    (Types.shape (Types.tensor [ 2; 3 ] Types.F32));
+  Alcotest.(check int)
+    "num_elements tensor" 6
+    (Types.num_elements (Types.tensor [ 2; 3 ] Types.F32));
+  Alcotest.(check int)
+    "num_elements scalar" 1
+    (Types.num_elements (Types.Scalar Types.F32));
+  Tutil.check_raises_invalid "shape of scalar" (fun () ->
+      Types.shape (Types.Scalar Types.F32));
+  Tutil.check_raises_invalid "element of index" (fun () ->
+      Types.element Types.Index);
+  Alcotest.(check bool)
+    "is_shaped" true
+    (Types.is_shaped (Types.memref [ 1 ] Types.I1));
+  Alcotest.(check bool) "index not shaped" false (Types.is_shaped Types.Index)
+
+let test_with_shape () =
+  Alcotest.(check string)
+    "with_shape keeps kind" "memref<7x1xf32>"
+    (Types.to_string
+       (Types.with_shape (Types.memref [ 2; 3 ] Types.F32) [ 7; 1 ]));
+  Tutil.check_raises_invalid "with_shape on handle" (fun () ->
+      Types.with_shape (Types.Handle "x") [ 1 ])
+
+let test_attr_accessors () =
+  Alcotest.(check int) "as_int" 5 (Attr.as_int (Attr.Int 5));
+  Tutil.check_float "as_float of int" 5. (Attr.as_float (Attr.Int 5));
+  Alcotest.(check bool) "as_bool" true (Attr.as_bool (Attr.Bool true));
+  Alcotest.(check string) "as_str" "hi" (Attr.as_str (Attr.Str "hi"));
+  Alcotest.(check string) "as_sym" "exact" (Attr.as_sym (Attr.Sym "exact"));
+  Alcotest.(check (list int))
+    "as_ints" [ 1; -2 ]
+    (Attr.as_ints (Attr.Ints [ 1; -2 ]));
+  Tutil.check_raises_invalid "as_int of str" (fun () ->
+      Attr.as_int (Attr.Str "x"))
+
+let test_attr_equal () =
+  Alcotest.(check bool)
+    "ints equal" true
+    (Attr.equal (Attr.Ints [ 1; 2 ]) (Attr.Ints [ 1; 2 ]));
+  Alcotest.(check bool)
+    "sym vs str differ" false
+    (Attr.equal (Attr.Sym "a") (Attr.Str "a"));
+  Alcotest.(check bool)
+    "type attrs" true
+    (Attr.equal
+       (Attr.Type_attr (Types.tensor [ 1 ] Types.F32))
+       (Attr.Type_attr (Types.tensor [ 1 ] Types.F32)))
+
+let test_attr_find () =
+  let attrs = [ ("a", Attr.Int 1); ("b", Attr.Bool false) ] in
+  Alcotest.(check bool) "find present" true (Attr.find attrs "b" <> None);
+  Alcotest.(check bool) "find absent" true (Attr.find attrs "c" = None);
+  Alcotest.check_raises "get absent" Not_found (fun () ->
+      ignore (Attr.get attrs "zz"))
+
+let () =
+  Alcotest.run "types"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "elem round trip" `Quick test_elem_round_trip;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "shape accessors" `Quick test_shape_accessors;
+          Alcotest.test_case "with_shape" `Quick test_with_shape;
+        ] );
+      ( "attrs",
+        [
+          Alcotest.test_case "accessors" `Quick test_attr_accessors;
+          Alcotest.test_case "equality" `Quick test_attr_equal;
+          Alcotest.test_case "find/get" `Quick test_attr_find;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Verifier tests: SSA discipline and per-op checks. *)
+
+open Ir
+
+let () = Dialects.Register_all.register_all ()
+
+let idx () = Value.fresh Types.Index
+
+let func_of ops = Func_ir.modul [ Func_ir.func "f" ~args:[] ~ret:[] ops ]
+
+let expect_error what m =
+  match Verifier.verify_module ~strict:false m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: expected a verification error" what
+
+let expect_ok what m =
+  match Verifier.verify_module ~strict:false m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what (Verifier.error_to_string e)
+
+let test_use_before_def () =
+  let v = idx () in
+  let use = Op.create ~operands:[ v ] "t.use" in
+  let def = Op.create ~results:[ v ] "t.def" in
+  expect_error "use before def" (func_of [ use; def ]);
+  expect_ok "def before use" (func_of [ Op.create ~results:[ v ] "t.def"; Op.create ~operands:[ v ] "t.use" ])
+
+let test_double_definition () =
+  let v = idx () in
+  expect_error "double def"
+    (func_of
+       [ Op.create ~results:[ v ] "t.def"; Op.create ~results:[ v ] "t.def" ])
+
+let test_region_scoping () =
+  (* Outer values are visible inside regions... *)
+  let v = idx () in
+  let inner = Op.create ~operands:[ v ] "t.use" in
+  let outer =
+    [
+      Op.create ~results:[ v ] "t.def";
+      Op.create ~regions:[ Op.region [ inner ] ] "t.wrap";
+    ]
+  in
+  expect_ok "outer visible inside" (func_of outer);
+  (* ...but region-local values must not leak out. *)
+  let w = idx () in
+  let inner_def = Op.create ~results:[ w ] "t.def" in
+  let leak =
+    [
+      Op.create ~regions:[ Op.region [ inner_def ] ] "t.wrap";
+      Op.create ~operands:[ w ] "t.use";
+    ]
+  in
+  expect_error "region value leaks" (func_of leak)
+
+let test_own_results_not_visible_in_region () =
+  (* An op's region must not use the op's own results. *)
+  let v = idx () in
+  let inner = Op.create ~operands:[ v ] "t.use" in
+  let op = Op.create ~results:[ v ] ~regions:[ Op.region [ inner ] ] "t.wrap" in
+  expect_error "self-reference through region" (func_of [ op ])
+
+let test_strict_requires_registration () =
+  let m = func_of [ Op.create "unregistered.op" ] in
+  (match Verifier.verify_module ~strict:true m with
+  | Error e ->
+      Alcotest.(check bool) "mentions registration" true
+        (String.length (Verifier.error_to_string e) > 0)
+  | Ok () -> Alcotest.fail "strict mode must reject unregistered ops");
+  expect_ok "non-strict accepts" m
+
+let test_registered_op_verify_runs () =
+  (* torch.matmul with mismatched inner dims must be rejected. *)
+  let a = Value.fresh (Types.tensor [ 2; 3 ] Types.F32) in
+  let b = Value.fresh (Types.tensor [ 4; 2 ] Types.F32) in
+  let r = Value.fresh (Types.tensor [ 2; 2 ] Types.F32) in
+  let bad =
+    Func_ir.modul
+      [
+        Func_ir.func "f" ~args:[ a; b ] ~ret:[]
+          [ Op.create ~operands:[ a; b ] ~results:[ r ] "torch.matmul" ];
+      ]
+  in
+  expect_error "matmul dim mismatch" bad
+
+let test_block_args_define () =
+  let iv = idx () in
+  let use = Op.create ~operands:[ iv ] "t.use" in
+  let region =
+    { Op.blocks = [ { Op.body = [ use ]; block_args = [ iv ] } ] }
+  in
+  let c = idx () in
+  expect_ok "block arg in scope"
+    (func_of
+       [
+         Op.create ~results:[ c ] "t.def";
+         Op.create ~operands:[ c; c; c ] ~regions:[ region ] "t.loop";
+       ])
+
+let test_verify_exn () =
+  let v = idx () in
+  let m = func_of [ Op.create ~operands:[ v ] "t.use" ] in
+  Alcotest.(check bool) "verify_exn raises" true
+    (match Verifier.verify_exn ~strict:false m with
+    | () -> false
+    | exception Failure _ -> true)
+
+let test_registry () =
+  Alcotest.(check bool) "torch registered" true
+    (Registry.dialect_registered "torch");
+  Alcotest.(check bool) "cam.search registered" true
+    (Registry.lookup "cam.search" <> None);
+  Alcotest.(check bool) "sorted op list nonempty" true
+    (List.length (Registry.registered_ops ()) > 30)
+
+let () =
+  Alcotest.run "verifier"
+    [
+      ( "ssa",
+        [
+          Alcotest.test_case "use before def" `Quick test_use_before_def;
+          Alcotest.test_case "double definition" `Quick test_double_definition;
+          Alcotest.test_case "region scoping" `Quick test_region_scoping;
+          Alcotest.test_case "own results hidden" `Quick
+            test_own_results_not_visible_in_region;
+          Alcotest.test_case "block args define" `Quick test_block_args_define;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "strict registration" `Quick
+            test_strict_requires_registration;
+          Alcotest.test_case "per-op verify" `Quick
+            test_registered_op_verify_runs;
+          Alcotest.test_case "verify_exn" `Quick test_verify_exn;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+    ]
