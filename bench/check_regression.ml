@@ -1,0 +1,103 @@
+(* The CI benchmark-regression gate.
+
+     dune exec bench/check_regression.exe -- [BASELINE] [CURRENT]
+
+   Compares a freshly produced BENCH_smoke.json (see `main.exe -- smoke
+   --json`) against the checked-in bench/baseline.json:
+
+   - latency_s and energy_j of every baseline workload must be within
+     +/-10% of the baseline value (the simulator is a deterministic
+     analytical model, so any real drift is a compiler change);
+   - accuracy must match the baseline exactly — classification results
+     are rankings, and a ranking change is a correctness regression, not
+     noise;
+   - every baseline workload must still be present.
+
+   Workloads present only in the current file are reported but do not
+   fail the gate (adding coverage is not a regression). Exit code 1 on
+   any violation. *)
+
+let tolerance = 0.10
+
+let default_baseline = "bench/baseline.json"
+let default_current = "BENCH_smoke.json"
+
+let read_json path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "check_regression: %s\n" msg;
+      exit 2
+  in
+  try Instrument.Json.parse text
+  with Instrument.Json.Parse_error (msg, pos) ->
+    Printf.eprintf "check_regression: %s: %s at offset %d\n" path msg pos;
+    exit 2
+
+let workloads json =
+  Instrument.Json.to_list (Instrument.Json.member "workloads" json)
+  |> List.map (fun w ->
+         (Instrument.Json.get_string (Instrument.Json.member "name" w), w))
+
+let rel_dev current baseline =
+  if baseline = 0. then if current = 0. then 0. else infinity
+  else Float.abs (current -. baseline) /. Float.abs baseline
+
+let () =
+  let baseline_path, current_path =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> (default_baseline, default_current)
+    | [ b ] -> (b, default_current)
+    | [ b; c ] -> (b, c)
+    | _ ->
+        Printf.eprintf "usage: check_regression [BASELINE] [CURRENT]\n";
+        exit 2
+  in
+  let baseline = workloads (read_json baseline_path) in
+  let current = workloads (read_json current_path) in
+  let failures = ref 0 in
+  let check name what ok detail =
+    Printf.printf "%-24s %-12s %s  %s\n" name what
+      (if ok then "ok  " else "FAIL")
+      detail;
+    if not ok then incr failures
+  in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name current with
+      | None -> check name "presence" false "workload missing from current run"
+      | Some cur ->
+          let fbase key =
+            Instrument.Json.get_float (Instrument.Json.member key base)
+          and fcur key =
+            Instrument.Json.get_float (Instrument.Json.member key cur)
+          in
+          List.iter
+            (fun key ->
+              let b = fbase key and c = fcur key in
+              let dev = rel_dev c b in
+              check name key (dev <= tolerance)
+                (Printf.sprintf "baseline %.6e, current %.6e (%+.2f%%)" b c
+                   ((c -. b) /. b *. 100.)))
+            [ "latency_s"; "energy_j" ];
+          let ab = fbase "accuracy" and ac = fcur "accuracy" in
+          check name "accuracy" (ab = ac)
+            (Printf.sprintf "baseline %.4f, current %.4f (exact match \
+                             required)" ab ac))
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-24s %-12s note  new workload (not gated)\n" name
+          "presence")
+    current;
+  if !failures > 0 then begin
+    Printf.eprintf "\ncheck_regression: %d metric(s) out of tolerance \
+                    (+/-%.0f%% on latency/energy, exact accuracy)\n"
+      !failures (tolerance *. 100.);
+    exit 1
+  end
+  else
+    Printf.printf "\nall %d baseline workloads within +/-%.0f%% \
+                   (accuracy exact)\n"
+      (List.length baseline) (tolerance *. 100.)

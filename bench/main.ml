@@ -46,8 +46,12 @@ let knn_data =
      let labels = Array.sub test.labels 0 8 in
      (train, queries, labels))
 
-let geomean l =
-  exp (List.fold_left (fun acc x -> acc +. log x) 0. l /. float_of_int (List.length l))
+let geomean = function
+  | [] -> 1.0 (* neutral: an empty set deviates by 0% *)
+  | l ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log x) 0. l
+        /. float_of_int (List.length l))
 
 let section name = Printf.printf "\n===== %s =====\n\n" name
 
@@ -574,6 +578,104 @@ let accuracy () =
   Printf.printf "KNN (512 stored, 256 features, k=7): software %.1f%%, CAM %.1f%%\n"
     (sw *. 100.) (m2.accuracy *. 100.)
 
+(* ---- smoke: the fast machine-readable suite behind the CI gate -------- *)
+
+(* Small, deterministic workloads chosen to cover both kernels (HDC dot,
+   batched-KNN Euclidean) and three optimization targets in a few
+   seconds; bench/check_regression.ml diffs the emitted JSON against
+   bench/baseline.json. *)
+
+let smoke ?json () =
+  section "smoke: fast deterministic suite (the CI regression gate)";
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:2048 ~n_classes:10
+      ~n_queries:64 ~bits:1 ()
+  in
+  let knn_small =
+    lazy
+      (let ds =
+         Workloads.Dataset.pneumonia_like ~seed:17 ~n_features:256
+           ~samples_per_class:280 ()
+       in
+       let train, test =
+         Workloads.Dataset.split ~seed:21 ds ~train_fraction:0.94
+       in
+       let train =
+         {
+           train with
+           Workloads.Dataset.features = Array.sub train.features 0 512;
+           labels = Array.sub train.labels 0 512;
+         }
+       in
+       (train, Array.sub test.features 0 16, Array.sub test.labels 0 16))
+  in
+  let hdc opt = C4cam.Dse.hdc ~spec:(Archspec.Spec.square 32 opt) ~data () in
+  let workloads =
+    [
+      ("hdc-32x32-base", hdc Archspec.Spec.Base);
+      ("hdc-32x32-power", hdc Archspec.Spec.Power);
+      ("hdc-32x32-density", hdc Archspec.Spec.Density);
+      ( "knn-32x32-base",
+        let train, queries, labels = Lazy.force knn_small in
+        C4cam.Dse.knn ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
+          ~train ~queries ~labels ~k:7 () );
+    ]
+  in
+  print_string
+    (C4cam.Report.table
+       ~headers:[ "workload"; "latency"; "energy"; "power"; "accuracy" ]
+       (List.map
+          (fun (name, (m : C4cam.Dse.measurement)) ->
+            [
+              name;
+              C4cam.Report.si_time m.latency;
+              C4cam.Report.si_energy m.energy;
+              C4cam.Report.si_power m.power;
+              Printf.sprintf "%.4f" m.accuracy;
+            ])
+          workloads));
+  (* compile-time breakdown of the reference HDC kernel, end-to-end *)
+  let collector = Instrument.Collect.create () in
+  let c =
+    C4cam.Driver.compile ~profile:collector
+      ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
+      (C4cam.Kernels.hdc_dot ~q:64 ~dims:2048 ~classes:10 ~k:1)
+  in
+  ignore
+    (C4cam.Driver.run_cam ~profile:collector c ~queries:data.queries
+       ~stored:data.stored);
+  let profile = Instrument.Collect.profile collector in
+  Printf.printf "\n%s" (Instrument.Profile.to_table profile);
+  match json with
+  | None -> ()
+  | Some file ->
+      let workload_json (name, (m : C4cam.Dse.measurement)) =
+        Instrument.Json.Assoc
+          [
+            ("name", Instrument.Json.String name);
+            ("config", Instrument.Json.String m.config);
+            ("latency_s", Instrument.Json.Float m.latency);
+            ("energy_j", Instrument.Json.Float m.energy);
+            ("power_w", Instrument.Json.Float m.power);
+            ("edp_js", Instrument.Json.Float m.edp);
+            ("accuracy", Instrument.Json.Float m.accuracy);
+            ("subarrays", Instrument.Json.Int m.subarrays);
+            ("banks", Instrument.Json.Int m.banks);
+          ]
+      in
+      let doc =
+        Instrument.Json.Assoc
+          [
+            ("schema_version", Instrument.Json.Int 1);
+            ( "workloads",
+              Instrument.Json.List (List.map workload_json workloads) );
+            ("compile", Instrument.Profile.to_json profile);
+          ]
+      in
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Instrument.Json.to_string doc));
+      Printf.printf "wrote %s\n" file
+
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure ------- *)
 
 let micro () =
@@ -660,6 +762,14 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) all_sections
+  | "smoke" :: rest -> (
+      match rest with
+      | [] -> smoke ()
+      | [ "--json" ] -> smoke ~json:"BENCH_smoke.json" ()
+      | [ "--json"; file ] -> smoke ~json:file ()
+      | _ ->
+          prerr_endline "usage: main.exe -- smoke [--json [FILE]]";
+          exit 2)
   | names ->
       List.iter
         (fun name ->
@@ -668,6 +778,6 @@ let () =
           | None when name = "micro" -> micro ()
           | None ->
               Printf.eprintf
-                "unknown section %s (available: %s, micro)\n" name
+                "unknown section %s (available: %s, micro, smoke)\n" name
                 (String.concat ", " (List.map fst all_sections)))
         names

@@ -85,6 +85,40 @@ let or_die = function
       prerr_endline ("c4cam: " ^ msg);
       exit 1
 
+(* ---- profiling options (shared by compile and run) --------------------- *)
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Collect per-pass timings, IR deltas and rewrite counters and \
+              print the profile table to stderr.")
+
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:"Write the collected profile to $(docv) as JSON.")
+
+let collector_for ~profile ~profile_json =
+  if profile || Option.is_some profile_json then
+    Some (Instrument.Collect.create ())
+  else None
+
+let emit_profile ~profile ~profile_json collector =
+  match collector with
+  | None -> ()
+  | Some c ->
+      let p = Instrument.Collect.profile c in
+      if profile then prerr_string (Instrument.Profile.to_table p);
+      Option.iter
+        (fun file ->
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc
+                (Instrument.Json.to_string (Instrument.Profile.to_json p))))
+        profile_json
+
 let handle_errors f =
   try f () with
   | C4cam.Driver.Compile_error msg ->
@@ -109,37 +143,43 @@ let trace_arg =
         ~doc:"Print the IR after the frontend and after every pass.")
 
 let compile_cmd =
-  let run kernel arch size opt queries dims classes stage trace =
+  let run kernel arch size opt queries dims classes stage trace profile
+      profile_json =
     handle_errors (fun () ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
         let src = kernel_of ~kernel ~queries ~dims ~classes in
-        if trace then
-          let _, entries = C4cam.Driver.compile_traced ~spec src in
-          List.iter
-            (fun (name, text) ->
-              Printf.printf "---- after %s ----\n%s\n" name text)
-            entries
-        else
-          let c = C4cam.Driver.compile ~spec src in
-          let stages = C4cam.Driver.stage_texts c in
-          match stage with
-          | "all" ->
-              List.iter
-                (fun (name, text) ->
-                  Printf.printf "---- %s ----\n%s\n" name text)
-                stages
-          | s -> (
-              match List.assoc_opt s stages with
-              | Some text -> print_string text
-              | None ->
-                  prerr_endline
-                    "c4cam: --stage must be torch, cim, cam or all";
-                  exit 1))
+        let collector = collector_for ~profile ~profile_json in
+        (if trace then
+           let _, entries =
+             C4cam.Driver.compile_traced ?profile:collector ~spec src
+           in
+           List.iter
+             (fun (name, text) ->
+               Printf.printf "---- after %s ----\n%s\n" name text)
+             entries
+         else
+           let c = C4cam.Driver.compile ?profile:collector ~spec src in
+           let stages = C4cam.Driver.stage_texts c in
+           match stage with
+           | "all" ->
+               List.iter
+                 (fun (name, text) ->
+                   Printf.printf "---- %s ----\n%s\n" name text)
+                 stages
+           | s -> (
+               match List.assoc_opt s stages with
+               | Some text -> print_string text
+               | None ->
+                   prerr_endline
+                     "c4cam: --stage must be torch, cim, cam or all";
+                   exit 1));
+        emit_profile ~profile ~profile_json collector)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and print the IR")
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
-      $ dims_arg $ classes_arg $ stage_arg $ trace_arg)
+      $ dims_arg $ classes_arg $ stage_arg $ trace_arg $ profile_arg
+      $ profile_json_arg)
 
 (* ---- run ---------------------------------------------------------------- *)
 
@@ -151,11 +191,13 @@ let backend_arg =
               (flat runtime ISA).")
 
 let run_cmd =
-  let run kernel arch size opt queries dims classes seed backend =
+  let run kernel arch size opt queries dims classes seed backend profile
+      profile_json =
     handle_errors (fun () ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
         let src = kernel_of ~kernel ~queries ~dims ~classes in
-        let c = C4cam.Driver.compile ~spec src in
+        let collector = collector_for ~profile ~profile_json in
+        let c = C4cam.Driver.compile ?profile:collector ~spec src in
         let data =
           Workloads.Hdc.synthetic ~seed ~dims:c.info.d
             ~n_classes:c.info.n ~n_queries:c.info.q ~bits:spec.bits ()
@@ -163,8 +205,8 @@ let run_cmd =
         let r =
           match backend with
           | "interp" ->
-              C4cam.Driver.run_cam c ~queries:data.queries
-                ~stored:data.stored
+              C4cam.Driver.run_cam ?profile:collector c
+                ~queries:data.queries ~stored:data.stored
           | "vm" ->
               C4cam.Driver.run_vm c ~queries:data.queries
                 ~stored:data.stored
@@ -172,6 +214,7 @@ let run_cmd =
               prerr_endline ("c4cam: unknown backend " ^ b);
               exit 1
         in
+        emit_profile ~profile ~profile_json collector;
         let correct =
           Array.to_list r.indices
           |> List.mapi (fun i (row : int array) ->
@@ -195,7 +238,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the CAM simulator")
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
-      $ dims_arg $ classes_arg $ seed_arg $ backend_arg)
+      $ dims_arg $ classes_arg $ seed_arg $ backend_arg $ profile_arg
+      $ profile_json_arg)
 
 (* ---- asm: print the flat runtime ISA -------------------------------------- *)
 

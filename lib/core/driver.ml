@@ -76,31 +76,42 @@ let extract_info (m : Ir.Func_ir.modul) fn_name =
   | [] -> fail "no similarity pattern was recognised in the kernel"
   | _ -> fail "more than one similarity kernel per function is unsupported"
 
-let run_passes passes m =
-  try Ir.Pass.run_pipeline ~verify:true passes m with
+let run_passes ?profile passes m =
+  try Ir.Pass.run_pipeline ~verify:true ?profile passes m with
   | Ir.Pass.Pass_error (p, msg) -> fail "pass %s: %s" p msg
 
-let run_passes_traced passes m =
-  try Ir.Pass.run_pipeline_traced ~verify:true passes m with
+let run_passes_traced ?profile passes m =
+  try Ir.Pass.run_pipeline_traced ~verify:true ?profile passes m with
   | Ir.Pass.Pass_error (p, msg) -> fail "pass %s: %s" p msg
 
-let compile_traced ~spec source =
-  Dialects.Register_all.register_all ();
-  (match Archspec.Spec.validate spec with
-  | Ok () -> ()
-  | Error e -> fail "invalid architecture spec: %s" e);
+(* The frontend stage, timed into the profile collector when present. *)
+let frontend ?profile source =
+  let t0 = Instrument.Collect.now () in
   let torch_ir =
     try Frontend.Emit.compile_string source with
     | Frontend.Tsparser.Parse_error e -> fail "parse error: %s" e
     | Frontend.Emit.Emit_error e -> fail "frontend error: %s" e
   in
+  Option.iter
+    (fun p ->
+      Instrument.Collect.set_frontend p
+        (Float.max 0. (Instrument.Collect.now () -. t0)))
+    profile;
+  torch_ir
+
+let compile_traced ?profile ~spec source =
+  Dialects.Register_all.register_all ();
+  (match Archspec.Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> fail "invalid architecture spec: %s" e);
+  let torch_ir = frontend ?profile source in
   let fn_name =
     match torch_ir.funcs with
     | [ f ] -> f.fn_name
     | _ -> fail "expected exactly one kernel function"
   in
   let cim_ir, cim_trace =
-    run_passes_traced
+    run_passes_traced ?profile
       (Passes.Pipelines.cim_pipeline @ [ Passes.Cim_partition.pass spec ])
       (clone_module torch_ir)
   in
@@ -112,30 +123,28 @@ let compile_traced ~spec source =
       | Base | Density -> [])
     @ [ Passes.Canonicalize.pass ]
   in
-  let cam_ir, cam_trace = run_passes_traced cam_passes (clone_module cim_ir) in
+  let cam_ir, cam_trace =
+    run_passes_traced ?profile cam_passes (clone_module cim_ir)
+  in
   ( { spec; source; torch_ir; cim_ir; cam_ir; fn_name; info },
     ("frontend", Ir.Printer.module_to_string torch_ir)
     :: List.map
          (fun (e : Ir.Pass.trace_entry) -> (e.after_pass, e.ir_text))
          (cim_trace @ cam_trace) )
 
-let compile ~spec source =
+let compile ?profile ~spec source =
   Dialects.Register_all.register_all ();
   (match Archspec.Spec.validate spec with
   | Ok () -> ()
   | Error e -> fail "invalid architecture spec: %s" e);
-  let torch_ir =
-    try Frontend.Emit.compile_string source with
-    | Frontend.Tsparser.Parse_error e -> fail "parse error: %s" e
-    | Frontend.Emit.Emit_error e -> fail "frontend error: %s" e
-  in
+  let torch_ir = frontend ?profile source in
   let fn_name =
     match torch_ir.funcs with
     | [ f ] -> f.fn_name
     | _ -> fail "expected exactly one kernel function"
   in
   let cim_ir =
-    run_passes
+    run_passes ?profile
       (Passes.Pipelines.cim_pipeline @ [ Passes.Cim_partition.pass spec ])
       (clone_module torch_ir)
   in
@@ -147,7 +156,7 @@ let compile ~spec source =
       | Base | Density -> [])
     @ [ Passes.Canonicalize.pass ]
   in
-  let cam_ir = run_passes cam_passes (clone_module cim_ir) in
+  let cam_ir = run_passes ?profile cam_passes (clone_module cim_ir) in
   { spec; source; torch_ir; cim_ir; cam_ir; fn_name; info }
 
 let stage_texts c =
@@ -178,7 +187,27 @@ let ordered_args info ~wrap ~queries ~stored =
     [ wrap queries; wrap stored ]
   else [ wrap stored; wrap queries ]
 
-let run_cam ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
+(* Fold the simulator's activity ledger into the profile collector. *)
+let fold_sim_stats profile ~latency ~energy (s : Camsim.Stats.t) =
+  Instrument.Collect.set_sim profile
+    {
+      Instrument.Profile.sim_latency_s = latency;
+      sim_energy_j = energy;
+      e_search = s.e_search;
+      e_write = s.e_write;
+      e_merge = s.e_merge;
+      e_select = s.e_select;
+      e_overhead = s.e_overhead;
+      search_ops = s.n_search_ops;
+      query_cycles = s.n_query_cycles;
+      write_ops = s.n_write_ops;
+      banks = s.n_banks;
+      mats = s.n_mats;
+      arrays = s.n_arrays;
+      subarrays = s.n_subarrays;
+    }
+
+let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
   let sim =
     Camsim.Simulator.create ?tech ?defect_rate ?defect_seed ?trace c.spec
   in
@@ -192,6 +221,7 @@ let run_cam ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
   let stats = Camsim.Simulator.stats sim in
   let energy = Camsim.Stats.total_energy stats in
   let latency = outcome.latency in
+  Option.iter (fun p -> fold_sim_stats p ~latency ~energy stats) profile;
   let values, indices, scores =
     match (c.info.output, outcome.results) with
     | `Topk, [ v; i ] ->

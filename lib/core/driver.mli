@@ -33,11 +33,17 @@ exception Compile_error of string
 val clone_module : Ir.Func_ir.modul -> Ir.Func_ir.modul
 (** Deep copy via print/parse (passes mutate IR in place). *)
 
-val compile : spec:Archspec.Spec.t -> string -> compiled
-(** @raise Compile_error wrapping frontend/pass failures. *)
+val compile :
+  ?profile:Instrument.Collect.t -> spec:Archspec.Spec.t -> string -> compiled
+(** @raise Compile_error wrapping frontend/pass failures.
+
+    With [profile], the frontend is timed and every pass records its
+    duration, op-count deltas and rewrite counters into the collector
+    (see {!Ir.Pass.run} and [docs/OBSERVABILITY.md]). *)
 
 val compile_traced :
-  spec:Archspec.Spec.t -> string -> compiled * (string * string) list
+  ?profile:Instrument.Collect.t -> spec:Archspec.Spec.t -> string ->
+  compiled * (string * string) list
 (** Like {!compile}, additionally returning the printed IR after the
     frontend and after every pass — the full lowering story of
     Figures 4-6, one snapshot per pass. *)
@@ -57,12 +63,15 @@ type run_result = {
 }
 
 val run_cam :
+  ?profile:Instrument.Collect.t ->
   ?tech:Camsim.Tech.t -> ?defect_rate:float -> ?defect_seed:int ->
   ?trace:Camsim.Trace.t -> compiled -> queries:float array array ->
   stored:float array array -> run_result
 (** Execute the cam-level module on a fresh simulator. [queries] are
     [q] rows of [d] values; [stored] are [n] rows. [defect_rate] and
-    [trace] are forwarded to {!Camsim.Simulator.create}. *)
+    [trace] are forwarded to {!Camsim.Simulator.create}. With [profile],
+    the run's latency, energy breakdown and activity counters are folded
+    into the collector's simulator section. *)
 
 (** {1 The crossbar target} — Figure 3's sibling device branch: a
     single-matmul kernel mapped onto resistive-crossbar tiles instead of

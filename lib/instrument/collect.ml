@@ -1,0 +1,53 @@
+type t = {
+  created : float;
+  mutable frontend_s : float;
+  mutable rev_passes : Profile.pass_entry list;
+  table : (string, int) Hashtbl.t;
+  mutable sim : Profile.sim option;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create () =
+  {
+    created = now ();
+    frontend_s = 0.;
+    rev_passes = [];
+    table = Hashtbl.create 16;
+    sim = None;
+  }
+
+let record_pass t entry = t.rev_passes <- entry :: t.rev_passes
+let set_frontend t s = t.frontend_s <- s
+let set_sim t s = t.sim <- Some s
+
+let bump ?(n = 1) t name =
+  Hashtbl.replace t.table name
+    (n + Option.value ~default:0 (Hashtbl.find_opt t.table name))
+
+let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.table name)
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let profile t =
+  {
+    Profile.frontend_s = t.frontend_s;
+    total_s = Float.max 0. (now () -. t.created);
+    passes = List.rev t.rev_passes;
+    rewrites = counters t;
+    sim = t.sim;
+  }
+
+(* ---- ambient collector ------------------------------------------------ *)
+
+let current : t option ref = ref None
+
+let with_current c f =
+  let saved = !current in
+  current := c;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let note ?n name =
+  match !current with None -> () | Some t -> bump ?n t name

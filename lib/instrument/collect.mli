@@ -1,0 +1,48 @@
+(** The mutable profile collector threaded through the compiler.
+
+    A collector is created by whoever wants a profile (the CLI, the
+    bench harness, a test), handed to [Driver.compile ?profile] /
+    [Ir.Pass.run_pipeline ?profile], and snapshotted with {!profile}
+    when done.
+
+    Rewrite-rule counters use an ambient current collector so that deep
+    rewriting code ([Ir.Rewriter], the fusion rules) can report without
+    every helper growing a parameter: the pass manager installs the
+    collector around each pass body with {!with_current}, and {!note} is
+    a no-op when no collector is installed (i.e. profiling is off). *)
+
+type t
+
+val create : unit -> t
+(** Also records the creation time; {!profile} reports [total_s]
+    relative to it. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val record_pass : t -> Profile.pass_entry -> unit
+(** Append a pass entry (entries are returned in insertion order). *)
+
+val set_frontend : t -> float -> unit
+val set_sim : t -> Profile.sim -> unit
+
+val bump : ?n:int -> t -> string -> unit
+(** Increment a named counter (default by 1). *)
+
+val counter : t -> string -> int
+(** Current value, 0 when never bumped. *)
+
+val counters : t -> (string * int) list
+(** Sorted snapshot of all counters. *)
+
+val profile : t -> Profile.t
+(** Immutable snapshot; the collector stays usable afterwards. *)
+
+(** {1 Ambient collector} *)
+
+val with_current : t option -> (unit -> 'a) -> 'a
+(** Install the collector as ambient for the duration of the callback
+    (exception-safe; restores the previous one). [None] uninstalls. *)
+
+val note : ?n:int -> string -> unit
+(** {!bump} on the ambient collector; no-op when none is installed. *)

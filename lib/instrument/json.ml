@@ -1,0 +1,282 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Parse_error of string * int
+
+(* ---- serialization ---------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form that parses back to the same float, with a
+   guaranteed '.', 'e' or non-finite marker so the parser reads it back
+   as a Float and not an Int. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let to_string ?(pretty = true) json =
+  let buf = Buffer.create 256 in
+  let nl indent =
+    if pretty then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ')
+    end
+  in
+  let rec go indent = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (indent + 2);
+            go (indent + 2) item)
+          items;
+        nl indent;
+        Buffer.add_char buf ']'
+    | Assoc [] -> Buffer.add_string buf "{}"
+    | Assoc fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (indent + 2);
+            escape_string buf k;
+            Buffer.add_string buf (if pretty then ": " else ":");
+            go (indent + 2) v)
+          fields;
+        nl indent;
+        Buffer.add_char buf '}'
+  in
+  go 0 json;
+  if pretty then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (msg, st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.equal (String.sub st.src st.pos n) word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st ("expected " ^ word)
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            st.pos <- st.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  error st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> error st "bad \\u escape"
+                in
+                st.pos <- st.pos + 4;
+                (* We only ever emit \u for control characters; decode
+                   the latin-1 range and substitute beyond it. *)
+                if code < 256 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_char buf '?'
+            | _ -> error st "unknown escape");
+            go ())
+    | Some c ->
+        st.pos <- st.pos + 1;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error st ("bad number " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> error st ("bad number " ^ text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error st "expected ',' or ']'"
+        in
+        List (items [])
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Assoc []
+      end
+      else
+        let field () =
+          skip_ws st;
+          let k = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              fields (kv :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              List.rev (kv :: acc)
+          | _ -> error st "expected ',' or '}'"
+        in
+        Assoc (fields [])
+  | Some _ -> parse_number st
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then error st "trailing input";
+  v
+
+(* ---- accessors -------------------------------------------------------- *)
+
+let shape_error what json =
+  let kind =
+    match json with
+    | Null -> "null"
+    | Bool _ -> "bool"
+    | Int _ -> "int"
+    | Float _ -> "float"
+    | String _ -> "string"
+    | List _ -> "list"
+    | Assoc _ -> "object"
+  in
+  failwith (Printf.sprintf "Json: expected %s, got %s" what kind)
+
+let member_opt key = function
+  | Assoc fields -> List.assoc_opt key fields
+  | j -> shape_error "object" j
+
+let member key json =
+  match member_opt key json with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Json: missing field %S" key)
+
+let to_list = function List l -> l | j -> shape_error "list" j
+let get_string = function String s -> s | j -> shape_error "string" j
+let get_int = function Int i -> i | j -> shape_error "int" j
+
+let get_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | j -> shape_error "number" j
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,42 @@
+(** A minimal JSON tree with a serializer and a parser — just enough for
+    the observability layer ({!Profile} files, [BENCH_smoke.json]) without
+    pulling in an external dependency. The parser accepts everything the
+    serializer emits, so profiles round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Parse_error of string * int
+(** Message and character offset. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** With [pretty] (default [true]) objects and lists are indented two
+    spaces per level. Non-finite floats serialize as [null]. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} — all raise [Failure] with a descriptive message on a
+    shape mismatch, so callers (the regression checker) fail loudly. *)
+
+val member : string -> t -> t
+(** Field of an [Assoc]. *)
+
+val member_opt : string -> t -> t option
+
+val to_list : t -> t list
+val get_string : t -> string
+val get_int : t -> int
+
+val get_float : t -> float
+(** Accepts [Int] too (JSON does not distinguish). *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Assoc] fields are order-sensitive, numbers
+    compare as written ([Int 1] <> [Float 1.]). *)

@@ -1,0 +1,190 @@
+type pass_entry = {
+  pass_name : string;
+  duration_s : float;
+  ops_before : int;
+  ops_after : int;
+  dialects_before : (string * int) list;
+  dialects_after : (string * int) list;
+  rewrites : (string * int) list;
+}
+
+type sim = {
+  sim_latency_s : float;
+  sim_energy_j : float;
+  e_search : float;
+  e_write : float;
+  e_merge : float;
+  e_select : float;
+  e_overhead : float;
+  search_ops : int;
+  query_cycles : int;
+  write_ops : int;
+  banks : int;
+  mats : int;
+  arrays : int;
+  subarrays : int;
+}
+
+type t = {
+  frontend_s : float;
+  total_s : float;
+  passes : pass_entry list;
+  rewrites : (string * int) list;
+  sim : sim option;
+}
+
+(* ---- JSON ------------------------------------------------------------- *)
+
+let counts_to_json counts =
+  Json.Assoc (List.map (fun (k, n) -> (k, Json.Int n)) counts)
+
+let counts_of_json json =
+  match json with
+  | Json.Assoc fields -> List.map (fun (k, v) -> (k, Json.get_int v)) fields
+  | _ -> failwith "Json: expected a counter object"
+
+let pass_to_json (p : pass_entry) =
+  Json.Assoc
+    [
+      ("pass", Json.String p.pass_name);
+      ("duration_s", Json.Float p.duration_s);
+      ("ops_before", Json.Int p.ops_before);
+      ("ops_after", Json.Int p.ops_after);
+      ("dialects_before", counts_to_json p.dialects_before);
+      ("dialects_after", counts_to_json p.dialects_after);
+      ("rewrites", counts_to_json p.rewrites);
+    ]
+
+let pass_of_json json =
+  {
+    pass_name = Json.get_string (Json.member "pass" json);
+    duration_s = Json.get_float (Json.member "duration_s" json);
+    ops_before = Json.get_int (Json.member "ops_before" json);
+    ops_after = Json.get_int (Json.member "ops_after" json);
+    dialects_before = counts_of_json (Json.member "dialects_before" json);
+    dialects_after = counts_of_json (Json.member "dialects_after" json);
+    rewrites = counts_of_json (Json.member "rewrites" json);
+  }
+
+let sim_to_json (s : sim) =
+  Json.Assoc
+    [
+      ("latency_s", Json.Float s.sim_latency_s);
+      ("energy_j", Json.Float s.sim_energy_j);
+      ("e_search", Json.Float s.e_search);
+      ("e_write", Json.Float s.e_write);
+      ("e_merge", Json.Float s.e_merge);
+      ("e_select", Json.Float s.e_select);
+      ("e_overhead", Json.Float s.e_overhead);
+      ("search_ops", Json.Int s.search_ops);
+      ("query_cycles", Json.Int s.query_cycles);
+      ("write_ops", Json.Int s.write_ops);
+      ("banks", Json.Int s.banks);
+      ("mats", Json.Int s.mats);
+      ("arrays", Json.Int s.arrays);
+      ("subarrays", Json.Int s.subarrays);
+    ]
+
+let sim_of_json json =
+  {
+    sim_latency_s = Json.get_float (Json.member "latency_s" json);
+    sim_energy_j = Json.get_float (Json.member "energy_j" json);
+    e_search = Json.get_float (Json.member "e_search" json);
+    e_write = Json.get_float (Json.member "e_write" json);
+    e_merge = Json.get_float (Json.member "e_merge" json);
+    e_select = Json.get_float (Json.member "e_select" json);
+    e_overhead = Json.get_float (Json.member "e_overhead" json);
+    search_ops = Json.get_int (Json.member "search_ops" json);
+    query_cycles = Json.get_int (Json.member "query_cycles" json);
+    write_ops = Json.get_int (Json.member "write_ops" json);
+    banks = Json.get_int (Json.member "banks" json);
+    mats = Json.get_int (Json.member "mats" json);
+    arrays = Json.get_int (Json.member "arrays" json);
+    subarrays = Json.get_int (Json.member "subarrays" json);
+  }
+
+let to_json t =
+  Json.Assoc
+    ([
+       ("frontend_s", Json.Float t.frontend_s);
+       ("total_s", Json.Float t.total_s);
+       ("passes", Json.List (List.map pass_to_json t.passes));
+       ("rewrites", counts_to_json t.rewrites);
+     ]
+    @ match t.sim with None -> [] | Some s -> [ ("sim", sim_to_json s) ])
+
+let of_json json =
+  {
+    frontend_s = Json.get_float (Json.member "frontend_s" json);
+    total_s = Json.get_float (Json.member "total_s" json);
+    passes = List.map pass_of_json (Json.to_list (Json.member "passes" json));
+    rewrites = counts_of_json (Json.member "rewrites" json);
+    sim = Option.map sim_of_json (Json.member_opt "sim" json);
+  }
+
+(* ---- the human-readable report ---------------------------------------- *)
+
+let table ~headers rows =
+  let cols = List.length headers in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth headers i))
+      rows
+  in
+  let widths = List.init cols width in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths cells)
+  in
+  let sep = List.map (fun w -> String.make w '-') widths in
+  String.concat "\n" (line headers :: line sep :: List.map line rows) ^ "\n"
+
+let fmt_duration s =
+  if s < 1e-3 then Printf.sprintf "%.1f us" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.2f s" s
+
+let fmt_counts counts =
+  String.concat " "
+    (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) counts)
+
+let to_table t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "compile profile: frontend %s, total %s\n\n"
+       (fmt_duration t.frontend_s) (fmt_duration t.total_s));
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.pass_name;
+          fmt_duration p.duration_s;
+          string_of_int p.ops_before;
+          string_of_int p.ops_after;
+          Printf.sprintf "%+d" (p.ops_after - p.ops_before);
+          fmt_counts p.rewrites;
+        ])
+      t.passes
+  in
+  Buffer.add_string buf
+    (table ~headers:[ "pass"; "duration"; "ops in"; "ops out"; "delta"; "rewrites" ] rows);
+  if t.rewrites <> [] then begin
+    Buffer.add_string buf "\nrewrite totals:\n";
+    List.iter
+      (fun (k, n) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k n))
+      t.rewrites
+  end;
+  (match t.sim with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nsimulator: latency %.3e s, energy %.3e J (search %.3e, write \
+            %.3e, merge %.3e, select %.3e, overhead %.3e)\n\
+            \  %d searches (%d query cycles), %d writes; %d banks, %d mats, \
+            %d arrays, %d subarrays\n"
+           s.sim_latency_s s.sim_energy_j s.e_search s.e_write s.e_merge
+           s.e_select s.e_overhead s.search_ops s.query_cycles s.write_ops
+           s.banks s.mats s.arrays s.subarrays));
+  Buffer.contents buf

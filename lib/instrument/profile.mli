@@ -1,0 +1,54 @@
+(** The immutable compilation/execution profile assembled by a
+    {!Collect.t} collector: per-pass wall-clock timings and IR deltas,
+    rewrite-rule application counters, and (when the compiled kernel was
+    executed) the simulator-side activity ledger.
+
+    This module is deliberately dependency-free: the IR and simulator
+    layers report plain strings, ints and floats into it, so [instrument]
+    sits below every other library in the build graph. *)
+
+type pass_entry = {
+  pass_name : string;
+  duration_s : float;  (** wall-clock, non-negative *)
+  ops_before : int;  (** total op count (nested included) entering *)
+  ops_after : int;
+  dialects_before : (string * int) list;  (** op count per dialect, sorted *)
+  dialects_after : (string * int) list;
+  rewrites : (string * int) list;
+      (** rewrite-rule counters that fired during this pass, sorted *)
+}
+
+(** Simulator activity, folded in from [Camsim.Stats] by the driver. *)
+type sim = {
+  sim_latency_s : float;
+  sim_energy_j : float;
+  e_search : float;
+  e_write : float;
+  e_merge : float;
+  e_select : float;
+  e_overhead : float;
+  search_ops : int;
+  query_cycles : int;
+  write_ops : int;
+  banks : int;
+  mats : int;
+  arrays : int;
+  subarrays : int;
+}
+
+type t = {
+  frontend_s : float;  (** TorchScript parse + emit time *)
+  total_s : float;  (** collector creation to snapshot *)
+  passes : pass_entry list;  (** in execution order *)
+  rewrites : (string * int) list;  (** totals across the whole run, sorted *)
+  sim : sim option;
+}
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Inverse of {!to_json}. @raise Failure on a shape mismatch. *)
+
+val to_table : t -> string
+(** Human-readable report: a fixed-width per-pass table (duration, op
+    counts, delta, rewrites) followed by rewrite totals and the simulator
+    section when present. *)

@@ -27,3 +27,17 @@ let num_ops m =
     (fun acc f ->
       List.fold_left (fun acc o -> acc + Op.num_ops o) acc f.fn_body.body)
     0 m.funcs
+
+let dialect_op_counts m =
+  let tbl = Hashtbl.create 8 in
+  let rec go (o : Op.t) =
+    let d = Op.dialect o in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d));
+    List.iter
+      (fun (r : Op.region) ->
+        List.iter (fun (b : Op.block) -> List.iter go b.body) r.blocks)
+      o.regions
+  in
+  List.iter (fun f -> List.iter go f.fn_body.body) m.funcs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

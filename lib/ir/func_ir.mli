@@ -18,3 +18,7 @@ val find_func_exn : modul -> string -> func
 val map_funcs : (func -> func) -> modul -> modul
 val num_ops : modul -> int
 (** Total op count over all functions (nested ops included). *)
+
+val dialect_op_counts : modul -> (string * int) list
+(** Op count per dialect prefix (nested ops included), sorted by
+    dialect name — the per-pass IR-delta metric of the profiler. *)

@@ -5,26 +5,62 @@ exception Pass_error of string * string
 let make pass_name run = { pass_name; run }
 let fail ~pass msg = raise (Pass_error (pass, msg))
 
-let run ?(verify = true) pass m =
-  let m' = pass.run m in
-  if verify then (
-    match Verifier.verify_module ~strict:false m' with
-    | Ok () -> ()
-    | Error e ->
-        raise (Pass_error (pass.pass_name, Verifier.error_to_string e)));
+let verify_after pass m' =
+  match Verifier.verify_module ~strict:false m' with
+  | Ok () -> ()
+  | Error e -> raise (Pass_error (pass.pass_name, Verifier.error_to_string e))
+
+(* Counter deltas between two sorted snapshots, for attributing rewrite
+   activity to the pass that caused it. *)
+let counter_delta before after =
+  List.filter_map
+    (fun (name, n) ->
+      let n0 = Option.value ~default:0 (List.assoc_opt name before) in
+      if n > n0 then Some (name, n - n0) else None)
+    after
+
+let run_profiled profile pass m =
+  let ops_before = Func_ir.num_ops m in
+  let dialects_before = Func_ir.dialect_op_counts m in
+  let counters_before = Instrument.Collect.counters profile in
+  let t0 = Instrument.Collect.now () in
+  let m' =
+    Instrument.Collect.with_current (Some profile) (fun () -> pass.run m)
+  in
+  let duration_s = Float.max 0. (Instrument.Collect.now () -. t0) in
+  Instrument.Collect.record_pass profile
+    {
+      Instrument.Profile.pass_name = pass.pass_name;
+      duration_s;
+      ops_before;
+      ops_after = Func_ir.num_ops m';
+      dialects_before;
+      dialects_after = Func_ir.dialect_op_counts m';
+      rewrites =
+        counter_delta counters_before (Instrument.Collect.counters profile);
+    };
   m'
 
-let run_pipeline ?verify passes m =
-  List.fold_left (fun m pass -> run ?verify pass m) m passes
+let run ?(verify = true) ?profile pass m =
+  let m' =
+    match profile with
+    | None -> pass.run m
+    | Some p -> run_profiled p pass m
+  in
+  if verify then verify_after pass m';
+  m'
+
+let run_pipeline ?verify ?profile passes m =
+  List.fold_left (fun m pass -> run ?verify ?profile pass m) m passes
 
 type trace_entry = { after_pass : string; ir_text : string }
 
-let run_pipeline_traced ?verify passes m =
+let run_pipeline_traced ?verify ?profile passes m =
   let trace = ref [] in
   let m' =
     List.fold_left
       (fun m pass ->
-        let m' = run ?verify pass m in
+        let m' = run ?verify ?profile pass m in
         trace :=
           { after_pass = pass.pass_name;
             ir_text = Printer.module_to_string m' }

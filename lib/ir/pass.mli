@@ -1,5 +1,6 @@
 (** Pass manager: named module-to-module transformations composed into
-    pipelines, optionally verifying the IR after each pass. *)
+    pipelines, optionally verifying the IR after each pass and optionally
+    profiling each pass into an {!Instrument.Collect.t} collector. *)
 
 type t = { pass_name : string; run : Func_ir.modul -> Func_ir.modul }
 
@@ -11,15 +12,25 @@ val make : string -> (Func_ir.modul -> Func_ir.modul) -> t
 val fail : pass:string -> string -> 'a
 (** Raise {!Pass_error} from inside a pass body. *)
 
-val run : ?verify:bool -> t -> Func_ir.modul -> Func_ir.modul
+val run : ?verify:bool -> ?profile:Instrument.Collect.t -> t ->
+  Func_ir.modul -> Func_ir.modul
 (** Run a single pass; with [verify] (default [true]) the result module
-    is verified (non-strict: unregistered ops are allowed). *)
+    is verified (non-strict: unregistered ops are allowed).
 
-val run_pipeline : ?verify:bool -> t list -> Func_ir.modul -> Func_ir.modul
+    With [profile], the pass body is timed (wall-clock), total and
+    per-dialect op counts are recorded before and after, and any
+    rewrite-rule counters bumped during the body (the collector is
+    installed as ambient, see {!Instrument.Collect.with_current}) are
+    attributed to the pass. Verification time is not charged to the
+    pass. *)
+
+val run_pipeline : ?verify:bool -> ?profile:Instrument.Collect.t ->
+  t list -> Func_ir.modul -> Func_ir.modul
 
 type trace_entry = { after_pass : string; ir_text : string }
 
 val run_pipeline_traced :
-  ?verify:bool -> t list -> Func_ir.modul -> Func_ir.modul * trace_entry list
+  ?verify:bool -> ?profile:Instrument.Collect.t -> t list ->
+  Func_ir.modul -> Func_ir.modul * trace_entry list
 (** Like {!run_pipeline} but also records the printed IR after every
     pass (used by the CLI's [--dump] mode and by the IR-stages bench). *)

@@ -19,13 +19,23 @@ let matches_at (ops : Op.t array) i (n : node) =
          | Res j -> j < i && op_uses_result_of op ops.(j))
        n.node_uses
 
+(* A human-readable key for a pattern, used to label the match counters:
+   the op names joined by '+'. *)
+let pattern_key pattern =
+  String.concat "+" (List.map (fun n -> n.node_op) pattern)
+
 let similar_dfg ops pattern =
-  List.length ops = List.length pattern
-  &&
-  let arr = Array.of_list ops in
-  List.for_all
-    (fun (i, n) -> matches_at arr i n)
-    (List.mapi (fun i n -> (i, n)) pattern)
+  let matched =
+    List.length ops = List.length pattern
+    &&
+    let arr = Array.of_list ops in
+    List.for_all
+      (fun (i, n) -> matches_at arr i n)
+      (List.mapi (fun i n -> (i, n)) pattern)
+  in
+  if matched then
+    Instrument.Collect.note ("rewriter.similar-dfg." ^ pattern_key pattern);
+  matched
 
 let match_prefix ops pattern =
   let k = List.length pattern in
@@ -36,5 +46,7 @@ let match_prefix ops pattern =
         else Option.map (fun l -> x :: l) (take (n - 1) rest)
   in
   match take k ops with
-  | Some prefix when similar_dfg prefix pattern -> Some prefix
+  | Some prefix when similar_dfg prefix pattern ->
+      Instrument.Collect.note ("rewriter.match-prefix." ^ pattern_key pattern);
+      Some prefix
   | _ -> None

@@ -17,7 +17,10 @@ val node : string -> operand_ref list -> node
 
 val similar_dfg : Op.t list -> pattern -> bool
 (** [similar_dfg ops pattern] implements the paper's [similarDFG]: exact
-    length match plus per-node name and dataflow checks. *)
+    length match plus per-node name and dataflow checks. A successful
+    match bumps the ambient profile counter
+    [rewriter.similar-dfg.<op+op+...>] (see {!Instrument.Collect.note});
+    a no-op when profiling is off. *)
 
 val match_prefix : Op.t list -> pattern -> Op.t list option
 (** Match the pattern against the first [length pattern] ops of the

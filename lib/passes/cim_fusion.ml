@@ -137,6 +137,8 @@ let fuse_function (fn : Ir.Func_ir.func) =
         emit ops.(!i);
         incr i
     | _ :: _ ->
+        Instrument.Collect.note ~n:(List.length run)
+          "cim-fuse-blocks.merged-triples";
         List.iter emit (merge_run run used_from.(!j));
         i := !j
   done;
@@ -203,6 +205,12 @@ let rewrite_execute (exec : Ir.Op.t) =
   match similarity_matching (body @ [ yield_op ]) with
   | None -> ()
   | Some kind ->
+      Instrument.Collect.note
+        ("cim-fuse-similarity."
+        ^ match kind with
+          | `Dot -> "dot"
+          | `Eucl -> "euclidean"
+          | `Cosine -> "cosine");
       let mk ~query ~stored ~attrs ~results name =
         let sim =
           Ir.Op.create ~operands:[ query; stored ] ~attrs ~results name

@@ -1,0 +1,192 @@
+(* The observability layer: per-pass profiling in the pass manager,
+   rewrite counters, simulator folding and the JSON serializer. *)
+
+open Instrument
+
+let spec = Tutil.spec32
+let src = Tutil.hdc_source ~q:8 ~dims:128 ~classes:10 ~k:1 ()
+
+let compiled_profile () =
+  let c = Collect.create () in
+  let compiled = C4cam.Driver.compile ~profile:c ~spec src in
+  (compiled, c)
+
+(* Pass timings are non-negative and there is one entry per pipeline
+   pass, in pipeline order. *)
+let test_pass_coverage () =
+  let _, c = compiled_profile () in
+  let p = Collect.profile c in
+  let expected =
+    [
+      "torch-to-cim"; "cim-fuse-ops"; "canonicalize"; "cim-partition";
+      "cam-map"; "canonicalize";
+    ]
+  in
+  Alcotest.(check (list string))
+    "one entry per pipeline pass" expected
+    (List.map (fun (e : Profile.pass_entry) -> e.pass_name) p.passes);
+  List.iter
+    (fun (e : Profile.pass_entry) ->
+      Alcotest.(check bool)
+        (e.pass_name ^ " duration non-negative")
+        true (e.duration_s >= 0.))
+    p.passes;
+  Alcotest.(check bool) "frontend timed" true (p.frontend_s >= 0.);
+  Alcotest.(check bool) "total covers the run" true (p.total_s >= 0.)
+
+(* Op-count deltas: run a single pass over a hand-built module and check
+   the recorded counts against Func_ir.num_ops on both sides. *)
+let test_op_deltas_hand_built () =
+  (* one live producer, one dead pure op (arith. is a pure prefix for
+     dce), one impure sink keeping the producer alive *)
+  let m =
+    Ir.Builder.build (fun b ->
+        let x = Ir.Builder.op1 b "arith.one" Ir.Types.Index in
+        let _dead = Ir.Builder.op1 b "arith.two" Ir.Types.Index in
+        Ir.Builder.op0 b ~operands:[ x ] "a.sink")
+  in
+  let modul =
+    Ir.Func_ir.modul [ Ir.Func_ir.func "f" ~args:[] ~ret:[] m ]
+  in
+  let before = Ir.Func_ir.num_ops modul in
+  Alcotest.(check int) "hand-built module has 3 ops" 3 before;
+  let c = Collect.create () in
+  let after_m =
+    Ir.Pass.run ~verify:false ~profile:c Passes.Canonicalize.dce modul
+  in
+  let p = Collect.profile c in
+  match p.passes with
+  | [ e ] ->
+      Alcotest.(check string) "pass name" "dce" e.pass_name;
+      Alcotest.(check int) "ops_before" before e.ops_before;
+      Alcotest.(check int) "ops_after" (Ir.Func_ir.num_ops after_m) e.ops_after;
+      Alcotest.(check int) "dce removed the dead op" (before - 1) e.ops_after;
+      Alcotest.(check (list (pair string int)))
+        "dialect counts before"
+        [ ("a", 1); ("arith", 2) ]
+        e.dialects_before;
+      Alcotest.(check (list (pair string int)))
+        "dialect counts after"
+        [ ("a", 1); ("arith", 1) ]
+        e.dialects_after
+  | entries ->
+      Alcotest.failf "expected exactly one pass entry, got %d"
+        (List.length entries)
+
+(* Rewrite counters fire under cim-fuse-ops and are attributed to it. *)
+let test_rewrite_counters () =
+  let _, c = compiled_profile () in
+  let p = Collect.profile c in
+  let fuse =
+    List.find
+      (fun (e : Profile.pass_entry) -> e.pass_name = "cim-fuse-ops")
+      p.passes
+  in
+  Alcotest.(check bool)
+    "similarity rule fired" true
+    (List.assoc_opt "cim-fuse-similarity.dot" fuse.rewrites = Some 1);
+  Alcotest.(check bool)
+    "block merges counted" true
+    (match List.assoc_opt "cim-fuse-blocks.merged-triples" fuse.rewrites with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check bool)
+    "the generic similar-dfg counter fired too" true
+    (List.exists
+       (fun (name, n) ->
+         String.length name >= 8
+         && String.sub name 0 8 = "rewriter"
+         && n > 0)
+       p.rewrites);
+  (* counters outside the matching pass stay zero *)
+  let partition =
+    List.find
+      (fun (e : Profile.pass_entry) -> e.pass_name = "cim-partition")
+      p.passes
+  in
+  Alcotest.(check (list (pair string int)))
+    "no rewrites attributed to cim-partition" [] partition.rewrites
+
+(* run_cam folds the simulator ledger into the same collector. *)
+let test_sim_fold () =
+  let compiled, c = compiled_profile () in
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~dims:128 ~n_classes:10 ~n_queries:8
+      ~bits:1 ()
+  in
+  let r =
+    C4cam.Driver.run_cam ~profile:c compiled ~queries:data.queries
+      ~stored:data.stored
+  in
+  let p = Collect.profile c in
+  match p.sim with
+  | None -> Alcotest.fail "expected a simulator section"
+  | Some s ->
+      Tutil.check_float "latency" r.latency s.sim_latency_s;
+      Tutil.check_float "energy" r.energy s.sim_energy_j;
+      Alcotest.(check bool) "searches counted" true (s.search_ops > 0);
+      Alcotest.(check bool) "subarrays allocated" true (s.subarrays > 0)
+
+(* The JSON output round-trips through the minimal reader, both at the
+   Json tree level and through Profile.of_json. *)
+let test_json_roundtrip () =
+  let compiled, c = compiled_profile () in
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~dims:128 ~n_classes:10 ~n_queries:8
+      ~bits:1 ()
+  in
+  ignore
+    (C4cam.Driver.run_cam ~profile:c compiled ~queries:data.queries
+       ~stored:data.stored);
+  let p = Collect.profile c in
+  let j = Profile.to_json p in
+  let reparsed = Json.parse (Json.to_string j) in
+  Alcotest.(check bool) "tree round-trips" true (Json.equal j reparsed);
+  let p' = Profile.of_json reparsed in
+  Alcotest.(check bool)
+    "profile round-trips" true
+    (Json.equal j (Profile.to_json p'));
+  (* compact form parses identically *)
+  Alcotest.(check bool)
+    "compact form too" true
+    (Json.equal j (Json.parse (Json.to_string ~pretty:false j)))
+
+(* The parser handles the corner cases the serializer can emit. *)
+let test_json_corners () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 1e-300;
+      Json.Float (-0.1);
+      Json.String "quote \" backslash \\ newline \n tab \t end";
+      Json.List [ Json.Int 1; Json.List []; Json.Assoc [] ];
+      Json.Assoc [ ("k", Json.String "v"); ("n", Json.Float 3.5) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        ("round-trip " ^ Json.to_string ~pretty:false j)
+        true
+        (Json.equal j (Json.parse (Json.to_string j))))
+    samples;
+  (* non-finite floats degrade to null rather than emitting invalid JSON *)
+  Alcotest.(check bool)
+    "nan serializes as null" true
+    (Json.equal Json.Null (Json.parse (Json.to_string (Json.Float Float.nan))))
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "observability",
+        [
+          Alcotest.test_case "pass coverage" `Quick test_pass_coverage;
+          Alcotest.test_case "op deltas" `Quick test_op_deltas_hand_built;
+          Alcotest.test_case "rewrite counters" `Quick test_rewrite_counters;
+          Alcotest.test_case "sim fold" `Quick test_sim_fold;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json corners" `Quick test_json_corners;
+        ] );
+    ]
