@@ -585,8 +585,12 @@ let accuracy () =
    seconds; bench/check_regression.ml diffs the emitted JSON against
    bench/baseline.json. *)
 
-let smoke ?json () =
+let smoke ?json ?jobs () =
   section "smoke: fast deterministic suite (the CI regression gate)";
+  Parallel.run ?jobs @@ fun pool ->
+  let jobs = Parallel.jobs pool in
+  let wall_start = Instrument.Collect.now () in
+  Printf.printf "jobs: %d\n" jobs;
   let data =
     Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:2048 ~n_classes:10
       ~n_queries:64 ~bits:1 ()
@@ -621,6 +625,30 @@ let smoke ?json () =
           ~train ~queries ~labels ~k:7 () );
     ]
   in
+  (* The DSE sweep workload: 12 candidate configurations evaluated
+     through Dse.hdc_sweep, i.e. across the domain pool when jobs > 1.
+     Its wall-clock is the speedup demonstrator; every simulated metric
+     and counter below must stay byte-identical for any jobs value. *)
+  let dse_specs =
+    List.concat_map
+      (fun side ->
+        List.map
+          (fun opt -> Archspec.Spec.square side opt)
+          Archspec.Spec.[ Base; Power; Density; Power_density ])
+      [ 16; 32; 64 ]
+  in
+  let dse_start = Instrument.Collect.now () in
+  let dse_ms = C4cam.Dse.hdc_sweep ~specs:dse_specs ~data () in
+  let dse_wall = Instrument.Collect.now () -. dse_start in
+  let dse_workloads =
+    List.map2
+      (fun (spec : Archspec.Spec.t) m ->
+        ( Printf.sprintf "dse-%dx%d-%s" spec.rows spec.cols
+            (Archspec.Spec.optimization_to_string spec.optimization),
+          m ))
+      dse_specs dse_ms
+  in
+  let workloads = workloads @ dse_workloads in
   print_string
     (C4cam.Report.table
        ~headers:[ "workload"; "latency"; "energy"; "power"; "accuracy" ]
@@ -634,8 +662,11 @@ let smoke ?json () =
               Printf.sprintf "%.4f" m.accuracy;
             ])
           workloads));
+  Printf.printf "\ndse sweep: %d candidates in %.3f s wall-clock (jobs=%d)\n"
+    (List.length dse_specs) dse_wall jobs;
   (* compile-time breakdown of the reference HDC kernel, end-to-end *)
   let collector = Instrument.Collect.create () in
+  Instrument.Collect.set_jobs collector jobs;
   let c =
     C4cam.Driver.compile ~profile:collector
       ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
@@ -661,12 +692,20 @@ let smoke ?json () =
             ("accuracy", Instrument.Json.Float m.accuracy);
             ("subarrays", Instrument.Json.Int m.subarrays);
             ("banks", Instrument.Json.Int m.banks);
+            ("search_ops", Instrument.Json.Int m.search_ops);
+            ("query_cycles", Instrument.Json.Int m.query_cycles);
+            ("write_ops", Instrument.Json.Int m.write_ops);
           ]
       in
       let doc =
         Instrument.Json.Assoc
           [
             ("schema_version", Instrument.Json.Int 1);
+            ("jobs", Instrument.Json.Int jobs);
+            ( "wall_clock_s",
+              Instrument.Json.Float (Instrument.Collect.now () -. wall_start)
+            );
+            ("dse_wall_clock_s", Instrument.Json.Float dse_wall);
             ( "workloads",
               Instrument.Json.List (List.map workload_json workloads) );
             ("compile", Instrument.Profile.to_json profile);
@@ -762,14 +801,25 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) all_sections
-  | "smoke" :: rest -> (
-      match rest with
-      | [] -> smoke ()
-      | [ "--json" ] -> smoke ~json:"BENCH_smoke.json" ()
-      | [ "--json"; file ] -> smoke ~json:file ()
-      | _ ->
-          prerr_endline "usage: main.exe -- smoke [--json [FILE]]";
-          exit 2)
+  | "smoke" :: rest ->
+      let usage () =
+        prerr_endline "usage: main.exe -- smoke [--json [FILE]] [--jobs N]";
+        exit 2
+      in
+      let starts_dash s = String.length s >= 2 && String.sub s 0 2 = "--" in
+      let rec parse json jobs = function
+        | [] -> (json, jobs)
+        | "--json" :: f :: tl when not (starts_dash f) ->
+            parse (Some f) jobs tl
+        | "--json" :: tl -> parse (Some "BENCH_smoke.json") jobs tl
+        | "--jobs" :: n :: tl -> (
+            match int_of_string_opt n with
+            | Some n -> parse json (Some n) tl
+            | None -> usage ())
+        | _ -> usage ()
+      in
+      let json, jobs = parse None None rest in
+      smoke ?json ?jobs ()
   | names ->
       List.iter
         (fun name ->

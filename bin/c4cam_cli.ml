@@ -66,6 +66,19 @@ let classes_arg =
     value & opt int 10
     & info [ "classes"; "c" ] ~docv:"N" ~doc:"Stored pattern count.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Domain-pool width for parallel simulation and sweeps \
+              (default: the C4CAM_JOBS environment variable, else 1; \
+              results are identical for any value).")
+
+(* --jobs N > 0 wins; otherwise fall back to C4CAM_JOBS / 1. *)
+let with_jobs jobs f =
+  let jobs = if jobs > 0 then jobs else Parallel.default_jobs () in
+  Parallel.run ~jobs (fun pool -> f (Parallel.jobs pool))
+
 let spec_of ~arch ~size ~opt =
   match arch with
   | Some path -> (
@@ -192,11 +205,13 @@ let backend_arg =
 
 let run_cmd =
   let run kernel arch size opt queries dims classes seed backend profile
-      profile_json =
+      profile_json jobs =
     handle_errors (fun () ->
+        with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
         let src = kernel_of ~kernel ~queries ~dims ~classes in
         let collector = collector_for ~profile ~profile_json in
+        Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
         let c = C4cam.Driver.compile ?profile:collector ~spec src in
         let data =
           Workloads.Hdc.synthetic ~seed ~dims:c.info.d
@@ -239,7 +254,7 @@ let run_cmd =
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
       $ dims_arg $ classes_arg $ seed_arg $ backend_arg $ profile_arg
-      $ profile_json_arg)
+      $ profile_json_arg $ jobs_arg)
 
 (* ---- asm: print the flat runtime ISA -------------------------------------- *)
 
@@ -261,8 +276,9 @@ let asm_cmd =
 (* ---- tune ------------------------------------------------------------------ *)
 
 let tune_cmd =
-  let run queries dims classes objective =
+  let run queries dims classes objective jobs =
     handle_errors (fun () ->
+        with_jobs jobs @@ fun _jobs ->
         let data =
           Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
             ~n_queries:queries ~bits:1 ()
@@ -301,35 +317,42 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Search the architecture grid for the best configuration")
-    Term.(const run $ queries_arg $ dims_arg $ classes_arg $ objective_arg)
+    Term.(
+      const run $ queries_arg $ dims_arg $ classes_arg $ objective_arg
+      $ jobs_arg)
 
 (* ---- sweep --------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run queries dims classes =
+  let run queries dims classes jobs =
     handle_errors (fun () ->
+        with_jobs jobs @@ fun _jobs ->
         let data =
           Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
             ~n_queries:queries ~bits:1 ()
         in
-        let rows =
+        let specs =
           List.concat_map
             (fun side ->
               List.map
-                (fun opt ->
-                  let spec = Archspec.Spec.square side opt in
-                  let m = C4cam.Dse.hdc ~spec ~data () in
-                  [
-                    m.config;
-                    C4cam.Report.si_time m.latency;
-                    C4cam.Report.si_energy m.energy;
-                    C4cam.Report.si_power m.power;
-                    string_of_int m.subarrays;
-                    string_of_int m.banks;
-                    Printf.sprintf "%.0f%%" (m.accuracy *. 100.);
-                  ])
+                (Archspec.Spec.square side)
                 Archspec.Spec.[ Base; Power; Density; Power_density ])
             [ 16; 32; 64; 128; 256 ]
+        in
+        let measurements = C4cam.Dse.hdc_sweep ~specs ~data () in
+        let rows =
+          List.map
+            (fun (m : C4cam.Dse.measurement) ->
+              [
+                m.config;
+                C4cam.Report.si_time m.latency;
+                C4cam.Report.si_energy m.energy;
+                C4cam.Report.si_power m.power;
+                string_of_int m.subarrays;
+                string_of_int m.banks;
+                Printf.sprintf "%.0f%%" (m.accuracy *. 100.);
+              ])
+            measurements
         in
         print_string
           (C4cam.Report.table
@@ -341,7 +364,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Design-space exploration over sizes and optimizations")
-    Term.(const run $ queries_arg $ dims_arg $ classes_arg)
+    Term.(const run $ queries_arg $ dims_arg $ classes_arg $ jobs_arg)
 
 (* ---- passes --------------------------------------------------------------- *)
 

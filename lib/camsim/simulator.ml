@@ -222,18 +222,22 @@ let select_best t ~dist ~k ~largest =
   record t (Trace.Select { queries = Array.length dist; k });
   let q = Array.length dist in
   let n = if q = 0 then 0 else Array.length dist.(0) in
-  if k > n then err "select_best: k=%d exceeds %d candidates" k n;
+  (* An empty distance matrix (no queries, or no candidate rows) has a
+     well-defined answer — nothing selected — even when k > 0; only a
+     non-empty matrix with too few candidates is a caller error. *)
+  if n > 0 && k > n then
+    err "select_best: k=%d exceeds %d candidates" k n;
+  let k = if n = 0 then 0 else k in
   let values = Array.make_matrix q k 0. in
   let indices = Array.make_matrix q k 0 in
   for qi = 0 to q - 1 do
     let row = dist.(qi) in
-    let order = Array.init n (fun i -> i) in
     let cmp a b =
       let va = row.(a) and vb = row.(b) in
       let c = if largest then compare vb va else compare va vb in
       if c <> 0 then c else compare a b
     in
-    Array.sort cmp order;
+    let order = Topk.select ~n ~k ~cmp in
     for j = 0 to k - 1 do
       values.(qi).(j) <- row.(order.(j));
       indices.(qi).(j) <- order.(j)

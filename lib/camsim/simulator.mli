@@ -74,6 +74,10 @@ val merge : t -> elems:int -> Energy_model.cost
 val select_best :
   t -> dist:float array array -> k:int -> largest:bool ->
   (float array array * int array array) * Energy_model.cost
-(** Top-k per query row over the merged distances: returns
-    ([values], [indices]) of shape [Q x k]. Ties break toward the lower
-    index, matching the software references. *)
+(** Top-k per query row over the merged distances via partial
+    selection ({!Topk.select}, O(n·k)): returns ([values], [indices])
+    of shape [Q x k]. Ties break toward the lower index, matching the
+    software references. An empty distance matrix (zero queries or
+    zero candidate columns) yields empty per-query results even when
+    [k > 0]; only a non-empty matrix with [k] exceeding the candidate
+    count raises. *)

@@ -164,6 +164,28 @@ let euclidean_row cells query width =
   done;
   !d
 
+(* Single-slot, domain-local cache of packed query batches. A
+   partitioned search runs the same query batch against T row tiles;
+   keying on the physical identity of the batch (plus the width) lets
+   tiles 2..T reuse the packing from tile 1. Domain-local so worker
+   domains never race on it. *)
+let pack_cache :
+    (float array array * int * int64 array option array) option Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> None)
+
+let packed_queries_for ~cols queries =
+  match Domain.DLS.get pack_cache with
+  | Some (qs, c, packed) when qs == queries && c = cols -> packed
+  | _ ->
+      let packed = Array.map (fun q -> pack_row cols q) queries in
+      Domain.DLS.set pack_cache (Some (queries, cols, packed));
+      packed
+
+(* Below this many distance evaluations a batch is dispatched
+   sequentially: the pool's locking overhead would dominate. *)
+let parallel_threshold = 256
+
 let search t ~queries ~row_offset ~rows ~metric =
   check_window t ~row_offset ~rows;
   let q_count = Array.length queries in
@@ -175,22 +197,31 @@ let search t ~queries ~row_offset ~rows ~metric =
   let full_width = q_count > 0 && Array.length queries.(0) = t.n_cols in
   let packed_queries =
     if metric = `Hamming && full_width then
-      Array.map (fun q -> pack_row t.n_cols q) queries
+      packed_queries_for ~cols:t.n_cols queries
     else Array.make q_count None
   in
-  let result =
-    Array.init q_count (fun qi ->
-        let query = queries.(qi) in
-        let width = Array.length query in
-        Array.init rows (fun i ->
-            let r = row_offset + i in
-            match (metric, packed_queries.(qi), t.packed.(r)) with
-            | `Hamming, Some pq, Some pr ->
-                float_of_int
-                  (count_mismatch_words pq pr (words_for t.n_cols))
-            | `Hamming, _, _ -> hamming_row t.cells.(r) query width
-            | `Euclidean, _, _ -> euclidean_row t.cells.(r) query width))
+  (* The cells/packed state is read-only during the search, so the
+     query batch chunks freely across domains; each query writes only
+     its own result slot, and [last] is set after the join, so the
+     outcome is identical for any jobs value. *)
+  let one qi =
+    let query = queries.(qi) in
+    let width = Array.length query in
+    Array.init rows (fun i ->
+        let r = row_offset + i in
+        match (metric, packed_queries.(qi), t.packed.(r)) with
+        | `Hamming, Some pq, Some pr ->
+            float_of_int (count_mismatch_words pq pr (words_for t.n_cols))
+        | `Hamming, _, _ -> hamming_row t.cells.(r) query width
+        | `Euclidean, _, _ -> euclidean_row t.cells.(r) query width)
   in
+  let result = Array.make q_count [||] in
+  if q_count * rows >= parallel_threshold && Parallel.current_jobs () > 1
+  then Parallel.parallel_for ~lo:0 ~hi:q_count (fun qi -> result.(qi) <- one qi)
+  else
+    for qi = 0 to q_count - 1 do
+      result.(qi) <- one qi
+    done;
   t.last <- Some result;
   result
 

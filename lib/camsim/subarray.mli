@@ -49,6 +49,13 @@ val search :
 (** [search t ~queries ~row_offset ~rows ~metric] returns a
     [Q x rows] distance matrix for the active row window. The result is
     also latched as the subarray's last match-line state for {!read}.
+
+    Large batches chunk across the ambient {!Parallel} pool (the
+    cells are read-only during a search and each query owns its result
+    row, so the matrix is identical for any jobs value), and packed
+    Hamming query batches are cached by physical identity so a
+    partitioned search over T row tiles packs the batch once, not T
+    times.
     @raise Invalid_argument when the window or query width is out of
     bounds. *)
 

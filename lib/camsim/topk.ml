@@ -1,0 +1,46 @@
+(* Bounded-buffer partial selection.
+
+   The buffer holds the best-so-far k indices sorted by [cmp]; each
+   remaining candidate either loses to the current worst (one
+   comparison) or replaces it and sifts into place (at most k moves).
+   For k within a factor of n a full sort is both simpler and faster,
+   so we switch over at 4k >= n. Equivalence with the sort prefix
+   requires [cmp] to be a total order — with ties, which of the equal
+   elements survives would otherwise depend on the insertion path. *)
+
+let full_sort n k cmp =
+  let order = Array.init n (fun i -> i) in
+  Array.sort cmp order;
+  Array.sub order 0 k
+
+let bounded n k cmp =
+  let buf = Array.make k 0 in
+  let len = ref 0 in
+  for i = 0 to n - 1 do
+    if !len < k then begin
+      (* insertion sort into the not-yet-full buffer *)
+      let j = ref !len in
+      while !j > 0 && cmp i buf.(!j - 1) < 0 do
+        buf.(!j) <- buf.(!j - 1);
+        decr j
+      done;
+      buf.(!j) <- i;
+      incr len
+    end
+    else if cmp i buf.(k - 1) < 0 then begin
+      let j = ref (k - 1) in
+      while !j > 0 && cmp i buf.(!j - 1) < 0 do
+        buf.(!j) <- buf.(!j - 1);
+        decr j
+      done;
+      buf.(!j) <- i
+    end
+  done;
+  buf
+
+let select ~n ~k ~cmp =
+  if k < 0 || k > n then
+    invalid_arg (Printf.sprintf "Topk.select: k=%d out of [0, %d]" k n);
+  if k = 0 then [||]
+  else if 4 * k >= n then full_sort n k cmp
+  else bounded n k cmp

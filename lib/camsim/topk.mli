@@ -1,0 +1,16 @@
+(** Partial-selection top-k over index ranges.
+
+    Replaces the [Array.sort] of a full index permutation when only the
+    first [k] entries are needed: the bounded-buffer path is O(n·k)
+    with k-sized memory instead of O(n·log n) with n-sized memory,
+    which dominates the per-query cost of [select_best] and the
+    interpreter's [torch.topk] lowering when k ≪ n. *)
+
+val select : n:int -> k:int -> cmp:(int -> int -> int) -> int array
+(** [select ~n ~k ~cmp] returns the [k] smallest indices of [0, n)
+    under [cmp], in ascending [cmp] order — exactly the first [k]
+    elements of [Array.sort cmp] applied to [[|0; ...; n-1|]],
+    provided [cmp] is a total order (callers break value ties on the
+    index itself, which guarantees this).
+
+    @raise Invalid_argument unless [0 <= k <= n]. *)

@@ -28,21 +28,25 @@ let default_opts =
 
 let evaluate_hdc ?(tech = Camsim.Tech.fefet_45nm) ?(sides = default_sides)
     ?(optimizations = default_opts) ~data () =
-  List.concat_map
-    (fun side ->
-      List.map
-        (fun opt ->
-          let spec = Archspec.Spec.square side opt in
-          let measurement = Dse.hdc ~tech ~spec ~data () in
-          {
-            spec;
-            measurement;
-            area_mm2 =
-              Camsim.Area_model.chip_area tech ~spec
-                ~banks:measurement.banks;
-          })
-        optimizations)
-    sides
+  (* Build the full grid first, then evaluate candidates across the
+     ambient domain pool — each gets its own compile and simulator, and
+     map_list keeps the sides-outer / optimizations-inner order. *)
+  let grid =
+    List.concat_map
+      (fun side -> List.map (fun opt -> (side, opt)) optimizations)
+      sides
+  in
+  Parallel.map_list
+    (fun (side, opt) ->
+      let spec = Archspec.Spec.square side opt in
+      let measurement = Dse.hdc ~tech ~spec ~data () in
+      {
+        spec;
+        measurement;
+        area_mm2 =
+          Camsim.Area_model.chip_area tech ~spec ~banks:measurement.banks;
+      })
+    grid
 
 let best objective = function
   | [] -> invalid_arg "Autotune.best: no candidates"

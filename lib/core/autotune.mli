@@ -34,7 +34,10 @@ val evaluate_hdc :
   unit ->
   candidate list
 (** Compile-and-run the HDC workload over the candidate grid
-    (default: sides 16..256, all four optimizations). *)
+    (default: sides 16..256, all four optimizations). Candidates are
+    evaluated across the ambient [Parallel] pool, one private
+    simulator each; the returned list keeps the sides-outer /
+    optimizations-inner order for any jobs value. *)
 
 val best : objective -> candidate list -> candidate
 (** @raise Invalid_argument on an empty candidate list. *)

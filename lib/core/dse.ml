@@ -7,6 +7,9 @@ type measurement = {
   accuracy : float;
   subarrays : int;
   banks : int;
+  search_ops : int;
+  query_cycles : int;
+  write_ops : int;
 }
 
 let config_name (spec : Archspec.Spec.t) =
@@ -25,6 +28,9 @@ let measurement_of (spec : Archspec.Spec.t) (r : Driver.run_result)
     accuracy;
     subarrays = r.stats.n_subarrays;
     banks = r.stats.n_banks;
+    search_ops = r.stats.n_search_ops;
+    query_cycles = r.stats.n_query_cycles;
+    write_ops = r.stats.n_write_ops;
   }
 
 let top1_accuracy indices labels =
@@ -47,6 +53,15 @@ let hdc ?tech ?bits ~(spec : Archspec.Spec.t)
   let r = Driver.run_cam ?tech compiled ~queries:data.queries ~stored:data.stored in
   measurement_of spec r
     ~accuracy:(top1_accuracy r.indices data.query_labels)
+
+(* Candidate configurations are independent end to end — each call
+   compiles its own module and runs it on a private Simulator.t — so
+   the sweep maps across the ambient domain pool. map_list positions
+   results by index, which keeps the output order (and therefore every
+   downstream report) identical to the sequential sweep. *)
+let hdc_sweep ?tech ?bits ~(specs : Archspec.Spec.t list)
+    ~(data : Workloads.Hdc.synthetic) () =
+  Parallel.map_list (fun spec -> hdc ?tech ?bits ~spec ~data ()) specs
 
 let knn ?tech ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
     ~queries ~labels ~k () =

@@ -11,6 +11,10 @@ type measurement = {
   accuracy : float;  (** fraction of queries classified correctly *)
   subarrays : int;
   banks : int;
+  search_ops : int;  (** simulator activity counters, from the run's
+                         [Camsim.Stats] ledger *)
+  query_cycles : int;
+  write_ops : int;
 }
 
 val config_name : Archspec.Spec.t -> string
@@ -21,6 +25,15 @@ val hdc :
 (** Compile the HDC dot-similarity kernel for [spec] and run it on the
     simulator with the given prototypes/queries. [bits] overrides the
     spec's cell bit width (multi-bit validation runs). *)
+
+val hdc_sweep :
+  ?tech:Camsim.Tech.t -> ?bits:int -> specs:Archspec.Spec.t list ->
+  data:Workloads.Hdc.synthetic -> unit -> measurement list
+(** {!hdc} over a list of candidate configurations, evaluated across
+    the ambient {!Parallel} pool — one private compile + simulator per
+    candidate, results in [specs] order regardless of the schedule (so
+    every measurement, including the activity counters, is identical
+    for any jobs value). *)
 
 val knn :
   ?tech:Camsim.Tech.t -> spec:Archspec.Spec.t -> train:Workloads.Dataset.t ->

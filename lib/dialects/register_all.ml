@@ -1,8 +1,25 @@
+(* Registration mutates the shared Registry tables, and every
+   Driver.compile calls this — guard it so concurrent compiles (parallel
+   DSE candidates) don't race on the Hashtbls. The double-checked flag
+   keeps the common path lock-free. *)
+
+let registered = Atomic.make false
+let lock = Mutex.create ()
+
 let register_all () =
-  Torch.register ();
-  Cim.register ();
-  Cam.register ();
-  Scf.register ();
-  Arith.register ();
-  Memref.register ();
-  Crossbar.register ()
+  if not (Atomic.get registered) then begin
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        if not (Atomic.get registered) then begin
+          Torch.register ();
+          Cim.register ();
+          Cam.register ();
+          Scf.register ();
+          Arith.register ();
+          Memref.register ();
+          Crossbar.register ();
+          Atomic.set registered true
+        end)
+  end

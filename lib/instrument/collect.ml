@@ -1,6 +1,7 @@
 type t = {
   created : float;
   mutable frontend_s : float;
+  mutable jobs : int;
   mutable rev_passes : Profile.pass_entry list;
   table : (string, int) Hashtbl.t;
   mutable sim : Profile.sim option;
@@ -12,6 +13,7 @@ let create () =
   {
     created = now ();
     frontend_s = 0.;
+    jobs = 1;
     rev_passes = [];
     table = Hashtbl.create 16;
     sim = None;
@@ -19,6 +21,7 @@ let create () =
 
 let record_pass t entry = t.rev_passes <- entry :: t.rev_passes
 let set_frontend t s = t.frontend_s <- s
+let set_jobs t n = t.jobs <- max 1 n
 let set_sim t s = t.sim <- Some s
 
 let bump ?(n = 1) t name =
@@ -35,6 +38,7 @@ let profile t =
   {
     Profile.frontend_s = t.frontend_s;
     total_s = Float.max 0. (now () -. t.created);
+    jobs = t.jobs;
     passes = List.rev t.rev_passes;
     rewrites = counters t;
     sim = t.sim;
@@ -42,12 +46,16 @@ let profile t =
 
 (* ---- ambient collector ------------------------------------------------ *)
 
-let current : t option ref = ref None
+(* Domain-local: parallel DSE candidates each install their own
+   collector on their worker domain without clobbering each other, and
+   rule counters keep attributing to the collector of the compile that
+   triggered them. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let with_current c f =
-  let saved = !current in
-  current := c;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current c;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
 let note ?n name =
-  match !current with None -> () | Some t -> bump ?n t name
+  match Domain.DLS.get current with None -> () | Some t -> bump ?n t name

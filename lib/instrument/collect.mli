@@ -24,6 +24,11 @@ val record_pass : t -> Profile.pass_entry -> unit
 (** Append a pass entry (entries are returned in insertion order). *)
 
 val set_frontend : t -> float -> unit
+
+val set_jobs : t -> int -> unit
+(** Record the domain-pool width the run executes with (clamped to at
+    least 1); lands in [Profile.jobs]. *)
+
 val set_sim : t -> Profile.sim -> unit
 
 val bump : ?n:int -> t -> string -> unit
@@ -42,7 +47,10 @@ val profile : t -> Profile.t
 
 val with_current : t option -> (unit -> 'a) -> 'a
 (** Install the collector as ambient for the duration of the callback
-    (exception-safe; restores the previous one). [None] uninstalls. *)
+    (exception-safe; restores the previous one). [None] uninstalls.
+    The ambient slot is domain-local: a collector installed on one
+    domain is invisible to others, so parallel compiles never cross
+    their counters. *)
 
 val note : ?n:int -> string -> unit
 (** {!bump} on the ambient collector; no-op when none is installed. *)

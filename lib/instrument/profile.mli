@@ -38,7 +38,12 @@ type sim = {
 
 type t = {
   frontend_s : float;  (** TorchScript parse + emit time *)
-  total_s : float;  (** collector creation to snapshot *)
+  total_s : float;
+      (** collector creation to snapshot; serialized both as [total_s]
+          and as the [wall_clock_s] alias *)
+  jobs : int;
+      (** domain-pool width the run executed with (1 = sequential;
+          defaults to 1 when parsing pre-multicore profiles) *)
   passes : pass_entry list;  (** in execution order *)
   rewrites : (string * int) list;  (** totals across the whole run, sorted *)
   sim : sim option;

@@ -8,6 +8,13 @@ type state = {
   env : (int, Rtval.t) Hashtbl.t;
   sim : Camsim.Simulator.t option;
   xsim : Xbar.t option;
+  (* Rows extracted from recent query operands, keyed on the physical
+     runtime value. A partitioned search issues T cam.search ops over
+     the same query buffer; returning the same physical rows arrays
+     lets Subarray's packed-query cache hit on tiles 2..T instead of
+     re-packing per tile. Entries carry the backing store so writes
+     can invalidate them. *)
+  mutable qcache : (Rtval.t * float array * float array array) list;
 }
 
 let sim st =
@@ -28,6 +35,36 @@ let lookup st (v : Ir.Value.t) =
 let bind st (v : Ir.Value.t) r = Hashtbl.replace st.env v.id r
 
 let operand st op i = lookup st (Ir.Op.operand op i)
+
+let qcache_limit = 16
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* Like [Rtval.to_rows], but memoized on the physical value so repeated
+   searches over one query batch share the extracted arrays. *)
+let rows_cached st (v : Rtval.t) =
+  let backing =
+    match v with
+    | Rtval.Buffer b -> Some b.Rtval.b_data
+    | Rtval.Tensor t -> Some t.Rtval.t_data
+    | _ -> None
+  in
+  match backing with
+  | None -> Rtval.to_rows v
+  | Some data -> (
+      match List.find_opt (fun (k, _, _) -> k == v) st.qcache with
+      | Some (_, _, rows) -> rows
+      | None ->
+          let rows = Rtval.to_rows v in
+          st.qcache <- take qcache_limit ((v, data, rows) :: st.qcache);
+          rows)
+
+(* Drop cache entries whose backing store was just written. *)
+let invalidate_rows st (data : float array) =
+  if st.qcache <> [] then
+    st.qcache <- List.filter (fun (_, d, _) -> d != data) st.qcache
 
 let attr_i op key = Ir.Attr.as_int (Ir.Op.attr_exn op key)
 let attr_b op key = Ir.Attr.as_bool (Ir.Op.attr_exn op key)
@@ -186,13 +223,14 @@ let topk_t (t : Rtval.tensor) ~k ~dim ~largest =
   let indices = Array.make (rows * k) 0. in
   for r = 0 to rows - 1 do
     let slice = Array.sub t.t_data (r * n) n in
-    let order = Array.init n (fun i -> i) in
     let cmp a b =
       let va = slice.(a) and vb = slice.(b) in
       let c = if largest then compare vb va else compare va vb in
       if c <> 0 then c else compare a b
     in
-    Array.sort cmp order;
+    (* partial selection: the index-tiebreak makes cmp a total order,
+       so this equals the full-sort prefix at O(n*k) *)
+    let order = Camsim.Topk.select ~n ~k ~cmp in
     for j = 0 to k - 1 do
       values.((r * k) + j) <- slice.(order.(j));
       indices.((r * k) + j) <- float_of_int order.(j)
@@ -255,19 +293,182 @@ let topk_rows matrix ~k ~largest =
   for i = 0 to q - 1 do
     let row = matrix.(i) in
     let n = Array.length row in
-    let order = Array.init n (fun x -> x) in
     let cmp a b =
       let va = row.(a) and vb = row.(b) in
       let c = if largest then compare vb va else compare va vb in
       if c <> 0 then c else compare a b
     in
-    Array.sort cmp order;
+    let order = Camsim.Topk.select ~n ~k ~cmp in
     for j = 0 to k - 1 do
       values.(i).(j) <- row.(order.(j));
       indices.(i).(j) <- float_of_int order.(j)
     done
   done;
   (values, indices)
+
+(* ---------- scf.parallel independence analysis ------------------------ *)
+
+(* A region body qualifies for the data-parallel path only when (a) it
+   contains nothing but pure host ops — arith, memref, nested scf — so
+   no iteration touches simulator state or charges latency/energy, and
+   (b) every memref.store provably lands either in an iteration-local
+   alloc or in a window of an outer buffer that is disjoint across
+   iterations (affine-injective in the induction variable). Anything
+   else — in particular every real cam/crossbar kernel — falls back to
+   the sequential loop, preserving allocation and accumulation order
+   exactly. The analysis is semi-dynamic: loop-invariant free values
+   are resolved through the runtime environment, so subview offsets
+   computed from bound indices still analyze as affine. *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let allowed_op name =
+  has_prefix "arith." name
+  || List.mem name
+       [
+         "memref.load"; "memref.store"; "memref.subview"; "memref.alloc";
+         "scf.yield"; "scf.for"; "scf.if"; "scf.parallel";
+       ]
+
+let rec collect_ops acc (r : Ir.Op.region) =
+  List.fold_left
+    (fun acc (blk : Ir.Op.block) ->
+      List.fold_left
+        (fun acc (op : Ir.Op.t) ->
+          List.fold_left collect_ops (op :: acc) op.regions)
+        acc blk.body)
+    acc r.blocks
+
+let region_independent st ~step (r : Ir.Op.region) =
+  match r.blocks with
+  | [ blk ] when List.length blk.block_args = 1 ->
+      let ind = (List.hd blk.block_args).Ir.Value.id in
+      let ops = collect_ops [] r in
+      List.for_all (fun (o : Ir.Op.t) -> allowed_op o.op_name) ops
+      &&
+      let definer : (int, Ir.Op.t) Hashtbl.t = Hashtbl.create 64 in
+      let inside : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.replace inside ind ();
+      List.iter
+        (fun (o : Ir.Op.t) ->
+          List.iter
+            (fun (res : Ir.Value.t) ->
+              Hashtbl.replace definer res.id o;
+              Hashtbl.replace inside res.id ())
+            o.results;
+          List.iter
+            (fun (rg : Ir.Op.region) ->
+              List.iter
+                (fun (b : Ir.Op.block) ->
+                  List.iter
+                    (fun (a : Ir.Value.t) -> Hashtbl.replace inside a.id ())
+                    b.block_args)
+                rg.blocks)
+            o.regions)
+        ops;
+      let is_inside id = Hashtbl.mem inside id in
+      (* A loop-invariant value with a known Index binding can act as a
+         constant coefficient. *)
+      let known (v : Ir.Value.t) =
+        if is_inside v.id then
+          match Hashtbl.find_opt definer v.id with
+          | Some d when String.equal d.op_name "arith.constant" -> (
+              match Ir.Op.attr d "value" with
+              | Some (Ir.Attr.Int i) -> Some i
+              | _ -> None)
+          | _ -> None
+        else
+          match Hashtbl.find_opt st.env v.id with
+          | Some (Rtval.Index n) -> Some n
+          | _ -> None
+      in
+      (* Multiplier of the induction variable: [Some m] means the value
+         is provably [m * i + c] with c constant across iterations;
+         [None] means unknown (treated as unsafe). *)
+      let rec mult (v : Ir.Value.t) =
+        if v.id = ind then Some 1
+        else if not (is_inside v.id) then Some 0
+        else
+          match Hashtbl.find_opt definer v.id with
+          | None -> None (* a nested block argument *)
+          | Some d -> (
+              let m i = mult (Ir.Op.operand d i) in
+              match d.op_name with
+              | "arith.constant" -> Some 0
+              | "arith.addi" -> (
+                  match (m 0, m 1) with
+                  | Some a, Some b -> Some (a + b)
+                  | _ -> None)
+              | "arith.subi" -> (
+                  match (m 0, m 1) with
+                  | Some a, Some b -> Some (a - b)
+                  | _ -> None)
+              | "arith.muli" -> (
+                  match (m 0, m 1) with
+                  | Some 0, Some 0 -> Some 0
+                  | ma, mb -> (
+                      match
+                        ( known (Ir.Op.operand d 0), mb,
+                          known (Ir.Op.operand d 1), ma )
+                      with
+                      | Some c, Some mb', _, _ -> Some (c * mb')
+                      | _, _, Some c, Some ma' -> Some (ma' * c)
+                      | _ -> None))
+              | "arith.divi" | "arith.remi" -> (
+                  match (m 0, m 1) with Some 0, Some 0 -> Some 0 | _ -> None)
+              | _ -> None)
+      in
+      let other_ops_reference ?(except = []) id =
+        List.exists
+          (fun (o : Ir.Op.t) ->
+            (not (List.memq o except))
+            && List.exists (fun (v : Ir.Value.t) -> v.id = id) o.operands)
+          ops
+      in
+      let store_safe (s : Ir.Op.t) =
+        let base = Ir.Op.operand s 1 in
+        match Hashtbl.find_opt definer base.id with
+        | Some d when String.equal d.op_name "memref.alloc" ->
+            (* iteration-local scratch: each iteration re-allocs its own *)
+            true
+        | Some d when String.equal d.op_name "memref.subview" -> (
+            let outer = Ir.Op.operand d 0 in
+            (not (is_inside outer.id))
+            && (not (other_ops_reference ~except:[ d ] outer.id))
+            &&
+            let offsets = List.tl d.operands in
+            match Ir.Op.attr d "sizes" with
+            | Some sizes_attr -> (
+                let sizes = Ir.Attr.as_ints sizes_attr in
+                (* disjoint if, in some dimension, consecutive windows
+                   advance by at least the window extent *)
+                try
+                  List.exists2
+                    (fun off size ->
+                      match mult off with
+                      | Some m -> m <> 0 && abs m * step >= size
+                      | None -> false)
+                    offsets sizes
+                with Invalid_argument _ -> false)
+            | None -> false)
+        | Some _ -> false
+        | None ->
+            (* direct store to an outer buffer: sound only when this is
+               the sole op touching it and the written cell is an
+               injective function of the iteration *)
+            (not (is_inside base.id))
+            && (not (other_ops_reference ~except:[ s ] base.id))
+            && List.exists
+                 (fun idx ->
+                   match mult idx with Some m -> m <> 0 | None -> false)
+                 (List.tl (List.tl s.operands))
+      in
+      List.for_all
+        (fun (o : Ir.Op.t) ->
+          (not (String.equal o.op_name "memref.store")) || store_safe o)
+        ops
+  | _ -> false
 
 (* ---------------------------------------------------------------------- *)
 
@@ -549,20 +750,47 @@ and exec_op st (op : Ir.Op.t) :
       let step = Rtval.as_index (operand st op 2) in
       if step <= 0 then fail "loop: non-positive step";
       let parallel = String.equal op.op_name "scf.parallel" in
-      let total = ref 0. in
       let r = match op.regions with [ r ] -> r | _ -> fail "loop region" in
-      let i = ref lb in
-      while !i < ub do
-        let res, lat = run_region st r [ Rtval.Index !i ] in
-        (match res with
-        | `Fall | `Yield [] -> ()
-        | `Yield _ -> fail "loops do not yield values"
-        | `Return _ -> fail "cannot return from inside a loop");
-        if parallel then total := Float.max !total lat
-        else total := !total +. lat;
-        i := !i + step
-      done;
-      (`Next, !total)
+      let n = if ub <= lb then 0 else (ub - lb + step - 1) / step in
+      if
+        parallel && n > 1
+        && Parallel.current_jobs () > 1
+        && region_independent st ~step r
+      then begin
+        (* Data-parallel path: iterations are proven independent, so
+           each runs against a private copy of the environment and
+           reports its latency by index; the fold below merges them in
+           iteration order (they are all 0 today — eligible bodies are
+           host-only — but the order is pinned regardless). *)
+        st.qcache <- [];
+        let lats = Array.make n 0. in
+        Parallel.parallel_for ~lo:0 ~hi:n (fun idx ->
+            let child = { st with env = Hashtbl.copy st.env; qcache = [] } in
+            let res, lat =
+              run_region child r [ Rtval.Index (lb + (idx * step)) ]
+            in
+            (match res with
+            | `Fall | `Yield [] -> ()
+            | `Yield _ -> fail "loops do not yield values"
+            | `Return _ -> fail "cannot return from inside a loop");
+            lats.(idx) <- lat);
+        (`Next, Array.fold_left Float.max 0. lats)
+      end
+      else begin
+        let total = ref 0. in
+        let i = ref lb in
+        while !i < ub do
+          let res, lat = run_region st r [ Rtval.Index !i ] in
+          (match res with
+          | `Fall | `Yield [] -> ()
+          | `Yield _ -> fail "loops do not yield values"
+          | `Return _ -> fail "cannot return from inside a loop");
+          if parallel then total := Float.max !total lat
+          else total := !total +. lat;
+          i := !i + step
+        done;
+        (`Next, !total)
+      end
   | "scf.if" -> (
       let cond = Rtval.as_bool (operand st op 0) in
       match op.regions with
@@ -608,6 +836,7 @@ and exec_op st (op : Ir.Op.t) :
           (List.tl (List.tl op.operands))
       in
       Rtval.buffer_set base indices value;
+      invalidate_rows st base.b_data;
       (`Next, 0.)
   | "memref.subview" ->
       let base = Rtval.as_buffer (operand st op 0) in
@@ -652,7 +881,7 @@ and exec_op st (op : Ir.Op.t) :
       (`Next, cost.Camsim.Energy_model.latency)
   | "cam.search" ->
       let handle = Rtval.as_handle (operand st op 0) in
-      let queries = Rtval.to_rows (operand st op 1) in
+      let queries = rows_cached st (operand st op 1) in
       let row_offset = Rtval.as_index (operand st op 2) in
       let kind =
         match
@@ -702,6 +931,7 @@ and exec_op st (op : Ir.Op.t) :
             done
           done
       | _ -> fail "cam.merge_partial: shape mismatch");
+      invalidate_rows st dst.b_data;
       let cost =
         Camsim.Simulator.merge (sim st) ~elems:(Rtval.numel dst.b_shape)
       in
@@ -747,6 +977,7 @@ and exec_op st (op : Ir.Op.t) :
             done
           done
       | _ -> fail "crossbar.accumulate: shape mismatch");
+      invalidate_rows st dst.b_data;
       (`Next, 0.)
   | name -> fail "unsupported op %s" name
 
@@ -759,7 +990,7 @@ let run ?sim ?xsim (m : Ir.Func_ir.modul) fn_name args =
   if List.length fn.fn_args <> List.length args then
     fail "@%s expects %d arguments, got %d" fn_name
       (List.length fn.fn_args) (List.length args);
-  let st = { env = Hashtbl.create 256; sim; xsim } in
+  let st = { env = Hashtbl.create 256; sim; xsim; qcache = [] } in
   List.iter2 (fun v rv -> bind st v rv) fn.fn_args args;
   match exec_ops st fn.fn_body.body with
   | `Return results, latency -> { results; latency }

@@ -2,6 +2,34 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 
+(* SplitMix64 finalizer (the same mixing as next_int64's output stage):
+   used to derive decorrelated child states. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: index must be non-negative";
+  (* Mix the parent state with the child index through two finalizer
+     rounds; a function of (state, i) only, so child streams depend on
+     the split index, never on which domain asks first. *)
+  let seed =
+    mix64
+      (Int64.add
+         (mix64 (Int64.add t.state (Int64.of_int (i + 1))))
+         0x9E3779B97F4A7C15L)
+  in
+  { state = seed }
+
 let next_int64 t =
   t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
   let z = t.state in

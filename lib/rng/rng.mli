@@ -7,6 +7,14 @@ type t
 val create : int -> t
 (** Seeded generator. *)
 
+val split : t -> int -> t
+(** [split t i] derives an independent child generator from [t]'s
+    current state and the index [i >= 0], without advancing [t]. The
+    child stream is a pure function of (parent state, index), so
+    parallel workers that each take [split t worker_index] draw
+    identical streams regardless of scheduling — split by index, never
+    by schedule. @raise Invalid_argument when [i < 0]. *)
+
 val next_int64 : t -> int64
 val float : t -> float
 (** Uniform in [0, 1). *)
