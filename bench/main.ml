@@ -651,7 +651,9 @@ let smoke ?json ?jobs () =
   let workloads = workloads @ dse_workloads in
   print_string
     (C4cam.Report.table
-       ~headers:[ "workload"; "latency"; "energy"; "power"; "accuracy" ]
+       ~headers:
+         [ "workload"; "latency"; "energy"; "power"; "accuracy";
+           "kernels b/n/g/ee" ]
        (List.map
           (fun (name, (m : C4cam.Dse.measurement)) ->
             [
@@ -660,6 +662,8 @@ let smoke ?json ?jobs () =
               C4cam.Report.si_energy m.energy;
               C4cam.Report.si_power m.power;
               Printf.sprintf "%.4f" m.accuracy;
+              Printf.sprintf "%d/%d/%d/%d" m.kernel_binary m.kernel_nibble
+                m.kernel_generic m.kernel_early_exit;
             ])
           workloads));
   Printf.printf "\ndse sweep: %d candidates in %.3f s wall-clock (jobs=%d)\n"
@@ -695,6 +699,10 @@ let smoke ?json ?jobs () =
             ("search_ops", Instrument.Json.Int m.search_ops);
             ("query_cycles", Instrument.Json.Int m.query_cycles);
             ("write_ops", Instrument.Json.Int m.write_ops);
+            ("kernel_binary", Instrument.Json.Int m.kernel_binary);
+            ("kernel_nibble", Instrument.Json.Int m.kernel_nibble);
+            ("kernel_generic", Instrument.Json.Int m.kernel_generic);
+            ("kernel_early_exit", Instrument.Json.Int m.kernel_early_exit);
           ]
       in
       let doc =
@@ -753,6 +761,36 @@ let micro () =
         Test.make ~name:"fig4_frontend_parse"
           (Staged.stage (fun () ->
                ignore (Frontend.Tsparser.parse_program hdc_src)));
+        (* the distance-kernel tiers of docs/KERNELS.md, pitted against
+           each other on identical binary data via the kernel cap (the
+           results are byte-identical; only the dispatch differs) *)
+        Test.make_grouped ~name:"search_kernels"
+          (List.concat_map
+             (fun cols ->
+               let rows = 512 and q = 32 in
+               let rng = Workloads.Prng.create (1000 + cols) in
+               let mk n =
+                 Array.init n (fun _ ->
+                     Array.init cols (fun _ ->
+                         float_of_int (Workloads.Prng.int rng 2)))
+               in
+               let stored = mk rows in
+               let queries = mk q in
+               List.map
+                 (fun (tier, cap) ->
+                   let sub = Camsim.Subarray.create ~rows ~cols ~bits:1 in
+                   Camsim.Subarray.write sub stored;
+                   Camsim.Subarray.set_kernel_cap sub cap;
+                   Test.make ~name:(Printf.sprintf "%s_%d" tier cols)
+                     (Staged.stage (fun () ->
+                          ignore
+                            (Camsim.Subarray.search sub ~queries
+                               ~row_offset:0 ~rows ~metric:`Hamming))))
+                 [
+                   ("binary", `Binary); ("nibble", `Nibble);
+                   ("generic", `Generic);
+                 ])
+             [ 32; 64; 128 ]);
       ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in

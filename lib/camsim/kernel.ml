@@ -1,0 +1,123 @@
+type cls = Binary | Nibble | Generic
+
+let cls_to_string = function
+  | Binary -> "binary"
+  | Nibble -> "nibble"
+  | Generic -> "generic"
+
+let nwords_for cols = (cols + 15) / 16
+let bwords_for cols = (cols + 63) / 64
+
+let nibble_packable v = Float.is_integer v && v >= 0. && v < 16.
+
+let pack_nibble ~cols values =
+  if Array.length values <> cols then None
+  else begin
+    let words = Array.make (nwords_for cols) 0L in
+    (* stop at the first unpackable value instead of scanning the rest *)
+    let rec go j =
+      if j = cols then Some words
+      else
+        let v = Array.unsafe_get values j in
+        if nibble_packable v then begin
+          let w = j lsr 4 and sh = (j land 15) * 4 in
+          words.(w) <-
+            Int64.logor words.(w)
+              (Int64.shift_left (Int64.of_int (int_of_float v)) sh);
+          go (j + 1)
+        end
+        else None
+    in
+    go 0
+  end
+
+let pack_binary ~cols values =
+  if Array.length values <> cols then None
+  else begin
+    let words = Array.make (bwords_for cols) 0L in
+    let rec go j =
+      if j = cols then Some words
+      else
+        let v = Array.unsafe_get values j in
+        if v = 0. then go (j + 1)
+        else if v = 1. then begin
+          let w = j lsr 6 in
+          words.(w) <-
+            Int64.logor words.(w) (Int64.shift_left 1L (j land 63));
+          go (j + 1)
+        end
+        else None
+    in
+    go 0
+  end
+
+(* --- binary kernel: XOR + SWAR popcount -------------------------------- *)
+
+(* Classic 32-bit SWAR popcount on native ints (constants fit easily in
+   OCaml's 63-bit int; a 64-bit SWAR would box Int64 intermediates).
+   Unlike C's uint32 arithmetic, OCaml keeps the multiply's high bits,
+   so the byte-sum at bits 24..31 must be masked out explicitly. *)
+let pop32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  ((x * 0x01010101) lsr 24) land 0xFF
+
+let popcount64 w =
+  pop32 (Int64.to_int w land 0xFFFFFFFF)
+  + pop32 (Int64.to_int (Int64.shift_right_logical w 32) land 0xFFFFFFFF)
+
+let hamming_binary a b ~words =
+  let d = ref 0 in
+  for w = 0 to words - 1 do
+    let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
+    if x <> 0L then d := !d + popcount64 x
+  done;
+  !d
+
+let hamming_binary_threshold a b ~words ~threshold =
+  let rec go w d =
+    if float_of_int d > threshold then (false, w < words)
+    else if w = words then (true, false)
+    else
+      let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
+      go (w + 1) (if x = 0L then d else d + popcount64 x)
+  in
+  go 0 0
+
+(* --- nibble kernel: XOR + non-zero-nibble count ------------------------ *)
+
+(* Number of non-zero nibbles per byte, for mismatch counting. *)
+let nonzero_nibbles =
+  Array.init 256 (fun b ->
+      (if b land 0x0F <> 0 then 1 else 0) + if b land 0xF0 <> 0 then 1 else 0)
+
+(* OCaml ints are 63-bit, so the low 56 bits go through [Int64.to_int]
+   and the top byte is extracted from the Int64 before truncation. *)
+let mismatch_nibbles64 x =
+  let hi = Int64.to_int (Int64.shift_right_logical x 56) land 0xFF in
+  let acc = ref (Array.unsafe_get nonzero_nibbles hi) in
+  let v = ref (Int64.to_int x land 0xFFFFFFFFFFFFFF) in
+  for _ = 0 to 6 do
+    acc := !acc + Array.unsafe_get nonzero_nibbles (!v land 0xFF);
+    v := !v lsr 8
+  done;
+  !acc
+
+let hamming_nibble a b ~words =
+  let d = ref 0 in
+  for w = 0 to words - 1 do
+    let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
+    if x <> 0L then d := !d + mismatch_nibbles64 x
+  done;
+  !d
+
+let hamming_nibble_threshold a b ~words ~threshold =
+  let rec go w d =
+    if float_of_int d > threshold then (false, w < words)
+    else if w = words then (true, false)
+    else
+      let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
+      go (w + 1) (if x = 0L then d else d + mismatch_nibbles64 x)
+  in
+  go 0 0

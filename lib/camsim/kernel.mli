@@ -1,0 +1,57 @@
+(** Bit-packed Hamming distance kernels shared by the subarray model
+    and the host-side software scorers (see docs/KERNELS.md).
+
+    Rows and queries are classified into three tiers:
+
+    - {b binary} — every cell in [{0, 1}]: 64 cells per [int64] word,
+      distance via XOR + SWAR popcount;
+    - {b nibble} — every cell an integer in [[0, 16)]: 16 cells per
+      word, distance via XOR + non-zero-nibble counting;
+    - {b generic} — don't-cares, ranges, or arbitrary floats: the
+      scalar per-cell loop (owned by the caller, not this module).
+
+    All kernels are exact: a packed distance equals the scalar
+    mismatch count bit-for-bit, so callers may dispatch freely without
+    changing results. *)
+
+type cls = Binary | Nibble | Generic
+(** Kernel tier of a stored row, ordered fastest first. *)
+
+val cls_to_string : cls -> string
+
+val nwords_for : int -> int
+(** Packed words for a [cols]-cell nibble row (16 cells per word). *)
+
+val bwords_for : int -> int
+(** Packed words for a [cols]-cell binary row (64 cells per word). *)
+
+val nibble_packable : float -> bool
+(** Integer in [[0, 16)]. *)
+
+val pack_nibble : cols:int -> float array -> int64 array option
+(** [None] unless the row is exactly [cols] wide and every value is
+    {!nibble_packable}; stops scanning at the first unpackable value. *)
+
+val pack_binary : cols:int -> float array -> int64 array option
+(** [None] unless the row is exactly [cols] wide and every value is
+    [0.] or [1.]. *)
+
+val popcount64 : int64 -> int
+
+val hamming_binary : int64 array -> int64 array -> words:int -> int
+(** Mismatching bit positions between two binary-packed rows. *)
+
+val hamming_binary_threshold :
+  int64 array -> int64 array -> words:int -> threshold:float ->
+  bool * bool
+(** [(matches, early_exit)]: [matches] iff the full distance is
+    [<= threshold]; [early_exit] when counting stopped with at least
+    one word unread because the threshold was already exceeded (the
+    mismatch count only grows, so the outcome is decided). *)
+
+val hamming_nibble : int64 array -> int64 array -> words:int -> int
+(** Mismatching nibble positions between two nibble-packed rows. *)
+
+val hamming_nibble_threshold :
+  int64 array -> int64 array -> words:int -> threshold:float ->
+  bool * bool

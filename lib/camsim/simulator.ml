@@ -176,15 +176,16 @@ let write_ternary t id ~row_offset ~care data =
 let search t id ~queries ~row_offset ~rows ~kind ~metric
     ?(batch_extra = false) ?(threshold = 0.) () =
   let sub = subarray t id in
+  let stats = t.sim_stats in
   (match kind with
   | `Range ->
-      ignore (Subarray.search_range sub ~queries ~row_offset ~rows)
+      ignore (Subarray.search_range ~stats sub ~queries ~row_offset ~rows)
   | `Threshold ->
       ignore
-        (Subarray.search_threshold sub ~queries ~row_offset ~rows ~metric
-           ~threshold)
+        (Subarray.search_threshold ~stats sub ~queries ~row_offset ~rows
+           ~metric ~threshold)
   | `Exact | `Best ->
-      ignore (Subarray.search sub ~queries ~row_offset ~rows ~metric));
+      ignore (Subarray.search ~stats sub ~queries ~row_offset ~rows ~metric));
   record t
     (Trace.Search
        {

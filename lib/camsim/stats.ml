@@ -11,6 +11,10 @@ type t = {
   mutable n_mats : int;
   mutable n_arrays : int;
   mutable n_subarrays : int;
+  mutable n_kernel_binary : int;
+  mutable n_kernel_nibble : int;
+  mutable n_kernel_generic : int;
+  mutable n_kernel_early_exit : int;
 }
 
 let create () =
@@ -27,6 +31,10 @@ let create () =
     n_mats = 0;
     n_arrays = 0;
     n_subarrays = 0;
+    n_kernel_binary = 0;
+    n_kernel_nibble = 0;
+    n_kernel_generic = 0;
+    n_kernel_early_exit = 0;
   }
 
 let total_energy t =
@@ -44,13 +52,19 @@ let reset t =
   t.n_banks <- 0;
   t.n_mats <- 0;
   t.n_arrays <- 0;
-  t.n_subarrays <- 0
+  t.n_subarrays <- 0;
+  t.n_kernel_binary <- 0;
+  t.n_kernel_nibble <- 0;
+  t.n_kernel_generic <- 0;
+  t.n_kernel_early_exit <- 0
 
 let to_string t =
   Printf.sprintf
     "energy: search=%.3e write=%.3e merge=%.3e select=%.3e overhead=%.3e \
      (total %.3e J); ops: %d searches (%d query cycles), %d writes; \
-     allocated: %d banks, %d mats, %d arrays, %d subarrays"
+     allocated: %d banks, %d mats, %d arrays, %d subarrays; \
+     kernels: %d binary, %d nibble, %d generic (%d early exits)"
     t.e_search t.e_write t.e_merge t.e_select t.e_overhead (total_energy t)
     t.n_search_ops t.n_query_cycles t.n_write_ops t.n_banks t.n_mats
-    t.n_arrays t.n_subarrays
+    t.n_arrays t.n_subarrays t.n_kernel_binary t.n_kernel_nibble
+    t.n_kernel_generic t.n_kernel_early_exit

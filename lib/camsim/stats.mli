@@ -13,6 +13,15 @@ type t = {
   mutable n_mats : int;
   mutable n_arrays : int;
   mutable n_subarrays : int;
+  mutable n_kernel_binary : int;
+      (** row distances computed by the bit-packed binary kernel *)
+  mutable n_kernel_nibble : int;
+      (** row distances computed by the 4-bit packed kernel *)
+  mutable n_kernel_generic : int;
+      (** row distances computed by the scalar per-cell loop *)
+  mutable n_kernel_early_exit : int;
+      (** threshold-search rows abandoned before the last word/cell
+          because the mismatch budget was already exceeded *)
 }
 
 val create : unit -> t

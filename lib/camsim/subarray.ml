@@ -8,9 +8,24 @@ type t = {
   n_cols : int;
   bits : int;
   cells : cell array array; (* rows x cols *)
-  (* Packed 4-bit payloads per row for the Hamming fast path; [None]
-     when the row holds don't-cares, ranges, or out-of-range values. *)
-  packed : int64 array option array;
+  (* Per-row packed payloads for the Hamming fast paths: binary rows
+     (all cells in {0,1}) pack 64 cells per word, nibble rows (integer
+     cells in [0,16)) pack 16 cells per word; [None] when the row holds
+     don't-cares, ranges, or out-of-range values. *)
+  npacked : int64 array option array;
+  bpacked : int64 array option array;
+  (* Kernel class per row plus summary counts, maintained at write
+     time, so a search classifies a whole row window in O(rows) — O(1)
+     for uniform subarrays — and dispatches one kernel per window
+     instead of matching per row per query. *)
+  classes : Kernel.cls array;
+  mutable n_class_binary : int;
+  mutable n_class_nibble : int;
+  mutable n_class_generic : int;
+  (* Highest kernel tier the dispatcher may use; [`Binary] (the
+     default) allows all three. Test/bench hook: every tier must
+     produce byte-identical results. *)
+  mutable kernel_cap : [ `Binary | `Nibble | `Generic ];
   mutable last : float array array option;
 }
 
@@ -21,58 +36,75 @@ let create ~rows ~cols ~bits =
     n_cols = cols;
     bits;
     cells = Array.init rows (fun _ -> Array.make cols (Value 0.));
-    packed = Array.make rows None;
+    npacked = Array.make rows None;
+    bpacked = Array.make rows None;
+    classes = Array.make rows Kernel.Generic;
+    n_class_binary = 0;
+    n_class_nibble = 0;
+    n_class_generic = rows;
+    kernel_cap = `Binary;
     last = None;
   }
 
 let rows t = t.n_rows
 let cols t = t.n_cols
+let set_kernel_cap t cap = t.kernel_cap <- cap
 
-(* --- packing ---------------------------------------------------------- *)
+let class_counts t =
+  (t.n_class_binary, t.n_class_nibble, t.n_class_generic)
 
-let packable v = Float.is_integer v && v >= 0. && v < 16.
+(* --- row classification ------------------------------------------------ *)
 
-let words_for cols = (cols + 15) / 16
+let set_row_packing t r ~nibble ~binary =
+  t.npacked.(r) <- nibble;
+  t.bpacked.(r) <- binary;
+  let cls =
+    match (binary, nibble) with
+    | Some _, _ -> Kernel.Binary
+    | None, Some _ -> Kernel.Nibble
+    | None, None -> Kernel.Generic
+  in
+  let old = t.classes.(r) in
+  if old <> cls then begin
+    (match old with
+    | Kernel.Binary -> t.n_class_binary <- t.n_class_binary - 1
+    | Kernel.Nibble -> t.n_class_nibble <- t.n_class_nibble - 1
+    | Kernel.Generic -> t.n_class_generic <- t.n_class_generic - 1);
+    (match cls with
+    | Kernel.Binary -> t.n_class_binary <- t.n_class_binary + 1
+    | Kernel.Nibble -> t.n_class_nibble <- t.n_class_nibble + 1
+    | Kernel.Generic -> t.n_class_generic <- t.n_class_generic + 1);
+    t.classes.(r) <- cls
+  end
 
-let pack_row cols values =
-  let words = Array.make (words_for cols) 0L in
-  let ok = ref true in
-  Array.iteri
-    (fun j v ->
-      if packable v then
-        let w = j / 16 and sh = j mod 16 * 4 in
-        words.(w) <-
-          Int64.logor words.(w)
-            (Int64.shift_left (Int64.of_int (int_of_float v)) sh)
-      else ok := false)
-    values;
-  if !ok && Array.length values = cols then Some words else None
+(* Class of a row window: a uniform class dispatches one whole-window
+   kernel; [Generic] means mixed (or truly generic) and falls back to
+   per-row dispatch. The summary counts answer uniform subarrays
+   without touching the per-row array. *)
+let window_class t ~row_offset ~rows =
+  if t.n_class_binary = t.n_rows then Kernel.Binary
+  else if t.n_class_generic = t.n_rows then Kernel.Generic
+  else begin
+    let cls = ref Kernel.Binary in
+    (try
+       for r = row_offset to row_offset + rows - 1 do
+         match Array.unsafe_get t.classes r with
+         | Kernel.Generic ->
+             cls := Kernel.Generic;
+             raise Exit
+         | Kernel.Nibble -> cls := Kernel.Nibble
+         | Kernel.Binary -> ()
+       done
+     with Exit -> ());
+    !cls
+  end
 
-(* Number of non-zero nibbles per byte, for mismatch counting. *)
-let nonzero_nibbles =
-  Array.init 256 (fun b ->
-      (if b land 0x0F <> 0 then 1 else 0) + if b land 0xF0 <> 0 then 1 else 0)
-
-let count_mismatch_words a b n =
-  let total = ref 0 in
-  for w = 0 to n - 1 do
-    let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
-    if x <> 0L then begin
-      let x = Int64.to_int x (* low 62 bits: safe, nibbles preserved *) in
-      (* OCaml ints are 63-bit; Int64.to_int truncates the top bit of a
-         full 64-bit pattern, so handle the top byte from the Int64. *)
-      let hi = Int64.to_int (Int64.shift_right_logical (Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w)) 56) land 0xFF in
-      let lo = x land 0xFFFFFFFFFFFFFF (* low 56 bits *) in
-      let acc = ref nonzero_nibbles.(hi) in
-      let v = ref lo in
-      for _ = 0 to 6 do
-        acc := !acc + nonzero_nibbles.(!v land 0xFF);
-        v := !v lsr 8
-      done;
-      total := !total + !acc
-    end
-  done;
-  !total
+let cap_class cap cls =
+  match (cap, cls) with
+  | `Binary, c -> c
+  | `Nibble, Kernel.Binary -> Kernel.Nibble
+  | `Nibble, c -> c
+  | `Generic, _ -> Kernel.Generic
 
 (* --- writes ----------------------------------------------------------- *)
 
@@ -103,10 +135,16 @@ let write t ?(row_offset = 0) ?care data =
           in
           cr.(j) <- c)
         row;
-      t.packed.(r) <-
-        (if !all_care && Array.length row = t.n_cols then
-           pack_row t.n_cols row
-         else None))
+      let nibble =
+        if !all_care then Kernel.pack_nibble ~cols:t.n_cols row else None
+      in
+      (* binary-packable rows are a subset of nibble-packable ones *)
+      let binary =
+        match nibble with
+        | Some _ -> Kernel.pack_binary ~cols:t.n_cols row
+        | None -> None
+      in
+      set_row_packing t r ~nibble ~binary)
     data
 
 let write_range t ~row_offset ~lo ~hi =
@@ -123,7 +161,7 @@ let write_range t ~row_offset ~lo ~hi =
       Array.iteri
         (fun j l -> t.cells.(r).(j) <- Range (l, hi_row.(j)))
         lo_row;
-      t.packed.(r) <- None)
+      set_row_packing t r ~nibble:None ~binary:None)
     lo
 
 let read_row t r =
@@ -135,7 +173,7 @@ let read_row t r =
       | Range (lo, _) -> lo)
     t.cells.(r)
 
-(* --- searches --------------------------------------------------------- *)
+(* --- scalar (generic) row kernels -------------------------------------- *)
 
 let hamming_row cells query width =
   let d = ref 0 in
@@ -164,79 +202,358 @@ let euclidean_row cells query width =
   done;
   !d
 
+(* Threshold variants: stop as soon as the running count/sum exceeds
+   the threshold — both accumulators only grow (float addition of
+   non-negative terms is monotone under rounding), so the match outcome
+   is already decided. [early] reports whether cells were skipped. *)
+let hamming_row_threshold cells query width ~threshold =
+  let d = ref 0 in
+  let early = ref false in
+  (try
+     for j = 0 to width - 1 do
+       (match Array.unsafe_get cells j with
+       | Value v -> if v <> Array.unsafe_get query j then incr d
+       | Dont_care -> ()
+       | Range (lo, hi) ->
+           let q = Array.unsafe_get query j in
+           if q < lo || q > hi then incr d);
+       if float_of_int !d > threshold then begin
+         if j < width - 1 then early := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (float_of_int !d <= threshold, !early)
+
+let euclidean_row_threshold cells query width ~threshold =
+  let d = ref 0. in
+  let early = ref false in
+  (try
+     for j = 0 to width - 1 do
+       (match Array.unsafe_get cells j with
+       | Value v ->
+           let diff = v -. Array.unsafe_get query j in
+           d := !d +. (diff *. diff)
+       | Dont_care -> ()
+       | Range (lo, hi) ->
+           let q = Array.unsafe_get query j in
+           if q < lo then d := !d +. ((lo -. q) *. (lo -. q))
+           else if q > hi then d := !d +. ((q -. hi) *. (q -. hi)));
+       if !d > threshold then begin
+         if j < width - 1 then early := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (!d <= threshold, !early)
+
+(* --- query packing cache ----------------------------------------------- *)
+
 (* Single-slot, domain-local cache of packed query batches. A
    partitioned search runs the same query batch against T row tiles;
    keying on the physical identity of the batch (plus the width) lets
    tiles 2..T reuse the packing from tile 1. Domain-local so worker
-   domains never race on it. *)
-let pack_cache :
-    (float array array * int * int64 array option array) option Domain.DLS.key
-    =
+   domains never race on it. Binary packs are filled on first use: a
+   batch searched against nibble windows never pays for them. *)
+type query_packs = {
+  qp_queries : float array array;
+  qp_cols : int;
+  qp_nibble : int64 array option array;
+  mutable qp_binary : int64 array option array option;
+}
+
+let pack_cache : query_packs option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
-let packed_queries_for ~cols queries =
+let query_packs_for ~cols queries =
   match Domain.DLS.get pack_cache with
-  | Some (qs, c, packed) when qs == queries && c = cols -> packed
+  | Some e when e.qp_queries == queries && e.qp_cols = cols -> e
   | _ ->
-      let packed = Array.map (fun q -> pack_row cols q) queries in
-      Domain.DLS.set pack_cache (Some (queries, cols, packed));
-      packed
+      let e =
+        {
+          qp_queries = queries;
+          qp_cols = cols;
+          qp_nibble = Array.map (fun q -> Kernel.pack_nibble ~cols q) queries;
+          qp_binary = None;
+        }
+      in
+      Domain.DLS.set pack_cache (Some e);
+      e
+
+let binary_packs e =
+  match e.qp_binary with
+  | Some b -> b
+  | None ->
+      let b =
+        Array.map (fun q -> Kernel.pack_binary ~cols:e.qp_cols q) e.qp_queries
+      in
+      e.qp_binary <- Some b;
+      b
+
+(* --- searches ---------------------------------------------------------- *)
 
 (* Below this many distance evaluations a batch is dispatched
    sequentially: the pool's locking overhead would dominate. *)
 let parallel_threshold = 256
 
-let search t ~queries ~row_offset ~rows ~metric =
-  check_window t ~row_offset ~rows;
-  let q_count = Array.length queries in
+(* Rows per block of the cache-blocked fast paths: a tile of queries
+   sweeps one block at a time so its packed words stay hot. *)
+let row_block = 128
+
+let extract_packed packed ~row_offset ~rows =
+  Array.init rows (fun i ->
+      match Array.unsafe_get packed (row_offset + i) with
+      | Some w -> w
+      | None -> assert false)
+
+(* Fold the per-query dispatch tallies into the stats ledger after the
+   join (per-query slots, so parallel tiles never contend and the
+   totals are identical for any jobs value). *)
+let fold_counters stats ~kb ~kn ~kg ~ke =
+  match stats with
+  | None -> ()
+  | Some (s : Stats.t) ->
+      let sum = Array.fold_left ( + ) 0 in
+      s.n_kernel_binary <- s.n_kernel_binary + sum kb;
+      s.n_kernel_nibble <- s.n_kernel_nibble + sum kn;
+      s.n_kernel_generic <- s.n_kernel_generic + sum kg;
+      s.n_kernel_early_exit <- s.n_kernel_early_exit + sum ke
+
+(* Run [fill_tile qlo qhi] over the query batch, chunked into query
+   tiles across the ambient pool when the batch is big enough. Tile
+   geometry only affects the schedule: every result and counter slot
+   is owned by its query index. *)
+let dispatch_tiles ~q_count ~rows fill_tile =
+  let j = Parallel.current_jobs () in
+  if q_count * rows >= parallel_threshold && j > 1 then begin
+    let tile = max 1 (q_count / (4 * j)) in
+    let n_tiles = (q_count + tile - 1) / tile in
+    Parallel.parallel_for ~lo:0 ~hi:n_tiles (fun ti ->
+        fill_tile (ti * tile) (min q_count ((ti + 1) * tile)))
+  end
+  else fill_tile 0 q_count
+
+let check_queries t queries =
   Array.iter
     (fun q ->
       if Array.length q > t.n_cols then
         invalid_arg "Subarray.search: query wider than the subarray")
-    queries;
-  let full_width = q_count > 0 && Array.length queries.(0) = t.n_cols in
-  let packed_queries =
-    if metric = `Hamming && full_width then
-      packed_queries_for ~cols:t.n_cols queries
-    else Array.make q_count None
+    queries
+
+(* Classify the window and pack the queries. Returns the capped window
+   class and per-query binary/nibble packs ([None] entries when the
+   tier is capped off, the metric is not Hamming, or the query is not
+   packable). All packing happens before the parallel region. *)
+let classify t ~queries ~row_offset ~rows ~metric =
+  let q_count = Array.length queries in
+  let none () = Array.make q_count None in
+  let cap = t.kernel_cap in
+  if metric <> `Hamming || cap = `Generic then (Kernel.Generic, none (), none ())
+  else begin
+    let wcls = cap_class cap (window_class t ~row_offset ~rows) in
+    let packs = query_packs_for ~cols:t.n_cols queries in
+    let qn = packs.qp_nibble in
+    let qb =
+      if
+        cap = `Binary
+        && (wcls = Kernel.Binary
+           || (wcls = Kernel.Generic && t.n_class_binary > 0))
+      then binary_packs packs
+      else none ()
+    in
+    (wcls, qb, qn)
+  end
+
+let distances ?stats t ~queries ~row_offset ~rows ~metric =
+  check_window t ~row_offset ~rows;
+  check_queries t queries;
+  let q_count = Array.length queries in
+  let wcls, qb, qn = classify t ~queries ~row_offset ~rows ~metric in
+  let bw = Kernel.bwords_for t.n_cols and nw = Kernel.nwords_for t.n_cols in
+  let brows =
+    if wcls = Kernel.Binary then extract_packed t.bpacked ~row_offset ~rows
+    else [||]
   in
-  (* The cells/packed state is read-only during the search, so the
-     query batch chunks freely across domains; each query writes only
-     its own result slot, and [last] is set after the join, so the
-     outcome is identical for any jobs value. *)
-  let one qi =
-    let query = queries.(qi) in
-    let width = Array.length query in
-    Array.init rows (fun i ->
-        let r = row_offset + i in
-        match (metric, packed_queries.(qi), t.packed.(r)) with
-        | `Hamming, Some pq, Some pr ->
-            float_of_int (count_mismatch_words pq pr (words_for t.n_cols))
-        | `Hamming, _, _ -> hamming_row t.cells.(r) query width
-        | `Euclidean, _, _ -> euclidean_row t.cells.(r) query width)
+  let need_nrows =
+    match wcls with
+    | Kernel.Nibble -> true
+    | Kernel.Binary ->
+        let need = ref false in
+        for qi = 0 to q_count - 1 do
+          if qb.(qi) = None && qn.(qi) <> None then need := true
+        done;
+        !need
+    | Kernel.Generic -> false
   in
+  let nrows =
+    if need_nrows then extract_packed t.npacked ~row_offset ~rows else [||]
+  in
+  let kb = Array.make q_count 0
+  and kn = Array.make q_count 0
+  and kg = Array.make q_count 0 in
   let result = Array.make q_count [||] in
-  if q_count * rows >= parallel_threshold && Parallel.current_jobs () > 1
-  then Parallel.parallel_for ~lo:0 ~hi:q_count (fun qi -> result.(qi) <- one qi)
-  else
-    for qi = 0 to q_count - 1 do
-      result.(qi) <- one qi
+  let fill_tile qlo qhi =
+    for qi = qlo to qhi - 1 do
+      result.(qi) <- Array.make rows 0.
     done;
+    match wcls with
+    | Kernel.Binary | Kernel.Nibble ->
+        (* one whole-window kernel per query, cache-blocked over rows *)
+        let b = ref 0 in
+        while !b < rows do
+          let hi = min rows (!b + row_block) in
+          for qi = qlo to qhi - 1 do
+            let out = result.(qi) in
+            match qb.(qi) with
+            | Some pq ->
+                kb.(qi) <- kb.(qi) + (hi - !b);
+                for i = !b to hi - 1 do
+                  Array.unsafe_set out i
+                    (float_of_int
+                       (Kernel.hamming_binary pq (Array.unsafe_get brows i)
+                          ~words:bw))
+                done
+            | None -> (
+                match qn.(qi) with
+                | Some pq ->
+                    kn.(qi) <- kn.(qi) + (hi - !b);
+                    for i = !b to hi - 1 do
+                      Array.unsafe_set out i
+                        (float_of_int
+                           (Kernel.hamming_nibble pq
+                              (Array.unsafe_get nrows i) ~words:nw))
+                    done
+                | None ->
+                    (* partial-width or unpackable query *)
+                    kg.(qi) <- kg.(qi) + (hi - !b);
+                    let query = queries.(qi) in
+                    let width = Array.length query in
+                    for i = !b to hi - 1 do
+                      out.(i) <-
+                        hamming_row t.cells.(row_offset + i) query width
+                    done)
+          done;
+          b := hi
+        done
+    | Kernel.Generic ->
+        (* mixed window (or Euclidean): dispatch per row, packed rows
+           still take their kernels when the query packs allow *)
+        for qi = qlo to qhi - 1 do
+          let query = queries.(qi) in
+          let width = Array.length query in
+          let out = result.(qi) in
+          match metric with
+          | `Euclidean ->
+              kg.(qi) <- kg.(qi) + rows;
+              for i = 0 to rows - 1 do
+                out.(i) <-
+                  euclidean_row t.cells.(row_offset + i) query width
+              done
+          | `Hamming ->
+              let pqb = qb.(qi) and pqn = qn.(qi) in
+              for i = 0 to rows - 1 do
+                let r = row_offset + i in
+                out.(i) <-
+                  (match (Array.unsafe_get t.bpacked r, pqb) with
+                  | Some br, Some pq ->
+                      kb.(qi) <- kb.(qi) + 1;
+                      float_of_int (Kernel.hamming_binary pq br ~words:bw)
+                  | _ -> (
+                      match (Array.unsafe_get t.npacked r, pqn) with
+                      | Some nr, Some pq ->
+                          kn.(qi) <- kn.(qi) + 1;
+                          float_of_int
+                            (Kernel.hamming_nibble pq nr ~words:nw)
+                      | _ ->
+                          kg.(qi) <- kg.(qi) + 1;
+                          hamming_row t.cells.(r) query width))
+              done
+        done
+  in
+  dispatch_tiles ~q_count ~rows fill_tile;
+  fold_counters stats ~kb ~kn ~kg ~ke:(Array.make 0 0);
+  result
+
+let search ?stats t ~queries ~row_offset ~rows ~metric =
+  let result = distances ?stats t ~queries ~row_offset ~rows ~metric in
   t.last <- Some result;
   result
 
-let search_range t ~queries ~row_offset ~rows =
+let search_range ?stats t ~queries ~row_offset ~rows =
   (* Range match is Hamming-style violation counting, which the generic
      path already implements through the [Range] cell case. *)
-  search t ~queries ~row_offset ~rows ~metric:`Hamming
+  search ?stats t ~queries ~row_offset ~rows ~metric:`Hamming
 
-let search_threshold t ~queries ~row_offset ~rows ~metric ~threshold =
-  let dists = search t ~queries ~row_offset ~rows ~metric in
-  let matches =
-    Array.map
-      (Array.map (fun d -> if d <= threshold then 1. else 0.))
-      dists
+let search_threshold ?stats t ~queries ~row_offset ~rows ~metric ~threshold =
+  check_window t ~row_offset ~rows;
+  check_queries t queries;
+  let q_count = Array.length queries in
+  let wcls, qb, qn = classify t ~queries ~row_offset ~rows ~metric in
+  let bw = Kernel.bwords_for t.n_cols and nw = Kernel.nwords_for t.n_cols in
+  let brows =
+    if wcls = Kernel.Binary then extract_packed t.bpacked ~row_offset ~rows
+    else [||]
   in
+  let nrows =
+    if wcls = Kernel.Nibble then extract_packed t.npacked ~row_offset ~rows
+    else [||]
+  in
+  let kb = Array.make q_count 0
+  and kn = Array.make q_count 0
+  and kg = Array.make q_count 0
+  and ke = Array.make q_count 0 in
+  let matches = Array.make q_count [||] in
+  let fill_tile qlo qhi =
+    for qi = qlo to qhi - 1 do
+      let query = queries.(qi) in
+      let width = Array.length query in
+      let out = Array.make rows 0. in
+      let store i (m, early) =
+        if early then ke.(qi) <- ke.(qi) + 1;
+        out.(i) <- (if m then 1. else 0.)
+      in
+      (match metric with
+      | `Euclidean ->
+          kg.(qi) <- kg.(qi) + rows;
+          for i = 0 to rows - 1 do
+            store i
+              (euclidean_row_threshold t.cells.(row_offset + i) query width
+                 ~threshold)
+          done
+      | `Hamming -> (
+          match (wcls, qb.(qi), qn.(qi)) with
+          | Kernel.Binary, Some pq, _ ->
+              kb.(qi) <- kb.(qi) + rows;
+              for i = 0 to rows - 1 do
+                store i
+                  (Kernel.hamming_binary_threshold pq
+                     (Array.unsafe_get brows i) ~words:bw ~threshold)
+              done
+          | Kernel.Nibble, _, Some pq ->
+              kn.(qi) <- kn.(qi) + rows;
+              for i = 0 to rows - 1 do
+                store i
+                  (Kernel.hamming_nibble_threshold pq
+                     (Array.unsafe_get nrows i) ~words:nw ~threshold)
+              done
+          | _ ->
+              (* mixed window, partial-width or unpackable query: the
+                 per-row packed kernels don't early-exit, so use the
+                 scalar threshold loop throughout — counters attribute
+                 these rows to the generic tier *)
+              kg.(qi) <- kg.(qi) + rows;
+              for i = 0 to rows - 1 do
+                store i
+                  (hamming_row_threshold t.cells.(row_offset + i) query
+                     width ~threshold)
+              done));
+      matches.(qi) <- out
+    done
+  in
+  dispatch_tiles ~q_count ~rows fill_tile;
+  fold_counters stats ~kb ~kn ~kg ~ke;
+  (* only the 0/1 match matrix is ever latched — the intermediate
+     distances stay private to the kernels *)
   t.last <- Some matches;
   matches
 

@@ -13,8 +13,14 @@
     For ACAM ranges the "distance" is the number of cells whose query
     element falls outside the stored range (0 = full range match).
 
-    Binary/small-integer payloads with no don't-cares take a packed
-    bit-parallel fast path for Hamming search. *)
+    Every row is classified at write time into a kernel tier (see
+    {!Kernel} and docs/KERNELS.md): binary rows take a 64-cells-per-word
+    XOR+popcount path, small-integer rows a 16-cells-per-word nibble
+    path, everything else the scalar per-cell loop. A per-subarray
+    summary lets a search dispatch one whole-window kernel instead of
+    re-classifying per row per query. Dispatch is wall-clock only:
+    distances, match results, and the activity ledger are identical
+    across tiers. *)
 
 type t
 
@@ -22,6 +28,15 @@ val create : rows:int -> cols:int -> bits:int -> t
 
 val rows : t -> int
 val cols : t -> int
+
+val set_kernel_cap : t -> [ `Binary | `Nibble | `Generic ] -> unit
+(** Cap the fastest kernel tier the dispatcher may use ([`Binary], the
+    default, allows all three; [`Generic] forces the scalar path).
+    Results are byte-identical at every cap — this is a test and
+    benchmark hook, not a tuning knob. *)
+
+val class_counts : t -> int * int * int
+(** [(binary, nibble, generic)] row counts of the current contents. *)
 
 val write :
   t -> ?row_offset:int -> ?care:bool array array -> float array array ->
@@ -40,6 +55,7 @@ val read_row : t -> int -> float array
     range cells as their lower bound). *)
 
 val search :
+  ?stats:Stats.t ->
   t ->
   queries:float array array ->
   row_offset:int ->
@@ -55,19 +71,26 @@ val search :
     row, so the matrix is identical for any jobs value), and packed
     Hamming query batches are cached by physical identity so a
     partitioned search over T row tiles packs the batch once, not T
-    times.
+    times. When [stats] is given, per-tier row-dispatch counts are
+    folded into it after the join (jobs-invariant).
     @raise Invalid_argument when the window or query width is out of
     bounds. *)
 
-val search_range : t -> queries:float array array -> row_offset:int ->
+val search_range :
+  ?stats:Stats.t -> t -> queries:float array array -> row_offset:int ->
   rows:int -> float array array
 (** ACAM range match: violation counts per (query, row). *)
 
 val search_threshold :
+  ?stats:Stats.t ->
   t -> queries:float array array -> row_offset:int -> rows:int ->
   metric:[ `Hamming | `Euclidean ] -> threshold:float -> float array array
 (** Threshold-match sensing: 1.0 for rows within [threshold] of the
-    query, 0.0 otherwise (the TH scheme of Section II-B). *)
+    query, 0.0 otherwise (the TH scheme of Section II-B). Rows bail out
+    as soon as the running mismatch count exceeds the threshold (the
+    accumulators only grow, so the outcome is already decided); such
+    early exits are tallied in [stats]. Only the 0/1 match matrix is
+    latched for {!read} — intermediate distances are never published. *)
 
 val read : t -> float array array
 (** Last search result. @raise Invalid_argument before any search. *)

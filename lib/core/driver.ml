@@ -205,6 +205,10 @@ let fold_sim_stats profile ~latency ~energy (s : Camsim.Stats.t) =
       mats = s.n_mats;
       arrays = s.n_arrays;
       subarrays = s.n_subarrays;
+      kernel_binary = s.n_kernel_binary;
+      kernel_nibble = s.n_kernel_nibble;
+      kernel_generic = s.n_kernel_generic;
+      kernel_early_exit = s.n_kernel_early_exit;
     }
 
 let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =

@@ -10,6 +10,10 @@ type measurement = {
   search_ops : int;
   query_cycles : int;
   write_ops : int;
+  kernel_binary : int;
+  kernel_nibble : int;
+  kernel_generic : int;
+  kernel_early_exit : int;
 }
 
 let config_name (spec : Archspec.Spec.t) =
@@ -31,6 +35,10 @@ let measurement_of (spec : Archspec.Spec.t) (r : Driver.run_result)
     search_ops = r.stats.n_search_ops;
     query_cycles = r.stats.n_query_cycles;
     write_ops = r.stats.n_write_ops;
+    kernel_binary = r.stats.n_kernel_binary;
+    kernel_nibble = r.stats.n_kernel_nibble;
+    kernel_generic = r.stats.n_kernel_generic;
+    kernel_early_exit = r.stats.n_kernel_early_exit;
   }
 
 let top1_accuracy indices labels =

@@ -15,6 +15,10 @@ type measurement = {
                          [Camsim.Stats] ledger *)
   query_cycles : int;
   write_ops : int;
+  kernel_binary : int;  (** per-tier row-dispatch counts (docs/KERNELS.md) *)
+  kernel_nibble : int;
+  kernel_generic : int;
+  kernel_early_exit : int;
 }
 
 val config_name : Archspec.Spec.t -> string

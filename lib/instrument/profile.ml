@@ -23,6 +23,10 @@ type sim = {
   mats : int;
   arrays : int;
   subarrays : int;
+  kernel_binary : int;
+  kernel_nibble : int;
+  kernel_generic : int;
+  kernel_early_exit : int;
 }
 
 type t = {
@@ -84,7 +88,14 @@ let sim_to_json (s : sim) =
       ("mats", Json.Int s.mats);
       ("arrays", Json.Int s.arrays);
       ("subarrays", Json.Int s.subarrays);
+      ("kernel_binary", Json.Int s.kernel_binary);
+      ("kernel_nibble", Json.Int s.kernel_nibble);
+      ("kernel_generic", Json.Int s.kernel_generic);
+      ("kernel_early_exit", Json.Int s.kernel_early_exit);
     ]
+
+let opt_int key json =
+  match Json.member_opt key json with Some j -> Json.get_int j | None -> 0
 
 let sim_of_json json =
   {
@@ -102,6 +113,11 @@ let sim_of_json json =
     mats = Json.get_int (Json.member "mats" json);
     arrays = Json.get_int (Json.member "arrays" json);
     subarrays = Json.get_int (Json.member "subarrays" json);
+    (* absent in profiles written before the tiered kernels *)
+    kernel_binary = opt_int "kernel_binary" json;
+    kernel_nibble = opt_int "kernel_nibble" json;
+    kernel_generic = opt_int "kernel_generic" json;
+    kernel_early_exit = opt_int "kernel_early_exit" json;
   }
 
 let to_json t =
@@ -193,8 +209,10 @@ let to_table t =
            "\nsimulator: latency %.3e s, energy %.3e J (search %.3e, write \
             %.3e, merge %.3e, select %.3e, overhead %.3e)\n\
             \  %d searches (%d query cycles), %d writes; %d banks, %d mats, \
-            %d arrays, %d subarrays\n"
+            %d arrays, %d subarrays\n\
+            \  kernels: %d binary, %d nibble, %d generic (%d early exits)\n"
            s.sim_latency_s s.sim_energy_j s.e_search s.e_write s.e_merge
            s.e_select s.e_overhead s.search_ops s.query_cycles s.write_ops
-           s.banks s.mats s.arrays s.subarrays));
+           s.banks s.mats s.arrays s.subarrays s.kernel_binary s.kernel_nibble
+           s.kernel_generic s.kernel_early_exit));
   Buffer.contents buf

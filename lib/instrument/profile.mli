@@ -34,6 +34,13 @@ type sim = {
   mats : int;
   arrays : int;
   subarrays : int;
+  kernel_binary : int;
+      (** row distances computed by the bit-packed binary kernel *)
+  kernel_nibble : int;  (** by the 4-bit packed kernel *)
+  kernel_generic : int;  (** by the scalar per-cell loop *)
+  kernel_early_exit : int;
+      (** threshold-search rows abandoned early (counts default to 0
+          when parsing pre-kernel profiles) *)
 }
 
 type t = {

@@ -245,16 +245,60 @@ let topk_t (t : Rtval.tensor) ~k ~dim ~largest =
 (* Similarity scores at the cim software level. *)
 let rec scores_of metric (query : float array array) (stored : float array array)
     =
+  match metric with
+  | Dialects.Cim.Hamming -> hamming_scores query stored
+  | _ ->
+      let q = Array.length query and n = Array.length stored in
+      let out = Array.make_matrix q n 0. in
+      for i = 0 to q - 1 do
+        for j = 0 to n - 1 do
+          out.(i).(j) <-
+            (match metric with
+            | Dialects.Cim.Dot -> dot_arrays query.(i) stored.(j)
+            | Dialects.Cim.Cosine -> cosine_arrays query.(i) stored.(j)
+            | Dialects.Cim.Euclidean -> eucl_sq_arrays query.(i) stored.(j)
+            | Dialects.Cim.Hamming -> hamming_arrays query.(i) stored.(j))
+        done
+      done;
+      out
+
+(* Hamming mirrors the subarray kernel tiers (docs/KERNELS.md): each
+   row packs once per batch, pairs of equal width sharing a tier go
+   through the bit-packed kernels, everything else falls back to the
+   scalar loop. The packed counts equal the scalar mismatch counts
+   bit-for-bit, so results never depend on the dispatch. *)
+and hamming_scores query stored =
+  let pack rows =
+    Array.map
+      (fun r ->
+        let cols = Array.length r in
+        ( cols,
+          Camsim.Kernel.pack_binary ~cols r,
+          Camsim.Kernel.pack_nibble ~cols r ))
+      rows
+  in
+  let qp = pack query and sp = pack stored in
   let q = Array.length query and n = Array.length stored in
   let out = Array.make_matrix q n 0. in
   for i = 0 to q - 1 do
+    let qc, qb, qn = qp.(i) in
     for j = 0 to n - 1 do
+      let sc, sb, sn = sp.(j) in
       out.(i).(j) <-
-        (match metric with
-        | Dialects.Cim.Dot -> dot_arrays query.(i) stored.(j)
-        | Dialects.Cim.Cosine -> cosine_arrays query.(i) stored.(j)
-        | Dialects.Cim.Euclidean -> eucl_sq_arrays query.(i) stored.(j)
-        | Dialects.Cim.Hamming -> hamming_arrays query.(i) stored.(j))
+        (if qc <> sc then hamming_arrays query.(i) stored.(j)
+         else
+           match (qb, sb) with
+           | Some a, Some b ->
+               float_of_int
+                 (Camsim.Kernel.hamming_binary a b
+                    ~words:(Camsim.Kernel.bwords_for qc))
+           | _ -> (
+               match (qn, sn) with
+               | Some a, Some b ->
+                   float_of_int
+                     (Camsim.Kernel.hamming_nibble a b
+                        ~words:(Camsim.Kernel.nwords_for qc))
+               | _ -> hamming_arrays query.(i) stored.(j)))
     done
   done;
   out

@@ -115,6 +115,21 @@ let test_read_returns_last () =
   Alcotest.(check Tutil.rows_testable) "read latches result" r
     (Camsim.Subarray.read s)
 
+let test_threshold_latches_matches_only () =
+  let s = mk ~rows:3 ~cols:4 () in
+  Camsim.Subarray.write s
+    [| row_of_list [ 0; 1; 0; 1 ]; row_of_list [ 1; 1; 1; 1 ];
+       row_of_list [ 0; 0; 0; 0 ] |];
+  let m =
+    Camsim.Subarray.search_threshold s
+      ~queries:[| row_of_list [ 0; 1; 0; 1 ] |]
+      ~row_offset:0 ~rows:3 ~metric:`Hamming ~threshold:1.5
+  in
+  Alcotest.(check Tutil.rows_testable) "0/1 matrix" [| [| 1.; 0.; 0. |] |] m;
+  (* the latch holds the match matrix, never the intermediate distances *)
+  Alcotest.(check Tutil.rows_testable) "latch holds matches" m
+    (Camsim.Subarray.read s)
+
 let test_read_row () =
   let s = mk ~rows:2 ~cols:2 () in
   Camsim.Subarray.write s ~care:[| [| true; false |] |] [| [| 1.; 0. |] |];
@@ -216,6 +231,8 @@ let () =
           Alcotest.test_case "batches coexist" `Quick
             test_batch_overwrite_window;
           Alcotest.test_case "read latches" `Quick test_read_returns_last;
+          Alcotest.test_case "threshold latches matches" `Quick
+            test_threshold_latches_matches_only;
           Alcotest.test_case "read_row" `Quick test_read_row;
           Alcotest.test_case "geometry errors" `Quick test_geometry_errors;
         ] );
