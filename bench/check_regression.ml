@@ -11,6 +11,11 @@
    - accuracy must match the baseline exactly — classification results
      are rankings, and a ranking change is a correctness regression, not
      noise;
+   - deterministic activity counters (simulator ledger and the
+     interpreter's n_ops_executed work proxy) must match exactly when
+     the baseline records them — they are schedule- and
+     wall-clock-independent by construction, so any drift is a semantic
+     change;
    - every baseline workload must still be present.
 
    Workloads present only in the current file are reported but do not
@@ -83,7 +88,29 @@ let () =
           let ab = fbase "accuracy" and ac = fcur "accuracy" in
           check name "accuracy" (ab = ac)
             (Printf.sprintf "baseline %.4f, current %.4f (exact match \
-                             required)" ab ac))
+                             required)" ab ac);
+          (* exact gates on the deterministic counters, applied only
+             when the baseline has the key (older baselines predate
+             some of them) *)
+          List.iter
+            (fun key ->
+              match Instrument.Json.member_opt key base with
+              | None -> ()
+              | Some bj ->
+                  let b = Instrument.Json.get_int bj in
+                  let c =
+                    match Instrument.Json.member_opt key cur with
+                    | Some cj -> Instrument.Json.get_int cj
+                    | None -> -1
+                  in
+                  check name key (b = c)
+                    (Printf.sprintf
+                       "baseline %d, current %d (exact match required)" b c))
+            [
+              "subarrays"; "banks"; "search_ops"; "query_cycles";
+              "write_ops"; "kernel_binary"; "kernel_nibble";
+              "kernel_generic"; "kernel_early_exit"; "n_ops_executed";
+            ])
     baseline;
   List.iter
     (fun (name, _) ->
@@ -93,7 +120,8 @@ let () =
     current;
   if !failures > 0 then begin
     Printf.eprintf "\ncheck_regression: %d metric(s) out of tolerance \
-                    (+/-%.0f%% on latency/energy, exact accuracy)\n"
+                    (+/-%.0f%% on latency/energy, exact accuracy and \
+                    counters)\n"
       !failures (tolerance *. 100.);
     exit 1
   end

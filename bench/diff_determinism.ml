@@ -11,11 +11,14 @@
 
 module Json = Instrument.Json
 
-(* Keys that legitimately vary with the schedule or the jobs value. *)
+(* Keys that legitimately vary with the schedule, the jobs value, or
+   the engine selection ("precompile": the two interpreter engines must
+   agree on everything else, which is exactly what running this gate on
+   a precompile-on vs precompile-off pair proves). *)
 let ignored_keys =
   [
     "wall_clock_s"; "dse_wall_clock_s"; "jobs"; "duration_s"; "frontend_s";
-    "total_s";
+    "total_s"; "precompile";
   ]
 
 let rec strip (j : Json.t) =

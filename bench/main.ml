@@ -585,12 +585,15 @@ let accuracy () =
    seconds; bench/check_regression.ml diffs the emitted JSON against
    bench/baseline.json. *)
 
-let smoke ?json ?jobs () =
+let smoke ?json ?jobs ?(precompile = true) () =
   section "smoke: fast deterministic suite (the CI regression gate)";
+  (* engine selection for every Machine.run below (Dse goes through
+     run_cam, which reads the process-wide flag) *)
+  Interp.Compile.set_enabled precompile;
   Parallel.run ?jobs @@ fun pool ->
   let jobs = Parallel.jobs pool in
   let wall_start = Instrument.Collect.now () in
-  Printf.printf "jobs: %d\n" jobs;
+  Printf.printf "jobs: %d\nprecompile: %b\n" jobs precompile;
   let data =
     Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:2048 ~n_classes:10
       ~n_queries:64 ~bits:1 ()
@@ -703,6 +706,7 @@ let smoke ?json ?jobs () =
             ("kernel_nibble", Instrument.Json.Int m.kernel_nibble);
             ("kernel_generic", Instrument.Json.Int m.kernel_generic);
             ("kernel_early_exit", Instrument.Json.Int m.kernel_early_exit);
+            ("n_ops_executed", Instrument.Json.Int m.n_ops_executed);
           ]
       in
       let doc =
@@ -710,6 +714,7 @@ let smoke ?json ?jobs () =
           [
             ("schema_version", Instrument.Json.Int 1);
             ("jobs", Instrument.Json.Int jobs);
+            ("precompile", Instrument.Json.Bool precompile);
             ( "wall_clock_s",
               Instrument.Json.Float (Instrument.Collect.now () -. wall_start)
             );
@@ -724,6 +729,71 @@ let smoke ?json ?jobs () =
       Printf.printf "wrote %s\n" file
 
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure ------- *)
+
+(* A pure scf loop nest over scalar arithmetic, built from textual IR:
+   the dispatch-overhead workload behind the [interp_dispatch] group.
+   [shape] gives the trip count of each nesting level, outermost
+   first. The body only touches one f64 cell, so the two engines spend
+   their whole run in op dispatch — exactly what the closure compiler
+   removes. *)
+let loop_nest_module shape =
+  let buf = Buffer.create 512 in
+  let fresh = ref 0 in
+  let v () =
+    let n = !fresh in
+    incr fresh;
+    n
+  in
+  let arg = v () in
+  Buffer.add_string buf
+    (Printf.sprintf "func @bench(%%%d: memref<1xf64>) {\n" arg);
+  let zero = v () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  %%%d = \"arith.constant\"() {value = 0} : () -> index\n" zero);
+  let one = v () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  %%%d = \"arith.constant\"() {value = 1} : () -> index\n" one);
+  let rec nest = function
+    | [] ->
+        let l = v () in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %%%d = \"memref.load\"(%%%d, %%%d) : (memref<1xf64>, index) \
+              -> f64\n"
+             l arg zero);
+        let s = v () in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %%%d = \"arith.mulf\"(%%%d, %%%d) : (f64, f64) -> f64\n" s l
+             l);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  \"memref.store\"(%%%d, %%%d, %%%d) : (f64, memref<1xf64>, \
+              index) -> ()\n"
+             s arg zero)
+    | iters :: inner ->
+        let ub = v () in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %%%d = \"arith.constant\"() {value = %d} : () -> index\n" ub
+             iters);
+        Buffer.add_string buf
+          (Printf.sprintf "  \"scf.for\"(%%%d, %%%d, %%%d) ({\n" zero ub one);
+        let iv = v () in
+        Buffer.add_string buf (Printf.sprintf "  ^(%%%d: index):\n" iv);
+        let t = v () in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %%%d = \"arith.addi\"(%%%d, %%%d) : (index, index) -> index\n"
+             t iv one);
+        nest inner;
+        Buffer.add_string buf "  }) : (index, index, index) -> ()\n"
+  in
+  nest shape;
+  Buffer.add_string buf "  \"func.return\"() : () -> ()\n}\n";
+  Ir.Parser.parse_module (Buffer.contents buf)
 
 let micro () =
   section "micro: Bechamel benchmarks of the compiler (one per experiment)";
@@ -791,6 +861,34 @@ let micro () =
                    ("generic", `Generic);
                  ])
              [ 32; 64; 128 ]);
+        (* the closure-compiled engine vs the tree-walking reference on
+           pure scf loop nests: same module, same simulated result, only
+           the dispatch machinery differs (docs/INTERPRETER.md). The
+           name encodes nest depth and total innermost iterations. *)
+        Test.make_grouped ~name:"interp_dispatch"
+          (List.concat_map
+             (fun (depth, total, shape) ->
+               let m = loop_nest_module shape in
+               let args =
+                 [ Interp.Rtval.Buffer (Interp.Rtval.fresh_buffer [ 1 ]) ]
+               in
+               (* warm the per-domain memo so the compiled leg measures
+                  dispatch, not the one-time compilation *)
+               ignore (Interp.Machine.run ~precompile:true m "bench" args);
+               List.map
+                 (fun (leg, pre) ->
+                   Test.make
+                     ~name:(Printf.sprintf "%s_depth%d_%d" leg depth total)
+                     (Staged.stage (fun () ->
+                          ignore
+                            (Interp.Machine.run ~precompile:pre m "bench"
+                               args))))
+                 [ ("compiled", true); ("treewalk", false) ])
+             [
+               (1, 64, [ 64 ]); (1, 256, [ 256 ]);
+               (2, 64, [ 8; 8 ]); (2, 256, [ 16; 16 ]);
+               (3, 64, [ 4; 4; 4 ]); (3, 256, [ 8; 8; 4 ]);
+             ]);
       ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
@@ -841,23 +939,26 @@ let () =
   | [] -> List.iter (fun (_, f) -> f ()) all_sections
   | "smoke" :: rest ->
       let usage () =
-        prerr_endline "usage: main.exe -- smoke [--json [FILE]] [--jobs N]";
+        prerr_endline
+          "usage: main.exe -- smoke [--json [FILE]] [--jobs N] \
+           [--no-precompile]";
         exit 2
       in
       let starts_dash s = String.length s >= 2 && String.sub s 0 2 = "--" in
-      let rec parse json jobs = function
-        | [] -> (json, jobs)
+      let rec parse json jobs precompile = function
+        | [] -> (json, jobs, precompile)
         | "--json" :: f :: tl when not (starts_dash f) ->
-            parse (Some f) jobs tl
-        | "--json" :: tl -> parse (Some "BENCH_smoke.json") jobs tl
+            parse (Some f) jobs precompile tl
+        | "--json" :: tl -> parse (Some "BENCH_smoke.json") jobs precompile tl
         | "--jobs" :: n :: tl -> (
             match int_of_string_opt n with
-            | Some n -> parse json (Some n) tl
+            | Some n -> parse json (Some n) precompile tl
             | None -> usage ())
+        | "--no-precompile" :: tl -> parse json jobs false tl
         | _ -> usage ()
       in
-      let json, jobs = parse None None rest in
-      smoke ?json ?jobs ()
+      let json, jobs, precompile = parse None None true rest in
+      smoke ?json ?jobs ~precompile ()
   | names ->
       List.iter
         (fun name ->

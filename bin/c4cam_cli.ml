@@ -79,6 +79,18 @@ let with_jobs jobs f =
   let jobs = if jobs > 0 then jobs else Parallel.default_jobs () in
   Parallel.run ~jobs (fun pool -> f (Parallel.jobs pool))
 
+let no_precompile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-precompile" ]
+        ~doc:"Execute with the tree-walking reference interpreter instead \
+              of the closure-compiled engine. Results, latency/energy and \
+              activity counters are identical either way; only wall-clock \
+              time differs (see docs/INTERPRETER.md).")
+
+let set_engine no_precompile =
+  if no_precompile then Interp.Compile.set_enabled false
+
 let spec_of ~arch ~size ~opt =
   match arch with
   | Some path -> (
@@ -205,8 +217,9 @@ let backend_arg =
 
 let run_cmd =
   let run kernel arch size opt queries dims classes seed backend profile
-      profile_json jobs =
+      profile_json jobs no_precompile =
     handle_errors (fun () ->
+        set_engine no_precompile;
         with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
         let src = kernel_of ~kernel ~queries ~dims ~classes in
@@ -254,7 +267,7 @@ let run_cmd =
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
       $ dims_arg $ classes_arg $ seed_arg $ backend_arg $ profile_arg
-      $ profile_json_arg $ jobs_arg)
+      $ profile_json_arg $ jobs_arg $ no_precompile_arg)
 
 (* ---- asm: print the flat runtime ISA -------------------------------------- *)
 
@@ -276,8 +289,9 @@ let asm_cmd =
 (* ---- tune ------------------------------------------------------------------ *)
 
 let tune_cmd =
-  let run queries dims classes objective jobs =
+  let run queries dims classes objective jobs no_precompile =
     handle_errors (fun () ->
+        set_engine no_precompile;
         with_jobs jobs @@ fun _jobs ->
         let data =
           Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
@@ -319,13 +333,14 @@ let tune_cmd =
        ~doc:"Search the architecture grid for the best configuration")
     Term.(
       const run $ queries_arg $ dims_arg $ classes_arg $ objective_arg
-      $ jobs_arg)
+      $ jobs_arg $ no_precompile_arg)
 
 (* ---- sweep --------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run queries dims classes jobs =
+  let run queries dims classes jobs no_precompile =
     handle_errors (fun () ->
+        set_engine no_precompile;
         with_jobs jobs @@ fun _jobs ->
         let data =
           Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
@@ -364,7 +379,9 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Design-space exploration over sizes and optimizations")
-    Term.(const run $ queries_arg $ dims_arg $ classes_arg $ jobs_arg)
+    Term.(
+      const run $ queries_arg $ dims_arg $ classes_arg $ jobs_arg
+      $ no_precompile_arg)
 
 (* ---- passes --------------------------------------------------------------- *)
 

@@ -174,6 +174,7 @@ type run_result = {
   energy : float;
   power : float;
   stats : Camsim.Stats.t;
+  ops_executed : (string * int) list;
 }
 
 (* Order the two data operands according to the kernel's argument
@@ -188,7 +189,8 @@ let ordered_args info ~wrap ~queries ~stored =
   else [ wrap stored; wrap queries ]
 
 (* Fold the simulator's activity ledger into the profile collector. *)
-let fold_sim_stats profile ~latency ~energy (s : Camsim.Stats.t) =
+let fold_sim_stats profile ~latency ~energy ~ops_executed
+    (s : Camsim.Stats.t) =
   Instrument.Collect.set_sim profile
     {
       Instrument.Profile.sim_latency_s = latency;
@@ -209,9 +211,11 @@ let fold_sim_stats profile ~latency ~energy (s : Camsim.Stats.t) =
       kernel_nibble = s.n_kernel_nibble;
       kernel_generic = s.n_kernel_generic;
       kernel_early_exit = s.n_kernel_early_exit;
+      ops_executed;
     }
 
-let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
+let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace ?precompile c
+    ~queries ~stored =
   let sim =
     Camsim.Simulator.create ?tech ?defect_rate ?defect_seed ?trace c.spec
   in
@@ -219,13 +223,17 @@ let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
   let wrap rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows) in
   let args = ordered_args c.info ~wrap ~queries ~stored in
   let outcome =
-    try Interp.Machine.run ~sim c.cam_ir c.fn_name args
+    try Interp.Machine.run ~sim ?precompile c.cam_ir c.fn_name args
     with Interp.Machine.Runtime_error e -> fail "runtime error: %s" e
   in
   let stats = Camsim.Simulator.stats sim in
   let energy = Camsim.Stats.total_energy stats in
   let latency = outcome.latency in
-  Option.iter (fun p -> fold_sim_stats p ~latency ~energy stats) profile;
+  Option.iter
+    (fun p ->
+      fold_sim_stats p ~latency ~energy ~ops_executed:outcome.ops_executed
+        stats)
+    profile;
   let values, indices, scores =
     match (c.info.output, outcome.results) with
     | `Topk, [ v; i ] ->
@@ -243,6 +251,7 @@ let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace c ~queries ~stored =
     energy;
     power = (if latency > 0. then energy /. latency else 0.);
     stats;
+    ops_executed = outcome.ops_executed;
   }
 
 (* Build a tensor argument with the exact declared shape of the function
@@ -398,6 +407,9 @@ let run_vm ?tech c ~queries ~stored =
     energy;
     power = (if latency > 0. then energy /. latency else 0.);
     stats;
+    (* the register VM has its own instruction stream; the interpreter's
+       per-dialect counters don't apply to it *)
+    ops_executed = [];
   }
 
 let run_reference c ~queries ~stored =

@@ -60,18 +60,24 @@ type run_result = {
   energy : float;  (** joules *)
   power : float;  (** watts, energy/latency *)
   stats : Camsim.Stats.t;
+  ops_executed : (string * int) list;
+      (** interpreter ops executed per dialect, sorted by name —
+          deterministic across engines and jobs values; [[]] for the
+          register VM, which has its own instruction stream *)
 }
 
 val run_cam :
   ?profile:Instrument.Collect.t ->
   ?tech:Camsim.Tech.t -> ?defect_rate:float -> ?defect_seed:int ->
-  ?trace:Camsim.Trace.t -> compiled -> queries:float array array ->
-  stored:float array array -> run_result
+  ?trace:Camsim.Trace.t -> ?precompile:bool -> compiled ->
+  queries:float array array -> stored:float array array -> run_result
 (** Execute the cam-level module on a fresh simulator. [queries] are
     [q] rows of [d] values; [stored] are [n] rows. [defect_rate] and
     [trace] are forwarded to {!Camsim.Simulator.create}. With [profile],
     the run's latency, energy breakdown and activity counters are folded
-    into the collector's simulator section. *)
+    into the collector's simulator section. [precompile] selects the
+    interpreter engine (see {!Interp.Machine.run}); it defaults to the
+    process-wide {!Interp.Compile.enabled} flag. *)
 
 (** {1 The crossbar target} — Figure 3's sibling device branch: a
     single-matmul kernel mapped onto resistive-crossbar tiles instead of

@@ -14,6 +14,7 @@ type measurement = {
   kernel_nibble : int;
   kernel_generic : int;
   kernel_early_exit : int;
+  n_ops_executed : int;
 }
 
 let config_name (spec : Archspec.Spec.t) =
@@ -39,6 +40,8 @@ let measurement_of (spec : Archspec.Spec.t) (r : Driver.run_result)
     kernel_nibble = r.stats.n_kernel_nibble;
     kernel_generic = r.stats.n_kernel_generic;
     kernel_early_exit = r.stats.n_kernel_early_exit;
+    n_ops_executed =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 r.ops_executed;
   }
 
 let top1_accuracy indices labels =

@@ -19,6 +19,9 @@ type measurement = {
   kernel_nibble : int;
   kernel_generic : int;
   kernel_early_exit : int;
+  n_ops_executed : int;
+      (** total interpreter ops executed (all dialects) — the
+          deterministic work proxy; identical for any jobs value *)
 }
 
 val config_name : Archspec.Spec.t -> string

@@ -27,6 +27,7 @@ type sim = {
   kernel_nibble : int;
   kernel_generic : int;
   kernel_early_exit : int;
+  ops_executed : (string * int) list;
 }
 
 type t = {
@@ -92,6 +93,7 @@ let sim_to_json (s : sim) =
       ("kernel_nibble", Json.Int s.kernel_nibble);
       ("kernel_generic", Json.Int s.kernel_generic);
       ("kernel_early_exit", Json.Int s.kernel_early_exit);
+      ("ops_executed", counts_to_json s.ops_executed);
     ]
 
 let opt_int key json =
@@ -118,6 +120,11 @@ let sim_of_json json =
     kernel_nibble = opt_int "kernel_nibble" json;
     kernel_generic = opt_int "kernel_generic" json;
     kernel_early_exit = opt_int "kernel_early_exit" json;
+    (* absent in profiles written before the closure-compiled engine *)
+    ops_executed =
+      (match Json.member_opt "ops_executed" json with
+      | Some j -> counts_of_json j
+      | None -> []);
   }
 
 let to_json t =
@@ -214,5 +221,8 @@ let to_table t =
            s.sim_latency_s s.sim_energy_j s.e_search s.e_write s.e_merge
            s.e_select s.e_overhead s.search_ops s.query_cycles s.write_ops
            s.banks s.mats s.arrays s.subarrays s.kernel_binary s.kernel_nibble
-           s.kernel_generic s.kernel_early_exit));
+           s.kernel_generic s.kernel_early_exit);
+      if s.ops_executed <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  interpreter ops: %s\n" (fmt_counts s.ops_executed)));
   Buffer.contents buf

@@ -41,6 +41,11 @@ type sim = {
   kernel_early_exit : int;
       (** threshold-search rows abandoned early (counts default to 0
           when parsing pre-kernel profiles) *)
+  ops_executed : (string * int) list;
+      (** interpreter ops executed per dialect, sorted by name — the
+          deterministic work proxy from [Interp.Ops]; identical across
+          engines and jobs values (defaults to [[]] when parsing
+          pre-interpreter-counter profiles) *)
 }
 
 type t = {

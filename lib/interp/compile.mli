@@ -1,0 +1,32 @@
+(** The closure-compiling interpreter engine.
+
+    Pre-compiles a function's region tree into arrays of OCaml closures
+    (threaded code): op-name dispatch, attribute decoding and operand
+    resolution happen once per op at compile time, SSA values are
+    renamed to dense integer slots so the environment is a flat
+    [Rtval.t array], and the [scf.parallel] independence analysis is
+    resolved at compile time down to a residual runtime check.
+    Compilation is memoized per domain on {!Ir.Op.uid}, so repeated runs
+    of the same module pay it once; the IR is treated as frozen once a
+    function has run.
+
+    Semantics are byte-identical to the tree-walking reference engine in
+    {!Machine} — results, simulated latency/energy, per-dialect
+    execution counters, and failure messages all match; only wall-clock
+    time differs. [test/test_compile.ml] holds the differential proof
+    obligations. *)
+
+val set_enabled : bool -> unit
+(** Flip the process-wide default engine selection read by
+    [Machine.run] when no explicit [?precompile] is given (the CLI's
+    [--no-precompile] flag lands here). Defaults to enabled. *)
+
+val enabled : unit -> bool
+
+val run_fn :
+  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> Ir.Func_ir.func ->
+  Rtval.t list -> Ops.outcome
+(** Compile (or fetch from the memo) and execute one function. The
+    caller has already resolved the function and checked arity —
+    [Machine.run] is the public entry point.
+    @raise Ops.Runtime_error exactly where the tree-walker would. *)

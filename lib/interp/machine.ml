@@ -1,20 +1,30 @@
-type outcome = { results : Rtval.t list; latency : float }
+(* The tree-walking reference engine, and the public entry point that
+   dispatches between it and the closure-compiled engine (Compile).
 
-exception Runtime_error of string
+   This walker re-interprets the region tree on every execution — op
+   names string-match, attributes decode, operands resolve through a
+   hashtable, per iteration. It stays as the executable specification
+   the compiled engine is differentially tested against
+   (test/test_compile.ml); production paths run compiled unless
+   [--no-precompile] asks otherwise. *)
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+type outcome = Ops.outcome = {
+  results : Rtval.t list;
+  latency : float;
+  ops_executed : (string * int) list;
+}
+
+exception Runtime_error = Ops.Runtime_error
+
+let fail = Ops.fail
 
 type state = {
   env : (int, Rtval.t) Hashtbl.t;
   sim : Camsim.Simulator.t option;
   xsim : Xbar.t option;
-  (* Rows extracted from recent query operands, keyed on the physical
-     runtime value. A partitioned search issues T cam.search ops over
-     the same query buffer; returning the same physical rows arrays
-     lets Subarray's packed-query cache hit on tiles 2..T instead of
-     re-packing per tile. Entries carry the backing store so writes
-     can invalidate them. *)
-  mutable qcache : (Rtval.t * float array * float array array) list;
+  qcache : Ops.Qcache.t;
+  counts : int array; (* per-dialect executed-op counters *)
+  counts_mu : Mutex.t; (* guards merges of per-chunk counters *)
 }
 
 let sim st =
@@ -36,319 +46,8 @@ let bind st (v : Ir.Value.t) r = Hashtbl.replace st.env v.id r
 
 let operand st op i = lookup st (Ir.Op.operand op i)
 
-let qcache_limit = 16
-
-let rec take n = function
-  | [] -> []
-  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
-
-(* Like [Rtval.to_rows], but memoized on the physical value so repeated
-   searches over one query batch share the extracted arrays. *)
-let rows_cached st (v : Rtval.t) =
-  let backing =
-    match v with
-    | Rtval.Buffer b -> Some b.Rtval.b_data
-    | Rtval.Tensor t -> Some t.Rtval.t_data
-    | _ -> None
-  in
-  match backing with
-  | None -> Rtval.to_rows v
-  | Some data -> (
-      match List.find_opt (fun (k, _, _) -> k == v) st.qcache with
-      | Some (_, _, rows) -> rows
-      | None ->
-          let rows = Rtval.to_rows v in
-          st.qcache <- take qcache_limit ((v, data, rows) :: st.qcache);
-          rows)
-
-(* Drop cache entries whose backing store was just written. *)
-let invalidate_rows st (data : float array) =
-  if st.qcache <> [] then
-    st.qcache <- List.filter (fun (_, d, _) -> d != data) st.qcache
-
 let attr_i op key = Ir.Attr.as_int (Ir.Op.attr_exn op key)
 let attr_b op key = Ir.Attr.as_bool (Ir.Op.attr_exn op key)
-
-let norm_dim rank d = if d < 0 then rank + d else d
-
-(* ---------- torch-level helpers (value semantics) -------------------- *)
-
-let transpose_t (t : Rtval.tensor) d0 d1 =
-  let rank = List.length t.t_shape in
-  let d0 = norm_dim rank d0 and d1 = norm_dim rank d1 in
-  let shape = Array.of_list t.t_shape in
-  let out_shape = Array.copy shape in
-  out_shape.(d0) <- shape.(d1);
-  out_shape.(d1) <- shape.(d0);
-  let in_strides = Array.of_list (Rtval.row_major_strides t.t_shape) in
-  let out_shape_l = Array.to_list out_shape in
-  let out = Array.make (Rtval.numel out_shape_l) 0. in
-  let idx = Array.make rank 0 in
-  let n = Array.length out in
-  let rec fill pos linear =
-    if pos = rank then begin
-      (* map output index to input index by swapping d0/d1 *)
-      let src = ref 0 in
-      for k = 0 to rank - 1 do
-        let i =
-          if k = d0 then idx.(d1) else if k = d1 then idx.(d0) else idx.(k)
-        in
-        src := !src + (in_strides.(k) * i)
-      done;
-      out.(linear) <- t.t_data.(!src)
-    end
-    else
-      for i = 0 to out_shape.(pos) - 1 do
-        idx.(pos) <- i;
-        fill (pos + 1) ((linear * out_shape.(pos)) + i)
-      done
-  in
-  if n > 0 then fill 0 0;
-  { Rtval.t_shape = out_shape_l; t_data = out }
-
-let matmul_t (a : Rtval.tensor) (b : Rtval.tensor) =
-  match (a.t_shape, b.t_shape) with
-  | [ m; k ], [ k'; n ] when k = k' ->
-      let out = Array.make (m * n) 0. in
-      for i = 0 to m - 1 do
-        for l = 0 to k - 1 do
-          let av = a.t_data.((i * k) + l) in
-          if av <> 0. then
-            for j = 0 to n - 1 do
-              out.((i * n) + j) <-
-                out.((i * n) + j) +. (av *. b.t_data.((l * n) + j))
-            done
-        done
-      done;
-      { Rtval.t_shape = [ m; n ]; t_data = out }
-  | _ -> fail "matmul: rank-2 shapes required"
-
-let ew2 name f (a : Rtval.tensor) (b : Rtval.tensor) =
-  match (a.t_shape, b.t_shape) with
-  | s1, s2 when s1 = s2 ->
-      {
-        Rtval.t_shape = s1;
-        t_data = Array.mapi (fun i x -> f x b.t_data.(i)) a.t_data;
-      }
-  | [ n; d ], [ 1; d' ] when d = d' ->
-      let out = Array.make (n * d) 0. in
-      for i = 0 to n - 1 do
-        for j = 0 to d - 1 do
-          out.((i * d) + j) <- f a.t_data.((i * d) + j) b.t_data.(j)
-        done
-      done;
-      { Rtval.t_shape = [ n; d ]; t_data = out }
-  | [ 1; d ], [ n; d' ] when d = d' ->
-      let out = Array.make (n * d) 0. in
-      for i = 0 to n - 1 do
-        for j = 0 to d - 1 do
-          out.((i * d) + j) <- f a.t_data.(j) b.t_data.((i * d) + j)
-        done
-      done;
-      { Rtval.t_shape = [ n; d ]; t_data = out }
-  | [ q; 1; d ], [ n; d' ] when d = d' ->
-      (* batched KNN broadcast: [Q,1,D] op [N,D] -> [Q,N,D] *)
-      let out = Array.make (q * n * d) 0. in
-      for qi = 0 to q - 1 do
-        for i = 0 to n - 1 do
-          for j = 0 to d - 1 do
-            out.((((qi * n) + i) * d) + j) <-
-              f a.t_data.((qi * d) + j) b.t_data.((i * d) + j)
-          done
-        done
-      done;
-      { Rtval.t_shape = [ q; n; d ]; t_data = out }
-  | [ q; n ], [ q'; 1 ] when q = q' ->
-      let out = Array.make (q * n) 0. in
-      for i = 0 to q - 1 do
-        for j = 0 to n - 1 do
-          out.((i * n) + j) <- f a.t_data.((i * n) + j) b.t_data.(i)
-        done
-      done;
-      { Rtval.t_shape = [ q; n ]; t_data = out }
-  | [ q; n ], [ 1; n' ] when n = n' ->
-      let out = Array.make (q * n) 0. in
-      for i = 0 to q - 1 do
-        for j = 0 to n - 1 do
-          out.((i * n) + j) <- f a.t_data.((i * n) + j) b.t_data.(j)
-        done
-      done;
-      { Rtval.t_shape = [ q; n ]; t_data = out }
-  | _ -> fail "%s: unsupported broadcast" name
-
-let norm_t (t : Rtval.tensor) ~p ~dim ~keepdim =
-  let rank = List.length t.t_shape in
-  let dim = norm_dim rank dim in
-  let shape = Array.of_list t.t_shape in
-  let outer = ref 1 and inner = ref 1 in
-  for i = 0 to dim - 1 do
-    outer := !outer * shape.(i)
-  done;
-  for i = dim + 1 to rank - 1 do
-    inner := !inner * shape.(i)
-  done;
-  let d = shape.(dim) in
-  let out = Array.make (!outer * !inner) 0. in
-  let pf = float_of_int p in
-  for o = 0 to !outer - 1 do
-    for i = 0 to !inner - 1 do
-      let acc = ref 0. in
-      for l = 0 to d - 1 do
-        let v = Float.abs t.t_data.((((o * d) + l) * !inner) + i) in
-        acc := !acc +. (v ** pf)
-      done;
-      out.((o * !inner) + i) <- !acc ** (1. /. pf)
-    done
-  done;
-  let out_shape =
-    List.concat
-      (List.mapi
-         (fun i s ->
-           if i = dim then if keepdim then [ 1 ] else [] else [ s ])
-         (Array.to_list shape))
-  in
-  { Rtval.t_shape = out_shape; t_data = out }
-
-let topk_t (t : Rtval.tensor) ~k ~dim ~largest =
-  let rank = List.length t.t_shape in
-  let dim = norm_dim rank dim in
-  if dim <> rank - 1 then fail "topk: only the last dimension is supported";
-  let rows, n =
-    match t.t_shape with
-    | [ n ] -> (1, n)
-    | [ r; n ] -> (r, n)
-    | _ -> fail "topk: rank-1 or rank-2 tensor required"
-  in
-  let values = Array.make (rows * k) 0. in
-  let indices = Array.make (rows * k) 0. in
-  for r = 0 to rows - 1 do
-    let slice = Array.sub t.t_data (r * n) n in
-    let cmp a b =
-      let va = slice.(a) and vb = slice.(b) in
-      let c = if largest then compare vb va else compare va vb in
-      if c <> 0 then c else compare a b
-    in
-    (* partial selection: the index-tiebreak makes cmp a total order,
-       so this equals the full-sort prefix at O(n*k) *)
-    let order = Camsim.Topk.select ~n ~k ~cmp in
-    for j = 0 to k - 1 do
-      values.((r * k) + j) <- slice.(order.(j));
-      indices.((r * k) + j) <- float_of_int order.(j)
-    done
-  done;
-  let out_shape =
-    match t.t_shape with [ _ ] -> [ k ] | _ -> [ rows; k ]
-  in
-  ( { Rtval.t_shape = out_shape; t_data = values },
-    { Rtval.t_shape = out_shape; t_data = indices } )
-
-(* Similarity scores at the cim software level. *)
-let rec scores_of metric (query : float array array) (stored : float array array)
-    =
-  match metric with
-  | Dialects.Cim.Hamming -> hamming_scores query stored
-  | _ ->
-      let q = Array.length query and n = Array.length stored in
-      let out = Array.make_matrix q n 0. in
-      for i = 0 to q - 1 do
-        for j = 0 to n - 1 do
-          out.(i).(j) <-
-            (match metric with
-            | Dialects.Cim.Dot -> dot_arrays query.(i) stored.(j)
-            | Dialects.Cim.Cosine -> cosine_arrays query.(i) stored.(j)
-            | Dialects.Cim.Euclidean -> eucl_sq_arrays query.(i) stored.(j)
-            | Dialects.Cim.Hamming -> hamming_arrays query.(i) stored.(j))
-        done
-      done;
-      out
-
-(* Hamming mirrors the subarray kernel tiers (docs/KERNELS.md): each
-   row packs once per batch, pairs of equal width sharing a tier go
-   through the bit-packed kernels, everything else falls back to the
-   scalar loop. The packed counts equal the scalar mismatch counts
-   bit-for-bit, so results never depend on the dispatch. *)
-and hamming_scores query stored =
-  let pack rows =
-    Array.map
-      (fun r ->
-        let cols = Array.length r in
-        ( cols,
-          Camsim.Kernel.pack_binary ~cols r,
-          Camsim.Kernel.pack_nibble ~cols r ))
-      rows
-  in
-  let qp = pack query and sp = pack stored in
-  let q = Array.length query and n = Array.length stored in
-  let out = Array.make_matrix q n 0. in
-  for i = 0 to q - 1 do
-    let qc, qb, qn = qp.(i) in
-    for j = 0 to n - 1 do
-      let sc, sb, sn = sp.(j) in
-      out.(i).(j) <-
-        (if qc <> sc then hamming_arrays query.(i) stored.(j)
-         else
-           match (qb, sb) with
-           | Some a, Some b ->
-               float_of_int
-                 (Camsim.Kernel.hamming_binary a b
-                    ~words:(Camsim.Kernel.bwords_for qc))
-           | _ -> (
-               match (qn, sn) with
-               | Some a, Some b ->
-                   float_of_int
-                     (Camsim.Kernel.hamming_nibble a b
-                        ~words:(Camsim.Kernel.nwords_for qc))
-               | _ -> hamming_arrays query.(i) stored.(j)))
-    done
-  done;
-  out
-
-and dot_arrays a b =
-  let s = ref 0. in
-  for i = 0 to Array.length a - 1 do
-    s := !s +. (a.(i) *. b.(i))
-  done;
-  !s
-
-and eucl_sq_arrays a b =
-  let s = ref 0. in
-  for i = 0 to Array.length a - 1 do
-    let d = a.(i) -. b.(i) in
-    s := !s +. (d *. d)
-  done;
-  !s
-
-and hamming_arrays a b =
-  let s = ref 0 in
-  for i = 0 to Array.length a - 1 do
-    if a.(i) <> b.(i) then incr s
-  done;
-  float_of_int !s
-
-and cosine_arrays a b =
-  let d = dot_arrays a b in
-  let na = sqrt (dot_arrays a a) and nb = sqrt (dot_arrays b b) in
-  if na = 0. || nb = 0. then 0. else d /. (na *. nb)
-
-let topk_rows matrix ~k ~largest =
-  let q = Array.length matrix in
-  let values = Array.make_matrix q k 0. in
-  let indices = Array.make_matrix q k 0. in
-  for i = 0 to q - 1 do
-    let row = matrix.(i) in
-    let n = Array.length row in
-    let cmp a b =
-      let va = row.(a) and vb = row.(b) in
-      let c = if largest then compare vb va else compare va vb in
-      if c <> 0 then c else compare a b
-    in
-    let order = Camsim.Topk.select ~n ~k ~cmp in
-    for j = 0 to k - 1 do
-      values.(i).(j) <- row.(order.(j));
-      indices.(i).(j) <- float_of_int order.(j)
-    done
-  done;
-  (values, indices)
 
 (* ---------- scf.parallel independence analysis ------------------------ *)
 
@@ -362,34 +61,16 @@ let topk_rows matrix ~k ~largest =
    the sequential loop, preserving allocation and accumulation order
    exactly. The analysis is semi-dynamic: loop-invariant free values
    are resolved through the runtime environment, so subview offsets
-   computed from bound indices still analyze as affine. *)
-
-let has_prefix p s =
-  String.length s >= String.length p && String.sub s 0 (String.length p) = p
-
-let allowed_op name =
-  has_prefix "arith." name
-  || List.mem name
-       [
-         "memref.load"; "memref.store"; "memref.subview"; "memref.alloc";
-         "scf.yield"; "scf.for"; "scf.if"; "scf.parallel";
-       ]
-
-let rec collect_ops acc (r : Ir.Op.region) =
-  List.fold_left
-    (fun acc (blk : Ir.Op.block) ->
-      List.fold_left
-        (fun acc (op : Ir.Op.t) ->
-          List.fold_left collect_ops (op :: acc) op.regions)
-        acc blk.body)
-    acc r.blocks
+   computed from bound indices still analyze as affine. The compiled
+   engine ports this check to compile time (Compile.analyze_independence)
+   with the dynamic residue evaluated against its slot environment. *)
 
 let region_independent st ~step (r : Ir.Op.region) =
   match r.blocks with
   | [ blk ] when List.length blk.block_args = 1 ->
       let ind = (List.hd blk.block_args).Ir.Value.id in
-      let ops = collect_ops [] r in
-      List.for_all (fun (o : Ir.Op.t) -> allowed_op o.op_name) ops
+      let ops = Ops.collect_ops [] r in
+      List.for_all (fun (o : Ir.Op.t) -> Ops.allowed_op o.op_name) ops
       &&
       let definer : (int, Ir.Op.t) Hashtbl.t = Hashtbl.create 64 in
       let inside : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -540,6 +221,8 @@ and exec_op st (op : Ir.Op.t) :
     | `Terminated of
       [ `Return of Rtval.t list | `Yield of Rtval.t list | `Fall ] ]
     * float =
+  let di = Ops.dialect_index op.op_name in
+  st.counts.(di) <- st.counts.(di) + 1;
   let bind1 r = bind st (Ir.Op.result op) r in
   let t i = Rtval.as_tensor (operand st op i) in
   match op.op_name with
@@ -551,42 +234,25 @@ and exec_op st (op : Ir.Op.t) :
   (* ---- torch / cim compute twins ---- *)
   | "torch.transpose" | "cim.transpose" ->
       (match Ir.Attr.as_ints (Ir.Op.attr_exn op "dims") with
-      | [ d0; d1 ] -> bind1 (Rtval.Tensor (transpose_t (t 0) d0 d1))
+      | [ d0; d1 ] -> bind1 (Rtval.Tensor (Ops.transpose_t (t 0) d0 d1))
       | _ -> fail "transpose: bad dims");
       (`Next, 0.)
   | "torch.matmul" | "torch.mm" | "cim.matmul" | "cim.mm" ->
-      bind1 (Rtval.Tensor (matmul_t (t 0) (t 1)));
+      bind1 (Rtval.Tensor (Ops.matmul_t (t 0) (t 1)));
       (`Next, 0.)
   | "torch.sub" | "cim.sub" ->
-      bind1 (Rtval.Tensor (ew2 "sub" ( -. ) (t 0) (t 1)));
+      bind1 (Rtval.Tensor (Ops.ew2 "sub" ( -. ) (t 0) (t 1)));
       (`Next, 0.)
   | "torch.div" | "cim.div" ->
       (match op.operands with
-      | [ _; _ ] -> bind1 (Rtval.Tensor (ew2 "div" ( /. ) (t 0) (t 1)))
-      | [ _; _; _ ] ->
-          (* fused cosine division: x / (nq[i] * ns[j]) *)
-          let x = t 0 and nq = t 1 and ns = t 2 in
-          let q, n =
-            match x.t_shape with
-            | [ q; n ] -> (q, n)
-            | _ -> fail "div3: rank-2 scores required"
-          in
-          if Array.length nq.t_data <> q || Array.length ns.t_data <> n
-          then fail "div3: norm lengths disagree with the score matrix";
-          let out = Array.make (q * n) 0. in
-          for i = 0 to q - 1 do
-            for j = 0 to n - 1 do
-              out.((i * n) + j) <-
-                x.t_data.((i * n) + j) /. (nq.t_data.(i) *. ns.t_data.(j))
-            done
-          done;
-          bind1 (Rtval.Tensor { t_shape = [ q; n ]; t_data = out })
+      | [ _; _ ] -> bind1 (Rtval.Tensor (Ops.ew2 "div" ( /. ) (t 0) (t 1)))
+      | [ _; _; _ ] -> bind1 (Rtval.Tensor (Ops.div3_t (t 0) (t 1) (t 2)))
       | _ -> fail "div: 2 or 3 operands expected");
       (`Next, 0.)
   | "torch.norm" | "cim.norm" ->
       bind1
         (Rtval.Tensor
-           (norm_t (t 0) ~p:(attr_i op "p") ~dim:(attr_i op "dim")
+           (Ops.norm_t (t 0) ~p:(attr_i op "p") ~dim:(attr_i op "dim")
               ~keepdim:
                 (match Ir.Op.attr op "keepdim" with
                 | Some a -> Ir.Attr.as_bool a
@@ -594,7 +260,7 @@ and exec_op st (op : Ir.Op.t) :
       (`Next, 0.)
   | "torch.topk" | "cim.topk" ->
       let values, indices =
-        topk_t (t 0) ~k:(attr_i op "k") ~dim:(attr_i op "dim")
+        Ops.topk_t (t 0) ~k:(attr_i op "k") ~dim:(attr_i op "dim")
           ~largest:(attr_b op "largest")
       in
       bind st (Ir.Op.result_n op 0) (Rtval.Tensor values);
@@ -624,28 +290,20 @@ and exec_op st (op : Ir.Op.t) :
            { x with t_shape = Ir.Types.shape (Ir.Op.result op).ty });
       (`Next, 0.)
   | "cim.slice" ->
-      let x = t 0 in
       let offsets = Ir.Attr.as_ints (Ir.Op.attr_exn op "offsets") in
       let sizes = Ir.Attr.as_ints (Ir.Op.attr_exn op "sizes") in
-      (match (x.t_shape, offsets, sizes) with
-      | [ _; c ], [ o0; o1 ], [ s0; s1 ] ->
-          let out = Array.make (s0 * s1) 0. in
-          for i = 0 to s0 - 1 do
-            Array.blit x.t_data (((o0 + i) * c) + o1) out (i * s1) s1
-          done;
-          bind1 (Rtval.Tensor { t_shape = [ s0; s1 ]; t_data = out })
-      | _ -> fail "slice: rank-2 tensors only");
+      bind1 (Rtval.Tensor (Ops.slice_t (t 0) ~offsets ~sizes));
       (`Next, 0.)
   | "cim.similarity" | "cim.similarity_scores" ->
       let metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn op "metric") in
       let scores =
-        scores_of metric (Rtval.tensor_rows (t 0)) (Rtval.tensor_rows (t 1))
+        Ops.scores_of metric (Rtval.tensor_rows (t 0)) (Rtval.tensor_rows (t 1))
       in
       if String.equal op.op_name "cim.similarity_scores" then
         bind1 (Rtval.tensor_of_rows scores)
       else begin
         let values, indices =
-          topk_rows scores ~k:(attr_i op "k") ~largest:(attr_b op "largest")
+          Ops.topk_rows scores ~k:(attr_i op "k") ~largest:(attr_b op "largest")
         in
         bind st (Ir.Op.result_n op 0) (Rtval.tensor_of_rows values);
         bind st (Ir.Op.result_n op 1) (Rtval.tensor_of_rows indices)
@@ -655,47 +313,25 @@ and exec_op st (op : Ir.Op.t) :
       let metric = Dialects.Cim.metric_of_attr (Ir.Op.attr_exn op "metric") in
       bind1
         (Rtval.tensor_of_rows
-           (scores_of metric (Rtval.tensor_rows (t 0))
+           (Ops.scores_of metric (Rtval.tensor_rows (t 0))
               (Rtval.tensor_rows (t 1))));
       (`Next, 0.)
   | "cim.merge_partial" -> (
       match Ir.Attr.as_sym (Ir.Op.attr_exn op "direction") with
       | "horizontal" ->
-          let a = t 0 and b = t 1 in
-          bind1
-            (Rtval.Tensor
-               {
-                 a with
-                 t_data = Array.mapi (fun i x -> x +. b.t_data.(i)) a.t_data;
-               });
+          bind1 (Rtval.Tensor (Ops.merge_horizontal (t 0) (t 1)));
           (`Next, 0.)
       | "vertical" ->
-          let g = t 0 and part = t 1 in
-          let offset = attr_i op "offset" in
-          let q, n =
-            match g.t_shape with
-            | [ q; n ] -> (q, n)
-            | _ -> fail "merge vertical: rank-2 global"
-          in
-          let pn =
-            match part.t_shape with
-            | [ _; pn ] -> pn
-            | _ -> fail "merge vertical: rank-2 partial"
-          in
-          let out = Array.copy g.t_data in
-          for i = 0 to q - 1 do
-            for j = 0 to pn - 1 do
-              out.((i * n) + offset + j) <- part.t_data.((i * pn) + j)
-            done
-          done;
-          bind1 (Rtval.Tensor { t_shape = [ q; n ]; t_data = out });
+          bind1
+            (Rtval.Tensor
+               (Ops.merge_vertical (t 0) (t 1) ~offset:(attr_i op "offset")));
           (`Next, 0.)
       | d -> fail "merge_partial: unknown direction %s" d)
   | "cim.select_best" ->
       (* accepts tensors (cim level) and buffers (the host-loops path) *)
       let scores = Rtval.to_rows (operand st op 0) in
       let values, indices =
-        topk_rows scores ~k:(attr_i op "k") ~largest:(attr_b op "largest")
+        Ops.topk_rows scores ~k:(attr_i op "k") ~largest:(attr_b op "largest")
       in
       bind st (Ir.Op.result_n op 0) (Rtval.tensor_of_rows values);
       bind st (Ir.Op.result_n op 1) (Rtval.tensor_of_rows indices);
@@ -734,13 +370,8 @@ and exec_op st (op : Ir.Op.t) :
       bind1 (Rtval.Index v);
       (`Next, 0.)
   | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" ->
-      let scalar i =
-        match operand st op i with
-        | Rtval.Scalar f -> f
-        | Rtval.Index n -> float_of_int n
-        | _ -> fail "%s: expected a scalar" op.op_name
-      in
-      let a = scalar 0 and b = scalar 1 in
+      let a = Ops.scalar_of op.op_name (operand st op 0) in
+      let b = Ops.scalar_of op.op_name (operand st op 1) in
       let v =
         match op.op_name with
         | "arith.addf" -> a +. b
@@ -802,22 +433,38 @@ and exec_op st (op : Ir.Op.t) :
         && region_independent st ~step r
       then begin
         (* Data-parallel path: iterations are proven independent, so
-           each runs against a private copy of the environment and
-           reports its latency by index; the fold below merges them in
-           iteration order (they are all 0 today — eligible bodies are
-           host-only — but the order is pinned regardless). *)
-        st.qcache <- [];
+           each chunk runs against a private snapshot of the environment
+           (copied once per chunk, not once per iteration — iterations
+           of an independent body rebind everything they read before
+           use, so a chunk-shared copy is indistinguishable from a
+           per-iteration copy) and reports its latency by index; the
+           fold below merges them in iteration order. Per-chunk counters
+           merge under the parent's mutex — sums commute, so the totals
+           are schedule-independent. *)
+        Ops.Qcache.clear st.qcache;
         let lats = Array.make n 0. in
-        Parallel.parallel_for ~lo:0 ~hi:n (fun idx ->
-            let child = { st with env = Hashtbl.copy st.env; qcache = [] } in
-            let res, lat =
-              run_region child r [ Rtval.Index (lb + (idx * step)) ]
+        Parallel.parallel_for_chunks ~lo:0 ~hi:n (fun ~lo ~hi ->
+            let child =
+              {
+                st with
+                env = Hashtbl.copy st.env;
+                qcache = Ops.Qcache.create ();
+                counts = Ops.fresh_counts ();
+              }
             in
-            (match res with
-            | `Fall | `Yield [] -> ()
-            | `Yield _ -> fail "loops do not yield values"
-            | `Return _ -> fail "cannot return from inside a loop");
-            lats.(idx) <- lat);
+            for idx = lo to hi - 1 do
+              let res, lat =
+                run_region child r [ Rtval.Index (lb + (idx * step)) ]
+              in
+              (match res with
+              | `Fall | `Yield [] -> ()
+              | `Yield _ -> fail "loops do not yield values"
+              | `Return _ -> fail "cannot return from inside a loop");
+              lats.(idx) <- lat
+            done;
+            Mutex.lock st.counts_mu;
+            Ops.merge_counts ~into:st.counts child.counts;
+            Mutex.unlock st.counts_mu);
         (`Next, Array.fold_left Float.max 0. lats)
       end
       else begin
@@ -880,7 +527,7 @@ and exec_op st (op : Ir.Op.t) :
           (List.tl (List.tl op.operands))
       in
       Rtval.buffer_set base indices value;
-      invalidate_rows st base.b_data;
+      Ops.Qcache.invalidate st.qcache base.b_data;
       (`Next, 0.)
   | "memref.subview" ->
       let base = Rtval.as_buffer (operand st op 0) in
@@ -925,7 +572,7 @@ and exec_op st (op : Ir.Op.t) :
       (`Next, cost.Camsim.Energy_model.latency)
   | "cam.search" ->
       let handle = Rtval.as_handle (operand st op 0) in
-      let queries = rows_cached st (operand st op 1) in
+      let queries = Ops.Qcache.rows_cached st.qcache (operand st op 1) in
       let row_offset = Rtval.as_index (operand st op 2) in
       let kind =
         match
@@ -965,17 +612,8 @@ and exec_op st (op : Ir.Op.t) :
   | "cam.merge_partial" ->
       let dst = Rtval.as_buffer (operand st op 0) in
       let part = Rtval.as_buffer (operand st op 1) in
-      (match (dst.b_shape, part.b_shape) with
-      | [ q; r ], [ q'; r' ] when q = q' && r = r' ->
-          for i = 0 to q - 1 do
-            for j = 0 to r - 1 do
-              Rtval.buffer_set dst [ i; j ]
-                (Rtval.buffer_get dst [ i; j ]
-                +. Rtval.buffer_get part [ i; j ])
-            done
-          done
-      | _ -> fail "cam.merge_partial: shape mismatch");
-      invalidate_rows st dst.b_data;
+      Ops.buffer_accumulate "cam.merge_partial" dst part;
+      Ops.Qcache.invalidate st.qcache dst.b_data;
       let cost =
         Camsim.Simulator.merge (sim st) ~elems:(Rtval.numel dst.b_shape)
       in
@@ -1011,21 +649,32 @@ and exec_op st (op : Ir.Op.t) :
   | "crossbar.accumulate" ->
       let dst = Rtval.as_buffer (operand st op 0) in
       let part = Rtval.as_buffer (operand st op 1) in
-      (match (dst.b_shape, part.b_shape) with
-      | [ q; r ], [ q'; r' ] when q = q' && r = r' ->
-          for i = 0 to q - 1 do
-            for j = 0 to r - 1 do
-              Rtval.buffer_set dst [ i; j ]
-                (Rtval.buffer_get dst [ i; j ]
-                +. Rtval.buffer_get part [ i; j ])
-            done
-          done
-      | _ -> fail "crossbar.accumulate: shape mismatch");
-      invalidate_rows st dst.b_data;
+      Ops.buffer_accumulate "crossbar.accumulate" dst part;
+      Ops.Qcache.invalidate st.qcache dst.b_data;
       (`Next, 0.)
   | name -> fail "unsupported op %s" name
 
-let run ?sim ?xsim (m : Ir.Func_ir.modul) fn_name args =
+(* ---------- entry point ------------------------------------------------ *)
+
+let run_tree ?sim ?xsim (fn : Ir.Func_ir.func) args =
+  let st =
+    {
+      env = Hashtbl.create 256;
+      sim;
+      xsim;
+      qcache = Ops.Qcache.create ();
+      counts = Ops.fresh_counts ();
+      counts_mu = Mutex.create ();
+    }
+  in
+  List.iter2 (fun v rv -> bind st v rv) fn.Ir.Func_ir.fn_args args;
+  match exec_ops st fn.fn_body.body with
+  | `Return results, latency ->
+      { results; latency; ops_executed = Ops.counts_list st.counts }
+  | (`Yield _ | `Fall), _ ->
+      fail "@%s finished without returning" fn.Ir.Func_ir.fn_name
+
+let run ?sim ?xsim ?precompile (m : Ir.Func_ir.modul) fn_name args =
   let fn =
     match Ir.Func_ir.find_func m fn_name with
     | Some f -> f
@@ -1034,8 +683,8 @@ let run ?sim ?xsim (m : Ir.Func_ir.modul) fn_name args =
   if List.length fn.fn_args <> List.length args then
     fail "@%s expects %d arguments, got %d" fn_name
       (List.length fn.fn_args) (List.length args);
-  let st = { env = Hashtbl.create 256; sim; xsim; qcache = [] } in
-  List.iter2 (fun v rv -> bind st v rv) fn.fn_args args;
-  match exec_ops st fn.fn_body.body with
-  | `Return results, latency -> { results; latency }
-  | (`Yield _ | `Fall), _ -> fail "@%s finished without returning" fn_name
+  let precompile =
+    match precompile with Some b -> b | None -> Compile.enabled ()
+  in
+  if precompile then Compile.run_fn ?sim ?xsim fn args
+  else run_tree ?sim ?xsim fn args

@@ -8,17 +8,35 @@
       structurally: statements in sequence and [scf.for] iterations add
       up, [scf.parallel] iterations combine by maximum. This is exactly
       how the architecture spec's access modes shape the performance of
-      the generated code. *)
+      the generated code.
 
-type outcome = { results : Rtval.t list; latency : float }
+    Two engines implement these semantics: a closure-compiling engine
+    ({!Compile}) that pre-compiles the region tree into slot-indexed
+    threaded code, and the tree-walking reference engine in this module
+    that re-interprets the tree on every execution. They are
+    byte-identical in everything but wall-clock time — results,
+    latency/energy, per-dialect counters, failure messages
+    (differentially tested in [test/test_compile.ml]). See
+    [docs/INTERPRETER.md]. *)
+
+type outcome = Ops.outcome = {
+  results : Rtval.t list;
+  latency : float;
+  ops_executed : (string * int) list;
+      (** per-dialect executed-op counts, sorted by dialect name;
+          deterministic — identical across engines and [jobs] values *)
+}
 
 exception Runtime_error of string
 
 val run :
-  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> Ir.Func_ir.modul -> string ->
-  Rtval.t list -> outcome
+  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> ?precompile:bool ->
+  Ir.Func_ir.modul -> string -> Rtval.t list -> outcome
 (** [run m fn args] executes function [fn] of module [m]. A CAM
     simulator is required iff the function contains [cam] ops; a
-    crossbar iff it contains [crossbar] ops.
+    crossbar iff it contains [crossbar] ops. [?precompile] selects the
+    engine: the closure-compiled one ([true]) or the tree-walking
+    reference ([false]); it defaults to the process-wide
+    {!Compile.enabled} flag (on unless [--no-precompile]).
     @raise Runtime_error on missing functions, arity mismatches, or
     unsupported ops. *)

@@ -1,0 +1,147 @@
+(** Runtime semantics shared by the two interpreter engines.
+
+    Both the tree-walking reference path ({!Machine}) and the
+    closure-compiled threaded-code path ({!Compile}) evaluate ops by
+    calling into this module, so the differential guarantee — byte-
+    identical results, latency/energy and counters across engines and
+    across [jobs] values — reduces to the engines agreeing on dispatch,
+    not on arithmetic. *)
+
+exception Runtime_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Runtime_error} with the formatted message. *)
+
+(** {2 Per-dialect execution counters}
+
+    One slot per dialect; both engines bump the defining dialect's slot
+    exactly once per executed op, terminators included. The resulting
+    [ops_executed] list is a deterministic, jobs-invariant proxy for
+    interpreter work (wall clock cannot be gated exactly; this can). *)
+
+val dialect_names : string array
+(** Slot order of the counter arrays; the trailing entry is ["other"]. *)
+
+val n_dialects : int
+
+val dialect_index : string -> int
+(** Counter slot for a qualified op name (["scf.for"] -> the ["scf"]
+    slot); names outside the known dialects land in ["other"]. *)
+
+val fresh_counts : unit -> int array
+(** A zeroed counter array of {!n_dialects} slots. *)
+
+val merge_counts : into:int array -> int array -> unit
+(** Slot-wise sum. Sums commute, so merging per-chunk counters in any
+    order is deterministic. *)
+
+val counts_list : int array -> (string * int) list
+(** Non-zero counters as a [(dialect, count)] list sorted by name. *)
+
+val total_count : int array -> int
+
+(** {2 Outcome} *)
+
+type outcome = {
+  results : Rtval.t list;
+  latency : float;
+  ops_executed : (string * int) list;
+      (** per-dialect executed-op counts, sorted by dialect name;
+          identical across engines and for any jobs value *)
+}
+
+(** {2 Query-row cache}
+
+    Rows extracted from recent query operands, keyed on the {e
+    physical} runtime value. A partitioned search issues T [cam.search]
+    ops over the same query buffer; returning the same physical rows
+    arrays lets the subarray's packed-query cache hit on tiles 2..T
+    instead of re-packing per tile. A fixed-capacity ring with
+    move-to-front on hit, so tiled searches stop at entry 0 instead of
+    walking the whole cache. The cache only affects packing work, never
+    results, so engines with different hit patterns stay
+    byte-identical. *)
+module Qcache : sig
+  type t
+
+  val capacity : int
+
+  val create : unit -> t
+
+  val clear : t -> unit
+
+  val length : t -> int
+
+  val position : t -> Rtval.t -> int
+  (** Logical position of the entry for this physical value, [-1] when
+      absent (front is position 0). Exposed for tests. *)
+
+  val rows_cached : t -> Rtval.t -> float array array
+  (** Like [Rtval.to_rows], memoized on the physical value. Values
+      without a float-array backing (scalars, handles) bypass the
+      cache. *)
+
+  val invalidate : t -> float array -> unit
+  (** Drop entries whose backing store is (physically) this array —
+      called after every write into a buffer. *)
+end
+
+(** {2 scf.parallel analysis predicates}
+
+    Structural building blocks of the loop-independence analysis,
+    shared so the tree-walker's runtime check and the compiler's
+    compile-time check classify exactly the same bodies. *)
+
+val has_prefix : string -> string -> bool
+
+val allowed_op : string -> bool
+(** Op names a data-parallel loop body may contain (pure host ops:
+    arith, memref, nested scf). *)
+
+val collect_ops : Ir.Op.t list -> Ir.Op.region -> Ir.Op.t list
+(** All ops nested under a region (any depth), prepended to the
+    accumulator. *)
+
+(** {2 Torch-level tensor helpers (value semantics)} *)
+
+val transpose_t : Rtval.tensor -> int -> int -> Rtval.tensor
+val matmul_t : Rtval.tensor -> Rtval.tensor -> Rtval.tensor
+
+val ew2 :
+  string -> (float -> float -> float) -> Rtval.tensor -> Rtval.tensor ->
+  Rtval.tensor
+(** Elementwise binop with the interpreter's broadcast rules; the
+    string names the op in failure messages. *)
+
+val div3_t : Rtval.tensor -> Rtval.tensor -> Rtval.tensor -> Rtval.tensor
+(** Fused cosine division: [x.(i).(j) / (nq.(i) * ns.(j))]. *)
+
+val norm_t : Rtval.tensor -> p:int -> dim:int -> keepdim:bool -> Rtval.tensor
+
+val topk_t :
+  Rtval.tensor -> k:int -> dim:int -> largest:bool ->
+  Rtval.tensor * Rtval.tensor
+
+val scores_of :
+  Dialects.Cim.metric -> float array array -> float array array ->
+  float array array
+(** Similarity scores at the cim software level; Hamming goes through
+    the same bit-packed kernel tiers as the subarray simulator. *)
+
+val topk_rows :
+  float array array -> k:int -> largest:bool ->
+  float array array * float array array
+
+(** {2 cim / cam structural helpers} *)
+
+val merge_horizontal : Rtval.tensor -> Rtval.tensor -> Rtval.tensor
+val merge_vertical : Rtval.tensor -> Rtval.tensor -> offset:int -> Rtval.tensor
+val slice_t : Rtval.tensor -> offsets:int list -> sizes:int list -> Rtval.tensor
+
+val buffer_accumulate : string -> Rtval.buffer -> Rtval.buffer -> unit
+(** In-place elementwise accumulate of two equally-shaped rank-2
+    buffers; the string names the op in failure messages. *)
+
+val scalar_of : string -> Rtval.t -> float
+(** Scalar or index operand coerced to float; fails with
+    ["<what>: expected a scalar"] otherwise. *)

@@ -1,4 +1,5 @@
 type t = {
+  uid : int;
   op_name : string;
   mutable operands : Value.t list;
   mutable results : Value.t list;
@@ -9,9 +10,15 @@ type t = {
 and block = { mutable body : t list; mutable block_args : Value.t list }
 and region = { mutable blocks : block list }
 
+(* Atomic so parallel compiles (DSE candidates on worker domains) never
+   race on uid allocation; uids are stable for the lifetime of the op
+   and key interpreter-side memoization (Interp.Compile). *)
+let uid_counter = Atomic.make 0
+
 let create ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = [])
     op_name =
-  { op_name; operands; results; attrs; regions }
+  { uid = Atomic.fetch_and_add uid_counter 1;
+    op_name; operands; results; attrs; regions }
 
 let block ?(args = []) body = { body; block_args = args }
 let region ?(args = []) body = { blocks = [ block ~args body ] }

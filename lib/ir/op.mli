@@ -7,6 +7,11 @@
     for induction variables). *)
 
 type t = {
+  uid : int;
+      (** Process-unique, stable for the op's lifetime; allocated
+          atomically by {!create}. Printing and reparsing an op gives it
+          a fresh uid. Interpreter-side caches (compiled regions,
+          analysis memos) key on it. *)
   op_name : string;
   mutable operands : Value.t list;
   mutable results : Value.t list;

@@ -15,7 +15,7 @@ exception Nested_run
 type batch = {
   b_hi : int;
   b_chunk : int;
-  b_fn : int -> unit;
+  b_fn : int -> int -> unit; (* [fn lo hi] runs the half-open chunk *)
   mutable b_next : int; (* next unclaimed index *)
   mutable b_running : int; (* chunks claimed but not finished *)
   mutable b_failed : (int * exn * Printexc.raw_backtrace) option;
@@ -78,9 +78,7 @@ let run_chunk p b (lo, hi) =
   Domain.DLS.set in_task true;
   let failure =
     try
-      for i = lo to hi - 1 do
-        b.b_fn i
-      done;
+      b.b_fn lo hi;
       None
     with e -> Some (lo, e, Printexc.get_raw_backtrace ())
   in
@@ -149,17 +147,12 @@ let submit p ~chunk ~lo ~hi fn =
   | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let sequential_for lo hi fn =
-  for i = lo to hi - 1 do
-    fn i
-  done
-
-let parallel_for ?pool ?chunk ~lo ~hi fn =
+let parallel_for_chunks ?pool ?chunk ~lo ~hi fn =
   if hi <= lo then ()
   else
     let pool = match pool with Some _ as p -> p | None -> current () in
     match pool with
-    | None -> sequential_for lo hi fn
+    | None -> fn ~lo ~hi
     | Some p ->
         (* Fall back to the plain loop whenever submitting would be
            unsound: a single-job pool, a call from a non-owner domain
@@ -175,14 +168,20 @@ let parallel_for ?pool ?chunk ~lo ~hi fn =
            Mutex.unlock p.mutex;
            free)
         in
-        if not can_submit then sequential_for lo hi fn
+        if not can_submit then fn ~lo ~hi
         else
           let chunk =
             match chunk with
             | Some c when c > 0 -> c
             | _ -> max 1 ((hi - lo + (4 * p.n_jobs) - 1) / (4 * p.n_jobs))
           in
-          submit p ~chunk ~lo ~hi fn
+          submit p ~chunk ~lo ~hi (fun lo hi -> fn ~lo ~hi)
+
+let parallel_for ?pool ?chunk ~lo ~hi fn =
+  parallel_for_chunks ?pool ?chunk ~lo ~hi (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        fn i
+      done)
 
 let run ?jobs f =
   if Domain.DLS.get in_task then raise Nested_run;
