@@ -110,6 +110,7 @@ let () =
               "subarrays"; "banks"; "search_ops"; "query_cycles";
               "write_ops"; "kernel_binary"; "kernel_nibble";
               "kernel_generic"; "kernel_early_exit"; "n_ops_executed";
+              "batches";
             ])
     baseline;
   List.iter

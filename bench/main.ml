@@ -378,7 +378,8 @@ let ablation () =
   (* 3. The batch-switch penalty behind the cam-density latency curve. *)
   let density_with tech =
     let spec = Archspec.Spec.square 256 Archspec.Spec.Density in
-    (C4cam.Dse.hdc ~tech ~spec ~data ()).latency
+    let config = C4cam.Driver.Run_config.(default |> with_tech tech) in
+    (C4cam.Dse.hdc ~config ~spec ~data ()).latency
   in
   let on = density_with Camsim.Tech.fefet_45nm in
   let off =
@@ -452,8 +453,10 @@ let robustness () =
     List.map
       (fun rate ->
         let r =
-          C4cam.Driver.run_cam ~defect_rate:rate ~defect_seed:5 c
-            ~queries:data.queries ~stored:data.stored
+          C4cam.Driver.run_cam
+            ~config:
+              C4cam.Driver.Run_config.(default |> with_defects ~seed:5 rate)
+            c ~queries:data.queries ~stored:data.stored
         in
         let correct = ref 0 in
         Array.iteri
@@ -587,9 +590,14 @@ let accuracy () =
 
 let smoke ?json ?jobs ?(precompile = true) () =
   section "smoke: fast deterministic suite (the CI regression gate)";
-  (* engine selection for every Machine.run below (Dse goes through
-     run_cam, which reads the process-wide flag) *)
-  Interp.Compile.set_enabled precompile;
+  (* engine selection for every run below, as a per-run config rather
+     than process-global state *)
+  let engine : C4cam.Driver.Run_config.engine =
+    if precompile then `Compiled else `Treewalk
+  in
+  let config =
+    C4cam.Driver.Run_config.(default |> with_engine engine)
+  in
   Parallel.run ?jobs @@ fun pool ->
   let jobs = Parallel.jobs pool in
   let wall_start = Instrument.Collect.now () in
@@ -616,7 +624,9 @@ let smoke ?json ?jobs ?(precompile = true) () =
        in
        (train, Array.sub test.features 0 16, Array.sub test.labels 0 16))
   in
-  let hdc opt = C4cam.Dse.hdc ~spec:(Archspec.Spec.square 32 opt) ~data () in
+  let hdc opt =
+    C4cam.Dse.hdc ~config ~spec:(Archspec.Spec.square 32 opt) ~data ()
+  in
   let workloads =
     [
       ("hdc-32x32-base", hdc Archspec.Spec.Base);
@@ -624,7 +634,8 @@ let smoke ?json ?jobs ?(precompile = true) () =
       ("hdc-32x32-density", hdc Archspec.Spec.Density);
       ( "knn-32x32-base",
         let train, queries, labels = Lazy.force knn_small in
-        C4cam.Dse.knn ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
+        C4cam.Dse.knn ~config
+          ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
           ~train ~queries ~labels ~k:7 () );
     ]
   in
@@ -641,7 +652,7 @@ let smoke ?json ?jobs ?(precompile = true) () =
       [ 16; 32; 64 ]
   in
   let dse_start = Instrument.Collect.now () in
-  let dse_ms = C4cam.Dse.hdc_sweep ~specs:dse_specs ~data () in
+  let dse_ms = C4cam.Dse.hdc_sweep ~config ~specs:dse_specs ~data () in
   let dse_wall = Instrument.Collect.now () -. dse_start in
   let dse_workloads =
     List.map2
@@ -671,6 +682,41 @@ let smoke ?json ?jobs ?(precompile = true) () =
           workloads));
   Printf.printf "\ndse sweep: %d candidates in %.3f s wall-clock (jobs=%d)\n"
     (List.length dse_specs) dse_wall jobs;
+  (* The serving workload: the same 64 HDC queries served through one
+     persistent session as 8 batches of 8 — compiled artifact and
+     simulator reused across batches, device setup replayed, write
+     energy charged once. Every simulated metric below is deterministic;
+     only queries_per_s is wall-clock (and stripped by the determinism
+     gate). *)
+  let serve_session, serve_stats, serve_accuracy =
+    let q = 8 and n_batches = 8 in
+    let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+    let src = C4cam.Kernels.hdc_dot ~q ~dims:2048 ~classes:10 ~k:1 in
+    let session =
+      Serve.Session.create ~config ~spec ~stored:data.stored src
+    in
+    let correct = ref 0 in
+    for i = 0 to n_batches - 1 do
+      let r =
+        Serve.Session.query session (Array.sub data.queries (i * q) q)
+      in
+      Array.iteri
+        (fun j (row : int array) ->
+          if row.(0) = data.query_labels.((i * q) + j) then incr correct)
+        r.indices
+    done;
+    ( session,
+      Serve.Session.stats session,
+      float_of_int !correct /. float_of_int (q * n_batches) )
+  in
+  Printf.printf
+    "serve-hdc-32x32-base: %d batches, %d queries, latency %s, energy %s \
+     (writes %s, once), accuracy %.4f\n"
+    serve_stats.Serve.Session.batches serve_stats.queries_served
+    (C4cam.Report.si_time serve_stats.sim_latency_s)
+    (C4cam.Report.si_energy serve_stats.sim_energy_j)
+    (C4cam.Report.si_energy serve_stats.write_energy_j)
+    serve_accuracy;
   (* compile-time breakdown of the reference HDC kernel, end-to-end *)
   let collector = Instrument.Collect.create () in
   Instrument.Collect.set_jobs collector jobs;
@@ -680,8 +726,10 @@ let smoke ?json ?jobs ?(precompile = true) () =
       (C4cam.Kernels.hdc_dot ~q:64 ~dims:2048 ~classes:10 ~k:1)
   in
   ignore
-    (C4cam.Driver.run_cam ~profile:collector c ~queries:data.queries
-       ~stored:data.stored);
+    (C4cam.Driver.run_cam
+       ~config:
+         { config with C4cam.Driver.Run_config.profile = Some collector }
+       c ~queries:data.queries ~stored:data.stored);
   let profile = Instrument.Collect.profile collector in
   Printf.printf "\n%s" (Instrument.Profile.to_table profile);
   match json with
@@ -709,6 +757,50 @@ let smoke ?json ?jobs ?(precompile = true) () =
             ("n_ops_executed", Instrument.Json.Int m.n_ops_executed);
           ]
       in
+      (* The serving workload carries the standard gated fields plus its
+         own: "batches" is exact-gated by check_regression, while
+         "queries_per_s" is host wall-clock and stripped by the
+         determinism gate. *)
+      let serve_json =
+        let s =
+          Camsim.Simulator.stats (Serve.Session.simulator serve_session)
+        in
+        let st = serve_stats in
+        Instrument.Json.Assoc
+          [
+            ("name", Instrument.Json.String "serve-hdc-32x32-base");
+            ( "config",
+              Instrument.Json.String
+                (C4cam.Dse.config_name
+                   (Archspec.Spec.square 32 Archspec.Spec.Base)) );
+            ("latency_s", Instrument.Json.Float st.sim_latency_s);
+            ("energy_j", Instrument.Json.Float st.sim_energy_j);
+            ( "power_w",
+              Instrument.Json.Float
+                (if st.sim_latency_s > 0. then
+                   st.sim_energy_j /. st.sim_latency_s
+                 else 0.) );
+            ( "edp_js",
+              Instrument.Json.Float (st.sim_energy_j *. st.sim_latency_s) );
+            ("accuracy", Instrument.Json.Float serve_accuracy);
+            ("subarrays", Instrument.Json.Int s.n_subarrays);
+            ("banks", Instrument.Json.Int s.n_banks);
+            ("search_ops", Instrument.Json.Int s.n_search_ops);
+            ("query_cycles", Instrument.Json.Int s.n_query_cycles);
+            ("write_ops", Instrument.Json.Int s.n_write_ops);
+            ("kernel_binary", Instrument.Json.Int s.n_kernel_binary);
+            ("kernel_nibble", Instrument.Json.Int s.n_kernel_nibble);
+            ("kernel_generic", Instrument.Json.Int s.n_kernel_generic);
+            ("kernel_early_exit", Instrument.Json.Int s.n_kernel_early_exit);
+            ( "n_ops_executed",
+              Instrument.Json.Int
+                (List.fold_left
+                   (fun acc (_, n) -> acc + n)
+                   0 st.ops_executed) );
+            ("batches", Instrument.Json.Int st.batches);
+            ("queries_per_s", Instrument.Json.Float st.queries_per_s);
+          ]
+      in
       let doc =
         Instrument.Json.Assoc
           [
@@ -720,7 +812,8 @@ let smoke ?json ?jobs ?(precompile = true) () =
             );
             ("dse_wall_clock_s", Instrument.Json.Float dse_wall);
             ( "workloads",
-              Instrument.Json.List (List.map workload_json workloads) );
+              Instrument.Json.List
+                (List.map workload_json workloads @ [ serve_json ]) );
             ("compile", Instrument.Profile.to_json profile);
           ]
       in
@@ -850,12 +943,13 @@ let micro () =
                  (fun (tier, cap) ->
                    let sub = Camsim.Subarray.create ~rows ~cols ~bits:1 in
                    Camsim.Subarray.write sub stored;
-                   Camsim.Subarray.set_kernel_cap sub cap;
                    Test.make ~name:(Printf.sprintf "%s_%d" tier cols)
                      (Staged.stage (fun () ->
-                          ignore
-                            (Camsim.Subarray.search sub ~queries
-                               ~row_offset:0 ~rows ~metric:`Hamming))))
+                          Camsim.Subarray.with_kernel_cap sub cap
+                            (fun () ->
+                              ignore
+                                (Camsim.Subarray.search sub ~queries
+                                   ~row_offset:0 ~rows ~metric:`Hamming)))))
                  [
                    ("binary", `Binary); ("nibble", `Nibble);
                    ("generic", `Generic);

@@ -88,8 +88,15 @@ let no_precompile_arg =
               activity counters are identical either way; only wall-clock \
               time differs (see docs/INTERPRETER.md).")
 
-let set_engine no_precompile =
-  if no_precompile then Interp.Compile.set_enabled false
+let engine_of no_precompile : C4cam.Driver.Run_config.engine =
+  if no_precompile then `Treewalk else `Compiled
+
+let config_of ?collector ~no_precompile () =
+  {
+    C4cam.Driver.Run_config.default with
+    profile = collector;
+    engine = engine_of no_precompile;
+  }
 
 let spec_of ~arch ~size ~opt =
   match arch with
@@ -219,12 +226,12 @@ let run_cmd =
   let run kernel arch size opt queries dims classes seed backend profile
       profile_json jobs no_precompile =
     handle_errors (fun () ->
-        set_engine no_precompile;
         with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
         let src = kernel_of ~kernel ~queries ~dims ~classes in
         let collector = collector_for ~profile ~profile_json in
         Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
+        let config = config_of ?collector ~no_precompile () in
         let c = C4cam.Driver.compile ?profile:collector ~spec src in
         let data =
           Workloads.Hdc.synthetic ~seed ~dims:c.info.d
@@ -233,10 +240,10 @@ let run_cmd =
         let r =
           match backend with
           | "interp" ->
-              C4cam.Driver.run_cam ?profile:collector c
-                ~queries:data.queries ~stored:data.stored
+              C4cam.Driver.run_cam ~config c ~queries:data.queries
+                ~stored:data.stored
           | "vm" ->
-              C4cam.Driver.run_vm c ~queries:data.queries
+              C4cam.Driver.run_vm ~config c ~queries:data.queries
                 ~stored:data.stored
           | b ->
               prerr_endline ("c4cam: unknown backend " ^ b);
@@ -269,6 +276,147 @@ let run_cmd =
       $ dims_arg $ classes_arg $ seed_arg $ backend_arg $ profile_arg
       $ profile_json_arg $ jobs_arg $ no_precompile_arg)
 
+(* ---- serve: persistent session over query batches ---------------------- *)
+
+(* Newline-delimited query input: each non-empty line is one query row of
+   whitespace-separated floats; rows are grouped into q-row batches. *)
+let read_query_batches ~q ~d ic =
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then begin
+         let row =
+           String.split_on_char ' ' line
+           |> List.filter (fun s -> s <> "")
+           |> List.map (fun s ->
+                  match float_of_string_opt s with
+                  | Some v -> v
+                  | None ->
+                      prerr_endline ("c4cam: bad query value: " ^ s);
+                      exit 1)
+           |> Array.of_list
+         in
+         if Array.length row <> d then begin
+           Printf.eprintf "c4cam: query row has %d values, expected %d\n"
+             (Array.length row) d;
+           exit 1
+         end;
+         rows := row :: !rows
+       end
+     done
+   with End_of_file -> ());
+  let rows = Array.of_list (List.rev !rows) in
+  let total = Array.length rows in
+  if total = 0 || total mod q <> 0 then begin
+    Printf.eprintf
+      "c4cam: read %d query rows; need a positive multiple of %d\n" total q;
+    exit 1
+  end;
+  List.init (total / q) (fun i -> Array.sub rows (i * q) q)
+
+let serve_cmd =
+  let run kernel arch size opt queries dims classes seed batches input
+      profile profile_json jobs no_precompile =
+    handle_errors (fun () ->
+        with_jobs jobs @@ fun jobs ->
+        let spec = or_die (spec_of ~arch ~size ~opt) in
+        let src = kernel_of ~kernel ~queries ~dims ~classes in
+        let collector = collector_for ~profile ~profile_json in
+        Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
+        let config = config_of ?collector ~no_precompile () in
+        let session =
+          try
+            (* Probe the artifact first so synthetic data and the input
+               reader agree with the kernel's shapes, then hand the
+               probe's result to the session — its status reflects this
+               process's first sight of the (source, spec) pair, and on
+               a miss the compile passes land in the collector. *)
+            let (c, _) as artifact =
+              Serve.Artifact_cache.lookup ?profile:collector ~spec src
+            in
+            let data =
+              Workloads.Hdc.synthetic ~seed ~dims:c.info.d
+                ~n_classes:c.info.n
+                ~n_queries:(c.info.q * max 1 batches)
+                ~bits:spec.bits ()
+            in
+            let batches =
+              match input with
+              | Some "-" -> read_query_batches ~q:c.info.q ~d:c.info.d stdin
+              | Some path ->
+                  In_channel.with_open_text path
+                    (read_query_batches ~q:c.info.q ~d:c.info.d)
+              | None ->
+                  List.init (max 1 batches) (fun i ->
+                      Array.sub data.queries (i * c.info.q) c.info.q)
+            in
+            let session =
+              Serve.Session.create ~config ~artifact ~spec
+                ~stored:data.stored src
+            in
+            List.iteri
+              (fun i batch ->
+                let r = Serve.Session.query session batch in
+                let top =
+                  Array.to_list r.indices
+                  |> List.map (fun (row : int array) ->
+                         string_of_int row.(0))
+                  |> String.concat " "
+                in
+                Printf.printf "batch %d: top-1 [%s] (%s, %s)\n" i top
+                  (C4cam.Report.si_time r.latency)
+                  (C4cam.Report.si_energy r.energy))
+              batches;
+            session
+          with Serve.Session.Serve_error msg ->
+            prerr_endline ("c4cam: serve error: " ^ msg);
+            exit 1
+        in
+        emit_profile ~profile ~profile_json collector;
+        let s = Serve.Session.stats session in
+        let c = Serve.Session.compiled session in
+        Printf.printf "kernel   : %d queries x %d dims vs %d stored (%s)\n"
+          c.info.q c.info.d c.info.n
+          (C4cam.Dse.config_name spec);
+        Printf.printf "served   : %d batches, %d queries (%.0f queries/s)\n"
+          s.batches s.queries_served s.queries_per_s;
+        Printf.printf "latency  : %s simulated\n"
+          (C4cam.Report.si_time s.sim_latency_s);
+        Printf.printf "energy   : %s (writes %s, charged once)\n"
+          (C4cam.Report.si_energy s.sim_energy_j)
+          (C4cam.Report.si_energy s.write_energy_j);
+        Printf.printf "artifact : cache %s\n"
+          (match s.cache with `Hit -> "hit" | `Miss -> "miss"))
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Data seed.")
+  in
+  let batches_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batches"; "b" ] ~docv:"N"
+          ~doc:"Synthetic batches to serve when no --input is given \
+                (default 8).")
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:"Newline-delimited query rows (one row of space-separated \
+                floats per line, grouped into q-row batches); '-' reads \
+                stdin.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Create a persistent session and serve query batches against it")
+    Term.(
+      const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
+      $ dims_arg $ classes_arg $ seed_arg $ batches_arg $ input_arg
+      $ profile_arg $ profile_json_arg $ jobs_arg $ no_precompile_arg)
+
 (* ---- asm: print the flat runtime ISA -------------------------------------- *)
 
 let asm_cmd =
@@ -291,13 +439,13 @@ let asm_cmd =
 let tune_cmd =
   let run queries dims classes objective jobs no_precompile =
     handle_errors (fun () ->
-        set_engine no_precompile;
         with_jobs jobs @@ fun _jobs ->
         let data =
           Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
             ~n_queries:queries ~bits:1 ()
         in
-        let candidates = C4cam.Autotune.evaluate_hdc ~data () in
+        let config = config_of ~no_precompile () in
+        let candidates = C4cam.Autotune.evaluate_hdc ~config ~data () in
         let obj =
           match objective with
           | "latency" -> C4cam.Autotune.Min_latency
@@ -340,12 +488,12 @@ let tune_cmd =
 let sweep_cmd =
   let run queries dims classes jobs no_precompile =
     handle_errors (fun () ->
-        set_engine no_precompile;
         with_jobs jobs @@ fun _jobs ->
         let data =
           Workloads.Hdc.synthetic ~seed:11 ~dims ~n_classes:classes
             ~n_queries:queries ~bits:1 ()
         in
+        let config = config_of ~no_precompile () in
         let specs =
           List.concat_map
             (fun side ->
@@ -354,7 +502,7 @@ let sweep_cmd =
                 Archspec.Spec.[ Base; Power; Density; Power_density ])
             [ 16; 32; 64; 128; 256 ]
         in
-        let measurements = C4cam.Dse.hdc_sweep ~specs ~data () in
+        let measurements = C4cam.Dse.hdc_sweep ~config ~specs ~data () in
         let rows =
           List.map
             (fun (m : C4cam.Dse.measurement) ->
@@ -396,4 +544,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "c4cam" ~doc)
-          [ compile_cmd; run_cmd; asm_cmd; sweep_cmd; tune_cmd; passes_cmd ]))
+          [
+            compile_cmd; run_cmd; serve_cmd; asm_cmd; sweep_cmd; tune_cmd;
+            passes_cmd;
+          ]))

@@ -10,6 +10,24 @@ type node =
   | Array_ of { mat : id; mutable subarrays : int }
   | Sub of { array_ : id; sub : Subarray.t }
 
+(* The structural ops a serving session records on its first execution
+   and replays on every later one. Write data is the pre-defect payload
+   (deep-copied), so a replay can tell a genuinely changed row from the
+   same row arriving again. *)
+type serve_event =
+  | Ev_alloc of id
+  | Ev_write of {
+      w_id : id;
+      w_row_offset : int;
+      w_data : float array array;
+      w_care : bool array array option;
+    }
+
+type serve_mode =
+  | Oneshot
+  | Recording of serve_event list ref (* reversed *)
+  | Replaying of { events : serve_event array; mutable cursor : int }
+
 type t = {
   sim_spec : Archspec.Spec.t;
   sim_tech : Tech.t;
@@ -20,6 +38,7 @@ type t = {
   defect_rate : float;
   defect_rng : Rng.t;
   trace : Trace.t option;
+  mutable serve : serve_mode;
 }
 
 let create ?(tech = Tech.fefet_45nm) ?(defect_rate = 0.)
@@ -39,7 +58,47 @@ let create ?(tech = Tech.fefet_45nm) ?(defect_rate = 0.)
     defect_rate;
     defect_rng = Rng.create defect_seed;
     trace;
+    serve = Oneshot;
   }
+
+(* ---- serve mode (record / replay) ------------------------------------- *)
+
+let start_recording t =
+  match t.serve with
+  | Oneshot ->
+      if t.next_id <> 0 then
+        err "start_recording: the simulator has already allocated devices";
+      t.serve <- Recording (ref [])
+  | Recording _ | Replaying _ -> err "start_recording: already recording"
+
+let seal_recording t =
+  match t.serve with
+  | Recording log ->
+      let events = Array.of_list (List.rev !log) in
+      t.serve <- Replaying { events; cursor = Array.length events }
+  | Oneshot -> err "seal_recording: the simulator is not recording"
+  | Replaying _ -> err "seal_recording: already sealed"
+
+let rewind t =
+  match t.serve with
+  | Replaying r -> r.cursor <- 0
+  | Oneshot | Recording _ ->
+      err "rewind: the recording has not been sealed"
+
+let serving t = match t.serve with Replaying _ -> true | _ -> false
+
+let log_event t ev =
+  match t.serve with Recording log -> log := ev :: !log | _ -> ()
+
+let next_event t =
+  match t.serve with
+  | Replaying r when r.cursor < Array.length r.events ->
+      let ev = r.events.(r.cursor) in
+      r.cursor <- r.cursor + 1;
+      ev
+  | Replaying _ ->
+      err "serve replay diverged: more device setup ops than were recorded"
+  | Oneshot | Recording _ -> err "next_event: not replaying"
 
 let record t event =
   match t.trace with Some tr -> Trace.record tr event | None -> ()
@@ -84,65 +143,93 @@ let charge_overhead t level =
   in
   t.sim_stats.e_overhead <- t.sim_stats.e_overhead +. c.energy
 
+(* During replay an allocation op consumes the recorded event and hands
+   back the existing node: no stats, no overhead charge, no trace — the
+   device was built once, on the recorded first execution. *)
+let replayed_alloc t what pred =
+  match next_event t with
+  | Ev_alloc id when pred (node t id) -> id
+  | Ev_alloc _ | Ev_write _ ->
+      err "serve replay diverged at a %s allocation" what
+
 let alloc_bank t ~rows ~cols =
-  (match t.sim_spec.max_banks with
-  | Some b when t.sim_stats.n_banks >= b ->
-      err "bank allocation exceeds the configured %d banks" b
-  | _ -> ());
-  if rows <> t.sim_spec.rows || cols <> t.sim_spec.cols then
-    err "bank geometry %dx%d disagrees with the architecture spec %dx%d"
-      rows cols t.sim_spec.rows t.sim_spec.cols;
-  t.sim_stats.n_banks <- t.sim_stats.n_banks + 1;
-  charge_overhead t `Bank;
-  let id = fresh t (Bank { rows; cols; mats = 0 }) in
-  record t (Trace.Alloc { level = "bank"; id });
-  id
+  if serving t then
+    replayed_alloc t "bank" (function Bank _ -> true | _ -> false)
+  else begin
+    (match t.sim_spec.max_banks with
+    | Some b when t.sim_stats.n_banks >= b ->
+        err "bank allocation exceeds the configured %d banks" b
+    | _ -> ());
+    if rows <> t.sim_spec.rows || cols <> t.sim_spec.cols then
+      err "bank geometry %dx%d disagrees with the architecture spec %dx%d"
+        rows cols t.sim_spec.rows t.sim_spec.cols;
+    t.sim_stats.n_banks <- t.sim_stats.n_banks + 1;
+    charge_overhead t `Bank;
+    let id = fresh t (Bank { rows; cols; mats = 0 }) in
+    record t (Trace.Alloc { level = "bank"; id });
+    log_event t (Ev_alloc id);
+    id
+  end
 
 let alloc_mat t bank_id =
-  match node t bank_id with
-  | Bank b ->
-      if b.mats >= t.sim_spec.mats_per_bank then
-        err "mat allocation exceeds %d mats per bank"
-          t.sim_spec.mats_per_bank;
-      b.mats <- b.mats + 1;
-      t.sim_stats.n_mats <- t.sim_stats.n_mats + 1;
-      charge_overhead t `Mat;
-      let id = fresh t (Mat { bank = bank_id; arrays = 0 }) in
-      record t (Trace.Alloc { level = "mat"; id });
-      id
-  | Mat _ | Array_ _ | Sub _ -> err "alloc_mat: handle %d is not a bank" bank_id
+  if serving t then
+    replayed_alloc t "mat" (function Mat _ -> true | _ -> false)
+  else
+    match node t bank_id with
+    | Bank b ->
+        if b.mats >= t.sim_spec.mats_per_bank then
+          err "mat allocation exceeds %d mats per bank"
+            t.sim_spec.mats_per_bank;
+        b.mats <- b.mats + 1;
+        t.sim_stats.n_mats <- t.sim_stats.n_mats + 1;
+        charge_overhead t `Mat;
+        let id = fresh t (Mat { bank = bank_id; arrays = 0 }) in
+        record t (Trace.Alloc { level = "mat"; id });
+        log_event t (Ev_alloc id);
+        id
+    | Mat _ | Array_ _ | Sub _ ->
+        err "alloc_mat: handle %d is not a bank" bank_id
 
 let alloc_array t mat_id =
-  match node t mat_id with
-  | Mat m ->
-      if m.arrays >= t.sim_spec.arrays_per_mat then
-        err "array allocation exceeds %d arrays per mat"
-          t.sim_spec.arrays_per_mat;
-      m.arrays <- m.arrays + 1;
-      t.sim_stats.n_arrays <- t.sim_stats.n_arrays + 1;
-      charge_overhead t `Array;
-      let id = fresh t (Array_ { mat = mat_id; subarrays = 0 }) in
-      record t (Trace.Alloc { level = "array"; id });
-      id
-  | Bank _ | Array_ _ | Sub _ -> err "alloc_array: handle %d is not a mat" mat_id
+  if serving t then
+    replayed_alloc t "array" (function Array_ _ -> true | _ -> false)
+  else
+    match node t mat_id with
+    | Mat m ->
+        if m.arrays >= t.sim_spec.arrays_per_mat then
+          err "array allocation exceeds %d arrays per mat"
+            t.sim_spec.arrays_per_mat;
+        m.arrays <- m.arrays + 1;
+        t.sim_stats.n_arrays <- t.sim_stats.n_arrays + 1;
+        charge_overhead t `Array;
+        let id = fresh t (Array_ { mat = mat_id; subarrays = 0 }) in
+        record t (Trace.Alloc { level = "array"; id });
+        log_event t (Ev_alloc id);
+        id
+    | Bank _ | Array_ _ | Sub _ ->
+        err "alloc_array: handle %d is not a mat" mat_id
 
 let alloc_subarray t array_id =
-  match node t array_id with
-  | Array_ a ->
-      if a.subarrays >= t.sim_spec.subarrays_per_array then
-        err "subarray allocation exceeds %d subarrays per array"
-          t.sim_spec.subarrays_per_array;
-      a.subarrays <- a.subarrays + 1;
-      t.sim_stats.n_subarrays <- t.sim_stats.n_subarrays + 1;
-      let sub =
-        Subarray.create ~rows:t.sim_spec.rows ~cols:t.sim_spec.cols
-          ~bits:t.sim_spec.bits
-      in
-      let id = fresh t (Sub { array_ = array_id; sub }) in
-      record t (Trace.Alloc { level = "subarray"; id });
-      id
-  | Bank _ | Mat _ | Sub _ ->
-      err "alloc_subarray: handle %d is not an array" array_id
+  if serving t then
+    replayed_alloc t "subarray" (function Sub _ -> true | _ -> false)
+  else
+    match node t array_id with
+    | Array_ a ->
+        if a.subarrays >= t.sim_spec.subarrays_per_array then
+          err "subarray allocation exceeds %d subarrays per array"
+            t.sim_spec.subarrays_per_array;
+        a.subarrays <- a.subarrays + 1;
+        t.sim_stats.n_subarrays <- t.sim_stats.n_subarrays + 1;
+        let sub =
+          Subarray.create ~rows:t.sim_spec.rows ~cols:t.sim_spec.cols
+            ~bits:t.sim_spec.bits
+        in
+        let id = fresh t (Sub { array_ = array_id; sub }) in
+        record t (Trace.Alloc { level = "subarray"; id });
+        log_event t (Ev_alloc id);
+        id
+    | Bank _ | Mat _ | Sub _ ->
+        err "alloc_subarray: handle %d is not an array" array_id
 
 let subarray t id =
   match node t id with
@@ -153,9 +240,9 @@ let write_cost t rows =
   Energy_model.write t.sim_tech ~bits:t.sim_spec.bits ~cols:t.sim_spec.cols
     ~rows
 
-let write t id ~row_offset data =
+let perform_write t id ~row_offset ?care data =
   let sub = subarray t id in
-  Subarray.write sub ~row_offset (inject_defects t data);
+  Subarray.write sub ~row_offset ?care (inject_defects t data);
   record t
     (Trace.Write { sub = id; rows = Array.length data; row_offset });
   let c = write_cost t (Array.length data) in
@@ -163,15 +250,85 @@ let write t id ~row_offset data =
   t.sim_stats.n_write_ops <- t.sim_stats.n_write_ops + 1;
   c
 
+(* A replayed write compares the incoming rows against the recorded
+   payload and rewrites (and charges) only the maximal runs of rows
+   that actually changed — the incremental path behind a session's
+   [update_stored]. An unchanged write is free: the cells already hold
+   this data from the recorded execution. *)
+let replay_write t id ~row_offset ?care data =
+  match next_event t with
+  | Ev_write w
+    when w.w_id = id
+         && w.w_row_offset = row_offset
+         && Array.length w.w_data = Array.length data ->
+      let n = Array.length data in
+      let care_row (c : bool array array option) i =
+        match c with Some c -> Some c.(i) | None -> None
+      in
+      let row_changed i =
+        data.(i) <> w.w_data.(i) || care_row care i <> care_row w.w_care i
+      in
+      let cost = ref Energy_model.zero in
+      let i = ref 0 in
+      while !i < n do
+        if row_changed !i then begin
+          let j = ref (!i + 1) in
+          while !j < n && row_changed !j do incr j done;
+          let len = !j - !i in
+          let chunk = Array.sub data !i len in
+          let care_chunk = Option.map (fun c -> Array.sub c !i len) care in
+          let c =
+            perform_write t id ~row_offset:(row_offset + !i) ?care:care_chunk
+              chunk
+          in
+          (* refresh the log so the next replay sees the new contents *)
+          for r = !i to !j - 1 do
+            w.w_data.(r) <- Array.copy data.(r);
+            match (w.w_care, care) with
+            | Some wc, Some cc -> wc.(r) <- Array.copy cc.(r)
+            | _ -> ()
+          done;
+          cost := Energy_model.add !cost c;
+          i := !j
+        end
+        else incr i
+      done;
+      !cost
+  | Ev_write _ | Ev_alloc _ -> err "serve replay diverged at a write"
+
+let write t id ~row_offset data =
+  if serving t then replay_write t id ~row_offset data
+  else begin
+    (match t.serve with
+    | Recording _ ->
+        log_event t
+          (Ev_write
+             {
+               w_id = id;
+               w_row_offset = row_offset;
+               w_data = Array.map Array.copy data;
+               w_care = None;
+             })
+    | Oneshot | Replaying _ -> ());
+    perform_write t id ~row_offset data
+  end
+
 let write_ternary t id ~row_offset ~care data =
-  let sub = subarray t id in
-  Subarray.write sub ~row_offset ~care (inject_defects t data);
-  record t
-    (Trace.Write { sub = id; rows = Array.length data; row_offset });
-  let c = write_cost t (Array.length data) in
-  t.sim_stats.e_write <- t.sim_stats.e_write +. c.energy;
-  t.sim_stats.n_write_ops <- t.sim_stats.n_write_ops + 1;
-  c
+  if serving t then replay_write t id ~row_offset ~care data
+  else begin
+    (match t.serve with
+    | Recording _ ->
+        log_event t
+          (Ev_write
+             {
+               w_id = id;
+               w_row_offset = row_offset;
+               w_data = Array.map Array.copy data;
+               w_care = Some (Array.map Array.copy care);
+             })
+    | Oneshot | Replaying _ -> ());
+    perform_write t id ~row_offset ~care data
+  end
 
 let search t id ~queries ~row_offset ~rows ~kind ~metric
     ?(batch_extra = false) ?(threshold = 0.) () =

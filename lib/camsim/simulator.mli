@@ -30,6 +30,44 @@ val set_query_hint : t -> int -> unit
 (** Number of queries processed per allocation round; used to charge the
     per-query overhead energy of each allocated hierarchy level. *)
 
+(** {1 Serve mode} — persistent-state sessions (see [docs/SERVING.md]).
+
+    A one-shot run pays device allocation and stored-row writes on
+    every execution. A serving session instead records those
+    structural ops once and replays them for free on every later
+    query batch:
+
+    + {!start_recording} before the first execution ([Oneshot] cost
+      semantics are unchanged when it is never called);
+    + {!seal_recording} after it — allocation and write events freeze
+      into a replay log;
+    + {!rewind} before each subsequent execution of the {e same}
+      module: allocations return the recorded handles without touching
+      stats, overhead energy or the trace, and writes compare the
+      incoming rows against the recorded payload, rewriting (and
+      charging) only the row runs that changed — so an unchanged
+      stored database serves every batch with zero write energy, and a
+      session's [update_stored] pays exactly for the rows it
+      replaced. *)
+
+val start_recording : t -> unit
+(** Begin logging allocation and write events. Must be called on a
+    fresh simulator (before any allocation).
+    @raise Error if already recording, sealed, or used. *)
+
+val seal_recording : t -> unit
+(** Freeze the recorded log; the simulator now replays it. Call after
+    the first (recorded) execution, then {!rewind} before each replayed
+    one. @raise Error unless recording. *)
+
+val rewind : t -> unit
+(** Reset the replay cursor to the start of the recorded log.
+    @raise Error unless sealed. *)
+
+val serving : t -> bool
+(** [true] once {!seal_recording} has run — allocations and writes now
+    replay instead of executing. *)
+
 (** {1 Allocation} — raises {!Error} when exceeding the specified
     hierarchy capacity (mats per bank, etc.) or on invalid parents. *)
 

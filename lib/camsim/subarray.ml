@@ -48,7 +48,10 @@ let create ~rows ~cols ~bits =
 
 let rows t = t.n_rows
 let cols t = t.n_cols
-let set_kernel_cap t cap = t.kernel_cap <- cap
+let with_kernel_cap t cap f =
+  let prev = t.kernel_cap in
+  t.kernel_cap <- cap;
+  Fun.protect ~finally:(fun () -> t.kernel_cap <- prev) f
 
 let class_counts t =
   (t.n_class_binary, t.n_class_nibble, t.n_class_generic)

@@ -29,11 +29,15 @@ val create : rows:int -> cols:int -> bits:int -> t
 val rows : t -> int
 val cols : t -> int
 
-val set_kernel_cap : t -> [ `Binary | `Nibble | `Generic ] -> unit
-(** Cap the fastest kernel tier the dispatcher may use ([`Binary], the
-    default, allows all three; [`Generic] forces the scalar path).
-    Results are byte-identical at every cap — this is a test and
-    benchmark hook, not a tuning knob. *)
+val with_kernel_cap :
+  t -> [ `Binary | `Nibble | `Generic ] -> (unit -> 'a) -> 'a
+(** [with_kernel_cap t cap f] runs [f] with the fastest kernel tier the
+    dispatcher may use capped at [cap] ([`Binary], the default, allows
+    all three; [`Generic] forces the scalar path), restoring the
+    previous cap when [f] returns or raises. Results are byte-identical
+    at every cap — this is a test and benchmark hook, not a tuning
+    knob, and the scoped shape keeps a failing differential from
+    leaking a lowered cap into later measurements. *)
 
 val class_counts : t -> int * int * int
 (** [(binary, nibble, generic)] row counts of the current contents. *)

@@ -26,8 +26,14 @@ let default_sides = [ 16; 32; 64; 128; 256 ]
 let default_opts =
   Archspec.Spec.[ Base; Power; Density; Power_density ]
 
-let evaluate_hdc ?(tech = Camsim.Tech.fefet_45nm) ?(sides = default_sides)
-    ?(optimizations = default_opts) ~data () =
+let evaluate_hdc ?(config = Driver.Run_config.default)
+    ?(sides = default_sides) ?(optimizations = default_opts) ~data () =
+  (* The area model needs a concrete technology even when the config
+     leaves the simulator on its default. *)
+  let area_tech =
+    Option.value config.Driver.Run_config.tech
+      ~default:Camsim.Tech.fefet_45nm
+  in
   (* Build the full grid first, then evaluate candidates across the
      ambient domain pool — each gets its own compile and simulator, and
      map_list keeps the sides-outer / optimizations-inner order. *)
@@ -39,12 +45,13 @@ let evaluate_hdc ?(tech = Camsim.Tech.fefet_45nm) ?(sides = default_sides)
   Parallel.map_list
     (fun (side, opt) ->
       let spec = Archspec.Spec.square side opt in
-      let measurement = Dse.hdc ~tech ~spec ~data () in
+      let measurement = Dse.hdc ~config ~spec ~data () in
       {
         spec;
         measurement;
         area_mm2 =
-          Camsim.Area_model.chip_area tech ~spec ~banks:measurement.banks;
+          Camsim.Area_model.chip_area area_tech ~spec
+            ~banks:measurement.banks;
       })
     grid
 

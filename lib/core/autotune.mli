@@ -27,16 +27,18 @@ val value : objective -> candidate -> float
 (** The scalar the objective minimises. *)
 
 val evaluate_hdc :
-  ?tech:Camsim.Tech.t ->
+  ?config:Driver.Run_config.t ->
   ?sides:int list ->
   ?optimizations:Archspec.Spec.optimization list ->
   data:Workloads.Hdc.synthetic ->
   unit ->
   candidate list
 (** Compile-and-run the HDC workload over the candidate grid
-    (default: sides 16..256, all four optimizations). Candidates are
-    evaluated across the ambient [Parallel] pool, one private
-    simulator each; the returned list keeps the sides-outer /
+    (default: sides 16..256, all four optimizations), each candidate
+    under [config]. The area model falls back to
+    [Camsim.Tech.fefet_45nm] when the config carries no technology.
+    Candidates are evaluated across the ambient [Parallel] pool, one
+    private simulator each; the returned list keeps the sides-outer /
     optimizations-inner order for any jobs value. *)
 
 val best : objective -> candidate list -> candidate

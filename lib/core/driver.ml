@@ -177,16 +177,73 @@ type run_result = {
   ops_executed : (string * int) list;
 }
 
+(* ---- the unified run configuration ------------------------------------ *)
+
+module Run_config = struct
+  type engine = [ `Compiled | `Treewalk ]
+
+  type t = {
+    profile : Instrument.Collect.t option;
+    tech : Camsim.Tech.t option;
+    defect_rate : float option;
+    defect_seed : int option;
+    trace : Camsim.Trace.t option;
+    engine : engine;
+  }
+
+  let default =
+    {
+      profile = None;
+      tech = None;
+      defect_rate = None;
+      defect_seed = None;
+      trace = None;
+      engine = `Compiled;
+    }
+
+  let with_profile p t = { t with profile = Some p }
+  let with_tech tech t = { t with tech = Some tech }
+
+  let with_defects ?seed rate t =
+    {
+      t with
+      defect_rate = Some rate;
+      defect_seed = (match seed with Some _ -> seed | None -> t.defect_seed);
+    }
+
+  let with_trace tr t = { t with trace = Some tr }
+  let with_engine e t = { t with engine = e }
+
+  let precompile t =
+    match t.engine with `Compiled -> true | `Treewalk -> false
+end
+
+let create_sim (cfg : Run_config.t) spec =
+  Camsim.Simulator.create ?tech:cfg.tech ?defect_rate:cfg.defect_rate
+    ?defect_seed:cfg.defect_seed ?trace:cfg.trace spec
+
+(* ---- the factored execution path --------------------------------------
+   [run_cam] is [create_sim] + one [execute] + profile folding. A serving
+   session ([Serve.Session]) re-enters [execute] against its own pinned
+   simulator and stored buffer for every query batch, which is why these
+   pieces are exported separately. *)
+
+let wrap_rows rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows)
+
 (* Order the two data operands according to the kernel's argument
-   positions, checking the row counts. *)
-let ordered_args info ~wrap ~queries ~stored =
-  if Array.length queries <> info.q then
-    fail "expected %d query rows, got %d" info.q (Array.length queries);
-  if Array.length stored <> info.n then
-    fail "expected %d stored rows, got %d" info.n (Array.length stored);
-  if info.query_arg < info.stored_arg then
-    [ wrap queries; wrap stored ]
-  else [ wrap stored; wrap queries ]
+   positions. *)
+let kernel_args info ~queries ~stored =
+  if info.query_arg < info.stored_arg then [ queries; stored ]
+  else [ stored; queries ]
+
+let decode_results info results =
+  match (info.output, results) with
+  | `Topk, [ v; i ] ->
+      (Interp.Rtval.to_rows v, Interp.Rtval.to_int_rows i, None)
+  | `Scores, [ s ] ->
+      let rows = Interp.Rtval.to_rows s in
+      (rows, [||], Some rows)
+  | _ -> fail "unexpected result arity from the cam module"
 
 (* Fold the simulator's activity ledger into the profile collector. *)
 let fold_sim_stats profile ~latency ~energy ~ops_executed
@@ -214,35 +271,24 @@ let fold_sim_stats profile ~latency ~energy ~ops_executed
       ops_executed;
     }
 
-let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace ?precompile c
-    ~queries ~stored =
-  let sim =
-    Camsim.Simulator.create ?tech ?defect_rate ?defect_seed ?trace c.spec
+let execute ?(config = Run_config.default) ~sim ?qcache c ~queries
+    ~stored_value =
+  if Array.length queries <> c.info.q then
+    fail "expected %d query rows, got %d" c.info.q (Array.length queries);
+  let args =
+    kernel_args c.info ~queries:(wrap_rows queries) ~stored:stored_value
   in
-  Camsim.Simulator.set_query_hint sim (Array.length queries);
-  let wrap rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows) in
-  let args = ordered_args c.info ~wrap ~queries ~stored in
   let outcome =
-    try Interp.Machine.run ~sim ?precompile c.cam_ir c.fn_name args
+    try
+      Interp.Machine.run ~sim ?qcache
+        ~precompile:(Run_config.precompile config)
+        c.cam_ir c.fn_name args
     with Interp.Machine.Runtime_error e -> fail "runtime error: %s" e
   in
   let stats = Camsim.Simulator.stats sim in
   let energy = Camsim.Stats.total_energy stats in
   let latency = outcome.latency in
-  Option.iter
-    (fun p ->
-      fold_sim_stats p ~latency ~energy ~ops_executed:outcome.ops_executed
-        stats)
-    profile;
-  let values, indices, scores =
-    match (c.info.output, outcome.results) with
-    | `Topk, [ v; i ] ->
-        (Interp.Rtval.to_rows v, Interp.Rtval.to_int_rows i, None)
-    | `Scores, [ s ] ->
-        let rows = Interp.Rtval.to_rows s in
-        (rows, [||], Some rows)
-    | _ -> fail "unexpected result arity from the cam module"
-  in
+  let values, indices, scores = decode_results c.info outcome.results in
   {
     values;
     indices;
@@ -253,6 +299,36 @@ let run_cam ?profile ?tech ?defect_rate ?defect_seed ?trace ?precompile c
     stats;
     ops_executed = outcome.ops_executed;
   }
+
+let run_cam ?(config = Run_config.default) c ~queries ~stored =
+  if Array.length stored <> c.info.n then
+    fail "expected %d stored rows, got %d" c.info.n (Array.length stored);
+  let sim = create_sim config c.spec in
+  Camsim.Simulator.set_query_hint sim (Array.length queries);
+  let r =
+    execute ~config ~sim c ~queries ~stored_value:(wrap_rows stored)
+  in
+  Option.iter
+    (fun p ->
+      fold_sim_stats p ~latency:r.latency ~energy:r.energy
+        ~ops_executed:r.ops_executed r.stats)
+    config.profile;
+  r
+
+let run_cam_labelled ?profile ?tech ?defect_rate ?defect_seed ?trace
+    ?precompile c ~queries ~stored =
+  let config =
+    {
+      Run_config.profile;
+      tech;
+      defect_rate;
+      defect_seed;
+      trace;
+      engine =
+        (match precompile with Some false -> `Treewalk | _ -> `Compiled);
+    }
+  in
+  run_cam ~config c ~queries ~stored
 
 (* Build a tensor argument with the exact declared shape of the function
    parameter (e.g. the [q,1,d] batched-KNN query). *)
@@ -376,11 +452,16 @@ let run_crossbar ?tech c ~inputs ~weights =
 
 let to_vm c = Vm.Lower.modul c.cam_ir c.fn_name
 
-let run_vm ?tech c ~queries ~stored =
-  let sim = Camsim.Simulator.create ?tech c.spec in
+let run_vm ?(config = Run_config.default) c ~queries ~stored =
+  if Array.length queries <> c.info.q then
+    fail "expected %d query rows, got %d" c.info.q (Array.length queries);
+  if Array.length stored <> c.info.n then
+    fail "expected %d stored rows, got %d" c.info.n (Array.length stored);
+  let sim = create_sim config c.spec in
   Camsim.Simulator.set_query_hint sim (Array.length queries);
-  let wrap rows = Interp.Rtval.Buffer (Interp.Rtval.buffer_of_rows rows) in
-  let args = ordered_args c.info ~wrap ~queries ~stored in
+  let args =
+    kernel_args c.info ~queries:(wrap_rows queries) ~stored:(wrap_rows stored)
+  in
   let program = to_vm c in
   let outcome =
     try Vm.Exec.run ~sim program args with
@@ -411,6 +492,10 @@ let run_vm ?tech c ~queries ~stored =
        per-dialect counters don't apply to it *)
     ops_executed = [];
   }
+
+let run_vm_labelled ?tech c ~queries ~stored =
+  let config = { Run_config.default with tech } in
+  run_vm ~config c ~queries ~stored
 
 let run_reference c ~queries ~stored =
   let args = tensor_args c.torch_ir c.fn_name c.info ~queries ~stored in

@@ -66,18 +66,103 @@ type run_result = {
           register VM, which has its own instruction stream *)
 }
 
+(** Everything that parameterizes a run, as one value.
+
+    Replaces the old option soup ([?profile ?tech ?defect_rate
+    ?defect_seed ?trace ?precompile]) with a record that can be built
+    once and shared between one-shot runs, DSE sweeps and serving
+    sessions. Build with pipelines over {!Run_config.default}:
+
+    {[
+      Driver.Run_config.(default |> with_tech t |> with_engine `Treewalk)
+    ]} *)
+module Run_config : sig
+  type engine = [ `Compiled | `Treewalk ]
+  (** Interpreter engine: the closure-compiled threaded code (default)
+      or the tree-walking reference (see [docs/INTERPRETER.md]). This
+      field replaces the retired process-global
+      [Interp.Compile.set_enabled] switch — engine choice is now a
+      per-run value, so concurrent runs (and tests) can differ without
+      mutating shared state. *)
+
+  type t = {
+    profile : Instrument.Collect.t option;
+        (** fold compile/run stats into this collector *)
+    tech : Camsim.Tech.t option;  (** [None] = simulator default *)
+    defect_rate : float option;
+    defect_seed : int option;
+    trace : Camsim.Trace.t option;
+    engine : engine;
+  }
+
+  val default : t
+  (** No profiling, no trace, default technology, zero defects,
+      [`Compiled] engine. *)
+
+  val with_profile : Instrument.Collect.t -> t -> t
+  val with_tech : Camsim.Tech.t -> t -> t
+
+  val with_defects : ?seed:int -> float -> t -> t
+  (** [with_defects ?seed rate t] enables defect injection; [seed]
+      defaults to whatever the config already carries (and ultimately
+      to the simulator's default). *)
+
+  val with_trace : Camsim.Trace.t -> t -> t
+  val with_engine : engine -> t -> t
+
+  val precompile : t -> bool
+  (** The engine as the boolean [Interp.Machine.run ~precompile]
+      expects. *)
+end
+
 val run_cam :
+  ?config:Run_config.t -> compiled ->
+  queries:float array array -> stored:float array array -> run_result
+(** Execute the cam-level module on a fresh simulator. [queries] are
+    [q] rows of [d] values; [stored] are [n] rows. The config's defect
+    and trace fields are forwarded to {!Camsim.Simulator.create}; with
+    [config.profile], the run's latency, energy breakdown and activity
+    counters are folded into the collector's simulator section. *)
+
+val run_cam_labelled :
   ?profile:Instrument.Collect.t ->
   ?tech:Camsim.Tech.t -> ?defect_rate:float -> ?defect_seed:int ->
   ?trace:Camsim.Trace.t -> ?precompile:bool -> compiled ->
   queries:float array array -> stored:float array array -> run_result
-(** Execute the cam-level module on a fresh simulator. [queries] are
-    [q] rows of [d] values; [stored] are [n] rows. [defect_rate] and
-    [trace] are forwarded to {!Camsim.Simulator.create}. With [profile],
-    the run's latency, energy breakdown and activity counters are folded
-    into the collector's simulator section. [precompile] selects the
-    interpreter engine (see {!Interp.Machine.run}); it defaults to the
-    process-wide {!Interp.Compile.enabled} flag. *)
+[@@ocaml.deprecated
+  "build a Driver.Run_config.t and call Driver.run_cam ~config instead"]
+(** The pre-[Run_config] labelled signature, kept as a thin wrapper for
+    out-of-tree callers. [~precompile:false] maps onto the [`Treewalk]
+    engine. *)
+
+(** {1 The factored execution path} — the pieces [run_cam] composes,
+    exported for [Serve.Session] which re-enters them per query batch
+    against a pinned simulator (see [docs/SERVING.md]). *)
+
+val create_sim : Run_config.t -> Archspec.Spec.t -> Camsim.Simulator.t
+
+val wrap_rows : float array array -> Interp.Rtval.t
+(** Rows as a contiguous row-major runtime buffer. *)
+
+val execute :
+  ?config:Run_config.t -> sim:Camsim.Simulator.t ->
+  ?qcache:Interp.Ops.Qcache.t -> compiled ->
+  queries:float array array -> stored_value:Interp.Rtval.t -> run_result
+(** One kernel execution against an existing simulator: checks the
+    query-row count, orders the operands, runs the selected engine and
+    decodes the results. [stored_value] is passed through untouched so
+    a session can pin one buffer across batches; the stored-row count
+    is the caller's responsibility. [latency]/[energy]/[stats] reflect
+    the simulator's {e cumulative} ledger, so a serving session reads
+    per-batch deltas by snapshotting around the call. Does {e not} fold
+    into [config.profile] — callers that want that use
+    {!fold_sim_stats}. *)
+
+val fold_sim_stats :
+  Instrument.Collect.t -> latency:float -> energy:float ->
+  ops_executed:(string * int) list -> Camsim.Stats.t -> unit
+(** Fold a simulator activity ledger into the collector's simulator
+    section (overwrites any previous fold — pass cumulative values). *)
 
 (** {1 The crossbar target} — Figure 3's sibling device branch: a
     single-matmul kernel mapped onto resistive-crossbar tiles instead of
@@ -117,11 +202,18 @@ val to_vm : compiled -> Vm.Isa.program
     stand-in). *)
 
 val run_vm :
-  ?tech:Camsim.Tech.t -> compiled -> queries:float array array ->
+  ?config:Run_config.t -> compiled -> queries:float array array ->
   stored:float array array -> run_result
 (** Like {!run_cam} but through {!to_vm} and the {!Vm.Exec} executor
     instead of the structured-IR interpreter. Results, latency and
-    energy are identical to {!run_cam} (tested). *)
+    energy are identical to {!run_cam} (tested). The config's [engine]
+    is ignored — the VM has exactly one. *)
+
+val run_vm_labelled :
+  ?tech:Camsim.Tech.t -> compiled -> queries:float array array ->
+  stored:float array array -> run_result
+[@@ocaml.deprecated
+  "build a Driver.Run_config.t and call Driver.run_vm ~config instead"]
 
 val run_reference :
   compiled -> queries:float array array -> stored:float array array ->

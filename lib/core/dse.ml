@@ -51,7 +51,7 @@ let top1_accuracy indices labels =
     indices;
   float_of_int !correct /. float_of_int (Array.length labels)
 
-let hdc ?tech ?bits ~(spec : Archspec.Spec.t)
+let hdc ?config ?bits ~(spec : Archspec.Spec.t)
     ~(data : Workloads.Hdc.synthetic) () =
   let spec =
     match bits with Some b -> { spec with bits = b } | None -> spec
@@ -61,7 +61,9 @@ let hdc ?tech ?bits ~(spec : Archspec.Spec.t)
   let dims = Array.length data.stored.(0) in
   let source = Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
   let compiled = Driver.compile ~spec source in
-  let r = Driver.run_cam ?tech compiled ~queries:data.queries ~stored:data.stored in
+  let r =
+    Driver.run_cam ?config compiled ~queries:data.queries ~stored:data.stored
+  in
   measurement_of spec r
     ~accuracy:(top1_accuracy r.indices data.query_labels)
 
@@ -70,11 +72,11 @@ let hdc ?tech ?bits ~(spec : Archspec.Spec.t)
    the sweep maps across the ambient domain pool. map_list positions
    results by index, which keeps the output order (and therefore every
    downstream report) identical to the sequential sweep. *)
-let hdc_sweep ?tech ?bits ~(specs : Archspec.Spec.t list)
+let hdc_sweep ?config ?bits ~(specs : Archspec.Spec.t list)
     ~(data : Workloads.Hdc.synthetic) () =
-  Parallel.map_list (fun spec -> hdc ?tech ?bits ~spec ~data ()) specs
+  Parallel.map_list (fun spec -> hdc ?config ?bits ~spec ~data ()) specs
 
-let knn ?tech ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
+let knn ?config ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
     ~queries ~labels ~k () =
   let spec = { spec with cam_kind = Archspec.Spec.Mcam } in
   let q = Array.length queries in
@@ -82,7 +84,7 @@ let knn ?tech ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
   let dims = Workloads.Dataset.n_features train in
   let source = Kernels.knn_euclidean ~q ~dims ~n ~k in
   let compiled = Driver.compile ~spec source in
-  let r = Driver.run_cam ?tech compiled ~queries ~stored:train.features in
+  let r = Driver.run_cam ?config compiled ~queries ~stored:train.features in
   (* Majority vote over the k returned training indices. *)
   let correct = ref 0 in
   Array.iteri

@@ -27,14 +27,15 @@ type measurement = {
 val config_name : Archspec.Spec.t -> string
 
 val hdc :
-  ?tech:Camsim.Tech.t -> ?bits:int -> spec:Archspec.Spec.t ->
+  ?config:Driver.Run_config.t -> ?bits:int -> spec:Archspec.Spec.t ->
   data:Workloads.Hdc.synthetic -> unit -> measurement
 (** Compile the HDC dot-similarity kernel for [spec] and run it on the
-    simulator with the given prototypes/queries. [bits] overrides the
+    simulator with the given prototypes/queries, under [config]
+    (defaults to {!Driver.Run_config.default}). [bits] overrides the
     spec's cell bit width (multi-bit validation runs). *)
 
 val hdc_sweep :
-  ?tech:Camsim.Tech.t -> ?bits:int -> specs:Archspec.Spec.t list ->
+  ?config:Driver.Run_config.t -> ?bits:int -> specs:Archspec.Spec.t list ->
   data:Workloads.Hdc.synthetic -> unit -> measurement list
 (** {!hdc} over a list of candidate configurations, evaluated across
     the ambient {!Parallel} pool — one private compile + simulator per
@@ -43,7 +44,8 @@ val hdc_sweep :
     for any jobs value). *)
 
 val knn :
-  ?tech:Camsim.Tech.t -> spec:Archspec.Spec.t -> train:Workloads.Dataset.t ->
+  ?config:Driver.Run_config.t -> spec:Archspec.Spec.t ->
+  train:Workloads.Dataset.t ->
   queries:float array array -> labels:int array -> k:int -> unit ->
   measurement
 (** Compile the batched-KNN kernel (Euclidean, MCAM) and run it;

@@ -59,11 +59,11 @@ type outcome = {
   energy : float;
 }
 
-let run_concurrent ?tech tasks =
+let run_concurrent ?config tasks =
   let per_task =
     List.map
       (fun t ->
-        Driver.run_cam ?tech t.t_compiled ~queries:t.t_queries
+        Driver.run_cam ?config t.t_compiled ~queries:t.t_queries
           ~stored:t.t_stored)
       tasks
   in

@@ -29,4 +29,6 @@ type outcome = {
   energy : float;  (** sum over tasks *)
 }
 
-val run_concurrent : ?tech:Camsim.Tech.t -> task list -> outcome
+val run_concurrent : ?config:Driver.Run_config.t -> task list -> outcome
+(** The config applies to every task's run (each still gets its own
+    simulator). *)

@@ -5,6 +5,7 @@ type t = {
   mutable rev_passes : Profile.pass_entry list;
   table : (string, int) Hashtbl.t;
   mutable sim : Profile.sim option;
+  mutable serve : Profile.serve option;
 }
 
 let now () = Unix.gettimeofday ()
@@ -17,12 +18,14 @@ let create () =
     rev_passes = [];
     table = Hashtbl.create 16;
     sim = None;
+    serve = None;
   }
 
 let record_pass t entry = t.rev_passes <- entry :: t.rev_passes
 let set_frontend t s = t.frontend_s <- s
 let set_jobs t n = t.jobs <- max 1 n
 let set_sim t s = t.sim <- Some s
+let set_serve t s = t.serve <- Some s
 
 let bump ?(n = 1) t name =
   Hashtbl.replace t.table name
@@ -42,6 +45,7 @@ let profile t =
     passes = List.rev t.rev_passes;
     rewrites = counters t;
     sim = t.sim;
+    serve = t.serve;
   }
 
 (* ---- ambient collector ------------------------------------------------ *)

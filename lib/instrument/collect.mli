@@ -31,6 +31,11 @@ val set_jobs : t -> int -> unit
 
 val set_sim : t -> Profile.sim -> unit
 
+val set_serve : t -> Profile.serve -> unit
+(** Record (or overwrite with fresh cumulative values) the
+    serving-session section; [Serve.Session] calls this after every
+    served batch. *)
+
 val bump : ?n:int -> t -> string -> unit
 (** Increment a named counter (default by 1). *)
 

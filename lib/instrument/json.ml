@@ -273,6 +273,7 @@ let member key json =
 let to_list = function List l -> l | j -> shape_error "list" j
 let get_string = function String s -> s | j -> shape_error "string" j
 let get_int = function Int i -> i | j -> shape_error "int" j
+let get_bool = function Bool b -> b | j -> shape_error "bool" j
 
 let get_float = function
   | Float f -> f

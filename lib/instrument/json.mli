@@ -33,6 +33,7 @@ val member_opt : string -> t -> t option
 val to_list : t -> t list
 val get_string : t -> string
 val get_int : t -> int
+val get_bool : t -> bool
 
 val get_float : t -> float
 (** Accepts [Int] too (JSON does not distinguish). *)

@@ -30,6 +30,15 @@ type sim = {
   ops_executed : (string * int) list;
 }
 
+type serve = {
+  batches : int;
+  queries_served : int;
+  serve_wall_s : float;
+  queries_per_s : float;
+  serve_write_energy_j : float;
+  artifact_cache_hit : bool;
+}
+
 type t = {
   frontend_s : float;
   total_s : float;
@@ -37,6 +46,7 @@ type t = {
   passes : pass_entry list;
   rewrites : (string * int) list;
   sim : sim option;
+  serve : serve option;
 }
 
 (* ---- JSON ------------------------------------------------------------- *)
@@ -127,6 +137,31 @@ let sim_of_json json =
       | None -> []);
   }
 
+let serve_to_json (s : serve) =
+  Json.Assoc
+    [
+      ("batches", Json.Int s.batches);
+      ("queries_served", Json.Int s.queries_served);
+      ("serve_wall_s", Json.Float s.serve_wall_s);
+      ("queries_per_s", Json.Float s.queries_per_s);
+      ("serve_write_energy_j", Json.Float s.serve_write_energy_j);
+      ("artifact_cache_hit", Json.Bool s.artifact_cache_hit);
+    ]
+
+let serve_of_json json =
+  {
+    batches = Json.get_int (Json.member "batches" json);
+    queries_served = Json.get_int (Json.member "queries_served" json);
+    serve_wall_s = Json.get_float (Json.member "serve_wall_s" json);
+    queries_per_s = Json.get_float (Json.member "queries_per_s" json);
+    serve_write_energy_j =
+      Json.get_float (Json.member "serve_write_energy_j" json);
+    artifact_cache_hit =
+      (match Json.member_opt "artifact_cache_hit" json with
+      | Some j -> Json.get_bool j
+      | None -> false);
+  }
+
 let to_json t =
   Json.Assoc
     ([
@@ -139,7 +174,11 @@ let to_json t =
        ("passes", Json.List (List.map pass_to_json t.passes));
        ("rewrites", counts_to_json t.rewrites);
      ]
-    @ match t.sim with None -> [] | Some s -> [ ("sim", sim_to_json s) ])
+    @ (match t.sim with None -> [] | Some s -> [ ("sim", sim_to_json s) ])
+    @
+    match t.serve with
+    | None -> []
+    | Some s -> [ ("serve", serve_to_json s) ])
 
 let of_json json =
   {
@@ -153,6 +192,8 @@ let of_json json =
     passes = List.map pass_of_json (Json.to_list (Json.member "passes" json));
     rewrites = counts_of_json (Json.member "rewrites" json);
     sim = Option.map sim_of_json (Json.member_opt "sim" json);
+    (* absent in profiles written before the serving sessions *)
+    serve = Option.map serve_of_json (Json.member_opt "serve" json);
   }
 
 (* ---- the human-readable report ---------------------------------------- *)
@@ -225,4 +266,17 @@ let to_table t =
       if s.ops_executed <> [] then
         Buffer.add_string buf
           (Printf.sprintf "  interpreter ops: %s\n" (fmt_counts s.ops_executed)));
+  (match t.serve with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nserving: %d batches, %d queries in %s wall clock (%.0f \
+            queries/s)\n\
+            \  write energy %.3e J (charged once%s), compiled artifact \
+            %s\n"
+           s.batches s.queries_served (fmt_duration s.serve_wall_s)
+           s.queries_per_s s.serve_write_energy_j
+           (if s.batches > 1 then ", amortized" else "")
+           (if s.artifact_cache_hit then "cache hit" else "cache miss")));
   Buffer.contents buf

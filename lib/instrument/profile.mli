@@ -48,6 +48,21 @@ type sim = {
           pre-interpreter-counter profiles) *)
 }
 
+(** Cumulative serving-session stats, folded in by [Serve.Session]
+    (see [docs/SERVING.md]). *)
+type serve = {
+  batches : int;  (** [Session.query] calls served so far *)
+  queries_served : int;  (** total query rows across all batches *)
+  serve_wall_s : float;
+      (** host wall-clock spent inside [Session.query] — never gated *)
+  queries_per_s : float;  (** [queries_served /. serve_wall_s] *)
+  serve_write_energy_j : float;
+      (** simulated write energy — charged once at session setup, plus
+          only the rows later replaced through [update_stored] *)
+  artifact_cache_hit : bool;
+      (** whether [Session.create] reused a cached compiled artifact *)
+}
+
 type t = {
   frontend_s : float;  (** TorchScript parse + emit time *)
   total_s : float;
@@ -59,6 +74,9 @@ type t = {
   passes : pass_entry list;  (** in execution order *)
   rewrites : (string * int) list;  (** totals across the whole run, sorted *)
   sim : sim option;
+  serve : serve option;
+      (** present only for serving sessions (defaults to [None] when
+          parsing pre-serving profiles) *)
 }
 
 val to_json : t -> Json.t

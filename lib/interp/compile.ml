@@ -29,10 +29,6 @@
    Compilation memoizes per domain keyed on the first body op's uid (see
    Ir.Op.uid); the IR is treated as frozen once a function has run. *)
 
-let enabled_flag = Atomic.make true
-let set_enabled b = Atomic.set enabled_flag b
-let enabled () = Atomic.get enabled_flag
-
 (* Physical sentinel marking a slot that has no binding yet. Never
    exposed; every read compares with (==) against it. *)
 let unbound : Rtval.t = Rtval.Scalar Float.nan
@@ -1059,7 +1055,7 @@ let compiled_of (fn : Ir.Func_ir.func) =
           Hashtbl.replace tbl key cf;
           cf)
 
-let run_fn ?sim ?xsim (fn : Ir.Func_ir.func) (args : Rtval.t list) :
+let run_fn ?sim ?xsim ?qcache (fn : Ir.Func_ir.func) (args : Rtval.t list) :
     Ops.outcome =
   let cf = compiled_of fn in
   let ctx =
@@ -1067,7 +1063,8 @@ let run_fn ?sim ?xsim (fn : Ir.Func_ir.func) (args : Rtval.t list) :
       slots = Array.make (max 1 cf.cf_nslots) unbound;
       sim;
       xsim;
-      qcache = Ops.Qcache.create ();
+      qcache =
+        (match qcache with Some q -> q | None -> Ops.Qcache.create ());
       counts = Ops.fresh_counts ();
       counts_mu = Mutex.create ();
     }

@@ -16,17 +16,16 @@
     time differs. [test/test_compile.ml] holds the differential proof
     obligations. *)
 
-val set_enabled : bool -> unit
-(** Flip the process-wide default engine selection read by
-    [Machine.run] when no explicit [?precompile] is given (the CLI's
-    [--no-precompile] flag lands here). Defaults to enabled. *)
-
-val enabled : unit -> bool
-
 val run_fn :
-  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> Ir.Func_ir.func ->
-  Rtval.t list -> Ops.outcome
+  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> ?qcache:Ops.Qcache.t ->
+  Ir.Func_ir.func -> Rtval.t list -> Ops.outcome
 (** Compile (or fetch from the memo) and execute one function. The
     caller has already resolved the function and checked arity —
-    [Machine.run] is the public entry point.
-    @raise Ops.Runtime_error exactly where the tree-walker would. *)
+    [Machine.run] is the public entry point. [qcache] lets a serving
+    session keep one query-pack cache alive across executions
+    (default: a fresh cache per run).
+    @raise Ops.Runtime_error exactly where the tree-walker would.
+
+    Engine selection is per call: [Machine.run]'s [?precompile]
+    (default: compiled) or [Driver.Run_config.engine] — there is no
+    process-global flag to mutate. *)

@@ -656,13 +656,14 @@ and exec_op st (op : Ir.Op.t) :
 
 (* ---------- entry point ------------------------------------------------ *)
 
-let run_tree ?sim ?xsim (fn : Ir.Func_ir.func) args =
+let run_tree ?sim ?xsim ?qcache (fn : Ir.Func_ir.func) args =
   let st =
     {
       env = Hashtbl.create 256;
       sim;
       xsim;
-      qcache = Ops.Qcache.create ();
+      qcache =
+        (match qcache with Some q -> q | None -> Ops.Qcache.create ());
       counts = Ops.fresh_counts ();
       counts_mu = Mutex.create ();
     }
@@ -674,7 +675,8 @@ let run_tree ?sim ?xsim (fn : Ir.Func_ir.func) args =
   | (`Yield _ | `Fall), _ ->
       fail "@%s finished without returning" fn.Ir.Func_ir.fn_name
 
-let run ?sim ?xsim ?precompile (m : Ir.Func_ir.modul) fn_name args =
+let run ?sim ?xsim ?qcache ?(precompile = true) (m : Ir.Func_ir.modul)
+    fn_name args =
   let fn =
     match Ir.Func_ir.find_func m fn_name with
     | Some f -> f
@@ -683,8 +685,5 @@ let run ?sim ?xsim ?precompile (m : Ir.Func_ir.modul) fn_name args =
   if List.length fn.fn_args <> List.length args then
     fail "@%s expects %d arguments, got %d" fn_name
       (List.length fn.fn_args) (List.length args);
-  let precompile =
-    match precompile with Some b -> b | None -> Compile.enabled ()
-  in
-  if precompile then Compile.run_fn ?sim ?xsim fn args
-  else run_tree ?sim ?xsim fn args
+  if precompile then Compile.run_fn ?sim ?xsim ?qcache fn args
+  else run_tree ?sim ?xsim ?qcache fn args

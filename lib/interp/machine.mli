@@ -30,13 +30,17 @@ type outcome = Ops.outcome = {
 exception Runtime_error of string
 
 val run :
-  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> ?precompile:bool ->
-  Ir.Func_ir.modul -> string -> Rtval.t list -> outcome
+  ?sim:Camsim.Simulator.t -> ?xsim:Xbar.t -> ?qcache:Ops.Qcache.t ->
+  ?precompile:bool -> Ir.Func_ir.modul -> string -> Rtval.t list -> outcome
 (** [run m fn args] executes function [fn] of module [m]. A CAM
     simulator is required iff the function contains [cam] ops; a
     crossbar iff it contains [crossbar] ops. [?precompile] selects the
-    engine: the closure-compiled one ([true]) or the tree-walking
-    reference ([false]); it defaults to the process-wide
-    {!Compile.enabled} flag (on unless [--no-precompile]).
+    engine: the closure-compiled one ([true], the default) or the
+    tree-walking reference ([false]); callers that take a
+    [Driver.Run_config.t] map its [engine] field here — there is no
+    process-global engine flag. [?qcache] supplies a query-pack cache
+    that outlives the run (a serving session passes its own so repeated
+    batches reuse extracted rows); by default each run gets a fresh
+    cache.
     @raise Runtime_error on missing functions, arity mismatches, or
     unsupported ops. *)

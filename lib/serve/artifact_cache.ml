@@ -1,0 +1,25 @@
+let table : (string, C4cam.Driver.compiled) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let key ~spec source =
+  Digest.to_hex
+    (Digest.string (Archspec.Spec.to_string spec ^ "\x00" ^ source))
+
+let lookup ?profile ~spec source =
+  let k = key ~spec source in
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt table k) with
+  | Some c -> (c, `Hit)
+  | None ->
+      (* Compile outside the lock: pipelines are slow and two concurrent
+         misses on the same key are harmless — first insert wins and
+         both artifacts are equivalent. *)
+      let c = C4cam.Driver.compile ?profile ~spec source in
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt table k with
+          | Some existing -> (existing, `Miss)
+          | None ->
+              Hashtbl.add table k c;
+              (c, `Miss))
+
+let length () = Mutex.protect lock (fun () -> Hashtbl.length table)
+let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)

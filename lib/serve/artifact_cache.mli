@@ -1,0 +1,27 @@
+(** The process-wide compiled-artifact cache.
+
+    Sessions serving the same kernel against the same architecture
+    specification share one [C4cam.Driver.compiled]: the cache is keyed
+    on a digest of [(source, spec)], so a [Session.create] for an
+    already-compiled pair skips the whole pipeline. Compiled artifacts
+    are immutable after compilation (the interpreter clones modules
+    before mutating passes run), which is what makes sharing safe; the
+    table itself is mutex-guarded so concurrent sessions may create
+    freely. *)
+
+val lookup :
+  ?profile:Instrument.Collect.t ->
+  spec:Archspec.Spec.t ->
+  string ->
+  C4cam.Driver.compiled * [ `Hit | `Miss ]
+(** [lookup ?profile ~spec source] returns the cached artifact
+    ([`Hit]), or compiles [source] (under [profile], outside the lock),
+    inserts and returns it ([`Miss]). A hit returns the artifact the
+    miss inserted — physically, hence structurally, equal.
+    @raise C4cam.Driver.Compile_error as {!C4cam.Driver.compile}. *)
+
+val length : unit -> int
+(** Number of cached artifacts (test hook). *)
+
+val clear : unit -> unit
+(** Drop every cached artifact (test hook). *)

@@ -153,7 +153,11 @@ let test_hdc_kernel () =
       (C4cam.Kernels.hdc_dot ~q:8 ~dims:256 ~classes:6 ~k:2)
   in
   let run ~precompile =
-    C4cam.Driver.run_cam ~precompile c ~queries:data.queries
+    let engine : C4cam.Driver.Run_config.engine =
+      if precompile then `Compiled else `Treewalk
+    in
+    let config = C4cam.Driver.Run_config.(default |> with_engine engine) in
+    C4cam.Driver.run_cam ~config c ~queries:data.queries
       ~stored:data.stored
   in
   let reference = Parallel.run ~jobs:1 (fun _ -> run ~precompile:true) in
@@ -192,7 +196,11 @@ let test_knn_kernel () =
   in
   let stored = Array.sub ds.features 0 64 in
   let run ~precompile =
-    C4cam.Driver.run_cam ~precompile c ~queries ~stored
+    let engine : C4cam.Driver.Run_config.engine =
+      if precompile then `Compiled else `Treewalk
+    in
+    let config = C4cam.Driver.Run_config.(default |> with_engine engine) in
+    C4cam.Driver.run_cam ~config c ~queries ~stored
   in
   let a = run ~precompile:true and b = run ~precompile:false in
   Alcotest.(check Tutil.int_rows_testable) "indices" a.indices b.indices;

@@ -294,7 +294,9 @@ let test_trace_of_compiled_run () =
   in
   let trace = Camsim.Trace.create () in
   let _ =
-    C4cam.Driver.run_cam ~trace c ~queries:data.queries ~stored:data.stored
+    C4cam.Driver.run_cam
+      ~config:C4cam.Driver.Run_config.(default |> with_trace trace)
+      c ~queries:data.queries ~stored:data.stored
   in
   let events = Camsim.Trace.events trace in
   let count pred = List.length (List.filter pred events) in
@@ -329,8 +331,10 @@ let test_defect_tolerance_e2e () =
   in
   let accuracy rate =
     let r =
-      C4cam.Driver.run_cam ~defect_rate:rate ~defect_seed:3 c
-        ~queries:data.queries ~stored:data.stored
+      C4cam.Driver.run_cam
+        ~config:
+          C4cam.Driver.Run_config.(default |> with_defects ~seed:3 rate)
+        c ~queries:data.queries ~stored:data.stored
     in
     let correct = ref 0 in
     Array.iteri

@@ -180,9 +180,9 @@ let test_cap_differential () =
     let win = 1 + Rng.int rng (rows - row_offset) in
     let on_caps f =
       let run cap =
-        S.set_kernel_cap s cap;
-        let r = f () in
-        (r, S.read s)
+        S.with_kernel_cap s cap (fun () ->
+            let r = f () in
+            (r, S.read s))
       in
       let want = run `Generic in
       List.iter
@@ -261,9 +261,7 @@ let test_early_exit_counter () =
   Alcotest.(check int) "unreachable threshold never exits early" 0 loose;
   (* and the early exits never change the published matches *)
   let m_fast, _ = run 3. in
-  S.set_kernel_cap s `Generic;
-  let m_ref, _ = run 3. in
-  S.set_kernel_cap s `Binary;
+  let m_ref, _ = S.with_kernel_cap s `Generic (fun () -> run 3.) in
   check_exact "threshold matches across caps" m_ref m_fast
 
 (* ---- executors: cam interpreter vs flat-ISA VM ------------------------- *)

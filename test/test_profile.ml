@@ -115,8 +115,9 @@ let test_sim_fold () =
       ~bits:1 ()
   in
   let r =
-    C4cam.Driver.run_cam ~profile:c compiled ~queries:data.queries
-      ~stored:data.stored
+    C4cam.Driver.run_cam
+      ~config:C4cam.Driver.Run_config.(default |> with_profile c)
+      compiled ~queries:data.queries ~stored:data.stored
   in
   let p = Collect.profile c in
   match p.sim with
@@ -136,8 +137,9 @@ let test_json_roundtrip () =
       ~bits:1 ()
   in
   ignore
-    (C4cam.Driver.run_cam ~profile:c compiled ~queries:data.queries
-       ~stored:data.stored);
+    (C4cam.Driver.run_cam
+       ~config:C4cam.Driver.Run_config.(default |> with_profile c)
+       compiled ~queries:data.queries ~stored:data.stored);
   let p = Collect.profile c in
   let j = Profile.to_json p in
   let reparsed = Json.parse (Json.to_string j) in

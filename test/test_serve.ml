@@ -1,0 +1,317 @@
+(* Serving sessions: the batch-split determinism contract, one-time
+   setup cost, incremental stored updates and the compiled-artifact
+   cache (docs/SERVING.md). *)
+
+module Session = Serve.Session
+module Cache = Serve.Artifact_cache
+
+let spec = Tutil.spec32
+
+let config_for engine =
+  C4cam.Driver.Run_config.(default |> with_engine engine)
+
+let hdc_data ~q ~dims ~classes ?(seed = 23) () =
+  Workloads.Hdc.synthetic ~seed ~noise:0.15 ~dims ~n_classes:classes
+    ~n_queries:q ~bits:1 ()
+
+(* ---- batch-split vs concatenated differential -------------------------- *)
+
+(* Serving N batches of q queries must produce byte-identical
+   values/indices and the same summed activity counters as one
+   concatenated q*N one-shot run — modulo the single write charge
+   (sessions pay allocation + writes once, so search_ops is the only
+   counter that scales with N). Held across the jobs x engine matrix. *)
+let test_split_vs_concatenated () =
+  let q = 4 and n_batches = 4 and dims = 128 and classes = 10 in
+  let total = q * n_batches in
+  let data = hdc_data ~q:total ~dims ~classes () in
+  let reference =
+    Parallel.run ~jobs:1 @@ fun _ ->
+    let c =
+      C4cam.Driver.compile ~spec
+        (C4cam.Kernels.hdc_dot ~q:total ~dims ~classes ~k:1)
+    in
+    C4cam.Driver.run_cam c ~queries:data.queries ~stored:data.stored
+  in
+  let session_src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun engine ->
+          Parallel.run ~jobs @@ fun _pool ->
+          let what =
+            Printf.sprintf "jobs %d engine %s" jobs
+              (match engine with
+              | `Compiled -> "compiled"
+              | `Treewalk -> "treewalk")
+          in
+          let session =
+            Session.create ~config:(config_for engine) ~spec
+              ~stored:data.stored session_src
+          in
+          (* one oversized batch: the session splits it into q-row
+             chunks internally *)
+          let r = Session.query session data.queries in
+          Alcotest.(check Tutil.rows_testable)
+            (what ^ ": values") reference.values r.values;
+          Alcotest.(check Tutil.int_rows_testable)
+            (what ^ ": indices") reference.indices r.indices;
+          let a = reference.stats
+          and b = Camsim.Simulator.stats (Session.simulator session) in
+          let check_int name want got =
+            Alcotest.(check int) (what ^ ": " ^ name) want got
+          in
+          check_int "query_cycles" a.n_query_cycles b.n_query_cycles;
+          check_int "write_ops" a.n_write_ops b.n_write_ops;
+          check_int "banks" a.n_banks b.n_banks;
+          check_int "mats" a.n_mats b.n_mats;
+          check_int "arrays" a.n_arrays b.n_arrays;
+          check_int "subarrays" a.n_subarrays b.n_subarrays;
+          check_int "kernel_binary" a.n_kernel_binary b.n_kernel_binary;
+          check_int "kernel_nibble" a.n_kernel_nibble b.n_kernel_nibble;
+          check_int "kernel_generic" a.n_kernel_generic b.n_kernel_generic;
+          check_int "kernel_early_exit" a.n_kernel_early_exit
+            b.n_kernel_early_exit;
+          (* one search op per tile per chunk instead of per call *)
+          check_int "search_ops" (n_batches * a.n_search_ops)
+            b.n_search_ops;
+          (* the write charge is identical, paid exactly once *)
+          Tutil.check_float ~eps:0. (what ^ ": e_write") a.e_write
+            b.e_write)
+        [ `Compiled; `Treewalk ])
+    [ 1; 4 ];
+  (* batch-at-a-time serving agrees with the single split call *)
+  let one_by_one =
+    Parallel.run ~jobs:1 @@ fun _ ->
+    let session =
+      Session.create ~config:(config_for `Compiled) ~spec
+        ~stored:data.stored session_src
+    in
+    Array.concat
+      (List.init n_batches (fun i ->
+           (Session.query session (Array.sub data.queries (i * q) q))
+             .indices))
+  in
+  Alcotest.(check Tutil.int_rows_testable)
+    "per-batch calls" reference.indices one_by_one
+
+(* ---- write energy charged once, via the profile counters --------------- *)
+
+let test_write_energy_once () =
+  let q = 4 and dims = 128 and classes = 10 and n_batches = 8 in
+  let data = hdc_data ~q:(q * n_batches) ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  (* what one batch costs end to end (its own fresh simulator) *)
+  let oneshot =
+    let c = C4cam.Driver.compile ~spec src in
+    C4cam.Driver.run_cam c
+      ~queries:(Array.sub data.queries 0 q)
+      ~stored:data.stored
+  in
+  let collector = Instrument.Collect.create () in
+  let config =
+    C4cam.Driver.Run_config.(default |> with_profile collector)
+  in
+  Cache.clear ();
+  let session = Session.create ~config ~spec ~stored:data.stored src in
+  for i = 0 to n_batches - 1 do
+    ignore (Session.query session (Array.sub data.queries (i * q) q))
+  done;
+  let p = Instrument.Collect.profile collector in
+  (match p.serve with
+  | None -> Alcotest.fail "expected a serve section in the profile"
+  | Some s ->
+      Alcotest.(check int) "batches" n_batches s.batches;
+      Alcotest.(check int) "queries served" (q * n_batches)
+        s.queries_served;
+      Alcotest.(check bool) "first session misses the cache" false
+        s.artifact_cache_hit;
+      (* the whole point: 8 batches, one write charge *)
+      Tutil.check_float ~eps:0. "write energy charged once"
+        oneshot.stats.e_write s.serve_write_energy_j);
+  (match p.sim with
+  | None -> Alcotest.fail "expected a sim section in the profile"
+  | Some s ->
+      Alcotest.(check int) "write ops not repeated"
+        oneshot.stats.n_write_ops s.write_ops;
+      Alcotest.(check int) "devices allocated once"
+        oneshot.stats.n_subarrays s.subarrays);
+  (* a second session on the same (source, spec) skips the pipeline:
+     its collector records no passes, and the serve section says hit *)
+  let collector2 = Instrument.Collect.create () in
+  let config2 =
+    C4cam.Driver.Run_config.(default |> with_profile collector2)
+  in
+  let session2 = Session.create ~config:config2 ~spec ~stored:data.stored src in
+  ignore (Session.query session2 (Array.sub data.queries 0 q));
+  let p2 = Instrument.Collect.profile collector2 in
+  Alcotest.(check int) "cache hit: no passes re-run" 0
+    (List.length p2.passes);
+  match p2.serve with
+  | Some s -> Alcotest.(check bool) "cache hit reported" true
+                s.artifact_cache_hit
+  | None -> Alcotest.fail "expected a serve section"
+
+(* ---- incremental stored updates ---------------------------------------- *)
+
+let test_update_stored () =
+  (* dims <= cols and classes <= rows, so the whole stored set is one
+     tile: setup is exactly one write op, and replacing one row must
+     cost exactly one more. *)
+  let q = 2 and dims = 32 and classes = 4 in
+  let data = hdc_data ~q ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  Cache.clear ();
+  let session =
+    Session.create ~config:(config_for `Compiled) ~spec ~stored:data.stored
+      src
+  in
+  ignore (Session.query session data.queries);
+  let stats = Camsim.Simulator.stats (Session.simulator session) in
+  Alcotest.(check int) "one-tile setup: one write op" 1 stats.n_write_ops;
+  (* the update lands in the query-pack cache's backing store, so any
+     cached pack of the pinned buffer must be dropped *)
+  let qc = Session.qcache session in
+  ignore (Interp.Ops.Qcache.rows_cached qc (Session.stored_value session));
+  Alcotest.(check bool) "pinned buffer cached" true
+    (Interp.Ops.Qcache.position qc (Session.stored_value session) >= 0);
+  let replacement = Array.init dims (fun i -> float_of_int ((i + 1) mod 2)) in
+  Session.update_stored session ~row:2 replacement;
+  Alcotest.(check int) "query-pack cache invalidated" (-1)
+    (Interp.Ops.Qcache.position qc (Session.stored_value session));
+  (* the next batch rewrites only the changed row *)
+  let r = Session.query session data.queries in
+  let stats = Camsim.Simulator.stats (Session.simulator session) in
+  Alcotest.(check int) "one changed row, one extra write op" 2
+    stats.n_write_ops;
+  (* and serves results identical to a fresh run over the new rows *)
+  let stored' = Array.copy data.stored in
+  stored'.(2) <- replacement;
+  let fresh =
+    let c = C4cam.Driver.compile ~spec src in
+    C4cam.Driver.run_cam c ~queries:data.queries ~stored:stored'
+  in
+  Alcotest.(check Tutil.rows_testable) "values after update" fresh.values
+    r.values;
+  Alcotest.(check Tutil.int_rows_testable) "indices after update"
+    fresh.indices r.indices;
+  (* rewriting identical rows is free *)
+  Session.update_stored session ~row:2 replacement;
+  ignore (Session.query session data.queries);
+  let stats = Camsim.Simulator.stats (Session.simulator session) in
+  Alcotest.(check int) "unchanged rows cost nothing" 2 stats.n_write_ops
+
+(* ---- the compiled-artifact cache --------------------------------------- *)
+
+let test_artifact_cache () =
+  let q = 2 and dims = 32 and classes = 4 in
+  let data = hdc_data ~q ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  Cache.clear ();
+  Alcotest.(check int) "cache empty" 0 (Cache.length ());
+  let a =
+    Session.create ~config:(config_for `Compiled) ~spec ~stored:data.stored
+      src
+  in
+  Alcotest.(check bool) "first create misses" true
+    (Session.cache_status a = `Miss);
+  let b =
+    Session.create ~config:(config_for `Compiled) ~spec ~stored:data.stored
+      src
+  in
+  Alcotest.(check bool) "second create hits" true
+    (Session.cache_status b = `Hit);
+  Alcotest.(check int) "one artifact cached" 1 (Cache.length ());
+  (* the hit returns the very artifact the miss inserted *)
+  Alcotest.(check bool) "same compiled artifact" true
+    (Session.compiled a == Session.compiled b);
+  (* a different spec is a different key *)
+  let spec16 = Archspec.Spec.square 16 Archspec.Spec.Base in
+  let c =
+    Session.create ~config:(config_for `Compiled) ~spec:spec16
+      ~stored:data.stored src
+  in
+  Alcotest.(check bool) "different spec misses" true
+    (Session.cache_status c = `Miss);
+  Alcotest.(check int) "two artifacts cached" 2 (Cache.length ());
+  (* both sessions serve (shared artifact, private simulators) *)
+  let ra = Session.query a data.queries and rb = Session.query b data.queries in
+  Alcotest.(check Tutil.int_rows_testable) "shared artifact serves"
+    ra.indices rb.indices
+
+(* ---- rejected batches --------------------------------------------------- *)
+
+let test_bad_batch () =
+  let q = 4 and dims = 32 and classes = 4 in
+  let data = hdc_data ~q ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  let session =
+    Session.create ~config:(config_for `Compiled) ~spec ~stored:data.stored
+      src
+  in
+  let rejects what batch =
+    match Session.query session batch with
+    | _ -> Alcotest.failf "%s: expected Serve_error" what
+    | exception Session.Serve_error _ -> ()
+  in
+  rejects "empty" [||];
+  rejects "not a multiple" (Array.sub data.queries 0 3);
+  match
+    Session.create ~config:(config_for `Compiled) ~spec
+      ~stored:(Array.sub data.stored 0 2) src
+  with
+  | _ -> Alcotest.fail "wrong stored row count: expected Serve_error"
+  | exception Session.Serve_error _ -> ()
+
+(* ---- the scoped kernel cap (satellite of the same API pass) ------------ *)
+
+let test_with_kernel_cap_scoped () =
+  let rows = 8 and cols = 32 in
+  let rng = Rng.create 5151 in
+  let s = Camsim.Subarray.create ~rows ~cols ~bits:1 in
+  Camsim.Subarray.write s
+    (Array.init rows (fun _ ->
+         Array.init cols (fun _ -> float_of_int (Rng.int rng 2))));
+  let queries =
+    [| Array.init cols (fun _ -> float_of_int (Rng.int rng 2)) |]
+  in
+  let dispatched_generic () =
+    let stats = Camsim.Stats.create () in
+    ignore
+      (Camsim.Subarray.search ~stats s ~queries ~row_offset:0 ~rows
+         ~metric:`Hamming);
+    stats.n_kernel_generic > 0
+  in
+  Alcotest.(check bool) "binary tier by default" false
+    (dispatched_generic ());
+  Alcotest.(check bool) "generic inside the scope" true
+    (Camsim.Subarray.with_kernel_cap s `Generic dispatched_generic);
+  Alcotest.(check bool) "restored after the scope" false
+    (dispatched_generic ());
+  (* restored even when the body raises *)
+  (try
+     Camsim.Subarray.with_kernel_cap s `Generic (fun () ->
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after an exception" false
+    (dispatched_generic ())
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "sessions",
+        [
+          Alcotest.test_case "split vs concatenated differential" `Quick
+            test_split_vs_concatenated;
+          Alcotest.test_case "write energy charged once" `Quick
+            test_write_energy_once;
+          Alcotest.test_case "update_stored" `Quick test_update_stored;
+          Alcotest.test_case "artifact cache" `Quick test_artifact_cache;
+          Alcotest.test_case "bad batches rejected" `Quick test_bad_batch;
+        ] );
+      ( "kernel cap",
+        [
+          Alcotest.test_case "with_kernel_cap is scoped" `Quick
+            test_with_kernel_cap_scoped;
+        ] );
+    ]
