@@ -110,8 +110,28 @@ let () =
               "subarrays"; "banks"; "search_ops"; "query_cycles";
               "write_ops"; "kernel_binary"; "kernel_nibble";
               "kernel_generic"; "kernel_early_exit"; "n_ops_executed";
-              "batches";
-            ])
+              "batches"; "batches_coalesced"; "queue_hwm";
+            ];
+          (* deterministic float counters: ratios of exact-gated
+             integers, so they too must match exactly (the latency
+             percentiles, by contrast, are host wall-clock and are
+             gated by nothing) *)
+          List.iter
+            (fun key ->
+              match Instrument.Json.member_opt key base with
+              | None -> ()
+              | Some bj ->
+                  let b = Instrument.Json.get_float bj in
+                  let c =
+                    match Instrument.Json.member_opt key cur with
+                    | Some cj -> Instrument.Json.get_float cj
+                    | None -> nan
+                  in
+                  check name key (b = c)
+                    (Printf.sprintf
+                       "baseline %.6f, current %.6f (exact match required)"
+                       b c))
+            [ "batch_fill" ])
     baseline;
   List.iter
     (fun (name, _) ->

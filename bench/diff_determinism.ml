@@ -18,7 +18,8 @@ module Json = Instrument.Json
 let ignored_keys =
   [
     "wall_clock_s"; "dse_wall_clock_s"; "jobs"; "duration_s"; "frontend_s";
-    "total_s"; "precompile"; "queries_per_s";
+    "total_s"; "precompile"; "queries_per_s"; "serve_wall_s"; "lat_p50_s";
+    "lat_p99_s";
   ]
 
 let rec strip (j : Json.t) =

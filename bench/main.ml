@@ -717,6 +717,62 @@ let smoke ?json ?jobs ?(precompile = true) () =
     (C4cam.Report.si_energy serve_stats.sim_energy_j)
     (C4cam.Report.si_energy serve_stats.write_energy_j)
     serve_accuracy;
+  (* The concurrent-server workload: the same 64 queries again, now as 8
+     clients x 8 single-row requests through the micro-batching
+     scheduler (batch capacity 16 rows). Everything is enqueued while
+     the scheduler is paused, so the round-robin coalescing — and with
+     it batches_coalesced / batch_fill / queue_hwm — is deterministic
+     and exact-gated; only the latency percentiles are host wall-clock
+     (stripped by the determinism gate). *)
+  let server_session, server_result, server_accuracy =
+    let n_clients = 8 and per_client = 8 in
+    let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+    let src = C4cam.Kernels.hdc_dot ~q:8 ~dims:2048 ~classes:10 ~k:1 in
+    let session =
+      Serve.Session.create ~config ~spec ~stored:data.stored src
+    in
+    let server =
+      Server.create
+        ~config:
+          {
+            Server.default_config with
+            batch_rows = 16;
+            queue_cap = 64;
+            jobs;
+            start_paused = true;
+          }
+        session
+    in
+    let clients = Array.init n_clients (fun _ -> Server.connect server) in
+    (* request j of client c is query row j*8+c, so round-robin turns
+       replay the 64 rows in order, 16 to a micro-batch *)
+    let tickets =
+      List.concat
+        (List.init per_client (fun j ->
+             List.init n_clients (fun c ->
+                 ( (j * n_clients) + c,
+                   Server.submit clients.(c)
+                     [| data.queries.((j * n_clients) + c) |] ))))
+    in
+    Server.resume server;
+    let correct = ref 0 in
+    List.iter
+      (fun (row, tk) ->
+        let r = Server.await tk in
+        if r.Server.r_indices.(0).(0) = data.query_labels.(row) then
+          incr correct)
+      tickets;
+    Server.stop server;
+    ( session,
+      Server.stats server,
+      float_of_int !correct /. float_of_int (n_clients * per_client) )
+  in
+  Printf.printf
+    "server-hdc-32x32-base: %d micro-batches, fill %.2f queries/batch, \
+     queue high-water %d rows, %d requests from %d clients, accuracy %.4f\n"
+    server_result.Server.batches_coalesced server_result.Server.batch_fill
+    server_result.Server.queue_hwm server_result.Server.requests_served
+    server_result.Server.clients_connected server_accuracy;
   (* compile-time breakdown of the reference HDC kernel, end-to-end *)
   let collector = Instrument.Collect.create () in
   Instrument.Collect.set_jobs collector jobs;
@@ -801,6 +857,57 @@ let smoke ?json ?jobs ?(precompile = true) () =
             ("queries_per_s", Instrument.Json.Float st.queries_per_s);
           ]
       in
+      (* The concurrent-server workload: the scheduler's coalescing
+         counters are exact-gated (deterministic by the paused-enqueue
+         protocol above); the latency percentiles are host wall-clock
+         and stripped by the determinism gate. *)
+      let server_json =
+        let s =
+          Camsim.Simulator.stats (Serve.Session.simulator server_session)
+        in
+        let st = server_result in
+        let ss = st.Server.session in
+        Instrument.Json.Assoc
+          [
+            ("name", Instrument.Json.String "server-hdc-32x32-base");
+            ( "config",
+              Instrument.Json.String
+                (C4cam.Dse.config_name
+                   (Archspec.Spec.square 32 Archspec.Spec.Base)) );
+            ("latency_s", Instrument.Json.Float ss.sim_latency_s);
+            ("energy_j", Instrument.Json.Float ss.sim_energy_j);
+            ( "power_w",
+              Instrument.Json.Float
+                (if ss.sim_latency_s > 0. then
+                   ss.sim_energy_j /. ss.sim_latency_s
+                 else 0.) );
+            ( "edp_js",
+              Instrument.Json.Float (ss.sim_energy_j *. ss.sim_latency_s) );
+            ("accuracy", Instrument.Json.Float server_accuracy);
+            ("subarrays", Instrument.Json.Int s.n_subarrays);
+            ("banks", Instrument.Json.Int s.n_banks);
+            ("search_ops", Instrument.Json.Int s.n_search_ops);
+            ("query_cycles", Instrument.Json.Int s.n_query_cycles);
+            ("write_ops", Instrument.Json.Int s.n_write_ops);
+            ("kernel_binary", Instrument.Json.Int s.n_kernel_binary);
+            ("kernel_nibble", Instrument.Json.Int s.n_kernel_nibble);
+            ("kernel_generic", Instrument.Json.Int s.n_kernel_generic);
+            ("kernel_early_exit", Instrument.Json.Int s.n_kernel_early_exit);
+            ( "n_ops_executed",
+              Instrument.Json.Int
+                (List.fold_left
+                   (fun acc (_, n) -> acc + n)
+                   0 ss.ops_executed) );
+            ("batches", Instrument.Json.Int ss.batches);
+            ("queries_per_s", Instrument.Json.Float ss.queries_per_s);
+            ( "batches_coalesced",
+              Instrument.Json.Int st.Server.batches_coalesced );
+            ("batch_fill", Instrument.Json.Float st.Server.batch_fill);
+            ("queue_hwm", Instrument.Json.Int st.Server.queue_hwm);
+            ("lat_p50_s", Instrument.Json.Float st.Server.lat_p50_s);
+            ("lat_p99_s", Instrument.Json.Float st.Server.lat_p99_s);
+          ]
+      in
       let doc =
         Instrument.Json.Assoc
           [
@@ -813,7 +920,8 @@ let smoke ?json ?jobs ?(precompile = true) () =
             ("dse_wall_clock_s", Instrument.Json.Float dse_wall);
             ( "workloads",
               Instrument.Json.List
-                (List.map workload_json workloads @ [ serve_json ]) );
+                (List.map workload_json workloads
+                @ [ serve_json; server_json ]) );
             ("compile", Instrument.Profile.to_json profile);
           ]
       in

@@ -1,0 +1,204 @@
+(* The CI concurrency-stress gate for the serving front-end.
+
+     dune exec bench/stress_serve.exe -- \
+       [--clients N] [--schedules N] [--requests N] [--jobs N] \
+       [--seed N] [--no-precompile]
+
+   Replays seeded arrival schedules against the micro-batching
+   scheduler and enforces the determinism contract (docs/SERVING.md):
+   every client's responses must be BIT-identical to its own request
+   stream served one at a time through a private session, no matter how
+   the concurrent submissions interleave, how full the micro-batches
+   run, or how wide the domain pool is.
+
+   The per-client request streams are fixed by --seed and do not vary
+   across schedules — only the arrival timing does — so the sequential
+   reference is computed once and each schedule is pure replay. CI runs
+   this across a clients x jobs x engine matrix. Exit code 1 on any
+   divergence. *)
+
+let usage () =
+  prerr_endline
+    "usage: stress_serve.exe -- [--clients N] [--schedules N] \
+     [--requests N] [--jobs N] [--seed N] [--no-precompile]";
+  exit 2
+
+type opts = {
+  clients : int;
+  schedules : int;
+  requests : int;
+  jobs : int;
+  seed : int;
+  precompile : bool;
+}
+
+let parse_args args =
+  let int_arg tl k =
+    match tl with
+    | n :: tl' -> (
+        match int_of_string_opt n with Some n -> k n tl' | None -> usage ())
+    | [] -> usage ()
+  in
+  let rec parse o = function
+    | [] -> o
+    | "--clients" :: tl -> int_arg tl (fun n tl -> parse { o with clients = n } tl)
+    | "--schedules" :: tl ->
+        int_arg tl (fun n tl -> parse { o with schedules = n } tl)
+    | "--requests" :: tl ->
+        int_arg tl (fun n tl -> parse { o with requests = n } tl)
+    | "--jobs" :: tl -> int_arg tl (fun n tl -> parse { o with jobs = n } tl)
+    | "--seed" :: tl -> int_arg tl (fun n tl -> parse { o with seed = n } tl)
+    | "--no-precompile" :: tl -> parse { o with precompile = false } tl
+    | _ -> usage ()
+  in
+  parse
+    { clients = 8; schedules = 25; requests = 6; jobs = 1; seed = 42;
+      precompile = true }
+    args
+
+(* Bit-level equality: the contract is byte-identical results, not
+   results within epsilon. *)
+let rows_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (ra : float array) rb ->
+         Array.length ra = Array.length rb
+         && Array.for_all2
+              (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+              ra rb)
+       a b
+
+let int_rows_equal (a : int array array) b = a = b
+
+let () =
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  if o.clients < 1 || o.schedules < 1 || o.requests < 1 || o.jobs < 1 then
+    usage ();
+  let engine : C4cam.Driver.Run_config.engine =
+    if o.precompile then `Compiled else `Treewalk
+  in
+  let config = C4cam.Driver.Run_config.(default |> with_engine engine) in
+  let q = 4 and dims = 64 and classes = 10 in
+  let pool_rows = 32 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims ~n_classes:classes
+      ~n_queries:pool_rows ~bits:1 ()
+  in
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  Printf.printf
+    "stress_serve: %d clients x %d requests, %d schedules, jobs %d, \
+     engine %s, seed %d\n%!"
+    o.clients o.requests o.schedules o.jobs
+    (match engine with `Compiled -> "compiled" | `Treewalk -> "treewalk")
+    o.seed;
+  (* fixed per-client request streams: sizes straddle the arity *)
+  let streams =
+    Array.init o.clients (fun c ->
+        let rng = Rng.create (o.seed + (7919 * (c + 1))) in
+        Array.init o.requests (fun _ ->
+            let len = 1 + Rng.int rng (2 * q) in
+            let off = Rng.int rng (pool_rows - len) in
+            Array.sub data.queries off len))
+  in
+  (* the sequential reference, once: pad each request to a multiple of
+     q the way the scheduler does (repeat the last row), slice back *)
+  let reference =
+    Parallel.run ~jobs:1 @@ fun _ ->
+    let session =
+      Serve.Session.create ~config ~spec ~stored:data.stored src
+    in
+    Array.map
+      (Array.map (fun rows ->
+           let n = Array.length rows in
+           let rem = n mod q in
+           let padded =
+             if rem = 0 then rows
+             else Array.append rows (Array.make (q - rem) rows.(n - 1))
+           in
+           let r = Serve.Session.query session padded in
+           ( Array.sub r.C4cam.Driver.values 0 n,
+             Array.sub r.C4cam.Driver.indices 0 n )))
+      streams
+  in
+  let mismatches = ref 0 in
+  let total_batches = ref 0 and total_rows = ref 0 and max_hwm = ref 0 in
+  for schedule = 0 to o.schedules - 1 do
+    let session =
+      Serve.Session.create ~config ~spec ~stored:data.stored src
+    in
+    let server =
+      Server.create
+        ~config:
+          {
+            Server.default_config with
+            jobs = o.jobs;
+            queue_cap = 64;
+            (* odd schedules run a 200us batching window so coalescing
+               under timed dispatch is covered too *)
+            window_s = (if schedule land 1 = 1 then 2e-4 else 0.);
+          }
+        session
+    in
+    let clients = Array.init o.clients (fun _ -> Server.connect server) in
+    let submitters =
+      Array.mapi
+        (fun c client ->
+          Domain.spawn (fun () ->
+              let rng =
+                Rng.create (o.seed + (104729 * (schedule + 1)) + c)
+              in
+              Array.map
+                (fun rows ->
+                  (* seeded arrival jitter, 0-2ms *)
+                  let delay = Rng.int rng 3 in
+                  if delay > 0 then
+                    Unix.sleepf (float_of_int delay /. 1000.);
+                  Server.rpc client rows)
+                streams.(c)))
+        clients
+    in
+    let got = Array.map Domain.join submitters in
+    Server.stop server;
+    let st = Server.stats server in
+    total_batches := !total_batches + st.Server.batches_coalesced;
+    total_rows := !total_rows + st.Server.rows_served;
+    if st.Server.queue_hwm > !max_hwm then max_hwm := st.Server.queue_hwm;
+    Array.iteri
+      (fun c responses ->
+        Array.iteri
+          (fun i (r : Server.response) ->
+            let want_values, want_indices = reference.(c).(i) in
+            if
+              not
+                (rows_bits_equal want_values r.Server.r_values
+                && int_rows_equal want_indices r.Server.r_indices)
+            then begin
+              incr mismatches;
+              Printf.printf
+                "MISMATCH schedule %d client %d request %d: response \
+                 diverges from the sequential reference\n%!"
+                schedule c i
+            end)
+          responses)
+      got
+  done;
+  let schedules_f = float_of_int o.schedules in
+  Printf.printf
+    "served %d requests over %d schedules: %.2f micro-batches/schedule, \
+     fill %.2f queries/batch, queue high-water %d rows\n"
+    (o.clients * o.requests * o.schedules)
+    o.schedules
+    (float_of_int !total_batches /. schedules_f)
+    (float_of_int !total_rows /. float_of_int (max 1 !total_batches))
+    !max_hwm;
+  if !mismatches > 0 then begin
+    Printf.eprintf
+      "stress_serve: %d response(s) diverged from the sequential \
+       reference\n"
+      !mismatches;
+    exit 1
+  end
+  else
+    print_endline
+      "all responses byte-identical to the sequential reference"

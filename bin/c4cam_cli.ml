@@ -315,9 +315,76 @@ let read_query_batches ~q ~d ic =
   end;
   List.init (total / q) (fun i -> Array.sub rows (i * q) q)
 
+(* Shared knobs of the micro-batching scheduler (serve --clients and
+   serve-tcp). *)
+let server_config_args =
+  let batch_rows_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-rows" ] ~docv:"N"
+          ~doc:"Micro-batch row capacity (default: 4x the kernel's query \
+                arity; rounded up to a multiple of it).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Batching window: with a partially filled batch the \
+                scheduler waits this long for more arrivals before \
+                dispatching (default 0: dispatch immediately).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ] ~docv:"ROWS"
+          ~doc:"Backpressure bound on queued rows (default 256).")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:"Reject submissions at the queue cap instead of blocking.")
+  in
+  let mk batch_rows window queue_cap fail_fast jobs =
+    {
+      Server.default_config with
+      batch_rows;
+      window_s = window;
+      queue_cap;
+      backpressure = (if fail_fast then `Fail_fast else `Block);
+      jobs;
+    }
+  in
+  Term.(
+    const mk $ batch_rows_arg $ window_arg $ queue_cap_arg $ fail_fast_arg)
+
+let print_server_stats (st : Server.stats) =
+  Printf.printf
+    "server   : %d micro-batches, fill %.2f queries/batch, queue \
+     high-water %d rows\n"
+    st.batches_coalesced st.batch_fill st.queue_hwm;
+  Printf.printf "latency  : p50 %s / p99 %s submit-to-done (host)\n"
+    (C4cam.Report.si_time st.lat_p50_s)
+    (C4cam.Report.si_time st.lat_p99_s)
+
+let print_session_stats (s : Serve.Session.stats) c spec =
+  Printf.printf "kernel   : %d queries x %d dims vs %d stored (%s)\n"
+    c.C4cam.Driver.info.C4cam.Driver.q c.C4cam.Driver.info.d
+    c.C4cam.Driver.info.n
+    (C4cam.Dse.config_name spec);
+  Printf.printf "served   : %d batches, %d queries (%.0f queries/s)\n"
+    s.Serve.Session.batches s.queries_served s.queries_per_s;
+  Printf.printf "latency  : %s simulated\n"
+    (C4cam.Report.si_time s.sim_latency_s);
+  Printf.printf "energy   : %s (writes %s, charged once)\n"
+    (C4cam.Report.si_energy s.sim_energy_j)
+    (C4cam.Report.si_energy s.write_energy_j);
+  Printf.printf "artifact : cache %s\n"
+    (match s.cache with `Hit -> "hit" | `Miss -> "miss")
+
 let serve_cmd =
   let run kernel arch size opt queries dims classes seed batches input
-      profile profile_json jobs no_precompile =
+      clients server_config profile profile_json jobs no_precompile =
     handle_errors (fun () ->
         with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
@@ -325,7 +392,7 @@ let serve_cmd =
         let collector = collector_for ~profile ~profile_json in
         Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
         let config = config_of ?collector ~no_precompile () in
-        let session =
+        let session, query_batches =
           try
             (* Probe the artifact first so synthetic data and the input
                reader agree with the kernel's shapes, then hand the
@@ -355,39 +422,74 @@ let serve_cmd =
               Serve.Session.create ~config ~artifact ~spec
                 ~stored:data.stored src
             in
-            List.iteri
-              (fun i batch ->
-                let r = Serve.Session.query session batch in
-                let top =
-                  Array.to_list r.indices
-                  |> List.map (fun (row : int array) ->
-                         string_of_int row.(0))
-                  |> String.concat " "
-                in
-                Printf.printf "batch %d: top-1 [%s] (%s, %s)\n" i top
-                  (C4cam.Report.si_time r.latency)
-                  (C4cam.Report.si_energy r.energy))
-              batches;
-            session
+            (session, batches)
           with Serve.Session.Serve_error msg ->
             prerr_endline ("c4cam: serve error: " ^ msg);
             exit 1
         in
-        emit_profile ~profile ~profile_json collector;
-        let s = Serve.Session.stats session in
-        let c = Serve.Session.compiled session in
-        Printf.printf "kernel   : %d queries x %d dims vs %d stored (%s)\n"
-          c.info.q c.info.d c.info.n
-          (C4cam.Dse.config_name spec);
-        Printf.printf "served   : %d batches, %d queries (%.0f queries/s)\n"
-          s.batches s.queries_served s.queries_per_s;
-        Printf.printf "latency  : %s simulated\n"
-          (C4cam.Report.si_time s.sim_latency_s);
-        Printf.printf "energy   : %s (writes %s, charged once)\n"
-          (C4cam.Report.si_energy s.sim_energy_j)
-          (C4cam.Report.si_energy s.write_energy_j);
-        Printf.printf "artifact : cache %s\n"
-          (match s.cache with `Hit -> "hit" | `Miss -> "miss"))
+        (if clients > 0 then begin
+           (* route through the micro-batching scheduler: all requests
+              are enqueued across [clients] handles before the scheduler
+              starts, so the coalescing (and hence this command's
+              output) is deterministic *)
+           let server =
+             Server.create
+               ~config:
+                 { (server_config jobs) with Server.start_paused = true }
+               session
+           in
+           let handles =
+             Array.init clients (fun _ -> Server.connect server)
+           in
+           let tickets =
+             List.mapi
+               (fun i batch ->
+                 (i, Server.submit handles.(i mod clients) batch))
+               query_batches
+           in
+           Server.resume server;
+           List.iter
+             (fun (i, tk) ->
+               let r = Server.await tk in
+               let top =
+                 Array.to_list r.Server.r_indices
+                 |> List.map (fun (row : int array) ->
+                        string_of_int row.(0))
+                 |> String.concat " "
+               in
+               Printf.printf
+                 "request %d: top-1 [%s] (client %d, micro-batch %d)\n" i
+                 top (i mod clients) r.Server.r_batch_seq)
+             tickets;
+           Server.stop server;
+           emit_profile ~profile ~profile_json collector;
+           let st = Server.stats server in
+           print_session_stats st.Server.session
+             (Serve.Session.compiled session)
+             spec;
+           Printf.printf "clients  : %d\n" clients;
+           print_server_stats st
+         end
+         else begin
+           List.iteri
+             (fun i batch ->
+               let r = Serve.Session.query session batch in
+               let top =
+                 Array.to_list r.C4cam.Driver.indices
+                 |> List.map (fun (row : int array) ->
+                        string_of_int row.(0))
+                 |> String.concat " "
+               in
+               Printf.printf "batch %d: top-1 [%s] (%s, %s)\n" i top
+                 (C4cam.Report.si_time r.latency)
+                 (C4cam.Report.si_energy r.energy))
+             query_batches;
+           emit_profile ~profile ~profile_json collector;
+           print_session_stats
+             (Serve.Session.stats session)
+             (Serve.Session.compiled session)
+             spec
+         end))
   in
   let seed_arg =
     Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Data seed.")
@@ -408,6 +510,14 @@ let serve_cmd =
                 floats per line, grouped into q-row batches); '-' reads \
                 stdin.")
   in
+  let clients_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Serve the batches through the concurrent front-end's \
+                micro-batching scheduler, spread round-robin over $(docv) \
+                client handles (default 0: query the session directly).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -415,6 +525,79 @@ let serve_cmd =
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
       $ dims_arg $ classes_arg $ seed_arg $ batches_arg $ input_arg
+      $ clients_arg $ server_config_args $ profile_arg $ profile_json_arg
+      $ jobs_arg $ no_precompile_arg)
+
+(* ---- serve-tcp: the newline-delimited wire front-end -------------------- *)
+
+let serve_tcp_cmd =
+  let run kernel arch size opt queries dims classes seed port server_config
+      profile profile_json jobs no_precompile =
+    handle_errors (fun () ->
+        with_jobs jobs @@ fun jobs ->
+        let spec = or_die (spec_of ~arch ~size ~opt) in
+        let src = kernel_of ~kernel ~queries ~dims ~classes in
+        let collector = collector_for ~profile ~profile_json in
+        Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
+        let config = config_of ?collector ~no_precompile () in
+        let session =
+          try
+            let (c, _) as artifact =
+              Serve.Artifact_cache.lookup ?profile:collector ~spec src
+            in
+            let data =
+              Workloads.Hdc.synthetic ~seed ~dims:c.info.d
+                ~n_classes:c.info.n ~n_queries:c.info.q ~bits:spec.bits ()
+            in
+            Serve.Session.create ~config ~artifact ~spec
+              ~stored:data.stored src
+          with Serve.Session.Serve_error msg ->
+            prerr_endline ("c4cam: serve error: " ^ msg);
+            exit 1
+        in
+        let server = Server.create ~config:(server_config jobs) session in
+        let listener =
+          try Tcp.listen ~port server
+          with Server.Server_error msg ->
+            prerr_endline ("c4cam: " ^ msg);
+            exit 1
+        in
+        Printf.printf "listening on 127.0.0.1:%d\n%!" (Tcp.port listener);
+        (* serve until stdin closes (^D, or the driving process hanging
+           up), then shut down in order: wire, scheduler, summary *)
+        (try
+           while true do
+             ignore (input_line stdin)
+           done
+         with End_of_file -> ());
+        Tcp.shutdown listener;
+        Server.stop server;
+        emit_profile ~profile ~profile_json collector;
+        let st = Server.stats server in
+        print_session_stats st.Server.session
+          (Serve.Session.compiled session)
+          spec;
+        Printf.printf "clients  : %d connections\n"
+          (Tcp.connections_served listener);
+        print_server_stats st)
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Data seed.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to bind on 127.0.0.1 (default 0: let the kernel \
+                pick an ephemeral port; it is printed on startup).")
+  in
+  Cmd.v
+    (Cmd.info "serve-tcp"
+       ~doc:
+         "Serve the kernel over newline-delimited TCP until stdin closes")
+    Term.(
+      const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
+      $ dims_arg $ classes_arg $ seed_arg $ port_arg $ server_config_args
       $ profile_arg $ profile_json_arg $ jobs_arg $ no_precompile_arg)
 
 (* ---- asm: print the flat runtime ISA -------------------------------------- *)
@@ -545,6 +728,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "c4cam" ~doc)
           [
-            compile_cmd; run_cmd; serve_cmd; asm_cmd; sweep_cmd; tune_cmd;
+            compile_cmd; run_cmd; serve_cmd; serve_tcp_cmd; asm_cmd;
+            sweep_cmd; tune_cmd;
             passes_cmd;
           ]))

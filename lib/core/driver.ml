@@ -315,21 +315,6 @@ let run_cam ?(config = Run_config.default) c ~queries ~stored =
     config.profile;
   r
 
-let run_cam_labelled ?profile ?tech ?defect_rate ?defect_seed ?trace
-    ?precompile c ~queries ~stored =
-  let config =
-    {
-      Run_config.profile;
-      tech;
-      defect_rate;
-      defect_seed;
-      trace;
-      engine =
-        (match precompile with Some false -> `Treewalk | _ -> `Compiled);
-    }
-  in
-  run_cam ~config c ~queries ~stored
-
 (* Build a tensor argument with the exact declared shape of the function
    parameter (e.g. the [q,1,d] batched-KNN query). *)
 let tensor_args (m : Ir.Func_ir.modul) fn_name info ~queries ~stored =
@@ -492,10 +477,6 @@ let run_vm ?(config = Run_config.default) c ~queries ~stored =
        per-dialect counters don't apply to it *)
     ops_executed = [];
   }
-
-let run_vm_labelled ?tech c ~queries ~stored =
-  let config = { Run_config.default with tech } in
-  run_vm ~config c ~queries ~stored
 
 let run_reference c ~queries ~stored =
   let args = tensor_args c.torch_ir c.fn_name c.info ~queries ~stored in

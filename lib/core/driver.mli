@@ -124,17 +124,6 @@ val run_cam :
     [config.profile], the run's latency, energy breakdown and activity
     counters are folded into the collector's simulator section. *)
 
-val run_cam_labelled :
-  ?profile:Instrument.Collect.t ->
-  ?tech:Camsim.Tech.t -> ?defect_rate:float -> ?defect_seed:int ->
-  ?trace:Camsim.Trace.t -> ?precompile:bool -> compiled ->
-  queries:float array array -> stored:float array array -> run_result
-[@@ocaml.deprecated
-  "build a Driver.Run_config.t and call Driver.run_cam ~config instead"]
-(** The pre-[Run_config] labelled signature, kept as a thin wrapper for
-    out-of-tree callers. [~precompile:false] maps onto the [`Treewalk]
-    engine. *)
-
 (** {1 The factored execution path} — the pieces [run_cam] composes,
     exported for [Serve.Session] which re-enters them per query batch
     against a pinned simulator (see [docs/SERVING.md]). *)
@@ -208,12 +197,6 @@ val run_vm :
     instead of the structured-IR interpreter. Results, latency and
     energy are identical to {!run_cam} (tested). The config's [engine]
     is ignored — the VM has exactly one. *)
-
-val run_vm_labelled :
-  ?tech:Camsim.Tech.t -> compiled -> queries:float array array ->
-  stored:float array array -> run_result
-[@@ocaml.deprecated
-  "build a Driver.Run_config.t and call Driver.run_vm ~config instead"]
 
 val run_reference :
   compiled -> queries:float array array -> stored:float array array ->

@@ -37,6 +37,12 @@ type serve = {
   queries_per_s : float;
   serve_write_energy_j : float;
   artifact_cache_hit : bool;
+  (* the concurrent front-end (all zero for single-caller sessions) *)
+  batches_coalesced : int;
+  batch_fill : float;
+  queue_hwm : int;
+  lat_p50_s : float;
+  lat_p99_s : float;
 }
 
 type t = {
@@ -109,6 +115,9 @@ let sim_to_json (s : sim) =
 let opt_int key json =
   match Json.member_opt key json with Some j -> Json.get_int j | None -> 0
 
+let opt_float key json =
+  match Json.member_opt key json with Some j -> Json.get_float j | None -> 0.
+
 let sim_of_json json =
   {
     sim_latency_s = Json.get_float (Json.member "latency_s" json);
@@ -146,6 +155,11 @@ let serve_to_json (s : serve) =
       ("queries_per_s", Json.Float s.queries_per_s);
       ("serve_write_energy_j", Json.Float s.serve_write_energy_j);
       ("artifact_cache_hit", Json.Bool s.artifact_cache_hit);
+      ("batches_coalesced", Json.Int s.batches_coalesced);
+      ("batch_fill", Json.Float s.batch_fill);
+      ("queue_hwm", Json.Int s.queue_hwm);
+      ("lat_p50_s", Json.Float s.lat_p50_s);
+      ("lat_p99_s", Json.Float s.lat_p99_s);
     ]
 
 let serve_of_json json =
@@ -160,6 +174,12 @@ let serve_of_json json =
       (match Json.member_opt "artifact_cache_hit" json with
       | Some j -> Json.get_bool j
       | None -> false);
+    (* absent in profiles written before the concurrent server *)
+    batches_coalesced = opt_int "batches_coalesced" json;
+    batch_fill = opt_float "batch_fill" json;
+    queue_hwm = opt_int "queue_hwm" json;
+    lat_p50_s = opt_float "lat_p50_s" json;
+    lat_p99_s = opt_float "lat_p99_s" json;
   }
 
 let to_json t =
@@ -278,5 +298,13 @@ let to_table t =
            s.batches s.queries_served (fmt_duration s.serve_wall_s)
            s.queries_per_s s.serve_write_energy_j
            (if s.batches > 1 then ", amortized" else "")
-           (if s.artifact_cache_hit then "cache hit" else "cache miss")));
+           (if s.artifact_cache_hit then "cache hit" else "cache miss"));
+      if s.batches_coalesced > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  server: %d micro-batches, fill %.2f queries/batch, queue \
+              high-water %d rows, latency p50 %s / p99 %s\n"
+             s.batches_coalesced s.batch_fill s.queue_hwm
+             (fmt_duration s.lat_p50_s)
+             (fmt_duration s.lat_p99_s)));
   Buffer.contents buf

@@ -61,6 +61,19 @@ type serve = {
           only the rows later replaced through [update_stored] *)
   artifact_cache_hit : bool;
       (** whether [Session.create] reused a cached compiled artifact *)
+  batches_coalesced : int;
+      (** micro-batches assembled by the concurrent server's scheduler
+          (0 for a plain single-caller session; see [Server]) *)
+  batch_fill : float;
+      (** mean query rows per micro-batch — > 1 means the scheduler is
+          actually coalescing concurrent submissions *)
+  queue_hwm : int;  (** queue-depth high-water mark, in query rows *)
+  lat_p50_s : float;
+      (** median submit-to-delivery wall latency across requests *)
+  lat_p99_s : float;
+      (** 99th-percentile submit-to-delivery wall latency (both
+          percentiles are host time — never gated, stripped by the
+          determinism diff) *)
 }
 
 type t = {

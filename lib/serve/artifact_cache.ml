@@ -1,5 +1,21 @@
-let table : (string, C4cam.Driver.compiled) Hashtbl.t = Hashtbl.create 16
+(* The process-wide compiled-artifact cache, with single-flight misses:
+   when N domains race [lookup] on the same (source, spec) key, exactly
+   one runs the compilation pipeline; the others block on [built] until
+   the artifact lands and then share it physically. A failed compile
+   clears the in-flight marker (waking one waiter to retry or fail in
+   its own right) and re-raises in the builder. *)
+
+type entry = Ready of C4cam.Driver.compiled | Building
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
 let lock = Mutex.create ()
+let built = Condition.create ()
+
+(* Pipeline executions since process start — the test hook behind the
+   compile-exactly-once contract. *)
+let compile_count = Atomic.make 0
+
+let compiles () = Atomic.get compile_count
 
 let key ~spec source =
   Digest.to_hex
@@ -7,19 +23,47 @@ let key ~spec source =
 
 let lookup ?profile ~spec source =
   let k = key ~spec source in
-  match Mutex.protect lock (fun () -> Hashtbl.find_opt table k) with
-  | Some c -> (c, `Hit)
-  | None ->
-      (* Compile outside the lock: pipelines are slow and two concurrent
-         misses on the same key are harmless — first insert wins and
-         both artifacts are equivalent. *)
-      let c = C4cam.Driver.compile ?profile ~spec source in
-      Mutex.protect lock (fun () ->
-          match Hashtbl.find_opt table k with
-          | Some existing -> (existing, `Miss)
-          | None ->
-              Hashtbl.add table k c;
-              (c, `Miss))
+  Mutex.lock lock;
+  let rec claim () =
+    match Hashtbl.find_opt table k with
+    | Some (Ready c) ->
+        Mutex.unlock lock;
+        (c, `Hit)
+    | Some Building ->
+        (* another domain is compiling this key; wait for the artifact
+           rather than duplicating pipeline work *)
+        Condition.wait built lock;
+        claim ()
+    | None -> (
+        Hashtbl.replace table k Building;
+        Mutex.unlock lock;
+        (* compile outside the lock: pipelines are slow, and the
+           Building marker already serializes per-key work *)
+        match C4cam.Driver.compile ?profile ~spec source with
+        | c ->
+            Atomic.incr compile_count;
+            Mutex.lock lock;
+            Hashtbl.replace table k (Ready c);
+            Condition.broadcast built;
+            Mutex.unlock lock;
+            (c, `Miss)
+        | exception e ->
+            Mutex.lock lock;
+            (* only drop our own marker: a concurrent [clear] may have
+               removed it already *)
+            (match Hashtbl.find_opt table k with
+            | Some Building -> Hashtbl.remove table k
+            | _ -> ());
+            Condition.broadcast built;
+            Mutex.unlock lock;
+            raise e)
+  in
+  claim ()
 
-let length () = Mutex.protect lock (fun () -> Hashtbl.length table)
+let length () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold
+        (fun _ e n -> match e with Ready _ -> n + 1 | Building -> n)
+        table 0)
+
 let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)

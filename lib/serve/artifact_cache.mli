@@ -18,10 +18,22 @@ val lookup :
     ([`Hit]), or compiles [source] (under [profile], outside the lock),
     inserts and returns it ([`Miss]). A hit returns the artifact the
     miss inserted — physically, hence structurally, equal.
+
+    Misses are single-flight: when N domains race the same key, exactly
+    one runs the pipeline and the rest block until its artifact lands
+    (reported as [`Hit] — they did share the compile). A failing
+    compile releases the key so a waiter can retry, and re-raises in
+    the domain that compiled.
     @raise C4cam.Driver.Compile_error as {!C4cam.Driver.compile}. *)
 
 val length : unit -> int
-(** Number of cached artifacts (test hook). *)
+(** Number of cached artifacts (in-flight compiles excluded; test
+    hook). *)
+
+val compiles : unit -> int
+(** Total pipeline executions this cache has run since process start —
+    monotonic; the compile-exactly-once contract is asserted by diffing
+    it around a racing [lookup] burst (test hook). *)
 
 val clear : unit -> unit
 (** Drop every cached artifact (test hook). *)

@@ -32,6 +32,7 @@ type t = {
 }
 
 let compiled t = t.s_compiled
+let run_config t = t.s_config
 let cache_status t = t.s_cache
 let simulator t = t.s_sim
 let qcache t = t.s_qcache
@@ -113,6 +114,13 @@ let fold_profile t =
           queries_per_s = st.queries_per_s;
           serve_write_energy_j = st.write_energy_j;
           artifact_cache_hit = (st.cache = `Hit);
+          (* a bare session has no scheduler in front of it; the server
+             overwrites these with its own fold *)
+          batches_coalesced = 0;
+          batch_fill = 0.;
+          queue_hwm = 0;
+          lat_p50_s = 0.;
+          lat_p99_s = 0.;
         }
 
 (* One [q]-row chunk against the shared simulator. The first chunk ever

@@ -87,6 +87,12 @@ type stats = {
 
 val stats : t -> stats
 val compiled : t -> C4cam.Driver.compiled
+
+val run_config : t -> C4cam.Driver.Run_config.t
+(** The run configuration the session executes under (as resolved at
+    {!create}); [Server] folds its combined metrics into this config's
+    collector. *)
+
 val cache_status : t -> [ `Hit | `Miss ]
 val simulator : t -> Camsim.Simulator.t
 val qcache : t -> Interp.Ops.Qcache.t

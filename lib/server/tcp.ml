@@ -1,0 +1,172 @@
+(* Newline-delimited TCP front-end; see tcp.mli for the protocol. *)
+
+type listener = {
+  l_server : Server.t;
+  l_sock : Unix.file_descr;
+  l_port : int;
+  mutable l_accept : unit Domain.t option;
+  lm : Mutex.t;
+  mutable l_conns : (Unix.file_descr * unit Domain.t) list;
+  mutable l_served : int;
+  mutable l_down : bool;
+}
+
+(* ---- wire codec ------------------------------------------------------- *)
+
+let parse_request line =
+  let parse_row i s =
+    let fields =
+      String.split_on_char ' ' s
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun f -> f <> "")
+    in
+    if fields = [] then Server.fail "request row %d is empty" i;
+    Array.of_list
+      (List.map
+         (fun f ->
+           match float_of_string_opt f with
+           | Some v -> v
+           | None -> Server.fail "request row %d: bad float %S" i f)
+         fields)
+  in
+  let rows = String.split_on_char ';' line in
+  if List.for_all (fun r -> String.trim r = "") rows then
+    Server.fail "empty request";
+  Array.of_list (List.mapi parse_row rows)
+
+let format_response (r : Server.response) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "ok ";
+  Array.iteri
+    (fun i values ->
+      if i > 0 then Buffer.add_char b ';';
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "%d:%.17g" r.Server.r_indices.(i).(j) v))
+        values)
+    r.Server.r_values;
+  Buffer.contents b
+
+let format_error = function
+  | Server.Server_error msg -> "err " ^ msg
+  | Server.Overloaded -> "err overloaded"
+  | Server.Stopped -> "err stopped"
+  | Serve.Session.Serve_error msg -> "err " ^ msg
+  | e -> "err " ^ Printexc.to_string e
+
+(* ---- connection handling ---------------------------------------------- *)
+
+(* One domain per connection: blocking reads are fine because shutdown
+   closes the socket out from under us, which ends the read. *)
+let serve_connection server fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let client = Server.connect server in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        let reply =
+          match Server.rpc client (parse_request line) with
+          | r -> format_response r
+          | exception e -> format_error e
+        in
+        let ok =
+          try
+            output_string oc reply;
+            output_char oc '\n';
+            flush oc;
+            true
+          with Sys_error _ | Unix.Unix_error _ -> false
+        in
+        if ok then loop ()
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- listener --------------------------------------------------------- *)
+
+let accept_loop l =
+  let rec loop () =
+    match Unix.accept ~cloexec:true l.l_sock with
+    | exception Unix.Unix_error _ -> () (* shutdown closed us *)
+    | fd, _peer ->
+        let admitted =
+          Mutex.protect l.lm (fun () ->
+              if l.l_down then false
+              else begin
+                let d =
+                  Domain.spawn (fun () -> serve_connection l.l_server fd)
+                in
+                l.l_conns <- (fd, d) :: l.l_conns;
+                l.l_served <- l.l_served + 1;
+                true
+              end)
+        in
+        if admitted then loop ()
+        else (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  loop ()
+
+let listen ?(backlog = 16) ~port server =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock backlog
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     Server.fail "cannot bind 127.0.0.1:%d: %s" port (Unix.error_message e));
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let l =
+    {
+      l_server = server;
+      l_sock = sock;
+      l_port = actual_port;
+      l_accept = None;
+      lm = Mutex.create ();
+      l_conns = [];
+      l_served = 0;
+      l_down = false;
+    }
+  in
+  l.l_accept <- Some (Domain.spawn (fun () -> accept_loop l));
+  l
+
+let port l = l.l_port
+let connections_served l = Mutex.protect l.lm (fun () -> l.l_served)
+
+let shutdown l =
+  let conns =
+    Mutex.protect l.lm (fun () ->
+        if l.l_down then None
+        else begin
+          l.l_down <- true;
+          let conns = l.l_conns in
+          l.l_conns <- [];
+          Some conns
+        end)
+  in
+  match conns with
+  | None -> ()
+  | Some conns ->
+      (* wake the accept domain: shutdown() forces accept(2) to fail
+         even on platforms where a bare close() does not *)
+      (try Unix.shutdown l.l_sock Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      (try Unix.close l.l_sock with Unix.Unix_error _ -> ());
+      Option.iter Domain.join l.l_accept;
+      l.l_accept <- None;
+      List.iter
+        (fun (fd, _) ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun (_, d) -> Domain.join d) conns

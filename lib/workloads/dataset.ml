@@ -45,7 +45,9 @@ let pneumonia_like ?(seed = 7) ?(separation = 1.2) ~n_features
     Array.init 2 (fun c ->
         Array.init n_features (fun _ ->
             if c = 0 then Prng.gaussian rng *. 0.5
-            else (Prng.gaussian rng *. 0.5) +. (separation /. sqrt (float_of_int n_features) *. 10.)))
+            else
+              (Prng.gaussian rng *. 0.5)
+              +. (separation /. sqrt (float_of_int n_features) *. 10.)))
   in
   let n = 2 * samples_per_class in
   let features = Array.make n [||] in

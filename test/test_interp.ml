@@ -218,7 +218,12 @@ let test_scf_if () =
       ignore b);
   Builder.op0 b ~operands:[ buf ] "func.return";
   let m =
-    Func_ir.modul [ Func_ir.func "f" ~args:[] ~ret:[ Types.memref [1;1] Types.F32 ] (Builder.finish b) ]
+    Func_ir.modul
+      [
+        Func_ir.func "f" ~args:[]
+          ~ret:[ Types.memref [ 1; 1 ] Types.F32 ]
+          (Builder.finish b);
+      ]
   in
   let r = Interp.Machine.run m "f" [] in
   Alcotest.(check int) "if executed, one result" 1 (List.length r.results)
@@ -342,7 +347,10 @@ let test_buffer_view_bounds () =
     | exception Interp.Rtval.Type_error _ -> true)
 
 let test_buffer_rows_of_view () =
-  let base = Interp.Rtval.buffer_of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |]; [| 7.; 8.; 9. |] |] in
+  let base =
+    Interp.Rtval.buffer_of_rows
+      [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |]; [| 7.; 8.; 9. |] |]
+  in
   let view = Interp.Rtval.buffer_view base ~offsets:[ 1; 1 ] ~sizes:[ 2; 2 ] in
   Alcotest.(check Tutil.rows_testable) "strided rows"
     [| [| 5.; 6. |]; [| 8.; 9. |] |]

@@ -121,7 +121,9 @@ let gen_type =
           (fun dims e -> Types.Memref (dims, e))
           (list_size (int_range 1 3) (int_range 1 64))
           gen_elem;
-        map (fun s -> Types.Handle ("d." ^ s)) (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
+        map
+          (fun s -> Types.Handle ("d." ^ s))
+          (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
       ])
 
 let gen_attr =
@@ -147,7 +149,10 @@ let gen_module =
     let* specs =
       list_repeat n_ops
         (triple (int_range 0 2) (int_range 0 2)
-           (list_size (int_range 0 2) (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 5)) gen_attr)))
+           (list_size (int_range 0 2)
+              (pair
+                 (string_size ~gen:(char_range 'a' 'z') (int_range 1 5))
+                 gen_attr)))
     in
     let* result_types = list_repeat (n_ops * 2) gen_type in
     let* picks = list_repeat (n_ops * 2) (int_range 0 1000) in

@@ -239,6 +239,51 @@ let test_artifact_cache () =
   Alcotest.(check Tutil.int_rows_testable) "shared artifact serves"
     ra.indices rb.indices
 
+(* ---- the cache under a thundering herd ---------------------------------- *)
+
+(* N domains race [Session.create] on the same (source, spec): the
+   single-flight cache must run the pipeline exactly once, and every
+   session must hold the very same artifact. *)
+let test_artifact_cache_race () =
+  let q = 2 and dims = 32 and classes = 4 in
+  let data = hdc_data ~q ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  Cache.clear ();
+  let before = Cache.compiles () in
+  let n = 8 in
+  let gate = Atomic.make 0 in
+  let racers =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            (* line the domains up so the lookups genuinely collide *)
+            Atomic.incr gate;
+            while Atomic.get gate < n do
+              Domain.cpu_relax ()
+            done;
+            Session.create ~config:(config_for `Compiled) ~spec
+              ~stored:data.stored src))
+  in
+  let sessions = List.map Domain.join racers in
+  Alcotest.(check int) "pipeline ran exactly once" 1
+    (Cache.compiles () - before);
+  Alcotest.(check int) "one artifact cached" 1 (Cache.length ());
+  let first = Session.compiled (List.hd sessions) in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d shares the artifact" i)
+        true
+        (Session.compiled s == first))
+    sessions;
+  (* every racer serves, and they agree *)
+  let r0 = Session.query (List.hd sessions) data.queries in
+  List.iter
+    (fun s ->
+      let r = Session.query s data.queries in
+      Alcotest.(check Tutil.int_rows_testable) "racers agree" r0.indices
+        r.indices)
+    (List.tl sessions)
+
 (* ---- rejected batches --------------------------------------------------- *)
 
 let test_bad_batch () =
@@ -307,6 +352,8 @@ let () =
             test_write_energy_once;
           Alcotest.test_case "update_stored" `Quick test_update_stored;
           Alcotest.test_case "artifact cache" `Quick test_artifact_cache;
+          Alcotest.test_case "artifact cache under a thundering herd"
+            `Quick test_artifact_cache_race;
           Alcotest.test_case "bad batches rejected" `Quick test_bad_batch;
         ] );
       ( "kernel cap",

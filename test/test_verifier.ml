@@ -23,7 +23,9 @@ let test_use_before_def () =
   let use = Op.create ~operands:[ v ] "t.use" in
   let def = Op.create ~results:[ v ] "t.def" in
   expect_error "use before def" (func_of [ use; def ]);
-  expect_ok "def before use" (func_of [ Op.create ~results:[ v ] "t.def"; Op.create ~operands:[ v ] "t.use" ])
+  expect_ok "def before use"
+    (func_of
+       [ Op.create ~results:[ v ] "t.def"; Op.create ~operands:[ v ] "t.use" ])
 
 let test_double_definition () =
   let v = idx () in

@@ -1,0 +1,88 @@
+(* The CI style linter for OCaml sources.
+
+     dune exec tools/lint_style.exe -- FILE...
+     dune exec tools/lint_style.exe            (lints git-tracked *.ml/*.mli)
+
+   ocamlformat is the source of truth for layout (.ocamlformat pins the
+   version and profile), but the CI image does not carry the formatter
+   binary, so this linter enforces the machine-checkable invariants the
+   tree upholds everywhere:
+
+   - no tab characters
+   - no trailing whitespace
+   - LF line endings (no CR)
+   - files end with exactly one final newline
+   - lines at most 100 columns (ocamlformat's margin is 77; 100 leaves
+     room for the few hand-laid tables while still catching runaways)
+
+   Exit code 1 with a file:line report on any violation. *)
+
+let max_cols = 100
+
+let violations = ref 0
+
+let report path line what =
+  incr violations;
+  Printf.printf "%s:%d: %s\n" path line what
+
+let lint path =
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "lint_style: %s\n" msg;
+      exit 2
+  in
+  let len = String.length text in
+  if len = 0 then ()
+  else begin
+    if text.[len - 1] <> '\n' then report path 1 "no final newline";
+    if len >= 2 && text.[len - 1] = '\n' && text.[len - 2] = '\n' then
+      report path 1 "trailing blank line at end of file";
+    let line = ref 1 in
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '\t' -> report path !line "tab character"
+        | '\r' -> report path !line "CR line ending"
+        | '\n' ->
+            let width = i - !start in
+            if width > max_cols then
+              report path !line
+                (Printf.sprintf "line is %d columns (max %d)" width
+                   max_cols);
+            if i > !start && (text.[i - 1] = ' ' || text.[i - 1] = '\t')
+            then report path !line "trailing whitespace";
+            incr line;
+            start := i + 1
+        | _ -> ())
+      text
+  end
+
+let tracked_sources () =
+  let ic = Unix.open_process_in "git ls-files '*.ml' '*.mli'" in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let files = read [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> files
+  | _ ->
+      prerr_endline "lint_style: git ls-files failed";
+      exit 2
+
+let () =
+  let files =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> tracked_sources ()
+    | files -> files
+  in
+  List.iter lint files;
+  if !violations > 0 then begin
+    Printf.eprintf "lint_style: %d violation(s) in %d file(s) checked\n"
+      !violations (List.length files);
+    exit 1
+  end
+  else Printf.printf "lint_style: %d files clean\n" (List.length files)
