@@ -20,9 +20,21 @@
 
    Workloads present only in the current file are reported but do not
    fail the gate (adding coverage is not a regression). Exit code 1 on
-   any violation. *)
+   any violation.
+
+   The serve workloads additionally report alloc_minor_words_per_query
+   (docs/OBSERVABILITY.md). It is gated with a band rather than exactly
+   — minor-heap traffic shifts by a handful of words across compiler
+   and runtime versions — and only when both files were produced at the
+   same top-level jobs count: Gc.minor_words is per-domain, so once the
+   serve fan-out hands tiles to worker domains the dispatching domain's
+   count no longer covers the whole query. *)
 
 let tolerance = 0.10
+
+(* absolute slack for the alloc band: 10% of a near-zero baseline would
+   gate tighter than the measurement is stable *)
+let alloc_floor = 128.
 
 let default_baseline = "bench/baseline.json"
 let default_current = "BENCH_smoke.json"
@@ -58,8 +70,18 @@ let () =
         Printf.eprintf "usage: check_regression [BASELINE] [CURRENT]\n";
         exit 2
   in
-  let baseline = workloads (read_json baseline_path) in
-  let current = workloads (read_json current_path) in
+  let bdoc = read_json baseline_path in
+  let cdoc = read_json current_path in
+  let baseline = workloads bdoc in
+  let current = workloads cdoc in
+  let doc_jobs doc =
+    Option.map Instrument.Json.get_int (Instrument.Json.member_opt "jobs" doc)
+  in
+  let jobs_match =
+    match (doc_jobs bdoc, doc_jobs cdoc) with
+    | Some b, Some c -> b = c
+    | _ -> false
+  in
   let failures = ref 0 in
   let check name what ok detail =
     Printf.printf "%-24s %-12s %s  %s\n" name what
@@ -131,7 +153,33 @@ let () =
                     (Printf.sprintf
                        "baseline %.6f, current %.6f (exact match required)"
                        b c))
-            [ "batch_fill" ])
+            [ "batch_fill" ];
+          (* GC-pressure gate: banded, not exact, and only when the two
+             runs used the same jobs count (see the header comment) *)
+          (match
+             Instrument.Json.member_opt "alloc_minor_words_per_query" base
+           with
+          | None -> ()
+          | Some bj when jobs_match ->
+              let b = Instrument.Json.get_float bj in
+              let c =
+                match
+                  Instrument.Json.member_opt "alloc_minor_words_per_query"
+                    cur
+                with
+                | Some cj -> Instrument.Json.get_float cj
+                | None -> nan
+              in
+              let band = Float.max alloc_floor (tolerance *. Float.abs b) in
+              check name "alloc_w/q"
+                (Float.abs (c -. b) <= band)
+                (Printf.sprintf
+                   "baseline %.1f, current %.1f words/query (band +/-%.1f)"
+                   b c band)
+          | Some _ ->
+              Printf.printf
+                "%-24s %-12s note  jobs counts differ; alloc gate skipped\n"
+                name "alloc_w/q"))
     baseline;
   List.iter
     (fun (name, _) ->

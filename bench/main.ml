@@ -711,12 +711,13 @@ let smoke ?json ?jobs ?(precompile = true) () =
   in
   Printf.printf
     "serve-hdc-32x32-base: %d batches, %d queries, latency %s, energy %s \
-     (writes %s, once), accuracy %.4f\n"
+     (writes %s, once), accuracy %.4f, GC %.0f minor words/query (steady \
+     state)\n"
     serve_stats.Serve.Session.batches serve_stats.queries_served
     (C4cam.Report.si_time serve_stats.sim_latency_s)
     (C4cam.Report.si_energy serve_stats.sim_energy_j)
     (C4cam.Report.si_energy serve_stats.write_energy_j)
-    serve_accuracy;
+    serve_accuracy serve_stats.alloc_minor_words_per_query;
   (* The concurrent-server workload: the same 64 queries again, now as 8
      clients x 8 single-row requests through the micro-batching
      scheduler (batch capacity 16 rows). Everything is enqueued while
@@ -855,6 +856,11 @@ let smoke ?json ?jobs ?(precompile = true) () =
                    0 st.ops_executed) );
             ("batches", Instrument.Json.Int st.batches);
             ("queries_per_s", Instrument.Json.Float st.queries_per_s);
+            (* deterministic only at jobs=1, where the dispatching
+               domain does all the allocating; check_regression gates
+               it when the jobs values match the baseline's *)
+            ( "alloc_minor_words_per_query",
+              Instrument.Json.Float st.alloc_minor_words_per_query );
           ]
       in
       (* The concurrent-server workload: the scheduler's coalescing
@@ -906,6 +912,8 @@ let smoke ?json ?jobs ?(precompile = true) () =
             ("queue_hwm", Instrument.Json.Int st.Server.queue_hwm);
             ("lat_p50_s", Instrument.Json.Float st.Server.lat_p50_s);
             ("lat_p99_s", Instrument.Json.Float st.Server.lat_p99_s);
+            ( "alloc_minor_words_per_query",
+              Instrument.Json.Float ss.alloc_minor_words_per_query );
           ]
       in
       let doc =
@@ -1063,6 +1071,47 @@ let micro () =
                    ("generic", `Generic);
                  ])
              [ 32; 64; 128 ]);
+        (* GC pressure of the zero-allocation hot path: the
+           minor-words column is the headline number here — the
+           flat-storage kernels and scratch arenas exist to hold it
+           near zero in steady state (docs/KERNELS.md). One leg
+           re-searches a subarray whose result matrix lives in the
+           arena; one serves steady-state session batches. *)
+        Test.make_grouped ~name:"alloc_pressure"
+          [
+            (let rows = 512 and cols = 64 and q = 32 in
+             let rng = Workloads.Prng.create 7001 in
+             let mk n =
+               Array.init n (fun _ ->
+                   Array.init cols (fun _ ->
+                       float_of_int (Workloads.Prng.int rng 2)))
+             in
+             let sub = Camsim.Subarray.create ~rows ~cols ~bits:1 in
+             Camsim.Subarray.write sub (mk rows);
+             Camsim.Subarray.set_reuse_results sub true;
+             let queries = mk q in
+             Test.make ~name:"search_binary_steady"
+               (Staged.stage (fun () ->
+                    ignore
+                      (Camsim.Subarray.search sub ~queries ~row_offset:0
+                         ~rows ~metric:`Hamming))));
+            (let q = 8 in
+             let serve_data =
+               Workloads.Hdc.synthetic ~seed:31 ~dims:512 ~n_classes:10
+                 ~n_queries:q ~bits:1 ()
+             in
+             let session =
+               Serve.Session.create ~spec:spec32
+                 ~stored:serve_data.stored
+                 (C4cam.Kernels.hdc_dot ~q ~dims:512 ~classes:10 ~k:1)
+             in
+             (* warm up: compile + device setup happen outside the
+                measured steady state *)
+             ignore (Serve.Session.query session serve_data.queries);
+             Test.make ~name:"serve_batch_steady"
+               (Staged.stage (fun () ->
+                    ignore (Serve.Session.query session serve_data.queries))));
+          ];
         (* the closure-compiled engine vs the tree-walking reference on
            pure scf loop nests: same module, same simulated result, only
            the dispatch machinery differs (docs/INTERPRETER.md). The

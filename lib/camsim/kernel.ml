@@ -8,7 +8,11 @@ let cls_to_string = function
 let nwords_for cols = (cols + 15) / 16
 let bwords_for cols = (cols + 63) / 64
 
-let nibble_packable v = Float.is_integer v && v >= 0. && v < 16.
+(* intrinsics only ([int_of_float] is "%intoffloat"): a cross-module
+   [Float.is_integer] call would box its argument on every cell of the
+   pack hot loop *)
+let nibble_packable v =
+  v >= 0. && v < 16. && float_of_int (int_of_float v) = v
 
 let pack_nibble ~cols values =
   if Array.length values <> cols then None
@@ -119,5 +123,133 @@ let hamming_nibble_threshold a b ~words ~threshold =
     else
       let x = Int64.logxor (Array.unsafe_get a w) (Array.unsafe_get b w) in
       go (w + 1) (if x = 0L then d else d + mismatch_nibbles64 x)
+  in
+  go 0 0
+
+(* --- flat packed storage: immediate-int words --------------------------- *)
+
+(* The boxed [int64 array] kernels above are the reference; the flat
+   variants below store packed rows in one contiguous [int array] per
+   subarray so the inner loops touch only immediate values — an OCaml
+   native int is unboxed, so reads, XORs and popcounts allocate nothing
+   (Int64 intermediates and Bigarray int64 reads each box on every
+   operation without flambda). Each logical 64-cell word of the boxed
+   layout maps to a PAIR of int words carrying 32 payload bits each:
+   word [2w] holds cells [64w, 64w+31], word [2w+1] the next 32 (for
+   nibble rows, 16 nibbles per logical word split 8 + 8). Threshold
+   kernels step in logical-word pairs so their early-exit decisions —
+   and therefore the [n_kernel_early_exit] counter, which CI gates
+   exactly — land on the same boundaries as the boxed kernels. *)
+
+type flat = int array
+
+let fbwords_for cols = 2 * bwords_for cols
+let fnwords_for cols = 2 * nwords_for cols
+
+let pack_binary_at ~cols values (dst : flat) ~off =
+  Array.fill dst off (fbwords_for cols) 0;
+  Array.length values = cols
+  &&
+  let rec go j =
+    j = cols
+    ||
+    let v = Array.unsafe_get values j in
+    if v = 0. then go (j + 1)
+    else if v = 1. then begin
+      let w = off + (j lsr 5) in
+      dst.(w) <- dst.(w) lor (1 lsl (j land 31));
+      go (j + 1)
+    end
+    else false
+  in
+  go 0
+
+let pack_nibble_at ~cols values (dst : flat) ~off =
+  Array.fill dst off (fnwords_for cols) 0;
+  Array.length values = cols
+  &&
+  (* [nibble_packable] is spelled out here: without flambda the call
+     would box its float argument on every cell of the hot pack loop *)
+  let rec go j =
+    j = cols
+    ||
+    let v = Array.unsafe_get values j in
+    v >= 0. && v < 16.
+    &&
+    let n = int_of_float v in
+    float_of_int n = v
+    && begin
+         let w = off + (j lsr 3) in
+         dst.(w) <- dst.(w) lor (n lsl ((j land 7) * 4));
+         go (j + 1)
+       end
+  in
+  go 0
+
+let hamming_binary_flat (q : flat) ~qoff (rows : flat) ~roff ~iwords =
+  let d = ref 0 in
+  for w = 0 to iwords - 1 do
+    let x =
+      Array.unsafe_get q (qoff + w) lxor Array.unsafe_get rows (roff + w)
+    in
+    if x <> 0 then d := !d + pop32 x
+  done;
+  !d
+
+let mismatch_nibbles32 x =
+  Array.unsafe_get nonzero_nibbles (x land 0xFF)
+  + Array.unsafe_get nonzero_nibbles ((x lsr 8) land 0xFF)
+  + Array.unsafe_get nonzero_nibbles ((x lsr 16) land 0xFF)
+  + Array.unsafe_get nonzero_nibbles ((x lsr 24) land 0xFF)
+
+let hamming_nibble_flat (q : flat) ~qoff (rows : flat) ~roff ~iwords =
+  let d = ref 0 in
+  for w = 0 to iwords - 1 do
+    let x =
+      Array.unsafe_get q (qoff + w) lxor Array.unsafe_get rows (roff + w)
+    in
+    if x <> 0 then d := !d + mismatch_nibbles32 x
+  done;
+  !d
+
+(* Threshold results are encoded in an int instead of a tuple so a
+   threshold sweep over a row window allocates nothing: bit 0 = the row
+   matches, bit 1 = counting stopped early with logical words unread. *)
+let th_match = 1
+let th_early = 2
+
+let hamming_binary_flat_threshold (q : flat) ~qoff (rows : flat) ~roff
+    ~iwords ~threshold =
+  let lwords = iwords lsr 1 in
+  let rec go w d =
+    if float_of_int d > threshold then if w < lwords then th_early else 0
+    else if w = lwords then th_match
+    else
+      let i = 2 * w in
+      let x0 =
+        Array.unsafe_get q (qoff + i) lxor Array.unsafe_get rows (roff + i)
+      and x1 =
+        Array.unsafe_get q (qoff + i + 1)
+        lxor Array.unsafe_get rows (roff + i + 1)
+      in
+      go (w + 1) (d + pop32 x0 + pop32 x1)
+  in
+  go 0 0
+
+let hamming_nibble_flat_threshold (q : flat) ~qoff (rows : flat) ~roff
+    ~iwords ~threshold =
+  let lwords = iwords lsr 1 in
+  let rec go w d =
+    if float_of_int d > threshold then if w < lwords then th_early else 0
+    else if w = lwords then th_match
+    else
+      let i = 2 * w in
+      let x0 =
+        Array.unsafe_get q (qoff + i) lxor Array.unsafe_get rows (roff + i)
+      and x1 =
+        Array.unsafe_get q (qoff + i + 1)
+        lxor Array.unsafe_get rows (roff + i + 1)
+      in
+      go (w + 1) (d + mismatch_nibbles32 x0 + mismatch_nibbles32 x1)
   in
   go 0 0

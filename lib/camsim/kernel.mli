@@ -55,3 +55,53 @@ val hamming_nibble : int64 array -> int64 array -> words:int -> int
 val hamming_nibble_threshold :
   int64 array -> int64 array -> words:int -> threshold:float ->
   bool * bool
+
+(** {2 Flat packed storage}
+
+    Contiguous [int array] variants of the packed kernels for the
+    simulator's preallocated row storage and query arenas. An OCaml
+    native int is immediate, so — unlike [int64 array] elements or
+    Bigarray int64 reads, which box on every access without flambda —
+    these inner loops allocate nothing. Each logical 64-cell word of
+    the boxed layout maps to a pair of int words with 32 payload bits
+    each; distances are bit-for-bit identical to the boxed kernels, and
+    the threshold variants make their early-exit decisions on the same
+    logical-word boundaries (the [n_kernel_early_exit] counter is gated
+    exactly in CI). *)
+
+type flat = int array
+
+val fbwords_for : int -> int
+(** Flat int words per binary row: [2 * bwords_for cols]. *)
+
+val fnwords_for : int -> int
+(** Flat int words per nibble row: [2 * nwords_for cols]. *)
+
+val pack_binary_at : cols:int -> float array -> flat -> off:int -> bool
+(** Pack a binary row into [fbwords_for cols] words at [off] (the
+    window is zeroed first). [false] unless the row is exactly [cols]
+    wide with every value 0. or 1. — the window contents are then
+    unspecified and the caller must not mark the row packed. *)
+
+val pack_nibble_at : cols:int -> float array -> flat -> off:int -> bool
+(** Same for the nibble tier: integers in [[0, 16)], 8 per word. *)
+
+val hamming_binary_flat :
+  flat -> qoff:int -> flat -> roff:int -> iwords:int -> int
+
+val hamming_nibble_flat :
+  flat -> qoff:int -> flat -> roff:int -> iwords:int -> int
+
+val th_match : int
+(** Bit set in a flat threshold result when the row matches. *)
+
+val th_early : int
+(** Bit set when counting stopped with logical words unread. *)
+
+val hamming_binary_flat_threshold :
+  flat -> qoff:int -> flat -> roff:int -> iwords:int -> threshold:float ->
+  int
+
+val hamming_nibble_flat_threshold :
+  flat -> qoff:int -> flat -> roff:int -> iwords:int -> threshold:float ->
+  int

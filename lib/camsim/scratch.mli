@@ -1,0 +1,56 @@
+(** Per-domain scratch arenas for the simulator hot path.
+
+    One record per domain (via [Domain.DLS]), grown to the high-water
+    mark and reused across searches and batches, so steady-state
+    serving performs no per-query allocation for query packs, dispatch
+    counters, or top-k buffers (see docs/KERNELS.md). Arenas are
+    acquired on the domain that dispatches an operation; parallel row
+    tiles only write disjoint per-query slots of the captured arrays,
+    so worker domains never contend. Purely a reuse mechanism — every
+    value computed through an arena is identical to a fresh-allocation
+    run. *)
+
+type t = {
+  mutable sq_queries : float array array;
+  mutable sq_cols : int;
+  mutable nq : Kernel.flat;
+  mutable nq_has : Bytes.t;
+  mutable bq : Kernel.flat;
+  mutable bq_has : Bytes.t;
+  mutable bq_filled : bool;
+  mutable kb : int array;
+  mutable kn : int array;
+  mutable kg : int array;
+  mutable ke : int array;
+  mutable order : int array;
+  mutable sel_q : int;
+  mutable sel_k : int;
+  mutable sel_values : float array array;
+  mutable sel_indices : int array array;
+}
+
+val get : unit -> t
+(** The calling domain's arena record. *)
+
+val packs_for : cols:int -> float array array -> t
+(** Arena with [nq]/[nq_has] describing this query batch at width
+    [cols]. Keyed on the batch's physical identity plus [cols] (the
+    single-slot semantics of the former per-domain pack cache): a
+    partitioned search over T row tiles packs the batch once. The
+    binary side is filled lazily by {!ensure_binary}. *)
+
+val ensure_binary : t -> unit
+(** Fill [bq]/[bq_has] for the batch currently described by the
+    arena. *)
+
+val counters : t -> n:int -> unit
+(** Zero the first [n] slots of [kb]/[kn]/[kg]/[ke], growing them as
+    needed. *)
+
+val order_buffer : t -> n:int -> int array
+(** Scratch index buffer of at least [n] slots for top-k selection. *)
+
+val select_buffers : t -> q:int -> k:int -> float array array * int array array
+(** Top-k result arenas for a [q x k] selection, reused while the
+    geometry holds. Callers must copy rows out before the next
+    selection of the same geometry on this domain. *)

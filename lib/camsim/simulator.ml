@@ -103,6 +103,10 @@ let next_event t =
 let record t event =
   match t.trace with Some tr -> Trace.record tr event | None -> ()
 
+(* Hot-path call sites test this before building their event record, so
+   an untraced simulator (the serving default) never allocates one. *)
+let tracing t = t.trace <> None
+
 (* Stuck-at / flipped-cell injection on the write path: with probability
    [defect_rate] a binary cell stores the opposite value; a multi-bit
    cell stores a random other level. Models the unreliable scaled FeFETs
@@ -224,6 +228,9 @@ let alloc_subarray t array_id =
           Subarray.create ~rows:t.sim_spec.rows ~cols:t.sim_spec.cols
             ~bits:t.sim_spec.bits
         in
+        (* every simulator consumer copies search results at the API
+           boundary, so the subarray may reuse its result matrix *)
+        Subarray.set_reuse_results sub true;
         let id = fresh t (Sub { array_ = array_id; sub }) in
         record t (Trace.Alloc { level = "subarray"; id });
         log_event t (Ev_alloc id);
@@ -243,8 +250,8 @@ let write_cost t rows =
 let perform_write t id ~row_offset ?care data =
   let sub = subarray t id in
   Subarray.write sub ~row_offset ?care (inject_defects t data);
-  record t
-    (Trace.Write { sub = id; rows = Array.length data; row_offset });
+  if tracing t then
+    record t (Trace.Write { sub = id; rows = Array.length data; row_offset });
   let c = write_cost t (Array.length data) in
   t.sim_stats.e_write <- t.sim_stats.e_write +. c.energy;
   t.sim_stats.n_write_ops <- t.sim_stats.n_write_ops + 1;
@@ -330,6 +337,78 @@ let write_ternary t id ~row_offset ~care data =
     perform_write t id ~row_offset ~care data
   end
 
+(* [write_view] writes rows addressed by stride math over a flat
+   backing store ([data.(off + i*rs + j*cs)]) without materializing
+   them first. Off the replay path it must materialize anyway — the
+   recording log and the defect injector take row arrays — but a
+   replayed unchanged write, the steady state of a serving session,
+   compares elements straight out of the backing and allocates
+   nothing: a closure-valued view would box every float it returns. *)
+let replay_write_view t id ~row_offset ~rows ~cols data ~off ~rs ~cs =
+  match next_event t with
+  | Ev_write w
+    when w.w_id = id
+         && w.w_row_offset = row_offset
+         && Array.length w.w_data = rows ->
+      (* Element compares use [Float.compare]: like the polymorphic
+         structural compare of [replay_write] — and unlike [<>] — it
+         treats two nans as equal, so don't-care nan payloads don't
+         force a rewrite every batch. A recorded care mask means the
+         original would see [Some _ <> None] and rewrite the row, so
+         mirror that. *)
+      let row_changed i =
+        w.w_care <> None
+        ||
+        let wr = w.w_data.(i) in
+        Array.length wr <> cols
+        ||
+        let base = off + (i * rs) in
+        let rec go j =
+          j < cols
+          && (Float.compare (Array.unsafe_get wr j)
+                (Array.unsafe_get data (base + (j * cs)))
+              <> 0
+             || go (j + 1))
+        in
+        go 0
+      in
+      let materialize i len =
+        Array.init len (fun r ->
+            let base = off + ((i + r) * rs) in
+            Array.init cols (fun j -> data.(base + (j * cs))))
+      in
+      let cost = ref Energy_model.zero in
+      let i = ref 0 in
+      while !i < rows do
+        if row_changed !i then begin
+          let j = ref (!i + 1) in
+          while !j < rows && row_changed !j do incr j done;
+          let len = !j - !i in
+          let chunk = materialize !i len in
+          let c = perform_write t id ~row_offset:(row_offset + !i) chunk in
+          (* refresh the log so the next replay sees the new contents;
+             the chunk rows are fresh, so no defensive copy is needed
+             (the subarray stores cells, not the arrays) *)
+          for r = !i to !j - 1 do
+            w.w_data.(r) <- chunk.(r - !i)
+          done;
+          cost := Energy_model.add !cost c;
+          i := !j
+        end
+        else incr i
+      done;
+      !cost
+  | Ev_write _ | Ev_alloc _ -> err "serve replay diverged at a write"
+
+let write_view t id ~row_offset ~rows ~cols data ~off ~rs ~cs =
+  if serving t then
+    replay_write_view t id ~row_offset ~rows ~cols data ~off ~rs ~cs
+  else
+    write t id ~row_offset
+      (Array.init rows (fun i ->
+           let base = off + (i * rs) in
+           Array.init cols (fun j -> data.(base + (j * cs)))))
+
 let search t id ~queries ~row_offset ~rows ~kind ~metric
     ?(batch_extra = false) ?(threshold = 0.) () =
   let sub = subarray t id in
@@ -343,20 +422,21 @@ let search t id ~queries ~row_offset ~rows ~kind ~metric
            ~metric ~threshold)
   | `Exact | `Best ->
       ignore (Subarray.search ~stats sub ~queries ~row_offset ~rows ~metric));
-  record t
-    (Trace.Search
-       {
-         sub = id;
-         queries = Array.length queries;
-         rows;
-         row_offset;
-         kind =
-           (match kind with
-           | `Exact -> "exact"
-           | `Best -> "best"
-           | `Threshold -> "threshold"
-           | `Range -> "range");
-       });
+  if tracing t then
+    record t
+      (Trace.Search
+         {
+           sub = id;
+           queries = Array.length queries;
+           rows;
+           row_offset;
+           kind =
+             (match kind with
+             | `Exact -> "exact"
+             | `Best -> "best"
+             | `Threshold -> "threshold"
+             | `Range -> "range");
+         });
   let q = Array.length queries in
   let c =
     Energy_model.search t.sim_tech ~bits:t.sim_spec.bits
@@ -371,13 +451,13 @@ let search t id ~queries ~row_offset ~rows ~kind ~metric
 let read t id = Subarray.read (subarray t id)
 
 let merge t ~elems =
-  record t (Trace.Merge { elems });
+  if tracing t then record t (Trace.Merge { elems });
   let c = Energy_model.merge t.sim_tech ~elems in
   t.sim_stats.e_merge <- t.sim_stats.e_merge +. c.energy;
   c
 
 let select_best t ~dist ~k ~largest =
-  record t (Trace.Select { queries = Array.length dist; k });
+  if tracing t then record t (Trace.Select { queries = Array.length dist; k });
   let q = Array.length dist in
   let n = if q = 0 then 0 else Array.length dist.(0) in
   (* An empty distance matrix (no queries, or no candidate rows) has a
@@ -386,8 +466,12 @@ let select_best t ~dist ~k ~largest =
   if n > 0 && k > n then
     err "select_best: k=%d exceeds %d candidates" k n;
   let k = if n = 0 then 0 else k in
-  let values = Array.make_matrix q k 0. in
-  let indices = Array.make_matrix q k 0 in
+  (* result matrices and the selection-order buffer come from the
+     domain's arena: callers copy what they keep (the interpreters wrap
+     results into fresh buffers at the cam.select boundary) *)
+  let sc = Scratch.get () in
+  let values, indices = Scratch.select_buffers sc ~q ~k in
+  let order = Scratch.order_buffer sc ~n:k in
   for qi = 0 to q - 1 do
     let row = dist.(qi) in
     let cmp a b =
@@ -395,10 +479,12 @@ let select_best t ~dist ~k ~largest =
       let c = if largest then compare vb va else compare va vb in
       if c <> 0 then c else compare a b
     in
-    let order = Topk.select ~n ~k ~cmp in
+    Topk.select_into ~buf:order ~n ~k ~cmp;
+    let vrow = values.(qi) and irow = indices.(qi) in
     for j = 0 to k - 1 do
-      values.(qi).(j) <- row.(order.(j));
-      indices.(qi).(j) <- order.(j)
+      let o = Array.unsafe_get order j in
+      Array.unsafe_set vrow j (Array.unsafe_get row o);
+      Array.unsafe_set irow j o
     done
   done;
   let c =

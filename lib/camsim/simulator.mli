@@ -86,6 +86,21 @@ val write_ternary :
   Energy_model.cost
 (** TCAM write with explicit don't-care mask. *)
 
+val write_view :
+  t -> id -> row_offset:int -> rows:int -> cols:int -> float array ->
+  off:int -> rs:int -> cs:int -> Energy_model.cost
+(** [write_view t id ~row_offset ~rows ~cols data ~off ~rs ~cs] is
+    {!write} with the payload addressed by stride math — element
+    [(i, j)] lives at [data.(off + i*rs + j*cs)] — instead of a
+    materialized matrix. Identical cost and replay semantics; the
+    difference is allocation: a replayed write whose rows are unchanged
+    (the steady state of a serving session, where [data] is an
+    interpreter buffer's backing store) compares in place and allocates
+    nothing, and changed row runs are materialized only as they are
+    rewritten. Raw strides rather than a view closure because a
+    closure-valued [int -> int -> float] boxes every element it
+    returns. *)
+
 val search :
   t ->
   id ->
@@ -118,4 +133,9 @@ val select_best :
     software references. An empty distance matrix (zero queries or
     zero candidate columns) yields empty per-query results even when
     [k > 0]; only a non-empty matrix with [k] exceeding the candidate
-    count raises. *)
+    count raises.
+
+    The returned matrices live in a per-domain arena and are
+    overwritten by the next same-geometry call on this domain: copy
+    what you keep (every interpreter wraps them into fresh result
+    buffers at the cam.select boundary). *)

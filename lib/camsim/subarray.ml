@@ -1,19 +1,28 @@
-type cell =
-  | Value of float
-  | Dont_care
-  | Range of float * float
+(* Cell kinds of the flat storage, one byte per cell. *)
+let k_value = '\000'
+let k_dont_care = '\001'
+let k_range = '\002'
 
 type t = {
   n_rows : int;
   n_cols : int;
   bits : int;
-  cells : cell array array; (* rows x cols *)
-  (* Per-row packed payloads for the Hamming fast paths: binary rows
-     (all cells in {0,1}) pack 64 cells per word, nibble rows (integer
-     cells in [0,16)) pack 16 cells per word; [None] when the row holds
-     don't-cares, ranges, or out-of-range values. *)
-  npacked : int64 array option array;
-  bpacked : int64 array option array;
+  (* Flat cell storage: one byte of cell kind plus the value (or range
+     low) and range high per cell, indexed [row * n_cols + col]. Float
+     arrays are unboxed, so the scalar kernels below read and compare
+     without allocating. *)
+  ck : Bytes.t;
+  clo : float array;
+  chi : float array;
+  (* Flat packed payloads for the Hamming fast paths, [fbw]/[fnw]
+     immediate int words per row (see Kernel): binary rows (all cells
+     in {0,1}) and nibble rows (integer cells in [0,16)). A row's
+     window is only meaningful when its class says so — binary rows
+     keep both packs, nibble rows the nibble pack. *)
+  fbw : int;
+  fnw : int;
+  bpack : Kernel.flat;
+  npack : Kernel.flat;
   (* Kernel class per row plus summary counts, maintained at write
      time, so a search classifies a whole row window in O(rows) — O(1)
      for uniform subarrays — and dispatches one kernel per window
@@ -27,27 +36,46 @@ type t = {
      produce byte-identical results. *)
   mutable kernel_cap : [ `Binary | `Nibble | `Generic ];
   mutable last : float array array option;
+  (* Result-matrix arena: when [reuse_results] is on (the simulator
+     enables it — every consumer above copies at the API boundary) a
+     search with the same (queries, rows) geometry overwrites the
+     previous matrix instead of allocating a fresh one. *)
+  mutable reuse_results : bool;
+  mutable res : float array array;
+  mutable res_q : int;
+  mutable res_rows : int;
 }
 
 let create ~rows ~cols ~bits =
   if rows < 1 || cols < 1 then invalid_arg "Subarray.create: empty geometry";
+  let fbw = Kernel.fbwords_for cols and fnw = Kernel.fnwords_for cols in
   {
     n_rows = rows;
     n_cols = cols;
     bits;
-    cells = Array.init rows (fun _ -> Array.make cols (Value 0.));
-    npacked = Array.make rows None;
-    bpacked = Array.make rows None;
+    ck = Bytes.make (rows * cols) k_value;
+    clo = Array.make (rows * cols) 0.;
+    chi = Array.make (rows * cols) 0.;
+    fbw;
+    fnw;
+    bpack = Array.make (rows * fbw) 0;
+    npack = Array.make (rows * fnw) 0;
     classes = Array.make rows Kernel.Generic;
     n_class_binary = 0;
     n_class_nibble = 0;
     n_class_generic = rows;
     kernel_cap = `Binary;
     last = None;
+    reuse_results = false;
+    res = [||];
+    res_q = -1;
+    res_rows = -1;
   }
 
 let rows t = t.n_rows
 let cols t = t.n_cols
+let set_reuse_results t on = t.reuse_results <- on
+
 let with_kernel_cap t cap f =
   let prev = t.kernel_cap in
   t.kernel_cap <- cap;
@@ -58,15 +86,7 @@ let class_counts t =
 
 (* --- row classification ------------------------------------------------ *)
 
-let set_row_packing t r ~nibble ~binary =
-  t.npacked.(r) <- nibble;
-  t.bpacked.(r) <- binary;
-  let cls =
-    match (binary, nibble) with
-    | Some _, _ -> Kernel.Binary
-    | None, Some _ -> Kernel.Nibble
-    | None, None -> Kernel.Generic
-  in
+let set_row_class t r cls =
   let old = t.classes.(r) in
   if old <> cls then begin
     (match old with
@@ -125,29 +145,31 @@ let write t ?(row_offset = 0) ?care data =
       if Array.length row > t.n_cols then
         invalid_arg "Subarray.write: row wider than the subarray";
       let r = row_offset + i in
-      let cr = t.cells.(r) in
+      let base = r * t.n_cols in
       let all_care = ref true in
       Array.iteri
         (fun j v ->
-          let c =
-            match care with
-            | Some m when not m.(i).(j) ->
-                all_care := false;
-                Dont_care
-            | _ -> Value v
-          in
-          cr.(j) <- c)
+          match care with
+          | Some m when not m.(i).(j) ->
+              all_care := false;
+              Bytes.unsafe_set t.ck (base + j) k_dont_care
+          | _ ->
+              Bytes.unsafe_set t.ck (base + j) k_value;
+              Array.unsafe_set t.clo (base + j) v)
         row;
-      let nibble =
-        if !all_care then Kernel.pack_nibble ~cols:t.n_cols row else None
-      in
       (* binary-packable rows are a subset of nibble-packable ones *)
-      let binary =
-        match nibble with
-        | Some _ -> Kernel.pack_binary ~cols:t.n_cols row
-        | None -> None
+      let nibble =
+        !all_care
+        && Kernel.pack_nibble_at ~cols:t.n_cols row t.npack ~off:(r * t.fnw)
       in
-      set_row_packing t r ~nibble ~binary)
+      let binary =
+        nibble
+        && Kernel.pack_binary_at ~cols:t.n_cols row t.bpack ~off:(r * t.fbw)
+      in
+      set_row_class t r
+        (if binary then Kernel.Binary
+         else if nibble then Kernel.Nibble
+         else Kernel.Generic))
     data
 
 let write_range t ~row_offset ~lo ~hi =
@@ -161,137 +183,125 @@ let write_range t ~row_offset ~lo ~hi =
       if Array.length lo_row <> Array.length hi_row then
         invalid_arg "Subarray.write_range: lo/hi width mismatch";
       let r = row_offset + i in
+      let base = r * t.n_cols in
       Array.iteri
-        (fun j l -> t.cells.(r).(j) <- Range (l, hi_row.(j)))
+        (fun j l ->
+          Bytes.set t.ck (base + j) k_range;
+          t.clo.(base + j) <- l;
+          t.chi.(base + j) <- hi_row.(j))
         lo_row;
-      set_row_packing t r ~nibble:None ~binary:None)
+      set_row_class t r Kernel.Generic)
     lo
 
 let read_row t r =
   if r < 0 || r >= t.n_rows then invalid_arg "Subarray.read_row";
-  Array.map
-    (function
-      | Value v -> v
-      | Dont_care -> Float.nan
-      | Range (lo, _) -> lo)
-    t.cells.(r)
+  let base = r * t.n_cols in
+  Array.init t.n_cols (fun j ->
+      match Bytes.unsafe_get t.ck (base + j) with
+      | c when c = k_dont_care -> Float.nan
+      | _ -> t.clo.(base + j))
 
 (* --- scalar (generic) row kernels -------------------------------------- *)
 
-let hamming_row cells query width =
+(* All scalar kernels walk the flat cell storage from [base]; reads,
+   float compares and the int/float accumulators allocate nothing. *)
+
+let hamming_row t ~base query width =
+  let ck = t.ck and clo = t.clo and chi = t.chi in
   let d = ref 0 in
   for j = 0 to width - 1 do
-    match Array.unsafe_get cells j with
-    | Value v -> if v <> Array.unsafe_get query j then incr d
-    | Dont_care -> ()
-    | Range (lo, hi) ->
+    match Bytes.unsafe_get ck (base + j) with
+    | '\000' ->
+        if Array.unsafe_get clo (base + j) <> Array.unsafe_get query j then
+          incr d
+    | '\001' -> ()
+    | _ ->
         let q = Array.unsafe_get query j in
-        if q < lo || q > hi then incr d
+        if q < Array.unsafe_get clo (base + j)
+           || q > Array.unsafe_get chi (base + j)
+        then incr d
   done;
   float_of_int !d
 
-let euclidean_row cells query width =
+let euclidean_row t ~base query width =
+  let ck = t.ck and clo = t.clo and chi = t.chi in
   let d = ref 0. in
   for j = 0 to width - 1 do
-    match Array.unsafe_get cells j with
-    | Value v ->
-        let diff = v -. Array.unsafe_get query j in
+    match Bytes.unsafe_get ck (base + j) with
+    | '\000' ->
+        let diff =
+          Array.unsafe_get clo (base + j) -. Array.unsafe_get query j
+        in
         d := !d +. (diff *. diff)
-    | Dont_care -> ()
-    | Range (lo, hi) ->
+    | '\001' -> ()
+    | _ ->
         let q = Array.unsafe_get query j in
+        let lo = Array.unsafe_get clo (base + j) in
         if q < lo then d := !d +. ((lo -. q) *. (lo -. q))
-        else if q > hi then d := !d +. ((q -. hi) *. (q -. hi))
+        else begin
+          let hi = Array.unsafe_get chi (base + j) in
+          if q > hi then d := !d +. ((q -. hi) *. (q -. hi))
+        end
   done;
   !d
 
 (* Threshold variants: stop as soon as the running count/sum exceeds
    the threshold — both accumulators only grow (float addition of
    non-negative terms is monotone under rounding), so the match outcome
-   is already decided. [early] reports whether cells were skipped. *)
-let hamming_row_threshold cells query width ~threshold =
+   is already decided. Results use the Kernel.th_* bit encoding (match,
+   early) so a threshold sweep allocates no tuples. *)
+let hamming_row_threshold t ~base query width ~threshold =
+  let ck = t.ck and clo = t.clo and chi = t.chi in
   let d = ref 0 in
-  let early = ref false in
+  let code = ref 0 in
   (try
      for j = 0 to width - 1 do
-       (match Array.unsafe_get cells j with
-       | Value v -> if v <> Array.unsafe_get query j then incr d
-       | Dont_care -> ()
-       | Range (lo, hi) ->
+       (match Bytes.unsafe_get ck (base + j) with
+       | '\000' ->
+           if Array.unsafe_get clo (base + j) <> Array.unsafe_get query j
+           then incr d
+       | '\001' -> ()
+       | _ ->
            let q = Array.unsafe_get query j in
-           if q < lo || q > hi then incr d);
+           if q < Array.unsafe_get clo (base + j)
+              || q > Array.unsafe_get chi (base + j)
+           then incr d);
        if float_of_int !d > threshold then begin
-         if j < width - 1 then early := true;
+         if j < width - 1 then code := Kernel.th_early;
          raise Exit
        end
      done
    with Exit -> ());
-  (float_of_int !d <= threshold, !early)
+  if float_of_int !d <= threshold then !code lor Kernel.th_match else !code
 
-let euclidean_row_threshold cells query width ~threshold =
+let euclidean_row_threshold t ~base query width ~threshold =
+  let ck = t.ck and clo = t.clo and chi = t.chi in
   let d = ref 0. in
-  let early = ref false in
+  let code = ref 0 in
   (try
      for j = 0 to width - 1 do
-       (match Array.unsafe_get cells j with
-       | Value v ->
-           let diff = v -. Array.unsafe_get query j in
+       (match Bytes.unsafe_get ck (base + j) with
+       | '\000' ->
+           let diff =
+             Array.unsafe_get clo (base + j) -. Array.unsafe_get query j
+           in
            d := !d +. (diff *. diff)
-       | Dont_care -> ()
-       | Range (lo, hi) ->
+       | '\001' -> ()
+       | _ ->
            let q = Array.unsafe_get query j in
+           let lo = Array.unsafe_get clo (base + j) in
            if q < lo then d := !d +. ((lo -. q) *. (lo -. q))
-           else if q > hi then d := !d +. ((q -. hi) *. (q -. hi)));
+           else begin
+             let hi = Array.unsafe_get chi (base + j) in
+             if q > hi then d := !d +. ((q -. hi) *. (q -. hi))
+           end);
        if !d > threshold then begin
-         if j < width - 1 then early := true;
+         if j < width - 1 then code := Kernel.th_early;
          raise Exit
        end
      done
    with Exit -> ());
-  (!d <= threshold, !early)
-
-(* --- query packing cache ----------------------------------------------- *)
-
-(* Single-slot, domain-local cache of packed query batches. A
-   partitioned search runs the same query batch against T row tiles;
-   keying on the physical identity of the batch (plus the width) lets
-   tiles 2..T reuse the packing from tile 1. Domain-local so worker
-   domains never race on it. Binary packs are filled on first use: a
-   batch searched against nibble windows never pays for them. *)
-type query_packs = {
-  qp_queries : float array array;
-  qp_cols : int;
-  qp_nibble : int64 array option array;
-  mutable qp_binary : int64 array option array option;
-}
-
-let pack_cache : query_packs option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
-
-let query_packs_for ~cols queries =
-  match Domain.DLS.get pack_cache with
-  | Some e when e.qp_queries == queries && e.qp_cols = cols -> e
-  | _ ->
-      let e =
-        {
-          qp_queries = queries;
-          qp_cols = cols;
-          qp_nibble = Array.map (fun q -> Kernel.pack_nibble ~cols q) queries;
-          qp_binary = None;
-        }
-      in
-      Domain.DLS.set pack_cache (Some e);
-      e
-
-let binary_packs e =
-  match e.qp_binary with
-  | Some b -> b
-  | None ->
-      let b =
-        Array.map (fun q -> Kernel.pack_binary ~cols:e.qp_cols q) e.qp_queries
-      in
-      e.qp_binary <- Some b;
-      b
+  if !d <= threshold then !code lor Kernel.th_match else !code
 
 (* --- searches ---------------------------------------------------------- *)
 
@@ -303,24 +313,24 @@ let parallel_threshold = 256
    sweeps one block at a time so its packed words stay hot. *)
 let row_block = 128
 
-let extract_packed packed ~row_offset ~rows =
-  Array.init rows (fun i ->
-      match Array.unsafe_get packed (row_offset + i) with
-      | Some w -> w
-      | None -> assert false)
-
 (* Fold the per-query dispatch tallies into the stats ledger after the
    join (per-query slots, so parallel tiles never contend and the
    totals are identical for any jobs value). *)
-let fold_counters stats ~kb ~kn ~kg ~ke =
+let fold_counters stats (sc : Scratch.t) ~n =
   match stats with
   | None -> ()
   | Some (s : Stats.t) ->
-      let sum = Array.fold_left ( + ) 0 in
-      s.n_kernel_binary <- s.n_kernel_binary + sum kb;
-      s.n_kernel_nibble <- s.n_kernel_nibble + sum kn;
-      s.n_kernel_generic <- s.n_kernel_generic + sum kg;
-      s.n_kernel_early_exit <- s.n_kernel_early_exit + sum ke
+      let sum a =
+        let acc = ref 0 in
+        for i = 0 to n - 1 do
+          acc := !acc + Array.unsafe_get a i
+        done;
+        !acc
+      in
+      s.n_kernel_binary <- s.n_kernel_binary + sum sc.Scratch.kb;
+      s.n_kernel_nibble <- s.n_kernel_nibble + sum sc.Scratch.kn;
+      s.n_kernel_generic <- s.n_kernel_generic + sum sc.Scratch.kg;
+      s.n_kernel_early_exit <- s.n_kernel_early_exit + sum sc.Scratch.ke
 
 (* Run [fill_tile qlo qhi] over the query batch, chunked into query
    tiles across the ambient pool when the batch is big enough. Tile
@@ -343,138 +353,151 @@ let check_queries t queries =
         invalid_arg "Subarray.search: query wider than the subarray")
     queries
 
-(* Classify the window and pack the queries. Returns the capped window
-   class and per-query binary/nibble packs ([None] entries when the
-   tier is capped off, the metric is not Hamming, or the query is not
-   packable). All packing happens before the parallel region. *)
+(* The result matrix: a fresh allocation normally; the arena when the
+   simulator turned on reuse and the geometry matches. Every slot is
+   overwritten by the fill, so no zeroing is needed. *)
+let acquire_results t ~q_count ~rows =
+  if t.reuse_results && t.res_q = q_count && t.res_rows = rows then t.res
+  else begin
+    let m = Array.init q_count (fun _ -> Array.make rows 0.) in
+    if t.reuse_results then begin
+      t.res <- m;
+      t.res_q <- q_count;
+      t.res_rows <- rows
+    end;
+    m
+  end
+
+(* Classify the window and pack the queries into the per-domain arena.
+   [None] when every row must take the scalar path (non-Hamming metric
+   or a [`Generic] cap); otherwise the capped window class, the arena
+   holding the packs, and whether the binary tier may be used. All
+   packing happens before the parallel region. *)
 let classify t ~queries ~row_offset ~rows ~metric =
-  let q_count = Array.length queries in
-  let none () = Array.make q_count None in
   let cap = t.kernel_cap in
-  if metric <> `Hamming || cap = `Generic then (Kernel.Generic, none (), none ())
+  if metric <> `Hamming || cap = `Generic then None
   else begin
     let wcls = cap_class cap (window_class t ~row_offset ~rows) in
-    let packs = query_packs_for ~cols:t.n_cols queries in
-    let qn = packs.qp_nibble in
-    let qb =
-      if
-        cap = `Binary
-        && (wcls = Kernel.Binary
-           || (wcls = Kernel.Generic && t.n_class_binary > 0))
-      then binary_packs packs
-      else none ()
+    let packs = Scratch.packs_for ~cols:t.n_cols queries in
+    let use_b =
+      cap = `Binary
+      && (wcls = Kernel.Binary
+         || (wcls = Kernel.Generic && t.n_class_binary > 0))
     in
-    (wcls, qb, qn)
+    if use_b then Scratch.ensure_binary packs;
+    Some (wcls, packs, use_b)
   end
 
 let distances ?stats t ~queries ~row_offset ~rows ~metric =
   check_window t ~row_offset ~rows;
   check_queries t queries;
   let q_count = Array.length queries in
-  let wcls, qb, qn = classify t ~queries ~row_offset ~rows ~metric in
-  let bw = Kernel.bwords_for t.n_cols and nw = Kernel.nwords_for t.n_cols in
-  let brows =
-    if wcls = Kernel.Binary then extract_packed t.bpacked ~row_offset ~rows
-    else [||]
-  in
-  let need_nrows =
-    match wcls with
-    | Kernel.Nibble -> true
-    | Kernel.Binary ->
-        let need = ref false in
-        for qi = 0 to q_count - 1 do
-          if qb.(qi) = None && qn.(qi) <> None then need := true
-        done;
-        !need
-    | Kernel.Generic -> false
-  in
-  let nrows =
-    if need_nrows then extract_packed t.npacked ~row_offset ~rows else [||]
-  in
-  let kb = Array.make q_count 0
-  and kn = Array.make q_count 0
-  and kg = Array.make q_count 0 in
-  let result = Array.make q_count [||] in
+  let cls = classify t ~queries ~row_offset ~rows ~metric in
+  let sc = Scratch.get () in
+  Scratch.counters sc ~n:q_count;
+  let kb = sc.Scratch.kb and kn = sc.Scratch.kn and kg = sc.Scratch.kg in
+  let result = acquire_results t ~q_count ~rows in
+  let fbw = t.fbw and fnw = t.fnw in
   let fill_tile qlo qhi =
-    for qi = qlo to qhi - 1 do
-      result.(qi) <- Array.make rows 0.
-    done;
-    match wcls with
-    | Kernel.Binary | Kernel.Nibble ->
+    match cls with
+    | Some (((Kernel.Binary | Kernel.Nibble) as wcls), packs, use_b) ->
         (* one whole-window kernel per query, cache-blocked over rows *)
         let b = ref 0 in
         while !b < rows do
           let hi = min rows (!b + row_block) in
           for qi = qlo to qhi - 1 do
             let out = result.(qi) in
-            match qb.(qi) with
-            | Some pq ->
-                kb.(qi) <- kb.(qi) + (hi - !b);
-                for i = !b to hi - 1 do
-                  Array.unsafe_set out i
-                    (float_of_int
-                       (Kernel.hamming_binary pq (Array.unsafe_get brows i)
-                          ~words:bw))
-                done
-            | None -> (
-                match qn.(qi) with
-                | Some pq ->
-                    kn.(qi) <- kn.(qi) + (hi - !b);
-                    for i = !b to hi - 1 do
-                      Array.unsafe_set out i
-                        (float_of_int
-                           (Kernel.hamming_nibble pq
-                              (Array.unsafe_get nrows i) ~words:nw))
-                    done
-                | None ->
-                    (* partial-width or unpackable query *)
-                    kg.(qi) <- kg.(qi) + (hi - !b);
-                    let query = queries.(qi) in
-                    let width = Array.length query in
-                    for i = !b to hi - 1 do
-                      out.(i) <-
-                        hamming_row t.cells.(row_offset + i) query width
-                    done)
+            if
+              wcls = Kernel.Binary && use_b
+              && Bytes.unsafe_get packs.Scratch.bq_has qi = '\001'
+            then begin
+              kb.(qi) <- kb.(qi) + (hi - !b);
+              let pq = packs.Scratch.bq and qoff = qi * fbw in
+              for i = !b to hi - 1 do
+                Array.unsafe_set out i
+                  (float_of_int
+                     (Kernel.hamming_binary_flat pq ~qoff t.bpack
+                        ~roff:((row_offset + i) * fbw) ~iwords:fbw))
+              done
+            end
+            else if Bytes.unsafe_get packs.Scratch.nq_has qi = '\001' then begin
+              kn.(qi) <- kn.(qi) + (hi - !b);
+              let pq = packs.Scratch.nq and qoff = qi * fnw in
+              for i = !b to hi - 1 do
+                Array.unsafe_set out i
+                  (float_of_int
+                     (Kernel.hamming_nibble_flat pq ~qoff t.npack
+                        ~roff:((row_offset + i) * fnw) ~iwords:fnw))
+              done
+            end
+            else begin
+              (* partial-width or unpackable query *)
+              kg.(qi) <- kg.(qi) + (hi - !b);
+              let query = queries.(qi) in
+              let width = Array.length query in
+              for i = !b to hi - 1 do
+                out.(i) <-
+                  hamming_row t ~base:((row_offset + i) * t.n_cols) query
+                    width
+              done
+            end
           done;
           b := hi
         done
-    | Kernel.Generic ->
-        (* mixed window (or Euclidean): dispatch per row, packed rows
-           still take their kernels when the query packs allow *)
+    | Some (Kernel.Generic, packs, use_b) ->
+        (* mixed window: dispatch per row, packed rows still take their
+           kernels when the query packs allow *)
         for qi = qlo to qhi - 1 do
           let query = queries.(qi) in
           let width = Array.length query in
           let out = result.(qi) in
+          let has_bq =
+            use_b && Bytes.unsafe_get packs.Scratch.bq_has qi = '\001'
+          in
+          let has_nq = Bytes.unsafe_get packs.Scratch.nq_has qi = '\001' in
+          for i = 0 to rows - 1 do
+            let r = row_offset + i in
+            out.(i) <-
+              (match Array.unsafe_get t.classes r with
+              | Kernel.Binary when has_bq ->
+                  kb.(qi) <- kb.(qi) + 1;
+                  float_of_int
+                    (Kernel.hamming_binary_flat packs.Scratch.bq
+                       ~qoff:(qi * fbw) t.bpack ~roff:(r * fbw) ~iwords:fbw)
+              | (Kernel.Binary | Kernel.Nibble) when has_nq ->
+                  kn.(qi) <- kn.(qi) + 1;
+                  float_of_int
+                    (Kernel.hamming_nibble_flat packs.Scratch.nq
+                       ~qoff:(qi * fnw) t.npack ~roff:(r * fnw) ~iwords:fnw)
+              | _ ->
+                  kg.(qi) <- kg.(qi) + 1;
+                  hamming_row t ~base:(r * t.n_cols) query width)
+          done
+        done
+    | None ->
+        (* scalar everything: Euclidean, or a [`Generic] cap *)
+        for qi = qlo to qhi - 1 do
+          let query = queries.(qi) in
+          let width = Array.length query in
+          let out = result.(qi) in
+          kg.(qi) <- kg.(qi) + rows;
           match metric with
           | `Euclidean ->
-              kg.(qi) <- kg.(qi) + rows;
               for i = 0 to rows - 1 do
                 out.(i) <-
-                  euclidean_row t.cells.(row_offset + i) query width
+                  euclidean_row t ~base:((row_offset + i) * t.n_cols) query
+                    width
               done
           | `Hamming ->
-              let pqb = qb.(qi) and pqn = qn.(qi) in
               for i = 0 to rows - 1 do
-                let r = row_offset + i in
                 out.(i) <-
-                  (match (Array.unsafe_get t.bpacked r, pqb) with
-                  | Some br, Some pq ->
-                      kb.(qi) <- kb.(qi) + 1;
-                      float_of_int (Kernel.hamming_binary pq br ~words:bw)
-                  | _ -> (
-                      match (Array.unsafe_get t.npacked r, pqn) with
-                      | Some nr, Some pq ->
-                          kn.(qi) <- kn.(qi) + 1;
-                          float_of_int
-                            (Kernel.hamming_nibble pq nr ~words:nw)
-                      | _ ->
-                          kg.(qi) <- kg.(qi) + 1;
-                          hamming_row t.cells.(r) query width))
+                  hamming_row t ~base:((row_offset + i) * t.n_cols) query
+                    width
               done
         done
   in
   dispatch_tiles ~q_count ~rows fill_tile;
-  fold_counters stats ~kb ~kn ~kg ~ke:(Array.make 0 0);
+  fold_counters stats sc ~n:q_count;
   result
 
 let search ?stats t ~queries ~row_offset ~rows ~metric =
@@ -491,70 +514,68 @@ let search_threshold ?stats t ~queries ~row_offset ~rows ~metric ~threshold =
   check_window t ~row_offset ~rows;
   check_queries t queries;
   let q_count = Array.length queries in
-  let wcls, qb, qn = classify t ~queries ~row_offset ~rows ~metric in
-  let bw = Kernel.bwords_for t.n_cols and nw = Kernel.nwords_for t.n_cols in
-  let brows =
-    if wcls = Kernel.Binary then extract_packed t.bpacked ~row_offset ~rows
-    else [||]
-  in
-  let nrows =
-    if wcls = Kernel.Nibble then extract_packed t.npacked ~row_offset ~rows
-    else [||]
-  in
-  let kb = Array.make q_count 0
-  and kn = Array.make q_count 0
-  and kg = Array.make q_count 0
-  and ke = Array.make q_count 0 in
-  let matches = Array.make q_count [||] in
+  let cls = classify t ~queries ~row_offset ~rows ~metric in
+  let sc = Scratch.get () in
+  Scratch.counters sc ~n:q_count;
+  let kb = sc.Scratch.kb
+  and kn = sc.Scratch.kn
+  and kg = sc.Scratch.kg
+  and ke = sc.Scratch.ke in
+  let matches = acquire_results t ~q_count ~rows in
+  let fbw = t.fbw and fnw = t.fnw in
   let fill_tile qlo qhi =
     for qi = qlo to qhi - 1 do
       let query = queries.(qi) in
       let width = Array.length query in
-      let out = Array.make rows 0. in
-      let store i (m, early) =
-        if early then ke.(qi) <- ke.(qi) + 1;
-        out.(i) <- (if m then 1. else 0.)
+      let out = matches.(qi) in
+      let store i code =
+        if code land Kernel.th_early <> 0 then ke.(qi) <- ke.(qi) + 1;
+        out.(i) <- (if code land Kernel.th_match <> 0 then 1. else 0.)
       in
-      (match metric with
-      | `Euclidean ->
-          kg.(qi) <- kg.(qi) + rows;
+      match cls with
+      | Some (Kernel.Binary, packs, use_b)
+        when use_b && Bytes.unsafe_get packs.Scratch.bq_has qi = '\001' ->
+          kb.(qi) <- kb.(qi) + rows;
+          let pq = packs.Scratch.bq and qoff = qi * fbw in
           for i = 0 to rows - 1 do
             store i
-              (euclidean_row_threshold t.cells.(row_offset + i) query width
-                 ~threshold)
+              (Kernel.hamming_binary_flat_threshold pq ~qoff t.bpack
+                 ~roff:((row_offset + i) * fbw) ~iwords:fbw ~threshold)
           done
-      | `Hamming -> (
-          match (wcls, qb.(qi), qn.(qi)) with
-          | Kernel.Binary, Some pq, _ ->
-              kb.(qi) <- kb.(qi) + rows;
+      | Some (Kernel.Nibble, packs, _)
+        when Bytes.unsafe_get packs.Scratch.nq_has qi = '\001' ->
+          kn.(qi) <- kn.(qi) + rows;
+          let pq = packs.Scratch.nq and qoff = qi * fnw in
+          for i = 0 to rows - 1 do
+            store i
+              (Kernel.hamming_nibble_flat_threshold pq ~qoff t.npack
+                 ~roff:((row_offset + i) * fnw) ~iwords:fnw ~threshold)
+          done
+      | _ ->
+          (* Euclidean, mixed window, partial-width or unpackable
+             query: the per-row packed kernels don't early-exit, so use
+             the scalar threshold loop throughout — counters attribute
+             these rows to the generic tier *)
+          kg.(qi) <- kg.(qi) + rows;
+          (match metric with
+          | `Euclidean ->
               for i = 0 to rows - 1 do
                 store i
-                  (Kernel.hamming_binary_threshold pq
-                     (Array.unsafe_get brows i) ~words:bw ~threshold)
+                  (euclidean_row_threshold t
+                     ~base:((row_offset + i) * t.n_cols) query width
+                     ~threshold)
               done
-          | Kernel.Nibble, _, Some pq ->
-              kn.(qi) <- kn.(qi) + rows;
+          | `Hamming ->
               for i = 0 to rows - 1 do
                 store i
-                  (Kernel.hamming_nibble_threshold pq
-                     (Array.unsafe_get nrows i) ~words:nw ~threshold)
-              done
-          | _ ->
-              (* mixed window, partial-width or unpackable query: the
-                 per-row packed kernels don't early-exit, so use the
-                 scalar threshold loop throughout — counters attribute
-                 these rows to the generic tier *)
-              kg.(qi) <- kg.(qi) + rows;
-              for i = 0 to rows - 1 do
-                store i
-                  (hamming_row_threshold t.cells.(row_offset + i) query
-                     width ~threshold)
-              done));
-      matches.(qi) <- out
+                  (hamming_row_threshold t
+                     ~base:((row_offset + i) * t.n_cols) query width
+                     ~threshold)
+              done)
     done
   in
   dispatch_tiles ~q_count ~rows fill_tile;
-  fold_counters stats ~kb ~kn ~kg ~ke;
+  fold_counters stats sc ~n:q_count;
   (* only the 0/1 match matrix is ever latched — the intermediate
      distances stay private to the kernels *)
   t.last <- Some matches;

@@ -42,6 +42,16 @@ val with_kernel_cap :
 val class_counts : t -> int * int * int
 (** [(binary, nibble, generic)] row counts of the current contents. *)
 
+val set_reuse_results : t -> bool -> unit
+(** Turn the result-matrix arena on or off (default off). When on, a
+    search whose (queries, rows) geometry matches the previous one
+    overwrites and returns the same matrix instead of allocating a
+    fresh one — callers must copy results they keep across searches.
+    {!Simulator.alloc_subarray} enables it: every simulator consumer
+    copies at the API boundary. Direct [Subarray] users that hold
+    results across searches (differential tests do) must leave it
+    off. *)
+
 val write :
   t -> ?row_offset:int -> ?care:bool array array -> float array array ->
   unit

@@ -44,3 +44,32 @@ let select ~n ~k ~cmp =
   if k = 0 then [||]
   else if 4 * k >= n then full_sort n k cmp
   else bounded n k cmp
+
+(* Allocation-free variant for the hot path: same insertion scheme as
+   [bounded], writing into the caller's buffer. [bounded] and
+   [full_sort] agree for every k under a total order (which [select]'s
+   contract already demands), so this needs no crossover case. *)
+let select_into ~buf ~n ~k ~cmp =
+  if k < 0 || k > n then
+    invalid_arg (Printf.sprintf "Topk.select_into: k=%d out of [0, %d]" k n);
+  if Array.length buf < k then invalid_arg "Topk.select_into: buffer too small";
+  let len = ref 0 in
+  for i = 0 to n - 1 do
+    if !len < k then begin
+      let j = ref !len in
+      while !j > 0 && cmp i buf.(!j - 1) < 0 do
+        buf.(!j) <- buf.(!j - 1);
+        decr j
+      done;
+      buf.(!j) <- i;
+      incr len
+    end
+    else if cmp i buf.(k - 1) < 0 then begin
+      let j = ref (k - 1) in
+      while !j > 0 && cmp i buf.(!j - 1) < 0 do
+        buf.(!j) <- buf.(!j - 1);
+        decr j
+      done;
+      buf.(!j) <- i
+    end
+  done

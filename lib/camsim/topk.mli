@@ -14,3 +14,12 @@ val select : n:int -> k:int -> cmp:(int -> int -> int) -> int array
     index itself, which guarantees this).
 
     @raise Invalid_argument unless [0 <= k <= n]. *)
+
+val select_into :
+  buf:int array -> n:int -> k:int -> cmp:(int -> int -> int) -> unit
+(** [select_into ~buf ~n ~k ~cmp] writes the same [k] indices {!select}
+    would return into [buf.(0)] .. [buf.(k-1)], allocating nothing.
+    Slots at [k] and beyond are left untouched.
+
+    @raise Invalid_argument unless [0 <= k <= n] and
+    [Array.length buf >= k]. *)

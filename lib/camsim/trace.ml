@@ -13,27 +13,30 @@ type event =
 
 type t = {
   capacity : int;
-  buffer : event option array;
+  buffer : event array;
   mutable next : int;
   mutable total : int;
 }
 
+(* Unwritten-slot filler — never observable: [events] reads exactly
+   [min total capacity] slots, all of which have been written. Storing
+   events directly instead of wrapping each slot in [option] keeps
+   [record] allocation-free for constant events. *)
+let filler = Merge { elems = 0 }
+
 let create ?(capacity = 10000) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+  { capacity; buffer = Array.make capacity filler; next = 0; total = 0 }
 
 let record t event =
-  t.buffer.(t.next) <- Some event;
+  t.buffer.(t.next) <- event;
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
 let events t =
   let n = min t.total t.capacity in
   let start = (t.next - n + t.capacity) mod t.capacity in
-  List.init n (fun i ->
-      match t.buffer.((start + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false)
+  List.init n (fun i -> t.buffer.((start + i) mod t.capacity))
 
 let total_recorded t = t.total
 

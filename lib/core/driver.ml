@@ -271,13 +271,14 @@ let fold_sim_stats profile ~latency ~energy ~ops_executed
       ops_executed;
     }
 
-let execute ?(config = Run_config.default) ~sim ?qcache c ~queries
-    ~stored_value =
+let execute ?(config = Run_config.default) ~sim ?qcache ?query_value c
+    ~queries ~stored_value =
   if Array.length queries <> c.info.q then
     fail "expected %d query rows, got %d" c.info.q (Array.length queries);
-  let args =
-    kernel_args c.info ~queries:(wrap_rows queries) ~stored:stored_value
+  let queries_value =
+    match query_value with Some v -> v | None -> wrap_rows queries
   in
+  let args = kernel_args c.info ~queries:queries_value ~stored:stored_value in
   let outcome =
     try
       Interp.Machine.run ~sim ?qcache

@@ -135,13 +135,18 @@ val wrap_rows : float array array -> Interp.Rtval.t
 
 val execute :
   ?config:Run_config.t -> sim:Camsim.Simulator.t ->
-  ?qcache:Interp.Ops.Qcache.t -> compiled ->
+  ?qcache:Interp.Ops.Qcache.t -> ?query_value:Interp.Rtval.t -> compiled ->
   queries:float array array -> stored_value:Interp.Rtval.t -> run_result
 (** One kernel execution against an existing simulator: checks the
     query-row count, orders the operands, runs the selected engine and
     decodes the results. [stored_value] is passed through untouched so
     a session can pin one buffer across batches; the stored-row count
-    is the caller's responsibility. [latency]/[energy]/[stats] reflect
+    is the caller's responsibility. [query_value], when given, is used
+    as the query operand instead of wrapping [queries] into a fresh
+    buffer — a session blits each chunk into one persistent buffer and
+    passes it here, keeping the operand's backing store (and therefore
+    the query-row cache's key) stable across batches; it must hold
+    exactly the rows of [queries]. [latency]/[energy]/[stats] reflect
     the simulator's {e cumulative} ledger, so a serving session reads
     per-batch deltas by snapshotting around the call. Does {e not} fold
     into [config.profile] — callers that want that use

@@ -37,6 +37,11 @@ type serve = {
   queries_per_s : float;
   serve_write_energy_j : float;
   artifact_cache_hit : bool;
+  alloc_minor_words_per_query : float;
+      (* GC pressure of the steady-state hot path: minor-heap words
+         allocated per query row on the dispatching domain, measured
+         over every batch after the first (setup) one; 0 until a second
+         batch has run *)
   (* the concurrent front-end (all zero for single-caller sessions) *)
   batches_coalesced : int;
   batch_fill : float;
@@ -155,6 +160,8 @@ let serve_to_json (s : serve) =
       ("queries_per_s", Json.Float s.queries_per_s);
       ("serve_write_energy_j", Json.Float s.serve_write_energy_j);
       ("artifact_cache_hit", Json.Bool s.artifact_cache_hit);
+      ( "alloc_minor_words_per_query",
+        Json.Float s.alloc_minor_words_per_query );
       ("batches_coalesced", Json.Int s.batches_coalesced);
       ("batch_fill", Json.Float s.batch_fill);
       ("queue_hwm", Json.Int s.queue_hwm);
@@ -174,6 +181,8 @@ let serve_of_json json =
       (match Json.member_opt "artifact_cache_hit" json with
       | Some j -> Json.get_bool j
       | None -> false);
+    (* absent in profiles written before the GC-pressure counter *)
+    alloc_minor_words_per_query = opt_float "alloc_minor_words_per_query" json;
     (* absent in profiles written before the concurrent server *)
     batches_coalesced = opt_int "batches_coalesced" json;
     batch_fill = opt_float "batch_fill" json;
@@ -299,6 +308,11 @@ let to_table t =
            s.queries_per_s s.serve_write_energy_j
            (if s.batches > 1 then ", amortized" else "")
            (if s.artifact_cache_hit then "cache hit" else "cache miss"));
+      if s.alloc_minor_words_per_query > 0. then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  GC pressure: %.0f minor words/query (steady state)\n"
+             s.alloc_minor_words_per_query);
       if s.batches_coalesced > 0 then
         Buffer.add_string buf
           (Printf.sprintf

@@ -61,6 +61,13 @@ type serve = {
           only the rows later replaced through [update_stored] *)
   artifact_cache_hit : bool;
       (** whether [Session.create] reused a cached compiled artifact *)
+  alloc_minor_words_per_query : float;
+      (** GC pressure of the steady-state hot path: minor-heap words
+          allocated per query row on the dispatching domain, over every
+          batch after the first (setup) one. Deterministic for a fixed
+          build at [jobs = 1] — worker-domain allocations are not
+          counted — and gated in CI (see docs/OBSERVABILITY.md); 0
+          until a second batch has run. *)
   batches_coalesced : int;
       (** micro-batches assembled by the concurrent server's scheduler
           (0 for a plain single-caller session; see [Server]) *)

@@ -857,9 +857,8 @@ and compile_op_inner cenv (op : Ir.Op.t) : cop =
       let og = use_index cenv (opnd 2) in
       fun ctx ->
         let handle = hg ctx in
-        let data = Rtval.to_rows (dg ctx) in
         let row_offset = og ctx in
-        let cost = Camsim.Simulator.write (simx ctx) handle ~row_offset data in
+        let cost = Ops.cam_write (simx ctx) handle ~row_offset (dg ctx) in
         cost.Camsim.Energy_model.latency
   | "cam.search" ->
       let hg = use_handle cenv (opnd 0) in

@@ -566,9 +566,10 @@ and exec_op st (op : Ir.Op.t) :
       (`Next, 0.)
   | "cam.write_value" ->
       let handle = Rtval.as_handle (operand st op 0) in
-      let data = Rtval.to_rows (operand st op 1) in
       let row_offset = Rtval.as_index (operand st op 2) in
-      let cost = Camsim.Simulator.write (sim st) handle ~row_offset data in
+      let cost =
+        Ops.cam_write (sim st) handle ~row_offset (operand st op 1)
+      in
       (`Next, cost.Camsim.Energy_model.latency)
   | "cam.search" ->
       let handle = Rtval.as_handle (operand st op 0) in

@@ -52,15 +52,19 @@ type outcome = {
 
 (** {2 Query-row cache}
 
-    Rows extracted from recent query operands, keyed on the {e
-    physical} runtime value. A partitioned search issues T [cam.search]
+    Rows extracted from recent query operands, keyed on the window
+    geometry over a {e physical} backing store — (backing array,
+    offset, shape, strides). A partitioned search issues T [cam.search]
     ops over the same query buffer; returning the same physical rows
     arrays lets the subarray's packed-query cache hit on tiles 2..T
-    instead of re-packing per tile. A fixed-capacity ring with
-    move-to-front on hit, so tiled searches stop at entry 0 instead of
-    walking the whole cache. The cache only affects packing work, never
-    results, so engines with different hit patterns stay
-    byte-identical. *)
+    instead of re-packing per tile, and geometry keying lets fresh view
+    boxes over a session's persistent query buffer hit across batches.
+    A write into a backing store marks its entries stale rather than
+    dropping them: the next hit refills the cached rows from the new
+    contents in place. A fixed-capacity ring with move-to-front on hit,
+    so tiled searches stop at entry 0 instead of walking the whole
+    cache. The cache only affects packing work, never results, so
+    engines with different hit patterns stay byte-identical. *)
 module Qcache : sig
   type t
 
@@ -73,17 +77,19 @@ module Qcache : sig
   val length : t -> int
 
   val position : t -> Rtval.t -> int
-  (** Logical position of the entry for this physical value, [-1] when
-      absent (front is position 0). Exposed for tests. *)
+  (** Logical position of the live entry for this value's window
+      geometry, [-1] when absent or stale (front is position 0).
+      Exposed for tests. *)
 
   val rows_cached : t -> Rtval.t -> float array array
-  (** Like [Rtval.to_rows], memoized on the physical value. Values
-      without a float-array backing (scalars, handles) bypass the
-      cache. *)
+  (** Like [Rtval.to_rows], memoized on the value's window geometry.
+      Values without a float-array backing (scalars, handles) bypass
+      the cache. *)
 
   val invalidate : t -> float array -> unit
-  (** Drop entries whose backing store is (physically) this array —
-      called after every write into a buffer. *)
+  (** Mark entries whose backing store is (physically) this array as
+      stale — called after every write into a buffer. A stale entry's
+      rows are refilled from the current contents on its next hit. *)
 end
 
 (** {2 scf.parallel analysis predicates}
@@ -141,6 +147,15 @@ val slice_t : Rtval.tensor -> offsets:int list -> sizes:int list -> Rtval.tensor
 val buffer_accumulate : string -> Rtval.buffer -> Rtval.buffer -> unit
 (** In-place elementwise accumulate of two equally-shaped rank-2
     buffers; the string names the op in failure messages. *)
+
+val cam_write :
+  Camsim.Simulator.t -> Camsim.Simulator.id -> row_offset:int -> Rtval.t ->
+  Camsim.Energy_model.cost
+(** [cam.write_value] dispatch shared by the engines: rank-2 buffers
+    and tensors go through {!Camsim.Simulator.write_view} as an element
+    view over their storage (allocation-free when a serving replay
+    finds the rows unchanged); anything else materializes rows and uses
+    the plain write. *)
 
 val scalar_of : string -> Rtval.t -> float
 (** Scalar or index operand coerced to float; fails with

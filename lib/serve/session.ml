@@ -13,6 +13,7 @@ type stats = {
   write_ops : int;
   cache : [ `Hit | `Miss ];
   ops_executed : (string * int) list;
+  alloc_minor_words_per_query : float;
 }
 
 type t = {
@@ -23,12 +24,21 @@ type t = {
   s_qcache : Interp.Ops.Qcache.t;
   s_stored : Interp.Rtval.t;  (** always a [Buffer] over [s_buf] *)
   s_buf : Interp.Rtval.buffer;
+  s_qbuf : Interp.Rtval.buffer;
+      (** persistent [q x d] query buffer; chunks are blitted in so the
+          operand's backing (and the query-row cache's key) stays
+          stable across batches *)
+  s_qval : Interp.Rtval.t;  (** always a [Buffer] over [s_qbuf] *)
   mutable s_sealed : bool;  (** device setup recorded and replayable *)
   mutable s_batches : int;
   mutable s_queries : int;
   mutable s_wall : float;
   mutable s_latency : float;  (** summed simulated latency *)
   mutable s_ops : (string * int) list;  (** cumulative, merged *)
+  mutable s_alloc_words : float;
+      (** minor words allocated inside {!query}, steady-state batches
+          only (the first batch — compile + device setup — is warm-up) *)
+  mutable s_alloc_queries : int;  (** query rows behind [s_alloc_words] *)
 }
 
 let compiled t = t.s_compiled
@@ -57,6 +67,9 @@ let create ?(config = C4cam.Driver.Run_config.default) ?artifact ~spec
      free (and [update_stored] rewrites only changed rows). *)
   Camsim.Simulator.start_recording sim;
   let buf = Interp.Rtval.buffer_of_rows stored in
+  let qbuf =
+    Interp.Rtval.fresh_buffer [ compiled.info.q; compiled.info.d ]
+  in
   {
     s_compiled = compiled;
     s_cache = cache;
@@ -65,12 +78,16 @@ let create ?(config = C4cam.Driver.Run_config.default) ?artifact ~spec
     s_qcache = Interp.Ops.Qcache.create ();
     s_stored = Interp.Rtval.Buffer buf;
     s_buf = buf;
+    s_qbuf = qbuf;
+    s_qval = Interp.Rtval.Buffer qbuf;
     s_sealed = false;
     s_batches = 0;
     s_queries = 0;
     s_wall = 0.;
     s_latency = 0.;
     s_ops = [];
+    s_alloc_words = 0.;
+    s_alloc_queries = 0;
   }
 
 let merge_counts a b =
@@ -96,6 +113,10 @@ let stats t =
     write_ops = s.n_write_ops;
     cache = t.s_cache;
     ops_executed = t.s_ops;
+    alloc_minor_words_per_query =
+      (if t.s_alloc_queries > 0 then
+         t.s_alloc_words /. float_of_int t.s_alloc_queries
+       else 0.);
   }
 
 let fold_profile t =
@@ -114,6 +135,7 @@ let fold_profile t =
           queries_per_s = st.queries_per_s;
           serve_write_energy_j = st.write_energy_j;
           artifact_cache_hit = (st.cache = `Hit);
+          alloc_minor_words_per_query = st.alloc_minor_words_per_query;
           (* a bare session has no scheduler in front of it; the server
              overwrites these with its own fold *)
           batches_coalesced = 0;
@@ -129,10 +151,33 @@ let fold_profile t =
    the setup for free, paying only for its searches. *)
 let run_chunk t chunk =
   if t.s_sealed then Camsim.Simulator.rewind t.s_sim;
+  (* Blit the chunk into the session's persistent query buffer and pass
+     that as the operand: the stable backing lets the query-row cache
+     refill its extracted rows in place instead of re-extracting per
+     batch. Rows of unexpected width (the interpreter's job to reject)
+     fall back to a fresh wrap. *)
+  let { C4cam.Driver.q; d; _ } = t.s_compiled.info in
+  let uniform =
+    Array.length chunk = q
+    &&
+    let rec go i = i = q || (Array.length chunk.(i) = d && go (i + 1)) in
+    go 0
+  in
+  let query_value =
+    if uniform then begin
+      let dst = t.s_qbuf.Interp.Rtval.b_data in
+      for i = 0 to q - 1 do
+        Array.blit chunk.(i) 0 dst (i * d) d
+      done;
+      Interp.Ops.Qcache.invalidate t.s_qcache dst;
+      Some t.s_qval
+    end
+    else None
+  in
   let r =
     try
       C4cam.Driver.execute ~config:t.s_config ~sim:t.s_sim
-        ~qcache:t.s_qcache t.s_compiled ~queries:chunk
+        ~qcache:t.s_qcache ?query_value t.s_compiled ~queries:chunk
         ~stored_value:t.s_stored
     with C4cam.Driver.Compile_error e -> raise (Serve_error e)
   in
@@ -150,6 +195,7 @@ let query t batch =
           queries"
       total q;
   let t0 = Instrument.Collect.now () in
+  let w0 = Gc.minor_words () in
   let sim_stats = Camsim.Simulator.stats t.s_sim in
   let e0 = Camsim.Stats.total_energy sim_stats in
   let n_chunks = total / q in
@@ -173,29 +219,45 @@ let query t batch =
         merge_counts acc r.ops_executed)
       [] results
   in
+  (* a single-chunk batch (the common serving shape) returns the
+     chunk's arrays directly instead of re-concatenating them *)
+  let cat f =
+    match results with
+    | [ r ] -> f r
+    | _ -> Array.concat (List.map f results)
+  in
+  let out =
+    {
+      C4cam.Driver.values = cat (fun r -> r.C4cam.Driver.values);
+      indices = cat (fun r -> r.C4cam.Driver.indices);
+      scores =
+        (match results with
+        | { C4cam.Driver.scores = Some _; _ } :: _ ->
+            Some
+              (cat (fun r ->
+                   Option.value r.C4cam.Driver.scores ~default:[||]))
+        | _ -> None);
+      latency;
+      energy;
+      power = (if latency > 0. then energy /. latency else 0.);
+      stats = sim_stats;
+      ops_executed = ops;
+    }
+  in
+  (* GC-pressure counter: minor words this call allocated on the
+     dispatching domain, steady-state batches only — the first batch
+     pays compile + device setup and is excluded as warm-up. *)
+  if t.s_batches > 0 then begin
+    t.s_alloc_words <- t.s_alloc_words +. (Gc.minor_words () -. w0);
+    t.s_alloc_queries <- t.s_alloc_queries + total
+  end;
   t.s_batches <- t.s_batches + 1;
   t.s_queries <- t.s_queries + total;
   t.s_latency <- t.s_latency +. latency;
   t.s_ops <- merge_counts t.s_ops ops;
   t.s_wall <- t.s_wall +. Float.max 0. (Instrument.Collect.now () -. t0);
   fold_profile t;
-  let cat f = Array.concat (List.map f results) in
-  {
-    C4cam.Driver.values = cat (fun r -> r.C4cam.Driver.values);
-    indices = cat (fun r -> r.C4cam.Driver.indices);
-    scores =
-      (match results with
-      | { C4cam.Driver.scores = Some _; _ } :: _ ->
-          Some
-            (cat (fun r ->
-                 Option.value r.C4cam.Driver.scores ~default:[||]))
-      | _ -> None);
-    latency;
-    energy;
-    power = (if latency > 0. then energy /. latency else 0.);
-    stats = sim_stats;
-    ops_executed = ops;
-  }
+  out
 
 let update_stored t ~row values =
   let { C4cam.Driver.n; d; _ } = t.s_compiled.info in

@@ -83,6 +83,12 @@ type stats = {
   write_ops : int;
   cache : [ `Hit | `Miss ];  (** how {!create} got the artifact *)
   ops_executed : (string * int) list;  (** cumulative, merged by name *)
+  alloc_minor_words_per_query : float;
+      (** GC pressure of the steady-state hot path: minor-heap words
+          allocated inside {!query} per query row, on the dispatching
+          domain, over every batch after the first (setup) one.
+          Deterministic for a fixed build at [jobs = 1] and gated in CI
+          (see docs/OBSERVABILITY.md); 0 until a second batch runs. *)
 }
 
 val stats : t -> stats

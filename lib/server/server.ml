@@ -76,6 +76,10 @@ and t = {
   mutable stopping : bool;
   mutable stopped : bool;
   mutable scheduler : unit Domain.t option;
+  mutable pad_buf : float array array;
+      (* scheduler-owned padded-batch spine, reused across batches (the
+         scheduler domain is the only caller of [run_batch]); holds row
+         {e pointers} only *)
   (* metrics (all under [m]) *)
   mutable n_batches : int;
   mutable rows_served : int;
@@ -146,6 +150,8 @@ let fold_profile_of_stats t (st : stats) =
           queries_per_s = st.session.queries_per_s;
           serve_write_energy_j = st.session.write_energy_j;
           artifact_cache_hit = (st.session.cache = `Hit);
+          alloc_minor_words_per_query =
+            st.session.Serve.Session.alloc_minor_words_per_query;
           batches_coalesced = st.batches_coalesced;
           batch_fill = st.batch_fill;
           queue_hwm = st.queue_hwm;
@@ -189,20 +195,32 @@ let assemble t =
   List.rev !taken
 
 (* Pad the concatenated rows up to a multiple of the kernel arity by
-   repeating the last row; padded rows are sliced away on demux. *)
+   repeating the last row; padded rows are sliced away on demux. The
+   padded spine is the scheduler-owned [pad_buf], reused while the
+   padded size holds, so steady load allocates no per-batch array. *)
 let pad_rows t rows =
   let total = Array.length rows in
   let rem = total mod t.s_q in
   if rem = 0 then (rows, 0)
-  else
+  else begin
     let pad = t.s_q - rem in
-    (Array.append rows (Array.make pad rows.(total - 1)), pad)
+    let padded = total + pad in
+    if Array.length t.pad_buf <> padded then
+      t.pad_buf <- Array.make padded [||];
+    Array.blit rows 0 t.pad_buf 0 total;
+    Array.fill t.pad_buf total pad rows.(total - 1);
+    (t.pad_buf, pad)
+  end
 
 (* ---- the scheduler domain --------------------------------------------- *)
 
 (* Run one assembled batch (lock NOT held) and resolve its tickets. *)
 let run_batch t batch_seq requests =
-  let rows = Array.concat (List.map (fun rq -> rq.rq_rows) requests) in
+  let rows =
+    match requests with
+    | [ rq ] -> rq.rq_rows
+    | _ -> Array.concat (List.map (fun rq -> rq.rq_rows) requests)
+  in
   let padded, n_pad = pad_rows t rows in
   let outcome =
     match Serve.Session.query t.s_session padded with
@@ -320,6 +338,7 @@ let create ?(config = default_config) session =
       stopping = false;
       stopped = false;
       scheduler = None;
+      pad_buf = [||];
       n_batches = 0;
       rows_served = 0;
       rows_padded = 0;

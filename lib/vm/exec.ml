@@ -127,8 +127,8 @@ let run ?sim ?(fuel = 100_000_000) (p : Isa.program) args =
         pc := next
     | Isa.Cam_write (s, data, off) ->
         charge
-          (Camsim.Simulator.write (sim ()) (handle s) ~row_offset:(idx off)
-             (Interp.Rtval.buffer_rows (buf data)));
+          (Interp.Ops.cam_write (sim ()) (handle s) ~row_offset:(idx off)
+             (Interp.Rtval.Buffer (buf data)));
         pc := next
     | Isa.Cam_search (s, q, off, params) ->
         charge
@@ -146,16 +146,7 @@ let run ?sim ?(fuel = 100_000_000) (p : Isa.program) args =
         pc := next
     | Isa.Cam_merge (d, part) ->
         let dst = buf d and part = buf part in
-        (match (dst.b_shape, part.b_shape) with
-        | [ q; r ], [ q'; r' ] when q = q' && r = r' ->
-            for i = 0 to q - 1 do
-              for j = 0 to r - 1 do
-                Interp.Rtval.buffer_set dst [ i; j ]
-                  (Interp.Rtval.buffer_get dst [ i; j ]
-                  +. Interp.Rtval.buffer_get part [ i; j ])
-              done
-            done
-        | _ -> fail "cam.merge: shape mismatch");
+        Interp.Ops.buffer_accumulate "cam.merge" dst part;
         charge
           (Camsim.Simulator.merge (sim ())
              ~elems:(Interp.Rtval.numel dst.b_shape));

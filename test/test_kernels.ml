@@ -206,6 +206,52 @@ let test_cap_differential () =
     on_caps (fun () -> S.search_range s ~queries ~row_offset ~rows:win)
   done
 
+(* Flat-storage coherence across overwrites: the packed row buffers and
+   class summary are updated in place on every write, so rewriting rows
+   with different classes mid-stream must keep every kernel tier in
+   exact agreement with the scalar reference — across jobs values, for
+   all three search flavours. *)
+let test_rewrite_differential () =
+  List.iter
+    (fun jobs ->
+      Parallel.run ~jobs @@ fun _pool ->
+      let rng = Rng.create (31337 + jobs) in
+      for trial = 0 to 7 do
+        let rng = Rng.split rng trial in
+        let rows = 4 + Rng.int rng 28 and cols = 1 + Rng.int rng 90 in
+        let s = mixed_subarray rng ~rows ~cols in
+        let queries = mixed_queries rng ~n:(2 + Rng.int rng 8) ~cols in
+        let check name f =
+          let want = S.with_kernel_cap s `Generic f in
+          check_exact (Printf.sprintf "%s jobs %d trial %d" name jobs trial)
+            want (f ())
+        in
+        let sweep () =
+          check "search" (fun () ->
+              S.search s ~queries ~row_offset:0 ~rows ~metric:`Hamming);
+          check "range" (fun () ->
+              S.search_range s ~queries ~row_offset:0 ~rows);
+          check "threshold" (fun () ->
+              S.search_threshold s ~queries ~row_offset:0 ~rows
+                ~metric:`Hamming
+                ~threshold:(float_of_int (cols / 2)))
+        in
+        sweep ();
+        (* reclassify a handful of rows in place and sweep again *)
+        for _ = 0 to 5 do
+          let r = Rng.int rng rows in
+          S.write s ~row_offset:r
+            [|
+              (match Rng.int rng 3 with
+              | 0 -> Array.init cols (fun _ -> float_of_int (Rng.int rng 2))
+              | 1 -> Array.init cols (fun _ -> float_of_int (Rng.int rng 16))
+              | _ -> Array.init cols (fun _ -> Rng.gaussian rng));
+            |]
+        done;
+        sweep ()
+      done)
+    [ 1; 4 ]
+
 (* ---- stats: dispatch counters ------------------------------------------ *)
 
 let binary_fixture ?(cols = 32) () =
@@ -302,6 +348,8 @@ let () =
         [
           Alcotest.test_case "cap differential (mixed rows)" `Quick
             test_cap_differential;
+          Alcotest.test_case "rewrite differential (reclassification)"
+            `Quick test_rewrite_differential;
           Alcotest.test_case "executors agree" `Quick test_executors_agree;
         ] );
       ( "stats",

@@ -201,6 +201,86 @@ let test_update_stored () =
   let stats = Camsim.Simulator.stats (Session.simulator session) in
   Alcotest.(check int) "unchanged rows cost nothing" 2 stats.n_write_ops
 
+(* ---- update_stored reclassification across the jobs x engine matrix ---- *)
+
+(* Replacing pinned rows with rows of a different kernel class (binary
+   -> nibble, binary -> generic float) exercises the in-place flat-pack
+   rewrite and class-summary maintenance under serve replay: every
+   (jobs, engine) combination must serve byte-identical results to a
+   fresh one-shot run over the updated rows. *)
+let test_update_reclassification_matrix () =
+  let q = 4 and dims = 64 and classes = 8 in
+  let data = hdc_data ~q ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  let nibble_row = Array.init dims (fun i -> float_of_int (i mod 16)) in
+  let float_row =
+    Array.init dims (fun i -> 0.25 +. float_of_int (i mod 3))
+  in
+  let stored' = Array.copy data.stored in
+  stored'.(1) <- nibble_row;
+  stored'.(3) <- float_row;
+  let reference =
+    Parallel.run ~jobs:1 @@ fun _ ->
+    let c = C4cam.Driver.compile ~spec src in
+    C4cam.Driver.run_cam c ~queries:data.queries ~stored:stored'
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun engine ->
+          Parallel.run ~jobs @@ fun _pool ->
+          let what =
+            Printf.sprintf "jobs %d engine %s" jobs
+              (match engine with
+              | `Compiled -> "compiled"
+              | `Treewalk -> "treewalk")
+          in
+          let session =
+            Session.create ~config:(config_for engine) ~spec
+              ~stored:data.stored src
+          in
+          ignore (Session.query session data.queries);
+          Session.update_stored session ~row:1 nibble_row;
+          Session.update_stored session ~row:3 float_row;
+          let r = Session.query session data.queries in
+          Alcotest.(check Tutil.rows_testable)
+            (what ^ ": values") reference.values r.values;
+          Alcotest.(check Tutil.int_rows_testable)
+            (what ^ ": indices") reference.indices r.indices)
+        [ `Compiled; `Treewalk ])
+    [ 1; 4 ]
+
+(* ---- steady-state GC pressure ------------------------------------------ *)
+
+(* The zero-allocation-hot-path contract: after the first (setup)
+   batch, a binary-tier serving session runs in reused flat buffers
+   and per-domain arenas, so its per-query minor-word rate stays an
+   order of magnitude under the pre-flat baseline (~52k words/query).
+   Measured at jobs = 1, where [Gc.minor_words] covers the whole
+   dispatching domain deterministically. The bound is deliberately
+   loose (2x the observed steady state) so it trips on a regression
+   that re-grows per-batch allocation, not on compiler noise. *)
+let test_steady_state_alloc () =
+  Parallel.run ~jobs:1 @@ fun _pool ->
+  let q = 8 and dims = 256 and classes = 10 and n_batches = 6 in
+  let data = hdc_data ~q:(q * n_batches) ~dims ~classes () in
+  let src = C4cam.Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  let session =
+    Session.create ~config:(config_for `Compiled) ~spec ~stored:data.stored
+      src
+  in
+  for i = 0 to n_batches - 1 do
+    ignore (Session.query session (Array.sub data.queries (i * q) q))
+  done;
+  let st = Session.stats session in
+  Alcotest.(check bool) "counter engaged" true
+    (st.alloc_minor_words_per_query > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state alloc bounded (%.0f words/query)"
+       st.alloc_minor_words_per_query)
+    true
+    (st.alloc_minor_words_per_query < 1500.)
+
 (* ---- the compiled-artifact cache --------------------------------------- *)
 
 let test_artifact_cache () =
@@ -351,6 +431,10 @@ let () =
           Alcotest.test_case "write energy charged once" `Quick
             test_write_energy_once;
           Alcotest.test_case "update_stored" `Quick test_update_stored;
+          Alcotest.test_case "update_stored reclassification matrix"
+            `Quick test_update_reclassification_matrix;
+          Alcotest.test_case "steady-state GC pressure" `Quick
+            test_steady_state_alloc;
           Alcotest.test_case "artifact cache" `Quick test_artifact_cache;
           Alcotest.test_case "artifact cache under a thundering herd"
             `Quick test_artifact_cache_race;
