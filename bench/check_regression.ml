@@ -132,8 +132,28 @@ let () =
               "subarrays"; "banks"; "search_ops"; "query_cycles";
               "write_ops"; "kernel_binary"; "kernel_nibble";
               "kernel_generic"; "kernel_early_exit"; "n_ops_executed";
-              "batches"; "batches_coalesced"; "queue_hwm";
+              "batches"; "batches_coalesced"; "queue_hwm"; "shards";
+              "rows_stored";
             ];
+          (* exact string gates: the sharded workload's results_digest
+             hashes the bit pattern of every merged distance and
+             external id — any drift is a ranking change, exactly like
+             accuracy above but covering the full top-k *)
+          List.iter
+            (fun key ->
+              match Instrument.Json.member_opt key base with
+              | None -> ()
+              | Some bj ->
+                  let b = Instrument.Json.get_string bj in
+                  let c =
+                    match Instrument.Json.member_opt key cur with
+                    | Some cj -> Instrument.Json.get_string cj
+                    | None -> "<missing>"
+                  in
+                  check name key (String.equal b c)
+                    (Printf.sprintf
+                       "baseline %s, current %s (exact match required)" b c))
+            [ "results_digest" ];
           (* deterministic float counters: ratios of exact-gated
              integers, so they too must match exactly (the latency
              percentiles, by contrast, are host wall-clock and are
@@ -155,12 +175,25 @@ let () =
                        b c))
             [ "batch_fill" ];
           (* GC-pressure gate: banded, not exact, and only when the two
-             runs used the same jobs count (see the header comment) *)
+             runs used the same jobs count (see the header comment) and
+             — for the sharded workload — the same shard count: the
+             dispatching domain's merge footprint scales with the
+             number of shards, so bands taken at different shard counts
+             are not comparable *)
+          let shards_match =
+            match
+              ( Instrument.Json.member_opt "shards" base,
+                Instrument.Json.member_opt "shards" cur )
+            with
+            | Some b, Some c ->
+                Instrument.Json.get_int b = Instrument.Json.get_int c
+            | _ -> true
+          in
           (match
              Instrument.Json.member_opt "alloc_minor_words_per_query" base
            with
           | None -> ()
-          | Some bj when jobs_match ->
+          | Some bj when jobs_match && shards_match ->
               let b = Instrument.Json.get_float bj in
               let c =
                 match
@@ -178,8 +211,9 @@ let () =
                    b c band)
           | Some _ ->
               Printf.printf
-                "%-24s %-12s note  jobs counts differ; alloc gate skipped\n"
-                name "alloc_w/q"))
+                "%-24s %-12s note  %s counts differ; alloc gate skipped\n"
+                name "alloc_w/q"
+                (if jobs_match then "shard" else "jobs")))
     baseline;
   List.iter
     (fun (name, _) ->

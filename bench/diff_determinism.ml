@@ -1,13 +1,22 @@
 (* The CI determinism gate for the multicore engine.
 
-     dune exec bench/diff_determinism.exe -- A.json B.json
+     dune exec bench/diff_determinism.exe -- [--shard-leg] A.json B.json
 
    Compares two `main.exe -- smoke --json` outputs produced with
    different --jobs values. Every simulated metric and activity counter
    must be BYTE-IDENTICAL — the domain pool may only change wall-clock,
    never results. Host-side timing fields (wall-clock, per-pass
    durations, the jobs count itself) are stripped before comparison.
-   Exit code 1 on any divergence. *)
+   Exit code 1 on any divergence.
+
+   With --shard-leg the two files may also differ in --shards: device
+   activity legitimately changes with the partitioning (per-shard
+   kernels cover fewer rows, searches and cycles split differently), so
+   the per-device counters and energies are stripped too. What remains
+   gated — accuracy, batches, rows_stored and above all results_digest,
+   the bit pattern of every merged distance and external id — is the
+   sharded store's portability contract: any shard count, any jobs
+   value, byte-identical answers (docs/SHARDING.md). *)
 
 module Json = Instrument.Json
 
@@ -15,16 +24,30 @@ module Json = Instrument.Json
    the engine selection ("precompile": the two interpreter engines must
    agree on everything else, which is exactly what running this gate on
    a precompile-on vs precompile-off pair proves). *)
-let ignored_keys =
+let base_ignored_keys =
   [
     "wall_clock_s"; "dse_wall_clock_s"; "jobs"; "duration_s"; "frontend_s";
     "total_s"; "precompile"; "queries_per_s"; "serve_wall_s"; "lat_p50_s";
     "lat_p99_s";
+    (* host time fanning batches to shards / merging candidates *)
+    "shard_fanout_wall_s"; "shard_merge_wall_s";
     (* Gc.minor_words is per-domain: the dispatching domain's count
        shrinks as tiles move to workers, so this varies with --jobs.
        check_regression gates it instead, on same-jobs pairs. *)
     "alloc_minor_words_per_query";
   ]
+
+(* Additionally stripped under --shard-leg: everything that tracks how
+   the device work was partitioned rather than what was answered. *)
+let shard_variant_keys =
+  [
+    "shards"; "latency_s"; "energy_j"; "power_w"; "edp_js"; "search_ops";
+    "query_cycles"; "write_ops"; "subarrays"; "banks"; "kernel_binary";
+    "kernel_nibble"; "kernel_generic"; "kernel_early_exit";
+    "n_ops_executed"; "write_energy_j";
+  ]
+
+let ignored_keys = ref base_ignored_keys
 
 let rec strip (j : Json.t) =
   match j with
@@ -32,7 +55,7 @@ let rec strip (j : Json.t) =
       Json.Assoc
         (List.filter_map
            (fun (k, v) ->
-             if List.mem k ignored_keys then None else Some (k, strip v))
+             if List.mem k !ignored_keys then None else Some (k, strip v))
            fields)
   | Json.List items -> Json.List (List.map strip items)
   | _ -> j
@@ -89,8 +112,11 @@ let () =
   let a_path, b_path =
     match List.tl (Array.to_list Sys.argv) with
     | [ a; b ] -> (a, b)
+    | [ "--shard-leg"; a; b ] ->
+        ignored_keys := base_ignored_keys @ shard_variant_keys;
+        (a, b)
     | _ ->
-        Printf.eprintf "usage: diff_determinism A.json B.json\n";
+        Printf.eprintf "usage: diff_determinism [--shard-leg] A.json B.json\n";
         exit 2
   in
   let a = strip (read_json a_path) and b = strip (read_json b_path) in

@@ -588,7 +588,7 @@ let accuracy () =
    seconds; bench/check_regression.ml diffs the emitted JSON against
    bench/baseline.json. *)
 
-let smoke ?json ?jobs ?(precompile = true) () =
+let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
   section "smoke: fast deterministic suite (the CI regression gate)";
   (* engine selection for every run below, as a per-run config rather
      than process-global state *)
@@ -774,6 +774,78 @@ let smoke ?json ?jobs ?(precompile = true) () =
     server_result.Server.batches_coalesced server_result.Server.batch_fill
     server_result.Server.queue_hwm server_result.Server.requests_served
     server_result.Server.clients_connected server_accuracy;
+  (* The sharded-store workload: a 512-row store partitioned across
+     [shards] private simulators (default 4), queried through the
+     fan-out / top-k merge path, with online mutations mid-run —
+     deletes, slot-reusing re-inserts and an in-place update. Every
+     simulated metric below is deterministic for a fixed shard count;
+     results_digest (the bit pattern of every merged distance and
+     external id) is additionally shard- and jobs-invariant, which the
+     CI shard-determinism leg holds shards 1 vs 4 to. *)
+  let sharded_store, sharded_accuracy, sharded_digest =
+    let q = 8 and d = 64 and k = 3 and rows = 512 in
+    let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+    let sdata =
+      Workloads.Hdc.synthetic ~seed:23 ~noise:0.05 ~dims:d ~n_classes:rows
+        ~n_queries:48 ~bits:1 ()
+    in
+    let store =
+      Serve.Sharded_store.create ~config ~spec ~q ~d ~k ~shards
+        ~capacity:rows ()
+    in
+    Array.iter
+      (fun row -> ignore (Serve.Sharded_store.insert store row))
+      sdata.stored;
+    (* external id currently serving class [l]; inserts above were in
+       class order, so initially the identity *)
+    let expected = Array.init rows Fun.id in
+    let buf = Buffer.create 4096 in
+    let correct = ref 0 in
+    let serve_batch i =
+      let r =
+        Serve.Sharded_store.query store (Array.sub sdata.queries (i * q) q)
+      in
+      Array.iteri
+        (fun j (ids : int array) ->
+          if ids.(0) = expected.(sdata.query_labels.((i * q) + j)) then
+            incr correct;
+          Array.iter
+            (fun id -> Buffer.add_int64_be buf (Int64.of_int id))
+            ids;
+          Array.iter
+            (fun v -> Buffer.add_int64_be buf (Int64.bits_of_float v))
+            r.Serve.Sharded_store.values.(j))
+        r.Serve.Sharded_store.indices
+    in
+    for i = 0 to 2 do
+      serve_batch i
+    done;
+    (* online mutations: free three slots, re-insert the same rows (the
+       FIFO allocator hands back the just-freed slots under fresh
+       external ids), rewrite one row in place — then keep serving *)
+    List.iter
+      (fun id ->
+        Serve.Sharded_store.delete store id;
+        expected.(id) <- Serve.Sharded_store.insert store sdata.stored.(id))
+      [ 7; 129; 350 ];
+    Serve.Sharded_store.update store 200 sdata.stored.(200);
+    for i = 3 to 5 do
+      serve_batch i
+    done;
+    ( store,
+      float_of_int !correct /. 48.,
+      Digest.to_hex (Digest.string (Buffer.contents buf)) )
+  in
+  let sharded_stats = Serve.Sharded_store.stats sharded_store in
+  Printf.printf
+    "serve-sharded-hdc-32x32-base: %d shards, %d rows live (%d slots free), \
+     %d batches, latency %s, energy %s, accuracy %.4f, digest %s\n"
+    sharded_stats.Serve.Sharded_store.shards sharded_stats.rows_stored
+    sharded_stats.rows_free sharded_stats.session.Serve.Session.batches
+    (C4cam.Report.si_time sharded_stats.session.Serve.Session.sim_latency_s)
+    (C4cam.Report.si_energy sharded_stats.session.Serve.Session.sim_energy_j)
+    sharded_accuracy
+    (String.sub sharded_digest 0 12);
   (* compile-time breakdown of the reference HDC kernel, end-to-end *)
   let collector = Instrument.Collect.create () in
   Instrument.Collect.set_jobs collector jobs;
@@ -916,6 +988,71 @@ let smoke ?json ?jobs ?(precompile = true) () =
               Instrument.Json.Float ss.alloc_minor_words_per_query );
           ]
       in
+      (* The sharded-store workload: simulated metrics are exact-gated
+         for a fixed shard count (shards itself and rows_stored are
+         exact); results_digest is shard- and jobs-invariant, the key
+         the shard-determinism CI leg compares across configurations.
+         The fan-out/merge wall clocks are stripped by the determinism
+         gate, and alloc_w/q is only gated between runs with the same
+         shard count (the merge tree's footprint scales with it). *)
+      let sharded_json =
+        let st = sharded_stats in
+        let dev = Serve.Sharded_store.device_stats sharded_store in
+        let ss = st.Serve.Sharded_store.session in
+        Instrument.Json.Assoc
+          [
+            ( "name",
+              Instrument.Json.String "serve-sharded-hdc-32x32-base" );
+            ( "config",
+              Instrument.Json.String
+                (C4cam.Dse.config_name
+                   (Archspec.Spec.square 32 Archspec.Spec.Base)) );
+            ( "latency_s",
+              Instrument.Json.Float ss.Serve.Session.sim_latency_s );
+            ("energy_j", Instrument.Json.Float ss.Serve.Session.sim_energy_j);
+            ( "power_w",
+              Instrument.Json.Float
+                (if ss.Serve.Session.sim_latency_s > 0. then
+                   ss.Serve.Session.sim_energy_j
+                   /. ss.Serve.Session.sim_latency_s
+                 else 0.) );
+            ( "edp_js",
+              Instrument.Json.Float
+                (ss.Serve.Session.sim_energy_j
+                *. ss.Serve.Session.sim_latency_s) );
+            ("accuracy", Instrument.Json.Float sharded_accuracy);
+            ("subarrays", Instrument.Json.Int dev.Camsim.Stats.n_subarrays);
+            ("banks", Instrument.Json.Int dev.Camsim.Stats.n_banks);
+            ("search_ops", Instrument.Json.Int dev.Camsim.Stats.n_search_ops);
+            ( "query_cycles",
+              Instrument.Json.Int dev.Camsim.Stats.n_query_cycles );
+            ("write_ops", Instrument.Json.Int dev.Camsim.Stats.n_write_ops);
+            ( "kernel_binary",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_binary );
+            ( "kernel_nibble",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_nibble );
+            ( "kernel_generic",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_generic );
+            ( "kernel_early_exit",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_early_exit );
+            ( "n_ops_executed",
+              Instrument.Json.Int
+                (List.fold_left
+                   (fun acc (_, n) -> acc + n)
+                   0 ss.Serve.Session.ops_executed) );
+            ("batches", Instrument.Json.Int ss.Serve.Session.batches);
+            ( "queries_per_s",
+              Instrument.Json.Float ss.Serve.Session.queries_per_s );
+            ("shards", Instrument.Json.Int st.Serve.Sharded_store.shards);
+            ("rows_stored", Instrument.Json.Int st.rows_stored);
+            ("results_digest", Instrument.Json.String sharded_digest);
+            ( "alloc_minor_words_per_query",
+              Instrument.Json.Float
+                ss.Serve.Session.alloc_minor_words_per_query );
+            ("shard_fanout_wall_s", Instrument.Json.Float st.fanout_wall_s);
+            ("shard_merge_wall_s", Instrument.Json.Float st.merge_wall_s);
+          ]
+      in
       let doc =
         Instrument.Json.Assoc
           [
@@ -929,7 +1066,7 @@ let smoke ?json ?jobs ?(precompile = true) () =
             ( "workloads",
               Instrument.Json.List
                 (List.map workload_json workloads
-                @ [ serve_json; server_json ]) );
+                @ [ serve_json; server_json; sharded_json ]) );
             ("compile", Instrument.Profile.to_json profile);
           ]
       in
@@ -1192,24 +1329,29 @@ let () =
       let usage () =
         prerr_endline
           "usage: main.exe -- smoke [--json [FILE]] [--jobs N] \
-           [--no-precompile]";
+           [--shards N] [--no-precompile]";
         exit 2
       in
       let starts_dash s = String.length s >= 2 && String.sub s 0 2 = "--" in
-      let rec parse json jobs precompile = function
-        | [] -> (json, jobs, precompile)
+      let rec parse json jobs shards precompile = function
+        | [] -> (json, jobs, shards, precompile)
         | "--json" :: f :: tl when not (starts_dash f) ->
-            parse (Some f) jobs precompile tl
-        | "--json" :: tl -> parse (Some "BENCH_smoke.json") jobs precompile tl
+            parse (Some f) jobs shards precompile tl
+        | "--json" :: tl ->
+            parse (Some "BENCH_smoke.json") jobs shards precompile tl
         | "--jobs" :: n :: tl -> (
             match int_of_string_opt n with
-            | Some n -> parse json (Some n) precompile tl
+            | Some n -> parse json (Some n) shards precompile tl
             | None -> usage ())
-        | "--no-precompile" :: tl -> parse json jobs false tl
+        | "--shards" :: n :: tl -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> parse json jobs (Some n) precompile tl
+            | _ -> usage ())
+        | "--no-precompile" :: tl -> parse json jobs shards false tl
         | _ -> usage ()
       in
-      let json, jobs, precompile = parse None None true rest in
-      smoke ?json ?jobs ~precompile ()
+      let json, jobs, shards, precompile = parse None None None true rest in
+      smoke ?json ?jobs ?shards ~precompile ()
   | names ->
       List.iter
         (fun name ->

@@ -2,7 +2,7 @@
 
      dune exec bench/stress_serve.exe -- \
        [--clients N] [--schedules N] [--requests N] [--jobs N] \
-       [--seed N] [--no-precompile]
+       [--seed N] [--no-precompile] [--mutate [--shards N]]
 
    Replays seeded arrival schedules against the micro-batching
    scheduler and enforces the determinism contract (docs/SERVING.md):
@@ -15,12 +15,22 @@
    across schedules — only the arrival timing does — so the sequential
    reference is computed once and each schedule is pure replay. CI runs
    this across a clients x jobs x engine matrix. Exit code 1 on any
-   divergence. *)
+   divergence.
+
+   With --mutate the gate targets the sharded store instead
+   (docs/SHARDING.md): seeded schedules interleaving
+   insert/delete/update/query are replayed on a [Serve.Sharded_store]
+   with --shards shards under the --jobs pool, and every query result
+   (distances AND external ids, bit-compared) plus every insert's
+   assigned id must match the same schedule replayed on a single-shard
+   store at jobs 1. This drives slot reuse after deletes, duplicate-row
+   ties and per-shard cache invalidation under partitioning. *)
 
 let usage () =
   prerr_endline
     "usage: stress_serve.exe -- [--clients N] [--schedules N] \
-     [--requests N] [--jobs N] [--seed N] [--no-precompile]";
+     [--requests N] [--jobs N] [--seed N] [--no-precompile] \
+     [--mutate [--shards N]]";
   exit 2
 
 type opts = {
@@ -30,6 +40,8 @@ type opts = {
   jobs : int;
   seed : int;
   precompile : bool;
+  mutate : bool;
+  shards : int;
 }
 
 let parse_args args =
@@ -49,11 +61,13 @@ let parse_args args =
     | "--jobs" :: tl -> int_arg tl (fun n tl -> parse { o with jobs = n } tl)
     | "--seed" :: tl -> int_arg tl (fun n tl -> parse { o with seed = n } tl)
     | "--no-precompile" :: tl -> parse { o with precompile = false } tl
+    | "--mutate" :: tl -> parse { o with mutate = true } tl
+    | "--shards" :: tl -> int_arg tl (fun n tl -> parse { o with shards = n } tl)
     | _ -> usage ()
   in
   parse
     { clients = 8; schedules = 25; requests = 6; jobs = 1; seed = 42;
-      precompile = true }
+      precompile = true; mutate = false; shards = 4 }
     args
 
 (* Bit-level equality: the contract is byte-identical results, not
@@ -70,10 +84,137 @@ let rows_bits_equal a b =
 
 let int_rows_equal (a : int array array) b = a = b
 
+(* ---- the --mutate leg: sharded-store mutation schedules --------------- *)
+
+type mutation_op =
+  | Op_insert of float array * int  (* row, the id the store must assign *)
+  | Op_delete of int
+  | Op_update of int * float array
+  | Op_query of float array array
+
+let mutate_gate o =
+  let engine : C4cam.Driver.Run_config.engine =
+    if o.precompile then `Compiled else `Treewalk
+  in
+  let config = C4cam.Driver.Run_config.(default |> with_engine engine) in
+  let q = 4 and d = 64 and k = 3 and capacity = 96 and initial = 64 in
+  let pool =
+    Workloads.Hdc.synthetic ~seed:o.seed ~noise:0.2 ~dims:d
+      ~n_classes:initial ~n_queries:32 ~bits:1 ()
+  in
+  let n_pool_q = Array.length pool.Workloads.Hdc.queries in
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  (* One schedule of interleaved ops. External ids are assigned
+     monotonically by the store, so the generator predicts them without
+     one and every op is valid by construction. Insert rows are drawn
+     from the same pool as the initial rows: duplicate contents force
+     distance ties, which both replays must break identically (by
+     external id). *)
+  let gen_schedule schedule =
+    let rng = Rng.create (o.seed + (104729 * (schedule + 1))) in
+    let live = ref (List.init initial Fun.id) in
+    let n_live = ref initial and next = ref initial in
+    let pick_live () = List.nth !live (Rng.int rng !n_live) in
+    let a_row () = pool.Workloads.Hdc.stored.(Rng.int rng initial) in
+    List.init (o.requests * 8) (fun _ ->
+        let r = Rng.int rng 100 in
+        if r < 50 then
+          let off = Rng.int rng (n_pool_q - q + 1) in
+          Op_query (Array.sub pool.Workloads.Hdc.queries off q)
+        else if r < 70 && !n_live < capacity then begin
+          let id = !next in
+          incr next;
+          live := id :: !live;
+          incr n_live;
+          Op_insert (a_row (), id)
+        end
+        else if r < 85 && !n_live > k + 1 then begin
+          let id = pick_live () in
+          live := List.filter (fun x -> x <> id) !live;
+          decr n_live;
+          Op_delete id
+        end
+        else Op_update (pick_live (), a_row ()))
+  in
+  let replay ~shards ~jobs ops =
+    Parallel.run ~jobs @@ fun _ ->
+    let store =
+      Serve.Sharded_store.create ~config ~spec ~q ~d ~k ~shards ~capacity ()
+    in
+    Array.iteri
+      (fun i row ->
+        if i < initial then ignore (Serve.Sharded_store.insert store row))
+      pool.Workloads.Hdc.stored;
+    List.filter_map
+      (function
+        | Op_insert (row, expect) ->
+            let id = Serve.Sharded_store.insert store row in
+            if id <> expect then
+              failwith
+                (Printf.sprintf
+                   "stress_serve --mutate: insert assigned id %d, \
+                    generator expected %d"
+                   id expect);
+            None
+        | Op_delete id ->
+            Serve.Sharded_store.delete store id;
+            None
+        | Op_update (id, row) ->
+            Serve.Sharded_store.update store id row;
+            None
+        | Op_query rows ->
+            let r = Serve.Sharded_store.query store rows in
+            Some
+              ( r.Serve.Sharded_store.values,
+                r.Serve.Sharded_store.indices ))
+      ops
+  in
+  Printf.printf
+    "stress_serve --mutate: %d schedules x %d ops, shards %d vs 1, jobs %d \
+     vs 1, engine %s, seed %d\n%!"
+    o.schedules (o.requests * 8) o.shards o.jobs
+    (match engine with `Compiled -> "compiled" | `Treewalk -> "treewalk")
+    o.seed;
+  let mismatches = ref 0 and queries = ref 0 in
+  for schedule = 0 to o.schedules - 1 do
+    let ops = gen_schedule schedule in
+    let reference = replay ~shards:1 ~jobs:1 ops in
+    let got = replay ~shards:o.shards ~jobs:o.jobs ops in
+    List.iteri
+      (fun i ((rv, ri), (gv, gi)) ->
+        queries := !queries + Array.length rv;
+        if not (rows_bits_equal rv gv && int_rows_equal ri gi) then begin
+          incr mismatches;
+          Printf.printf
+            "MISMATCH schedule %d query %d: sharded result diverges from \
+             the single-shard reference\n%!"
+            schedule i
+        end)
+      (List.combine reference got)
+  done;
+  if !mismatches > 0 then begin
+    Printf.eprintf
+      "stress_serve: %d query result(s) diverged from the single-shard \
+       reference\n"
+      !mismatches;
+    exit 1
+  end
+  else
+    Printf.printf
+      "all %d query batches byte-identical to the single-shard sequential \
+       reference\n"
+      !queries
+
 let () =
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
-  if o.clients < 1 || o.schedules < 1 || o.requests < 1 || o.jobs < 1 then
-    usage ();
+  if
+    o.clients < 1 || o.schedules < 1 || o.requests < 1 || o.jobs < 1
+    || o.shards < 1
+  then usage ();
+  if o.mutate then begin
+    mutate_gate o;
+    exit 0
+  end;
   let engine : C4cam.Driver.Run_config.engine =
     if o.precompile then `Compiled else `Treewalk
   in

@@ -382,9 +382,79 @@ let print_session_stats (s : Serve.Session.stats) c spec =
   Printf.printf "artifact : cache %s\n"
     (match s.cache with `Hit -> "hit" | `Miss -> "miss")
 
+(* ---- sharded-store serving (serve --shards / --store-rows) ------------- *)
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Partition the stored rows across $(docv) independent \
+              simulator shards; > 1 (or --store-rows) switches serve to \
+              the sharded HDC store (see docs/SHARDING.md).")
+
+let store_rows_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "store-rows" ] ~docv:"M"
+        ~doc:"Row capacity of the sharded store (enables sharded-store \
+              mode; default: --classes when --shards > 1).")
+
+let topk_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "topk" ] ~docv:"K"
+        ~doc:"Results per query row in sharded-store mode (default 3).")
+
+let print_store_stats (st : Serve.Sharded_store.stats) spec ~q ~d ~k =
+  Printf.printf "kernel   : %d queries x %d dims, top-%d host merge (%s)\n"
+    q d k (C4cam.Dse.config_name spec);
+  Printf.printf "store    : %d shards, %d/%d rows stored (%d slots free)\n"
+    st.Serve.Sharded_store.shards st.rows_stored st.capacity st.rows_free;
+  Array.iteri
+    (fun i (si : Serve.Sharded_store.shard_info) ->
+      Printf.printf "  shard %-3d: %d rows, %d free, %d writes, %s\n" i
+        si.Serve.Sharded_store.info_rows si.info_free si.info_write_ops
+        (C4cam.Report.si_energy si.info_energy_j))
+    st.per_shard;
+  let s = st.session in
+  Printf.printf "served   : %d batches, %d queries (%.0f queries/s)\n"
+    s.Serve.Session.batches s.queries_served s.queries_per_s;
+  Printf.printf "latency  : %s simulated (slowest shard per batch)\n"
+    (C4cam.Report.si_time s.sim_latency_s);
+  Printf.printf "energy   : %s (writes %s, changed rows only)\n"
+    (C4cam.Report.si_energy s.sim_energy_j)
+    (C4cam.Report.si_energy s.write_energy_j);
+  Printf.printf "fan-out  : %s wall, merge %s wall\n"
+    (C4cam.Report.si_time st.fanout_wall_s)
+    (C4cam.Report.si_time st.merge_wall_s);
+  Printf.printf "artifact : cache %s\n"
+    (match s.cache with `Hit -> "hit" | `Miss -> "miss")
+
+(* Build a store of [rows] synthetic prototypes (external id = class
+   label) and return it with the matching noisy query rows. *)
+let make_store ~config ~spec ~q ~d ~k ~shards ~rows ~seed ~n_queries =
+  try
+    let store =
+      Serve.Sharded_store.create ~config ~spec ~q ~d ~k ~shards
+        ~capacity:rows ()
+    in
+    let data =
+      Workloads.Hdc.synthetic ~seed ~dims:d ~n_classes:rows ~n_queries
+        ~bits:spec.Archspec.Spec.bits ()
+    in
+    Array.iter
+      (fun r -> ignore (Serve.Sharded_store.insert store r))
+      data.Workloads.Hdc.stored;
+    (store, data.Workloads.Hdc.queries)
+  with
+  | Serve.Sharded_store.Store_error msg | Serve.Session.Serve_error msg ->
+      prerr_endline ("c4cam: serve error: " ^ msg);
+      exit 1
+
 let serve_cmd =
   let run kernel arch size opt queries dims classes seed batches input
-      clients server_config profile profile_json jobs no_precompile =
+      clients shards store_rows topk server_config profile profile_json jobs
+      no_precompile =
     handle_errors (fun () ->
         with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
@@ -392,6 +462,85 @@ let serve_cmd =
         let collector = collector_for ~profile ~profile_json in
         Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
         let config = config_of ?collector ~no_precompile () in
+        if shards > 1 || store_rows > 0 then begin
+          (* sharded-store mode: --kernel is ignored, the store compiles
+             its own scores-form kernel *)
+          let rows = if store_rows > 0 then store_rows else classes in
+          let config = C4cam.Driver.Run_config.with_shards shards config in
+          let store, qdata =
+            make_store ~config ~spec ~q:queries ~d:dims ~k:topk ~shards
+              ~rows ~seed ~n_queries:(queries * max 1 batches)
+          in
+          let query_batches =
+            match input with
+            | Some "-" -> read_query_batches ~q:queries ~d:dims stdin
+            | Some path ->
+                In_channel.with_open_text path
+                  (read_query_batches ~q:queries ~d:dims)
+            | None ->
+                List.init (max 1 batches) (fun i ->
+                    Array.sub qdata (i * queries) queries)
+          in
+          let top_line (indices : int array array) =
+            Array.to_list indices
+            |> List.map (fun (row : int array) -> string_of_int row.(0))
+            |> String.concat " "
+          in
+          (if clients > 0 then begin
+             let server =
+               Server.create_on
+                 ~config:
+                   { (server_config jobs) with Server.start_paused = true }
+                 (Serve.Sharded_store.backend store)
+             in
+             let handles =
+               Array.init clients (fun _ -> Server.connect server)
+             in
+             let tickets =
+               List.mapi
+                 (fun i batch ->
+                   (i, Server.submit handles.(i mod clients) batch))
+                 query_batches
+             in
+             Server.resume server;
+             List.iter
+               (fun (i, tk) ->
+                 let r = Server.await tk in
+                 Printf.printf
+                   "request %d: top-1 [%s] (client %d, micro-batch %d)\n" i
+                   (top_line r.Server.r_indices)
+                   (i mod clients) r.Server.r_batch_seq)
+               tickets;
+             Server.stop server;
+             emit_profile ~profile ~profile_json collector;
+             let st = Server.stats server in
+             print_store_stats
+               (Serve.Sharded_store.stats store)
+               spec ~q:queries ~d:dims ~k:topk;
+             Printf.printf "clients  : %d\n" clients;
+             print_server_stats st
+           end
+           else begin
+             List.iteri
+               (fun i batch ->
+                 let r =
+                   try Serve.Sharded_store.query store batch
+                   with Serve.Sharded_store.Store_error msg ->
+                     prerr_endline ("c4cam: serve error: " ^ msg);
+                     exit 1
+                 in
+                 Printf.printf "batch %d: top-1 [%s] (%s, %s)\n" i
+                   (top_line r.Serve.Sharded_store.indices)
+                   (C4cam.Report.si_time r.Serve.Sharded_store.latency)
+                   (C4cam.Report.si_energy r.Serve.Sharded_store.energy))
+               query_batches;
+             emit_profile ~profile ~profile_json collector;
+             print_store_stats
+               (Serve.Sharded_store.stats store)
+               spec ~q:queries ~d:dims ~k:topk
+           end)
+        end
+        else
         let session, query_batches =
           try
             (* Probe the artifact first so synthetic data and the input
@@ -525,14 +674,15 @@ let serve_cmd =
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
       $ dims_arg $ classes_arg $ seed_arg $ batches_arg $ input_arg
-      $ clients_arg $ server_config_args $ profile_arg $ profile_json_arg
-      $ jobs_arg $ no_precompile_arg)
+      $ clients_arg $ shards_arg $ store_rows_arg $ topk_arg
+      $ server_config_args $ profile_arg $ profile_json_arg $ jobs_arg
+      $ no_precompile_arg)
 
 (* ---- serve-tcp: the newline-delimited wire front-end -------------------- *)
 
 let serve_tcp_cmd =
-  let run kernel arch size opt queries dims classes seed port server_config
-      profile profile_json jobs no_precompile =
+  let run kernel arch size opt queries dims classes seed port shards
+      store_rows topk server_config profile profile_json jobs no_precompile =
     handle_errors (fun () ->
         with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
@@ -540,6 +690,47 @@ let serve_tcp_cmd =
         let collector = collector_for ~profile ~profile_json in
         Option.iter (fun c -> Instrument.Collect.set_jobs c jobs) collector;
         let config = config_of ?collector ~no_precompile () in
+        let serve_loop server summarize =
+          let listener =
+            try Tcp.listen ~port server
+            with Server.Server_error msg ->
+              prerr_endline ("c4cam: " ^ msg);
+              exit 1
+          in
+          Printf.printf "listening on 127.0.0.1:%d\n%!" (Tcp.port listener);
+          (* serve until stdin closes (^D, or the driving process hanging
+             up), then shut down in order: wire, scheduler, summary *)
+          (try
+             while true do
+               ignore (input_line stdin)
+             done
+           with End_of_file -> ());
+          Tcp.shutdown listener;
+          Server.stop server;
+          emit_profile ~profile ~profile_json collector;
+          let st = Server.stats server in
+          summarize st;
+          Printf.printf "clients  : %d connections\n"
+            (Tcp.connections_served listener);
+          print_server_stats st
+        in
+        if shards > 1 || store_rows > 0 then begin
+          let rows = if store_rows > 0 then store_rows else classes in
+          let config = C4cam.Driver.Run_config.with_shards shards config in
+          let store, _ =
+            make_store ~config ~spec ~q:queries ~d:dims ~k:topk ~shards
+              ~rows ~seed ~n_queries:queries
+          in
+          let server =
+            Server.create_on ~config:(server_config jobs)
+              (Serve.Sharded_store.backend store)
+          in
+          serve_loop server (fun _st ->
+              print_store_stats
+                (Serve.Sharded_store.stats store)
+                spec ~q:queries ~d:dims ~k:topk)
+        end
+        else
         let session =
           try
             let (c, _) as artifact =
@@ -556,30 +747,10 @@ let serve_tcp_cmd =
             exit 1
         in
         let server = Server.create ~config:(server_config jobs) session in
-        let listener =
-          try Tcp.listen ~port server
-          with Server.Server_error msg ->
-            prerr_endline ("c4cam: " ^ msg);
-            exit 1
-        in
-        Printf.printf "listening on 127.0.0.1:%d\n%!" (Tcp.port listener);
-        (* serve until stdin closes (^D, or the driving process hanging
-           up), then shut down in order: wire, scheduler, summary *)
-        (try
-           while true do
-             ignore (input_line stdin)
-           done
-         with End_of_file -> ());
-        Tcp.shutdown listener;
-        Server.stop server;
-        emit_profile ~profile ~profile_json collector;
-        let st = Server.stats server in
-        print_session_stats st.Server.session
-          (Serve.Session.compiled session)
-          spec;
-        Printf.printf "clients  : %d connections\n"
-          (Tcp.connections_served listener);
-        print_server_stats st)
+        serve_loop server (fun st ->
+            print_session_stats st.Server.session
+              (Serve.Session.compiled session)
+              spec))
   in
   let seed_arg =
     Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Data seed.")
@@ -597,8 +768,9 @@ let serve_tcp_cmd =
          "Serve the kernel over newline-delimited TCP until stdin closes")
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
-      $ dims_arg $ classes_arg $ seed_arg $ port_arg $ server_config_args
-      $ profile_arg $ profile_json_arg $ jobs_arg $ no_precompile_arg)
+      $ dims_arg $ classes_arg $ seed_arg $ port_arg $ shards_arg
+      $ store_rows_arg $ topk_arg $ server_config_args $ profile_arg
+      $ profile_json_arg $ jobs_arg $ no_precompile_arg)
 
 (* ---- asm: print the flat runtime ISA -------------------------------------- *)
 

@@ -189,6 +189,7 @@ module Run_config = struct
     defect_seed : int option;
     trace : Camsim.Trace.t option;
     engine : engine;
+    shards : int;
   }
 
   let default =
@@ -199,6 +200,7 @@ module Run_config = struct
       defect_seed = None;
       trace = None;
       engine = `Compiled;
+      shards = 1;
     }
 
   let with_profile p t = { t with profile = Some p }
@@ -213,6 +215,10 @@ module Run_config = struct
 
   let with_trace tr t = { t with trace = Some tr }
   let with_engine e t = { t with engine = e }
+
+  let with_shards n t =
+    if n < 1 then invalid_arg "Run_config.with_shards: shards must be >= 1";
+    { t with shards = n }
 
   let precompile t =
     match t.engine with `Compiled -> true | `Treewalk -> false

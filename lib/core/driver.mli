@@ -93,11 +93,15 @@ module Run_config : sig
     defect_seed : int option;
     trace : Camsim.Trace.t option;
     engine : engine;
+    shards : int;
+        (** How many independent simulator shards a sharded store
+            partitions its rows across ([Serve.Sharded_store]). Plain
+            single-simulator runs ignore it. Must be >= 1. *)
   }
 
   val default : t
   (** No profiling, no trace, default technology, zero defects,
-      [`Compiled] engine. *)
+      [`Compiled] engine, one shard. *)
 
   val with_profile : Instrument.Collect.t -> t -> t
   val with_tech : Camsim.Tech.t -> t -> t
@@ -109,6 +113,9 @@ module Run_config : sig
 
   val with_trace : Camsim.Trace.t -> t -> t
   val with_engine : engine -> t -> t
+
+  val with_shards : int -> t -> t
+  (** Raises [Invalid_argument] when the count is < 1. *)
 
   val precompile : t -> bool
   (** The engine as the boolean [Interp.Machine.run ~precompile]

@@ -18,6 +18,16 @@ def forward(input: Tensor[10, 8192], weight: Tensor[10, 8192]) -> Tensor:
     return indices
 |}
 
+let hdc_dot_scores ~q ~dims ~classes =
+  Printf.sprintf
+    {|
+def forward(input: Tensor[%d, %d], weight: Tensor[%d, %d]) -> Tensor:
+    others = weight.transpose(-2, -1)
+    scores = torch.matmul(input, others)
+    return scores
+|}
+    q dims classes dims
+
 let knn_euclidean ~q ~dims ~n ~k =
   Printf.sprintf
     {|

@@ -12,6 +12,14 @@ val hdc_dot_paper : string
 (** The verbatim shapes of Figure 4a: 10 queries, 8192 dims, 10
     classes, top-1 with [largest=False]. *)
 
+val hdc_dot_scores : q:int -> dims:int -> classes:int -> string
+(** The scores form of {!hdc_dot}: transpose and matmul only, returning
+    the full [q,classes] score matrix with no device-side selection.
+    The sharded store compiles its per-shard kernels from this form so
+    top-k selection can happen host-side in stable external-id order
+    (a device-side topk would tie-break on physical row slots, which
+    diverge from insertion order once freed slots are reused). *)
+
 val knn_euclidean : q:int -> dims:int -> n:int -> k:int -> string
 (** Batched KNN via the broadcast idiom: query [q,1,dims] minus stored
     [n,dims], norm over the last dim, topk smallest. *)

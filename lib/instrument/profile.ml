@@ -48,6 +48,13 @@ type serve = {
   queue_hwm : int;
   lat_p50_s : float;
   lat_p99_s : float;
+  (* the sharded store (shards = 1 and zero wall times for plain
+     single-simulator sessions) *)
+  shards : int;
+  rows_stored : int;
+  rows_free : int;
+  shard_fanout_wall_s : float;
+  shard_merge_wall_s : float;
 }
 
 type t = {
@@ -167,6 +174,11 @@ let serve_to_json (s : serve) =
       ("queue_hwm", Json.Int s.queue_hwm);
       ("lat_p50_s", Json.Float s.lat_p50_s);
       ("lat_p99_s", Json.Float s.lat_p99_s);
+      ("shards", Json.Int s.shards);
+      ("rows_stored", Json.Int s.rows_stored);
+      ("rows_free", Json.Int s.rows_free);
+      ("shard_fanout_wall_s", Json.Float s.shard_fanout_wall_s);
+      ("shard_merge_wall_s", Json.Float s.shard_merge_wall_s);
     ]
 
 let serve_of_json json =
@@ -189,6 +201,15 @@ let serve_of_json json =
     queue_hwm = opt_int "queue_hwm" json;
     lat_p50_s = opt_float "lat_p50_s" json;
     lat_p99_s = opt_float "lat_p99_s" json;
+    (* absent in profiles written before the sharded store *)
+    shards =
+      (match Json.member_opt "shards" json with
+      | Some j -> Json.get_int j
+      | None -> 1);
+    rows_stored = opt_int "rows_stored" json;
+    rows_free = opt_int "rows_free" json;
+    shard_fanout_wall_s = opt_float "shard_fanout_wall_s" json;
+    shard_merge_wall_s = opt_float "shard_merge_wall_s" json;
   }
 
 let to_json t =
@@ -320,5 +341,13 @@ let to_table t =
               high-water %d rows, latency p50 %s / p99 %s\n"
              s.batches_coalesced s.batch_fill s.queue_hwm
              (fmt_duration s.lat_p50_s)
-             (fmt_duration s.lat_p99_s)));
+             (fmt_duration s.lat_p99_s));
+      if s.shards > 1 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  shards: %d (%d rows stored, %d slots free), fan-out %s, \
+              merge %s\n"
+             s.shards s.rows_stored s.rows_free
+             (fmt_duration s.shard_fanout_wall_s)
+             (fmt_duration s.shard_merge_wall_s)));
   Buffer.contents buf

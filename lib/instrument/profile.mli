@@ -81,6 +81,17 @@ type serve = {
       (** 99th-percentile submit-to-delivery wall latency (both
           percentiles are host time — never gated, stripped by the
           determinism diff) *)
+  shards : int;
+      (** simulator shards behind the session (1 for a plain
+          single-simulator session; see [docs/SHARDING.md]) *)
+  rows_stored : int;  (** live rows across all shards (0 unsharded) *)
+  rows_free : int;  (** free row slots across all shards (0 unsharded) *)
+  shard_fanout_wall_s : float;
+      (** host wall-clock spent fanning batches across shard domains —
+          never gated, stripped by the determinism diff *)
+  shard_merge_wall_s : float;
+      (** host wall-clock spent in the top-k merge tree — never gated,
+          stripped by the determinism diff *)
 }
 
 type t = {

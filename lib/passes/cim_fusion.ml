@@ -163,6 +163,16 @@ let dot_pattern =
     node yield [ res 2 ];
   ]
 
+(* The scores form of the dot pattern: no device-side topk, the full
+   score matrix is the kernel result. The sharded store relies on this
+   form so the host can select top-k in stable external-id order. *)
+let dot_scores_pattern =
+  [
+    node "cim.transpose" [];
+    node "cim.matmul" [ res 0 ];
+    node yield [ res 1 ];
+  ]
+
 let eucl_pattern =
   [
     node "cim.sub" [];
@@ -183,6 +193,10 @@ let cosine_pattern =
 
 let similarity_matching (ops : Ir.Op.t list) =
   match List.length ops with
+  | 3 ->
+      if Ir.Rewriter.similar_dfg ops dot_scores_pattern then
+        Some `Dot_scores
+      else None
   | 4 ->
       if Ir.Rewriter.similar_dfg ops dot_pattern then Some `Dot
       else if Ir.Rewriter.similar_dfg ops eucl_pattern then Some `Eucl
@@ -209,6 +223,7 @@ let rewrite_execute (exec : Ir.Op.t) =
         ("cim-fuse-similarity."
         ^ match kind with
           | `Dot -> "dot"
+          | `Dot_scores -> "dot-scores"
           | `Eucl -> "euclidean"
           | `Cosine -> "cosine");
       let mk ~query ~stored ~attrs ~results name =
@@ -235,6 +250,17 @@ let rewrite_execute (exec : Ir.Op.t) =
                 ("largest", Ir.Op.attr_exn topk "largest");
               ]
             ~results:topk.results Dialects.Cim.similarity_name
+      | `Dot_scores ->
+          let transpose = find_op body "cim.transpose" in
+          let matmul = find_op body "cim.matmul" in
+          let query =
+            List.find (not_result_of transpose) matmul.operands
+          in
+          let stored = Ir.Op.operand transpose 0 in
+          mk ~query ~stored
+            ~attrs:
+              [ ("metric", Dialects.Cim.metric_to_attr Dialects.Cim.Dot) ]
+            ~results:matmul.results Dialects.Cim.similarity_scores_name
       | `Eucl ->
           let sub = find_op body "cim.sub" in
           let topk = find_op body "cim.topk" in

@@ -7,8 +7,9 @@
     Phase 2 runs Algorithm 1 on every execute region: blocks matching
     the dot-product, Euclidean-norm, or cosine dataflow patterns are
     rewritten into a single [cim.similarity] (or
-    [cim.similarity_scores] for the cosine pattern, which carries no
-    top-k) reusing the original result values (Figure 5c). *)
+    [cim.similarity_scores] for the cosine and dot-scores patterns,
+    which carry no top-k) reusing the original result values
+    (Figure 5c). *)
 
 val fuse_blocks : Ir.Pass.t
 (** Phase 1 only. *)
@@ -21,6 +22,7 @@ val pass : Ir.Pass.t
 
 (** Exposed for testing. *)
 
-val similarity_matching : Ir.Op.t list -> [ `Dot | `Eucl | `Cosine ] option
+val similarity_matching :
+  Ir.Op.t list -> [ `Dot | `Dot_scores | `Eucl | `Cosine ] option
 (** Algorithm 1: does the op list (yield included) match a similarity
     pattern? *)

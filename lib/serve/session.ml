@@ -119,31 +119,46 @@ let stats t =
        else 0.);
   }
 
+(* The session's serve section with scheduler fields zeroed: folds the
+   simulator stats as a side effect when profiling is on, then builds
+   the record. [fold_profile] installs it directly; the server (via
+   [Backend]) overlays its scheduler fields before installing. *)
+let serve_section t =
+  let st = stats t in
+  (match t.s_config.C4cam.Driver.Run_config.profile with
+  | None -> ()
+  | Some p ->
+      C4cam.Driver.fold_sim_stats p ~latency:st.sim_latency_s
+        ~energy:st.sim_energy_j ~ops_executed:st.ops_executed
+        (Camsim.Simulator.stats t.s_sim));
+  {
+    Instrument.Profile.batches = st.batches;
+    queries_served = st.queries_served;
+    serve_wall_s = st.wall_clock_s;
+    queries_per_s = st.queries_per_s;
+    serve_write_energy_j = st.write_energy_j;
+    artifact_cache_hit = (st.cache = `Hit);
+    alloc_minor_words_per_query = st.alloc_minor_words_per_query;
+    (* a bare session has no scheduler in front of it; the server
+       overwrites these with its own fold *)
+    batches_coalesced = 0;
+    batch_fill = 0.;
+    queue_hwm = 0;
+    lat_p50_s = 0.;
+    lat_p99_s = 0.;
+    (* and it is a single simulator — the sharded store is the one
+       that populates these *)
+    shards = 1;
+    rows_stored = 0;
+    rows_free = 0;
+    shard_fanout_wall_s = 0.;
+    shard_merge_wall_s = 0.;
+  }
+
 let fold_profile t =
   match t.s_config.C4cam.Driver.Run_config.profile with
   | None -> ()
-  | Some p ->
-      let st = stats t in
-      C4cam.Driver.fold_sim_stats p ~latency:st.sim_latency_s
-        ~energy:st.sim_energy_j ~ops_executed:st.ops_executed
-        (Camsim.Simulator.stats t.s_sim);
-      Instrument.Collect.set_serve p
-        {
-          Instrument.Profile.batches = st.batches;
-          queries_served = st.queries_served;
-          serve_wall_s = st.wall_clock_s;
-          queries_per_s = st.queries_per_s;
-          serve_write_energy_j = st.write_energy_j;
-          artifact_cache_hit = (st.cache = `Hit);
-          alloc_minor_words_per_query = st.alloc_minor_words_per_query;
-          (* a bare session has no scheduler in front of it; the server
-             overwrites these with its own fold *)
-          batches_coalesced = 0;
-          batch_fill = 0.;
-          queue_hwm = 0;
-          lat_p50_s = 0.;
-          lat_p99_s = 0.;
-        }
+  | Some p -> Instrument.Collect.set_serve p (serve_section t)
 
 (* One [q]-row chunk against the shared simulator. The first chunk ever
    executes for real under recording (allocations + stored writes

@@ -94,6 +94,13 @@ type stats = {
 val stats : t -> stats
 val compiled : t -> C4cam.Driver.compiled
 
+val serve_section : t -> Instrument.Profile.serve
+(** The session's current serve section with the scheduler and shard
+    fields at their single-session defaults. When the session's config
+    carries a profile collector, the cumulative simulator section is
+    folded into it as a side effect. [Backend] uses this so the server
+    can overlay scheduler fields before installing the section. *)
+
 val run_config : t -> C4cam.Driver.Run_config.t
 (** The run configuration the session executes under (as resolved at
     {!create}); [Server] folds its combined metrics into this config's

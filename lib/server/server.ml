@@ -59,7 +59,7 @@ type request = {
 type client = { c_id : int; c_server : t; c_queue : request Queue.t }
 
 and t = {
-  s_session : Serve.Session.t;
+  s_backend : Serve.Backend.t;
   s_cfg : config;
   s_q : int;  (* kernel query arity *)
   s_d : int;  (* kernel row width *)
@@ -104,7 +104,10 @@ type stats = {
   session : Serve.Session.stats;
 }
 
-let session t = t.s_session
+let session t =
+  match t.s_backend.Serve.Backend.session with
+  | Some s -> s
+  | None -> fail "server fronts a sharded store, not a single session"
 
 (* ---- metrics ---------------------------------------------------------- *)
 
@@ -131,28 +134,22 @@ let stats_locked t =
     queue_hwm = t.queue_hwm;
     lat_p50_s = percentile lats 0.50;
     lat_p99_s = percentile lats 0.99;
-    session = Serve.Session.stats t.s_session;
+    session = t.s_backend.Serve.Backend.stats ();
   }
 
 let stats t = Mutex.protect t.m (fun () -> stats_locked t)
 
 let fold_profile_of_stats t (st : stats) =
-  match
-    (Serve.Session.run_config t.s_session).C4cam.Driver.Run_config.profile
-  with
+  match t.s_backend.Serve.Backend.run_config.C4cam.Driver.Run_config.profile with
   | None -> ()
   | Some collector ->
+      (* the backend's section carries the session/store fields (and
+         folds the simulator section); the scheduler overlays its own *)
+      let base = t.s_backend.Serve.Backend.serve_section () in
       Instrument.Collect.set_serve collector
         {
-          Instrument.Profile.batches = st.session.Serve.Session.batches;
-          queries_served = st.session.queries_served;
-          serve_wall_s = st.session.wall_clock_s;
-          queries_per_s = st.session.queries_per_s;
-          serve_write_energy_j = st.session.write_energy_j;
-          artifact_cache_hit = (st.session.cache = `Hit);
-          alloc_minor_words_per_query =
-            st.session.Serve.Session.alloc_minor_words_per_query;
-          batches_coalesced = st.batches_coalesced;
+          base with
+          Instrument.Profile.batches_coalesced = st.batches_coalesced;
           batch_fill = st.batch_fill;
           queue_hwm = st.queue_hwm;
           lat_p50_s = st.lat_p50_s;
@@ -223,14 +220,14 @@ let run_batch t batch_seq requests =
   in
   let padded, n_pad = pad_rows t rows in
   let outcome =
-    match Serve.Session.query t.s_session padded with
+    match t.s_backend.Serve.Backend.query padded with
     | r -> Ok r
     | exception e -> Error e
   in
   let finished_at = Instrument.Collect.now () in
   Mutex.lock t.m;
   (match outcome with
-  | Ok (r : C4cam.Driver.run_result) ->
+  | Ok (r : Serve.Backend.reply) ->
       let offset = ref 0 in
       List.iter
         (fun rq ->
@@ -239,9 +236,9 @@ let run_batch t batch_seq requests =
           rq.rq_state <-
             Served
               {
-                r_values = slice r.C4cam.Driver.values;
-                r_indices = slice r.indices;
-                r_scores = Option.map slice r.scores;
+                r_values = slice r.Serve.Backend.values;
+                r_indices = slice r.Serve.Backend.indices;
+                r_scores = Option.map slice r.Serve.Backend.scores;
                 r_batch_seq = batch_seq;
                 r_latency_s =
                   Float.max 0. (finished_at -. rq.rq_submitted_at);
@@ -308,9 +305,8 @@ let scheduler_loop t =
 
 (* ---- lifecycle -------------------------------------------------------- *)
 
-let create ?(config = default_config) session =
-  let info = (Serve.Session.compiled session).C4cam.Driver.info in
-  let q = info.C4cam.Driver.q in
+let create_on ?(config = default_config) backend =
+  let q = backend.Serve.Backend.q in
   let config =
     let batch_rows =
       if config.batch_rows <= 0 then 4 * q
@@ -321,10 +317,10 @@ let create ?(config = default_config) session =
   if config.queue_cap < 1 then fail "queue_cap must be at least 1";
   let t =
     {
-      s_session = session;
+      s_backend = backend;
       s_cfg = config;
       s_q = q;
-      s_d = info.C4cam.Driver.d;
+      s_d = backend.Serve.Backend.d;
       m = Mutex.create ();
       cv_submit = Condition.create ();
       cv_room = Condition.create ();
@@ -354,6 +350,8 @@ let create ?(config = default_config) session =
       (Domain.spawn (fun () ->
            Parallel.run ~jobs:config.jobs (fun _pool -> scheduler_loop t)));
   t
+
+let create ?config session = create_on ?config (Serve.Backend.of_session session)
 
 let connect t =
   Mutex.protect t.m (fun () ->

@@ -77,7 +77,15 @@ val default_config : config
 val create : ?config:config -> Serve.Session.t -> t
 (** Wrap [session] and spawn the scheduler domain. The server owns the
     session from here on: concurrent direct [Session.query] calls on it
-    would race the scheduler. *)
+    would race the scheduler. Equivalent to
+    [create_on (Serve.Backend.of_session session)]. *)
+
+val create_on : ?config:config -> Serve.Backend.t -> t
+(** Like {!create} over any serving backend — in particular
+    [Serve.Sharded_store.backend], which puts the micro-batching
+    scheduler in front of a multi-simulator store
+    (see [docs/SHARDING.md]). The scheduler domain owns the backend
+    from here on. *)
 
 val connect : t -> client
 (** Register a new logical client. @raise Stopped after {!stop}. *)
@@ -144,4 +152,6 @@ val fold_profile : t -> unit
 
 val session : t -> Serve.Session.t
 (** The wrapped session — only safe to touch after {!stop} (or
-    while provably idle); the scheduler domain owns it otherwise. *)
+    while provably idle); the scheduler domain owns it otherwise.
+    @raise Server_error when the server fronts a non-session backend
+    ({!create_on} with a sharded store). *)

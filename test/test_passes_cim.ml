@@ -128,11 +128,13 @@ let test_fusion_preserves_functionality () =
   | _ -> Alcotest.fail "unexpected result arity"
 
 let test_non_matching_block_untouched () =
-  (* A block with only two ops must not be rewritten. *)
+  (* A block matching none of the similarity patterns must not be
+     rewritten. (Bare transpose+matmul no longer qualifies — that is
+     the scores form, see [test_fusion_dot_scores].) *)
   let src =
-    "def forward(x: Tensor[4, 8], w: Tensor[4, 8]):\n\
-    \    t = w.transpose(-2, -1)\n\
-    \    m = torch.matmul(x, t)\n\
+    "def forward(x: Tensor[4, 8], w: Tensor[8, 4]):\n\
+    \    s = torch.sub(x, x)\n\
+    \    m = torch.matmul(s, w)\n\
     \    return m\n"
   in
   let m =
@@ -143,14 +145,38 @@ let test_non_matching_block_untouched () =
   let fn = Func_ir.find_func_exn m "forward" in
   Alcotest.(check int) "no similarity" 0
     (List.length
-       (Walk.collect (fun o -> String.equal o.Op.op_name "cim.similarity") fn));
+       (Walk.collect
+          (fun o ->
+            String.equal o.Op.op_name "cim.similarity"
+            || String.equal o.Op.op_name "cim.similarity_scores")
+          fn));
   Alcotest.(check int) "ops kept" 2
     (List.length
        (Walk.collect
           (fun o ->
-            String.equal o.Op.op_name "cim.transpose"
+            String.equal o.Op.op_name "cim.sub"
             || String.equal o.Op.op_name "cim.matmul")
           fn))
+
+let test_fusion_dot_scores () =
+  (* The topk-free dot kernel fuses to the scores form: the full score
+     matrix as the result, selection left to the host (the sharded
+     store depends on this). *)
+  let src = C4cam.Kernels.hdc_dot_scores ~q:3 ~dims:32 ~classes:8 in
+  let m =
+    Frontend.Emit.compile_string src
+    |> run_pass Passes.Torch_to_cim.pass
+    |> run_pass Passes.Cim_fusion.pass
+  in
+  let fn = Func_ir.find_func_exn m "forward" in
+  let sims =
+    Walk.collect
+      (fun o -> String.equal o.Op.op_name "cim.similarity_scores")
+      fn
+  in
+  Alcotest.(check int) "one similarity_scores" 1 (List.length sims);
+  Alcotest.(check string) "dot metric" "dot"
+    (Attr.as_sym (Op.attr_exn (List.hd sims) "metric"))
 
 (* ---- canonicalize ------------------------------------------------------ *)
 
@@ -327,9 +353,9 @@ let test_host_fallback_unwraps_non_similarity () =
   (* A kernel with no CAM-amenable pattern: after fusion it stays a
      plain execute block; host fallback inlines it back. *)
   let src =
-    "def forward(x: Tensor[4, 8], w: Tensor[4, 8]):\n\
-    \    t = w.transpose(-2, -1)\n\
-    \    m = torch.matmul(x, t)\n\
+    "def forward(x: Tensor[4, 8], w: Tensor[8, 4]):\n\
+    \    s = torch.sub(x, x)\n\
+    \    m = torch.matmul(s, w)\n\
     \    return m\n"
   in
   let m =
@@ -339,7 +365,7 @@ let test_host_fallback_unwraps_non_similarity () =
     |> run_pass Passes.Host_fallback.pass
   in
   Alcotest.(check (list string)) "raised back to torch"
-    [ "torch.transpose"; "torch.matmul"; "func.return" ]
+    [ "torch.sub"; "torch.matmul"; "func.return" ]
     (top_names m);
   (* and the host can execute it *)
   let fn = Func_ir.find_func_exn m "forward" in
@@ -393,6 +419,8 @@ let () =
             test_fusion_euclidean;
           Alcotest.test_case "similarity_scores (cosine)" `Quick
             test_fusion_cosine;
+          Alcotest.test_case "similarity_scores (dot)" `Quick
+            test_fusion_dot_scores;
           Alcotest.test_case "functionality preserved" `Quick
             test_fusion_preserves_functionality;
           Alcotest.test_case "non-matching untouched" `Quick

@@ -1,0 +1,381 @@
+(* The sharded store: randomized differential against a single-kernel
+   oracle, FIFO slot reuse after deletes, top-k tie stability in
+   external-id order, per-shard write isolation under replay diffing,
+   input validation, and the server front-end over a sharded backend
+   (docs/SHARDING.md). *)
+
+module Store = Serve.Sharded_store
+
+let spec = Tutil.spec32
+
+let config_for engine =
+  C4cam.Driver.Run_config.(default |> with_engine engine)
+
+let engines : C4cam.Driver.Run_config.engine list = [ `Compiled; `Treewalk ]
+
+let engine_name : C4cam.Driver.Run_config.engine -> string = function
+  | `Compiled -> "compiled"
+  | `Treewalk -> "treewalk"
+
+(* ---- the oracle -------------------------------------------------------- *)
+
+(* Ground truth for a top-k query over the live rows: one scores-form
+   kernel over ALL live rows in ascending external-id order (no shards,
+   no allocator, no merge tree), then a full host-side sort of each
+   row's distances by (distance, external id). The store must agree
+   bit-for-bit on both the k distances and the k ids. *)
+let oracle ~config ~q ~d ~k ~ids ~stored queries =
+  let n = Array.length stored in
+  (* pad the row count up to the partition pass's divisibility
+     constraint; pad rows are never candidates (the sort below only
+     ranks the first [n] columns) *)
+  let rows = spec.Archspec.Spec.rows in
+  let n_pad =
+    if n > rows && n mod rows <> 0 then ((n / rows) + 1) * rows else n
+  in
+  let stored =
+    if n_pad = n then stored
+    else Array.append stored (Array.make (n_pad - n) stored.(0))
+  in
+  let c =
+    C4cam.Driver.compile ~spec
+      (C4cam.Kernels.hdc_dot_scores ~q ~dims:d ~classes:n_pad)
+  in
+  let r = C4cam.Driver.run_cam ~config c ~queries ~stored in
+  let scores =
+    match r.C4cam.Driver.scores with
+    | Some s -> s
+    | None -> Alcotest.fail "oracle kernel returned no score matrix"
+  in
+  Array.map
+    (fun (row : float array) ->
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          match Float.compare row.(a) row.(b) with
+          | 0 -> compare ids.(a) ids.(b)
+          | c -> c)
+        order;
+      ( Array.init k (fun i -> row.(order.(i))),
+        Array.init k (fun i -> ids.(order.(i))) ))
+    scores
+
+(* A host-side model of the live set, mirrored into the store op by op
+   so the oracle always knows the ground truth. *)
+type model = {
+  rows : (int, float array) Hashtbl.t;
+  mutable next : int;
+}
+
+let model_live m =
+  let l =
+    Hashtbl.fold (fun id row acc -> (id, row) :: acc) m.rows []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  ( Array.of_list (List.map fst l),
+    Array.of_list (List.map snd l) )
+
+(* ---- randomized differential ------------------------------------------ *)
+
+let test_differential () =
+  let q = 4 and d = 64 and k = 3 and capacity = 48 and initial = 32 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:31 ~noise:0.2 ~dims:d ~n_classes:initial
+      ~n_queries:16 ~bits:1 ()
+  in
+  let n_pool_q = Array.length data.queries in
+  List.iter (fun jobs ->
+      List.iter (fun engine ->
+          List.iter (fun shards ->
+              let what =
+                Printf.sprintf "jobs %d engine %s shards %d" jobs
+                  (engine_name engine) shards
+              in
+              let config = config_for engine in
+              Parallel.run ~jobs @@ fun _ ->
+              let store =
+                Store.create ~config ~spec ~q ~d ~k ~shards ~capacity ()
+              in
+              let m = { rows = Hashtbl.create 64; next = 0 } in
+              let ins row =
+                let id = Store.insert store row in
+                Alcotest.(check int)
+                  (what ^ ": monotonic id") m.next id;
+                Hashtbl.replace m.rows id row;
+                m.next <- id + 1
+              in
+              Array.iter ins data.stored;
+              let rng = Rng.create (97 + jobs + (31 * shards)) in
+              for _round = 1 to 4 do
+                (* a few seeded mutations: delete, slot-reusing insert,
+                   in-place update *)
+                for _ = 1 to 2 + Rng.int rng 3 do
+                  let ids, _ = model_live m in
+                  let n_live = Array.length ids in
+                  match Rng.int rng 3 with
+                  | 0 when n_live > k + 2 ->
+                      let id = ids.(Rng.int rng n_live) in
+                      Store.delete store id;
+                      Hashtbl.remove m.rows id
+                  | 1 when n_live < capacity ->
+                      ins data.stored.(Rng.int rng initial)
+                  | _ ->
+                      let id = ids.(Rng.int rng n_live) in
+                      let row = data.stored.(Rng.int rng initial) in
+                      Store.update store id row;
+                      Hashtbl.replace m.rows id row
+                done;
+                let off = Rng.int rng (n_pool_q - q + 1) in
+                let queries = Array.sub data.queries off q in
+                let r = Store.query store queries in
+                let ids, stored = model_live m in
+                let want = oracle ~config ~q ~d ~k ~ids ~stored queries in
+                Array.iteri
+                  (fun g (wv, wi) ->
+                    Alcotest.(check Tutil.rows_testable)
+                      (what ^ ": values") [| wv |] [| r.Store.values.(g) |];
+                    Alcotest.(check Tutil.int_rows_testable)
+                      (what ^ ": ids") [| wi |] [| r.Store.indices.(g) |])
+                  want
+              done)
+            [ 1; 3; 4 ])
+        engines)
+    [ 1; 4 ]
+
+(* ---- delete-then-reuse ------------------------------------------------- *)
+
+(* Stale device rows must never surface: after a delete, a query for
+   the deleted row's exact contents finds the re-inserted copy under
+   its NEW id, and the freed capacity is accounted. *)
+let test_delete_then_reuse () =
+  let q = 4 and d = 64 and k = 2 and capacity = 16 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:5 ~dims:d ~n_classes:capacity
+      ~n_queries:4 ~bits:1 ()
+  in
+  Parallel.run ~jobs:1 @@ fun _ ->
+  let store = Store.create ~spec ~q ~d ~k ~shards:2 ~capacity () in
+  Array.iter (fun r -> ignore (Store.insert store r)) data.stored;
+  Alcotest.(check int) "full" 0 (Store.rows_free store);
+  (* free two slots, re-insert the same contents under fresh ids *)
+  Store.delete store 3;
+  Store.delete store 11;
+  Alcotest.(check int) "freed" 2 (Store.rows_free store);
+  let id_a = Store.insert store data.stored.(3) in
+  let id_b = Store.insert store data.stored.(11) in
+  Alcotest.(check (list int)) "fresh ids" [ 16; 17 ] [ id_a; id_b ];
+  Alcotest.(check int) "full again" 0 (Store.rows_free store);
+  Alcotest.(check int) "live count" capacity (Store.rows_stored store);
+  (* an exact-content probe must name the new ids, not the stale ones *)
+  let probe = Array.make q data.stored.(3) in
+  probe.(1) <- data.stored.(11);
+  let r = Store.query store probe in
+  Alcotest.(check int) "row 3 resurfaces as 16" id_a r.Store.indices.(0).(0);
+  Alcotest.(check int) "row 11 resurfaces as 17" id_b
+    r.Store.indices.(1).(0);
+  (* ... and the stale ids are gone from every top-k list *)
+  Array.iter
+    (Array.iter (fun id ->
+         if id = 3 || id = 11 then
+           Alcotest.failf "stale id %d surfaced after delete" id))
+    r.Store.indices
+
+(* ---- top-k ties -------------------------------------------------------- *)
+
+(* Duplicate contents scattered across shards tie exactly; the merged
+   top-k must list them in ascending external-id order for any shard
+   count — the device's physical slot order must never leak. *)
+let test_tie_stability () =
+  let q = 4 and d = 64 and k = 4 and capacity = 48 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:13 ~dims:d ~n_classes:40 ~n_queries:4
+      ~bits:1 ()
+  in
+  let dup = data.stored.(7) in
+  let results =
+    List.map
+      (fun shards ->
+        Parallel.run ~jobs:1 @@ fun _ ->
+        let store = Store.create ~spec ~q ~d ~k ~shards ~capacity () in
+        Array.iter (fun r -> ignore (Store.insert store r)) data.stored;
+        (* four exact copies, ids 40..43 (40 duplicates id 7's row) *)
+        for _ = 1 to 3 do
+          ignore (Store.insert store dup)
+        done;
+        let r = Store.query store (Array.make q dup) in
+        Array.iter
+          (fun (ids : int array) ->
+            Alcotest.(check (array int))
+              (Printf.sprintf "shards %d: ties in id order" shards)
+              [| 7; 40; 41; 42 |] ids;
+            ())
+          r.Store.indices;
+        (* the tied distances are bit-identical *)
+        Array.iter
+          (fun (vals : float array) ->
+            Array.iter
+              (fun v ->
+                Alcotest.(check bool) "tied distance" true
+                  (Int64.bits_of_float v = Int64.bits_of_float vals.(0)))
+              vals)
+          r.Store.values;
+        (* deleting one of the ties promotes the next id, stably *)
+        Store.delete store 41;
+        let id_new = Store.insert store dup in
+        let r2 = Store.query store (Array.make q dup) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "shards %d: ties after slot reuse" shards)
+          [| 7; 40; 42; id_new |]
+          r2.Store.indices.(0);
+        (r.Store.values, r.Store.indices))
+      [ 1; 4 ]
+  in
+  match results with
+  | [ (v1, i1); (v4, i4) ] ->
+      Alcotest.(check Tutil.rows_testable) "values shard-invariant" v1 v4;
+      Alcotest.(check Tutil.int_rows_testable) "ids shard-invariant" i1 i4
+  | _ -> assert false
+
+(* ---- per-shard write isolation ---------------------------------------- *)
+
+(* An update touches exactly one shard's device, and its replay charges
+   far less than the shard's initial full write — the diffing contract.
+   A delete alone charges nothing anywhere. *)
+let test_write_isolation () =
+  let q = 4 and d = 64 and k = 3 and capacity = 256 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:19 ~dims:d ~n_classes:capacity
+      ~n_queries:4 ~bits:1 ()
+  in
+  Parallel.run ~jobs:1 @@ fun _ ->
+  let store = Store.create ~spec ~q ~d ~k ~shards:4 ~capacity () in
+  Array.iter (fun r -> ignore (Store.insert store r)) data.stored;
+  let probe () = ignore (Store.query store (Array.sub data.queries 0 q)) in
+  probe ();
+  let writes () =
+    Array.map
+      (fun (i : Store.shard_info) -> i.Store.info_write_ops)
+      (Store.stats store).Store.per_shard
+  in
+  let w0 = writes () in
+  Array.iter
+    (fun w -> Alcotest.(check bool) "initial write charged" true (w > 0))
+    w0;
+  (* delete: metadata only, no device writes on the next replay *)
+  Store.delete store 100;
+  probe ();
+  Alcotest.(check (array int)) "delete charges nothing" w0 (writes ());
+  (* update: exactly one shard pays, and less than its initial fill *)
+  Store.update store 0 data.stored.(1);
+  probe ();
+  let w1 = writes () in
+  let touched = ref 0 in
+  Array.iteri
+    (fun s w ->
+      if w <> w0.(s) then begin
+        incr touched;
+        Alcotest.(check bool) "diffed replay, not a full rewrite" true
+          (w - w0.(s) < w0.(s))
+      end)
+    w1;
+  Alcotest.(check int) "exactly one shard written" 1 !touched
+
+(* ---- validation -------------------------------------------------------- *)
+
+let test_errors () =
+  let q = 4 and d = 64 and k = 3 and capacity = 16 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:3 ~dims:d ~n_classes:capacity
+      ~n_queries:4 ~bits:1 ()
+  in
+  Parallel.run ~jobs:1 @@ fun _ ->
+  let expect_err what f =
+    match f () with
+    | exception Store.Store_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Store_error" what
+  in
+  expect_err "zero shards" (fun () ->
+      Store.create ~spec ~q ~d ~k ~shards:0 ~capacity ());
+  expect_err "capacity below k" (fun () ->
+      Store.create ~spec ~q ~d ~k ~shards:1 ~capacity:(k - 1) ());
+  let store = Store.create ~spec ~q ~d ~k ~shards:2 ~capacity () in
+  expect_err "bad insert width" (fun () ->
+      Store.insert store (Array.make (d - 1) 0.));
+  expect_err "top-k under-filled" (fun () ->
+      Store.query store (Array.sub data.queries 0 q));
+  Array.iter (fun r -> ignore (Store.insert store r)) data.stored;
+  expect_err "insert past capacity" (fun () ->
+      Store.insert store data.stored.(0));
+  expect_err "unknown delete" (fun () -> Store.delete store 999);
+  expect_err "unknown update" (fun () ->
+      Store.update store 999 data.stored.(0));
+  expect_err "bad update width" (fun () ->
+      Store.update store 0 (Array.make (d + 1) 0.));
+  expect_err "ragged batch" (fun () ->
+      Store.query store (Array.sub data.queries 0 (q - 1)));
+  expect_err "empty batch" (fun () -> Store.query store [||])
+
+(* ---- the server front-end over a sharded backend ----------------------- *)
+
+let test_server_backend () =
+  let q = 4 and d = 64 and k = 1 and capacity = 32 in
+  let data =
+    Workloads.Hdc.synthetic ~seed:41 ~dims:d ~n_classes:capacity
+      ~n_queries:16 ~bits:1 ()
+  in
+  Parallel.run ~jobs:1 @@ fun _ ->
+  let mk () =
+    let store = Store.create ~spec ~q ~d ~k ~shards:4 ~capacity () in
+    Array.iter (fun r -> ignore (Store.insert store r)) data.stored;
+    store
+  in
+  let served = mk () and reference = mk () in
+  let server =
+    Server.create_on
+      ~config:{ Server.default_config with start_paused = true }
+      (Store.backend served)
+  in
+  (match Server.session server with
+  | exception Server.Server_error _ -> ()
+  | _ -> Alcotest.fail "session accessor must refuse a sharded backend");
+  let clients = Array.init 4 (fun _ -> Server.connect server) in
+  let tickets =
+    List.init 16 (fun i ->
+        (i, Server.submit clients.(i mod 4) [| data.queries.(i) |]))
+  in
+  Server.resume server;
+  List.iter
+    (fun (i, tk) ->
+      let r = Server.await tk in
+      (* the reference serves the same row padded to a full q-chunk:
+         rows are independent, so row 0 is the single-row answer *)
+      let want =
+        Store.query reference (Array.make q data.queries.(i))
+      in
+      Alcotest.(check Tutil.rows_testable)
+        "values via server" [| want.Store.values.(0) |] r.Server.r_values;
+      Alcotest.(check Tutil.int_rows_testable)
+        "ids via server" [| want.Store.indices.(0) |] r.Server.r_indices)
+    tickets;
+  Server.stop server;
+  let st = Server.stats server in
+  Alcotest.(check int) "all requests served" 16 st.Server.requests_served
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "sharded store",
+        [
+          Alcotest.test_case "oracle differential (jobs x engine x shards)"
+            `Quick test_differential;
+          Alcotest.test_case "delete then reuse" `Quick
+            test_delete_then_reuse;
+          Alcotest.test_case "top-k tie stability" `Quick
+            test_tie_stability;
+          Alcotest.test_case "per-shard write isolation" `Quick
+            test_write_isolation;
+          Alcotest.test_case "validation" `Quick test_errors;
+          Alcotest.test_case "server over a sharded backend" `Quick
+            test_server_backend;
+        ] );
+    ]
