@@ -133,12 +133,15 @@ let () =
               "write_ops"; "kernel_binary"; "kernel_nibble";
               "kernel_generic"; "kernel_early_exit"; "n_ops_executed";
               "batches"; "batches_coalesced"; "queue_hwm"; "shards";
-              "rows_stored";
+              "rows_stored"; "placement_wins"; "placement_candidates";
+              "placement_moved_bytes";
             ];
           (* exact string gates: the sharded workload's results_digest
              hashes the bit pattern of every merged distance and
              external id — any drift is a ranking change, exactly like
-             accuracy above but covering the full top-k *)
+             accuracy above but covering the full top-k; the placement
+             workload's chosen assignment is a compiler decision, so
+             any drift is a cost-model change that must be reviewed *)
           List.iter
             (fun key ->
               match Instrument.Json.member_opt key base with
@@ -153,11 +156,11 @@ let () =
                   check name key (String.equal b c)
                     (Printf.sprintf
                        "baseline %s, current %s (exact match required)" b c))
-            [ "results_digest" ];
-          (* deterministic float counters: ratios of exact-gated
-             integers, so they too must match exactly (the latency
-             percentiles, by contrast, are host wall-clock and are
-             gated by nothing) *)
+            [ "results_digest"; "placement" ];
+          (* deterministic float counters: pure functions of exact-gated
+             integers or of the analytical cost models, so they too must
+             match exactly (the latency percentiles, by contrast, are
+             host wall-clock and are gated by nothing) *)
           List.iter
             (fun key ->
               match Instrument.Json.member_opt key base with
@@ -173,7 +176,7 @@ let () =
                     (Printf.sprintf
                        "baseline %.6f, current %.6f (exact match required)"
                        b c))
-            [ "batch_fill" ];
+            [ "batch_fill"; "placement_latency_s"; "placement_energy_j" ];
           (* GC-pressure gate: banded, not exact, and only when the two
              runs used the same jobs count (see the header comment) and
              — for the sharded workload — the same shard count: the

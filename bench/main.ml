@@ -846,6 +846,73 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
     (C4cam.Report.si_energy sharded_stats.session.Serve.Session.sim_energy_j)
     sharded_accuracy
     (String.sub sharded_digest 0 12);
+  (* The placement workload: the three-stage RecSys pipeline (GEMV
+     feature projection, Euclidean scoring, top-1 selection) placed by
+     the Energy-objective cost model across crossbar, CAM and host,
+     next to the three single-backend mappings. The chosen assignment
+     and its modeled latency/energy are exact-gated, as is the count
+     of single mappings the mixed plan beats — the heterogeneous win
+     is a regression gate, not a demo. Recommendations are
+     byte-identical across all executable placements (asserted). *)
+  let place_auto, place_singles, place_wins =
+    let rdata =
+      Workloads.Recsys.generate ~seed:29 ~users:16 ~features:256 ~items:256
+        ~classes:10 ()
+    in
+    let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+    let auto_config =
+      config
+      |> C4cam.Driver.Run_config.with_placement `Auto
+      |> C4cam.Driver.Run_config.with_place_objective Passes.Placement.Energy
+    in
+    let auto =
+      C4cam.Hetero.run_recsys ~config:auto_config ~spec ~data:rdata ~k:1 ()
+    in
+    let stages = C4cam.Hetero.recsys_stages rdata ~k:1 in
+    let singles =
+      List.map
+        (fun dev ->
+          C4cam.Hetero.run_recsys ~config ~spec ~data:rdata ~k:1
+            ~assignment:(Passes.Placement.single stages dev) ())
+        Passes.Placement.[ Cam; Xbar; Host ]
+    in
+    List.iter
+      (fun (s : C4cam.Hetero.recsys_outcome) ->
+        if s.rc_indices <> auto.rc_indices || s.rc_values <> auto.rc_values
+        then
+          failwith
+            ("placement determinism violation: " ^ s.rc_placement
+           ^ " disagrees with " ^ auto.rc_placement))
+      singles;
+    let wins =
+      List.length
+        (List.filter
+           (fun (s : C4cam.Hetero.recsys_outcome) ->
+             auto.rc_energy < s.rc_energy)
+           singles)
+    in
+    (auto, singles, wins)
+  in
+  print_newline ();
+  print_string
+    (C4cam.Report.table
+       ~headers:
+         [ "recsys placement"; "latency"; "energy"; "moved"; "accuracy" ]
+       (List.map
+          (fun (o : C4cam.Hetero.recsys_outcome) ->
+            [
+              o.rc_placement;
+              C4cam.Report.si_time o.rc_latency;
+              C4cam.Report.si_energy o.rc_energy;
+              Printf.sprintf "%d B" o.rc_moved_bytes;
+              Printf.sprintf "%.4f" o.rc_accuracy;
+            ])
+          (place_auto :: place_singles)));
+  Printf.printf
+    "place-auto-recsys-32x32: chose %s (%d candidates), beats %d/%d \
+     single-backend mappings on energy\n"
+    place_auto.rc_placement place_auto.rc_candidates place_wins
+    (List.length place_singles);
   (* compile-time breakdown of the reference HDC kernel, end-to-end *)
   let collector = Instrument.Collect.create () in
   Instrument.Collect.set_jobs collector jobs;
@@ -1053,6 +1120,65 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
             ("shard_merge_wall_s", Instrument.Json.Float st.merge_wall_s);
           ]
       in
+      (* The placement workload: modeled split totals as the headline
+         latency/energy (banded like every workload), the CAM score
+         stage's activity counters (the score ran there under the
+         chosen assignment), and the placement-specific exact gates —
+         the chosen assignment string, its exact modeled costs, and
+         the number of single-backend mappings it beats. *)
+      let place_json =
+        let o = place_auto in
+        let s =
+          match o.rc_cam with
+          | Some (r : C4cam.Driver.run_result) -> r.stats
+          | None -> Camsim.Stats.create ()
+        in
+        let ops =
+          match o.rc_cam with
+          | Some r ->
+              List.fold_left (fun acc (_, n) -> acc + n) 0 r.ops_executed
+          | None -> 0
+        in
+        Instrument.Json.Assoc
+          [
+            ("name", Instrument.Json.String "place-auto-recsys-32x32");
+            ( "config",
+              Instrument.Json.String
+                (C4cam.Dse.config_name
+                   (Archspec.Spec.square 32 Archspec.Spec.Base)) );
+            ("latency_s", Instrument.Json.Float o.rc_latency);
+            ("energy_j", Instrument.Json.Float o.rc_energy);
+            ( "power_w",
+              Instrument.Json.Float
+                (if o.rc_latency > 0. then o.rc_energy /. o.rc_latency
+                 else 0.) );
+            ("edp_js", Instrument.Json.Float (o.rc_energy *. o.rc_latency));
+            ("accuracy", Instrument.Json.Float o.rc_accuracy);
+            ("subarrays", Instrument.Json.Int s.Camsim.Stats.n_subarrays);
+            ("banks", Instrument.Json.Int s.Camsim.Stats.n_banks);
+            ("search_ops", Instrument.Json.Int s.Camsim.Stats.n_search_ops);
+            ( "query_cycles",
+              Instrument.Json.Int s.Camsim.Stats.n_query_cycles );
+            ("write_ops", Instrument.Json.Int s.Camsim.Stats.n_write_ops);
+            ( "kernel_binary",
+              Instrument.Json.Int s.Camsim.Stats.n_kernel_binary );
+            ( "kernel_nibble",
+              Instrument.Json.Int s.Camsim.Stats.n_kernel_nibble );
+            ( "kernel_generic",
+              Instrument.Json.Int s.Camsim.Stats.n_kernel_generic );
+            ( "kernel_early_exit",
+              Instrument.Json.Int s.Camsim.Stats.n_kernel_early_exit );
+            ("n_ops_executed", Instrument.Json.Int ops);
+            ("placement", Instrument.Json.String o.rc_placement);
+            ("placement_wins", Instrument.Json.Int place_wins);
+            ( "placement_candidates",
+              Instrument.Json.Int o.rc_candidates );
+            ("placement_latency_s", Instrument.Json.Float o.rc_latency);
+            ("placement_energy_j", Instrument.Json.Float o.rc_energy);
+            ( "placement_moved_bytes",
+              Instrument.Json.Int o.rc_moved_bytes );
+          ]
+      in
       let doc =
         Instrument.Json.Assoc
           [
@@ -1066,7 +1192,7 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
             ( "workloads",
               Instrument.Json.List
                 (List.map workload_json workloads
-                @ [ serve_json; server_json; sharded_json ]) );
+                @ [ serve_json; server_json; sharded_json; place_json ]) );
             ("compile", Instrument.Profile.to_json profile);
           ]
       in

@@ -219,12 +219,35 @@ let backend_arg =
   Arg.(
     value & opt string "interp"
     & info [ "backend" ] ~docv:"B"
-        ~doc:"Execution backend: interp (structured-IR interpreter) or vm \
-              (flat runtime ISA).")
+        ~doc:"Execution backend: interp (structured-IR interpreter), vm \
+              (flat runtime ISA), or a placement — cam (all-CAM placed \
+              run), xbar (crossbar scores, host select), host (host \
+              replica) or auto (cost-model choice under --objective). \
+              All backends return identical results.")
+
+let place_objective_arg =
+  Arg.(
+    value & opt string "energy"
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:"Placement objective for --backend auto (and the place \
+              command): latency | energy | edp.")
+
+let place_objective_of objective =
+  match Passes.Placement.objective_of_string objective with
+  | Ok o -> o
+  | Error e ->
+      prerr_endline ("c4cam: " ^ e);
+      exit 1
+
+let top1_correct indices labels =
+  Array.to_list indices
+  |> List.mapi (fun i (row : int array) ->
+         if row.(0) = labels.(i) then 1 else 0)
+  |> List.fold_left ( + ) 0
 
 let run_cmd =
-  let run kernel arch size opt queries dims classes seed backend profile
-      profile_json jobs no_precompile =
+  let run kernel arch size opt queries dims classes seed backend objective
+      profile profile_json jobs no_precompile =
     handle_errors (fun () ->
         with_jobs jobs @@ fun jobs ->
         let spec = or_die (spec_of ~arch ~size ~opt) in
@@ -237,34 +260,72 @@ let run_cmd =
           Workloads.Hdc.synthetic ~seed ~dims:c.info.d
             ~n_classes:c.info.n ~n_queries:c.info.q ~bits:spec.bits ()
         in
-        let r =
-          match backend with
-          | "interp" ->
-              C4cam.Driver.run_cam ~config c ~queries:data.queries
-                ~stored:data.stored
-          | "vm" ->
-              C4cam.Driver.run_vm ~config c ~queries:data.queries
-                ~stored:data.stored
-          | b ->
-              prerr_endline ("c4cam: unknown backend " ^ b);
-              exit 1
+        let kernel_line () =
+          Printf.printf "kernel   : %d queries x %d dims vs %d stored (%s)\n"
+            c.info.q c.info.d c.info.n
+            (C4cam.Dse.config_name spec)
         in
-        emit_profile ~profile ~profile_json collector;
-        let correct =
-          Array.to_list r.indices
-          |> List.mapi (fun i (row : int array) ->
-                 if row.(0) = data.query_labels.(i) then 1 else 0)
-          |> List.fold_left ( + ) 0
-        in
-        Printf.printf "kernel   : %d queries x %d dims vs %d stored (%s)\n"
-          c.info.q c.info.d c.info.n
-          (C4cam.Dse.config_name spec);
-        Printf.printf "latency  : %s\n" (C4cam.Report.si_time r.latency);
-        Printf.printf "energy   : %s\n" (C4cam.Report.si_energy r.energy);
-        Printf.printf "power    : %s\n" (C4cam.Report.si_power r.power);
-        Printf.printf "accuracy : %d/%d on synthetic noisy queries\n" correct
-          c.info.q;
-        Printf.printf "%s\n" (Camsim.Stats.to_string r.stats))
+        match backend with
+        | "interp" | "vm" ->
+            let r =
+              (if backend = "interp" then C4cam.Driver.run_cam
+               else C4cam.Driver.run_vm)
+                ~config c ~queries:data.queries ~stored:data.stored
+            in
+            emit_profile ~profile ~profile_json collector;
+            kernel_line ();
+            Printf.printf "latency  : %s\n" (C4cam.Report.si_time r.latency);
+            Printf.printf "energy   : %s\n" (C4cam.Report.si_energy r.energy);
+            Printf.printf "power    : %s\n" (C4cam.Report.si_power r.power);
+            Printf.printf "accuracy : %d/%d on synthetic noisy queries\n"
+              (top1_correct r.indices data.query_labels)
+              c.info.q;
+            Printf.printf "%s\n" (Camsim.Stats.to_string r.stats)
+        | "cam" | "xbar" | "host" | "auto" ->
+            let placement =
+              match backend with
+              | "cam" -> `Cam
+              | "xbar" ->
+                  `Fixed (Passes.Placement.Xbar, Passes.Placement.Host)
+              | "host" ->
+                  `Fixed (Passes.Placement.Host, Passes.Placement.Host)
+              | _ -> `Auto
+            in
+            let config =
+              config
+              |> C4cam.Driver.Run_config.with_placement placement
+              |> C4cam.Driver.Run_config.with_place_objective
+                   (place_objective_of objective)
+            in
+            let pr =
+              C4cam.Hetero.run_placed ~config c ~queries:data.queries
+                ~stored:data.stored
+            in
+            emit_profile ~profile ~profile_json collector;
+            kernel_line ();
+            Printf.printf "placement: %s (%d candidates, objective %s)\n"
+              pr.pr_placement pr.pr_candidates objective;
+            List.iter
+              (fun (name, dev, (cost : Passes.Placement.cost)) ->
+                Printf.printf "  %-6s on %-4s : %s, %s\n" name
+                  (Passes.Placement.device_name dev)
+                  (C4cam.Report.si_time cost.latency)
+                  (C4cam.Report.si_energy cost.energy))
+              pr.pr_stage_costs;
+            if pr.pr_moved_bytes > 0 then
+              Printf.printf "  move %8d B : %s, %s\n" pr.pr_moved_bytes
+                (C4cam.Report.si_time pr.pr_movement.latency)
+                (C4cam.Report.si_energy pr.pr_movement.energy);
+            Printf.printf "latency  : %s\n"
+              (C4cam.Report.si_time pr.pr_latency);
+            Printf.printf "energy   : %s\n"
+              (C4cam.Report.si_energy pr.pr_energy);
+            Printf.printf "accuracy : %d/%d on synthetic noisy queries\n"
+              (top1_correct pr.pr_indices data.query_labels)
+              c.info.q
+        | b ->
+            prerr_endline ("c4cam: unknown backend " ^ b);
+            exit 1)
   in
   let seed_arg =
     Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Data seed.")
@@ -273,8 +334,76 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the CAM simulator")
     Term.(
       const run $ kernel_arg $ arch_arg $ size_arg $ opt_arg $ queries_arg
-      $ dims_arg $ classes_arg $ seed_arg $ backend_arg $ profile_arg
-      $ profile_json_arg $ jobs_arg $ no_precompile_arg)
+      $ dims_arg $ classes_arg $ seed_arg $ backend_arg
+      $ place_objective_arg $ profile_arg $ profile_json_arg $ jobs_arg
+      $ no_precompile_arg)
+
+(* ---- place: print the placement candidate table without running --------- *)
+
+let place_cmd =
+  let run arch size opt queries dims classes features metric topk objective =
+    handle_errors (fun () ->
+        let metric =
+          match metric with
+          | "dot" -> Dialects.Cim.Dot
+          | "cosine" -> Dialects.Cim.Cosine
+          | "euclidean" -> Dialects.Cim.Euclidean
+          | "hamming" -> Dialects.Cim.Hamming
+          | m ->
+              prerr_endline ("c4cam: unknown metric " ^ m);
+              exit 1
+        in
+        let spec = or_die (spec_of ~arch ~size ~opt) in
+        (* Euclidean distances need the multi-bit analog cell. *)
+        let spec =
+          if metric = Dialects.Cim.Euclidean then
+            { spec with cam_kind = Archspec.Spec.Mcam }
+          else spec
+        in
+        let stages =
+          (if features > 0 then
+             [ Passes.Placement.Gemv { m = queries; k = features; n = dims } ]
+           else [])
+          @ [
+              Passes.Placement.Score
+                { q = queries; n = classes; d = dims; metric };
+              Passes.Placement.Select { q = queries; n = classes; k = topk };
+            ]
+        in
+        let models = Passes.Placement.default_models spec in
+        print_string
+          (Passes.Placement.table
+             ~objective:(place_objective_of objective)
+             models stages))
+  in
+  let features_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "features" ] ~docv:"N"
+          ~doc:"Prepend a GEMV feature-projection stage ($(docv) input \
+                features per query; default 0: no GEMV stage).")
+  in
+  let metric_arg =
+    Arg.(
+      value & opt string "dot"
+      & info [ "metric" ] ~docv:"M"
+          ~doc:"Similarity metric of the score stage: dot | cosine | \
+                euclidean | hamming.")
+  in
+  let topk_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "topk" ] ~docv:"K" ~doc:"Results per query row (default 1).")
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Price every legal device assignment of a kernel's stage \
+          pipeline and print the candidate table (no execution)")
+    Term.(
+      const run $ arch_arg $ size_arg $ opt_arg $ queries_arg $ dims_arg
+      $ classes_arg $ features_arg $ metric_arg $ topk_arg
+      $ place_objective_arg)
 
 (* ---- serve: persistent session over query batches ---------------------- *)
 
@@ -900,7 +1029,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "c4cam" ~doc)
           [
-            compile_cmd; run_cmd; serve_cmd; serve_tcp_cmd; asm_cmd;
-            sweep_cmd; tune_cmd;
+            compile_cmd; run_cmd; place_cmd; serve_cmd; serve_tcp_cmd;
+            asm_cmd; sweep_cmd; tune_cmd;
             passes_cmd;
           ]))

@@ -49,6 +49,29 @@ let select ~n ~k ~cmp =
    [bounded], writing into the caller's buffer. [bounded] and
    [full_sort] agree for every k under a total order (which [select]'s
    contract already demands), so this needs no crossover case. *)
+(* Host-side replica of the simulator's select_best ordering: compare
+   on the value in the requested direction, break ties on the row
+   index. Sharing the comparator through this helper is what lets the
+   placement runner promise byte-identical results when the final
+   selection moves from the CAM periphery to the host. *)
+let rows ~dist ~k ~largest =
+  let q = Array.length dist in
+  let values = Array.make q [||] in
+  let indices = Array.make q [||] in
+  for qi = 0 to q - 1 do
+    let row = dist.(qi) in
+    let n = Array.length row in
+    let cmp a b =
+      let va = row.(a) and vb = row.(b) in
+      let c = if largest then compare vb va else compare va vb in
+      if c <> 0 then c else compare a b
+    in
+    let order = select ~n ~k ~cmp in
+    indices.(qi) <- order;
+    values.(qi) <- Array.map (fun j -> row.(j)) order
+  done;
+  (values, indices)
+
 let select_into ~buf ~n ~k ~cmp =
   if k < 0 || k > n then
     invalid_arg (Printf.sprintf "Topk.select_into: k=%d out of [0, %d]" k n);

@@ -15,6 +15,20 @@ val select : n:int -> k:int -> cmp:(int -> int -> int) -> int array
 
     @raise Invalid_argument unless [0 <= k <= n]. *)
 
+val rows :
+  dist:float array array ->
+  k:int ->
+  largest:bool ->
+  float array array * int array array
+(** [rows ~dist ~k ~largest] selects the top [k] of each distance row
+    with the simulator's [select_best] ordering — value in the
+    requested direction, ties broken on the row index — returning
+    [(values, indices)] shaped [q x k]. The host-side half of a
+    placement that moves selection off the CAM periphery: results are
+    bit-identical to the device path.
+
+    @raise Invalid_argument unless [0 <= k <= length] of each row. *)
+
 val select_into :
   buf:int array -> n:int -> k:int -> cmp:(int -> int -> int) -> unit
 (** [select_into ~buf ~n ~k ~cmp] writes the same [k] indices {!select}

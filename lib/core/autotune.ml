@@ -26,8 +26,11 @@ let default_sides = [ 16; 32; 64; 128; 256 ]
 let default_opts =
   Archspec.Spec.[ Base; Power; Density; Power_density ]
 
+let default_placements = [ (Passes.Placement.Cam, Passes.Placement.Cam) ]
+
 let evaluate_hdc ?(config = Driver.Run_config.default)
-    ?(sides = default_sides) ?(optimizations = default_opts) ~data () =
+    ?(sides = default_sides) ?(optimizations = default_opts)
+    ?(placements = default_placements) ~data () =
   (* The area model needs a concrete technology even when the config
      leaves the simulator on its default. *)
   let area_tech =
@@ -36,16 +39,42 @@ let evaluate_hdc ?(config = Driver.Run_config.default)
   in
   (* Build the full grid first, then evaluate candidates across the
      ambient domain pool — each gets its own compile and simulator, and
-     map_list keeps the sides-outer / optimizations-inner order. *)
+     map_list keeps the sides-outer / optimizations-inner /
+     placements-innermost order. *)
   let grid =
     List.concat_map
-      (fun side -> List.map (fun opt -> (side, opt)) optimizations)
+      (fun side ->
+        List.concat_map
+          (fun opt -> List.map (fun p -> (side, opt, p)) placements)
+          optimizations)
       sides
   in
   Parallel.map_list
-    (fun (side, opt) ->
+    (fun (side, opt, (score_dev, select_dev)) ->
       let spec = Archspec.Spec.square side opt in
-      let measurement = Dse.hdc ~config ~spec ~data () in
+      let measurement =
+        match (score_dev, select_dev) with
+        | Passes.Placement.Cam, Passes.Placement.Cam ->
+            (* The homogeneous reference keeps the plain DSE path (and
+               its unsuffixed config name). *)
+            Dse.hdc ~config ~spec ~data ()
+        | s, sel ->
+            let config =
+              Driver.Run_config.with_placement (`Fixed (s, sel)) config
+            in
+            let q = Array.length data.Workloads.Hdc.queries in
+            let classes = Array.length data.stored in
+            let dims = Array.length data.stored.(0) in
+            let compiled =
+              Driver.compile ~spec (Kernels.hdc_dot ~q ~dims ~classes ~k:1)
+            in
+            let pr =
+              Hetero.run_placed ~config compiled ~queries:data.queries
+                ~stored:data.stored
+            in
+            Dse.placed_measurement spec pr
+              ~accuracy:(Dse.top1_accuracy pr.pr_indices data.query_labels)
+      in
       {
         spec;
         measurement;

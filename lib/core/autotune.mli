@@ -30,16 +30,22 @@ val evaluate_hdc :
   ?config:Driver.Run_config.t ->
   ?sides:int list ->
   ?optimizations:Archspec.Spec.optimization list ->
+  ?placements:(Passes.Placement.device * Passes.Placement.device) list ->
   data:Workloads.Hdc.synthetic ->
   unit ->
   candidate list
 (** Compile-and-run the HDC workload over the candidate grid
-    (default: sides 16..256, all four optimizations), each candidate
-    under [config]. The area model falls back to
+    (default: sides 16..256, all four optimizations, the all-CAM
+    placement), each candidate under [config]. [placements] adds a
+    (score, select) device axis: [(Cam, Cam)] takes the plain DSE
+    path, anything else runs through [Hetero.run_placed] with that
+    split pinned (each pair must be executable for the workload —
+    see [Hetero.executable_placed]). The area model falls back to
     [Camsim.Tech.fefet_45nm] when the config carries no technology.
     Candidates are evaluated across the ambient [Parallel] pool, one
     private simulator each; the returned list keeps the sides-outer /
-    optimizations-inner order for any jobs value. *)
+    optimizations-inner / placements-innermost order for any jobs
+    value. *)
 
 val best : objective -> candidate list -> candidate
 (** @raise Invalid_argument on an empty candidate list. *)

@@ -182,6 +182,15 @@ type run_result = {
 module Run_config = struct
   type engine = [ `Compiled | `Treewalk ]
 
+  (* Where the kernel's (score, select) stages run: all-CAM (the
+     homogeneous path), a cost-model decision, or a pinned split.
+     Honoured by [Hetero.run_placed]; [run_cam] itself is the all-CAM
+     executor and ignores it. *)
+  type placement =
+    [ `Cam
+    | `Auto
+    | `Fixed of Passes.Placement.device * Passes.Placement.device ]
+
   type t = {
     profile : Instrument.Collect.t option;
     tech : Camsim.Tech.t option;
@@ -190,6 +199,8 @@ module Run_config = struct
     trace : Camsim.Trace.t option;
     engine : engine;
     shards : int;
+    placement : placement;
+    place_objective : Passes.Placement.objective;
   }
 
   let default =
@@ -201,6 +212,8 @@ module Run_config = struct
       trace = None;
       engine = `Compiled;
       shards = 1;
+      placement = `Cam;
+      place_objective = Passes.Placement.Energy;
     }
 
   let with_profile p t = { t with profile = Some p }
@@ -219,6 +232,9 @@ module Run_config = struct
   let with_shards n t =
     if n < 1 then invalid_arg "Run_config.with_shards: shards must be >= 1";
     { t with shards = n }
+
+  let with_placement p t = { t with placement = p }
+  let with_place_objective o t = { t with place_objective = o }
 
   let precompile t =
     match t.engine with `Compiled -> true | `Treewalk -> false

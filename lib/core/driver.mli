@@ -85,6 +85,16 @@ module Run_config : sig
       per-run value, so concurrent runs (and tests) can differ without
       mutating shared state. *)
 
+  type placement =
+    [ `Cam
+    | `Auto
+    | `Fixed of Passes.Placement.device * Passes.Placement.device ]
+  (** Where the kernel's (score, select) stages run: the homogeneous
+      all-CAM path, a cost-model decision under [place_objective], or
+      a pinned split. Honoured by [Hetero.run_placed]; {!run_cam}
+      itself is the all-CAM executor and ignores it
+      (see [docs/PLACEMENT.md]). *)
+
   type t = {
     profile : Instrument.Collect.t option;
         (** fold compile/run stats into this collector *)
@@ -97,11 +107,14 @@ module Run_config : sig
         (** How many independent simulator shards a sharded store
             partitions its rows across ([Serve.Sharded_store]). Plain
             single-simulator runs ignore it. Must be >= 1. *)
+    placement : placement;
+    place_objective : Passes.Placement.objective;
   }
 
   val default : t
   (** No profiling, no trace, default technology, zero defects,
-      [`Compiled] engine, one shard. *)
+      [`Compiled] engine, one shard, [`Cam] placement under the
+      [Energy] objective. *)
 
   val with_profile : Instrument.Collect.t -> t -> t
   val with_tech : Camsim.Tech.t -> t -> t
@@ -116,6 +129,9 @@ module Run_config : sig
 
   val with_shards : int -> t -> t
   (** Raises [Invalid_argument] when the count is < 1. *)
+
+  val with_placement : placement -> t -> t
+  val with_place_objective : Passes.Placement.objective -> t -> t
 
   val precompile : t -> bool
   (** The engine as the boolean [Interp.Machine.run ~precompile]

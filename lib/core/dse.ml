@@ -44,6 +44,49 @@ let measurement_of (spec : Archspec.Spec.t) (r : Driver.run_result)
       List.fold_left (fun acc (_, n) -> acc + n) 0 r.ops_executed;
   }
 
+let zero_measurement config =
+  {
+    config;
+    latency = 0.;
+    energy = 0.;
+    power = 0.;
+    edp = 0.;
+    accuracy = 0.;
+    subarrays = 0;
+    banks = 0;
+    search_ops = 0;
+    query_cycles = 0;
+    write_ops = 0;
+    kernel_binary = 0;
+    kernel_nibble = 0;
+    kernel_generic = 0;
+    kernel_early_exit = 0;
+    n_ops_executed = 0;
+  }
+
+(* A placed run's measurement: modeled split totals for the headline
+   numbers, the underlying CAM run's activity counters when the score
+   stage actually executed there (zeros otherwise — the crossbar and
+   host have no CAM ledger). *)
+let placed_measurement (spec : Archspec.Spec.t)
+    (pr : Hetero.placed_result) ~accuracy =
+  let config = config_name spec ^ " " ^ pr.pr_placement in
+  let base =
+    match pr.pr_cam with
+    | Some r -> measurement_of spec r ~accuracy
+    | None -> zero_measurement config
+  in
+  {
+    base with
+    config;
+    latency = pr.pr_latency;
+    energy = pr.pr_energy;
+    power =
+      (if pr.pr_latency > 0. then pr.pr_energy /. pr.pr_latency else 0.);
+    edp = pr.pr_energy *. pr.pr_latency;
+    accuracy;
+  }
+
 let top1_accuracy indices labels =
   let correct = ref 0 in
   Array.iteri
@@ -75,6 +118,43 @@ let hdc ?config ?bits ~(spec : Archspec.Spec.t)
 let hdc_sweep ?config ?bits ~(specs : Archspec.Spec.t list)
     ~(data : Workloads.Hdc.synthetic) () =
   Parallel.map_list (fun spec -> hdc ?config ?bits ~spec ~data ()) specs
+
+(* Sweep the executable placements of the HDC kernel on one
+   architecture: every (score, select) split the runner can reproduce
+   bit-exactly, measured under the placement cost model. Same
+   parallel-map determinism argument as hdc_sweep — each placement
+   compiles its own module and runs a private simulator. *)
+let placement_sweep ?(config = Driver.Run_config.default)
+    ~(spec : Archspec.Spec.t) ~(data : Workloads.Hdc.synthetic) () =
+  let q = Array.length data.queries in
+  let classes = Array.length data.stored in
+  let dims = Array.length data.stored.(0) in
+  let source = Kernels.hdc_dot ~q ~dims ~classes ~k:1 in
+  let probe = Driver.compile ~spec source in
+  let binary =
+    let is_b = Array.for_all (Array.for_all (fun v -> v = 0. || v = 1.)) in
+    is_b data.queries && is_b data.stored
+  in
+  let assignments =
+    Passes.Placement.enumerate (Hetero.stages_of_info probe.info)
+    |> List.filter (Hetero.executable_placed probe.info ~binary)
+  in
+  Parallel.map_list
+    (fun assignment ->
+      let placement =
+        match assignment with
+        | [ s; sel ] -> `Fixed (s, sel)
+        | _ -> assert false
+      in
+      let config = Driver.Run_config.with_placement placement config in
+      let compiled = Driver.compile ~spec source in
+      let pr =
+        Hetero.run_placed ~config compiled ~queries:data.queries
+          ~stored:data.stored
+      in
+      placed_measurement spec pr
+        ~accuracy:(top1_accuracy pr.pr_indices data.query_labels))
+    assignments
 
 let knn ?config ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
     ~queries ~labels ~k () =

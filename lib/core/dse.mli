@@ -26,6 +26,9 @@ type measurement = {
 
 val config_name : Archspec.Spec.t -> string
 
+val top1_accuracy : int array array -> int array -> float
+(** Fraction of rows whose first returned index equals the label. *)
+
 val hdc :
   ?config:Driver.Run_config.t -> ?bits:int -> spec:Archspec.Spec.t ->
   data:Workloads.Hdc.synthetic -> unit -> measurement
@@ -42,6 +45,24 @@ val hdc_sweep :
     candidate, results in [specs] order regardless of the schedule (so
     every measurement, including the activity counters, is identical
     for any jobs value). *)
+
+val placed_measurement :
+  Archspec.Spec.t -> Hetero.placed_result -> accuracy:float -> measurement
+(** Measurement of a placed (heterogeneous) run: latency/energy/power/
+    edp are the modeled split totals, the activity counters come from
+    the underlying CAM run when the score stage executed there (zeros
+    otherwise), and the config name carries the placement, e.g.
+    ["cam-base 32x32 score=cam select=host"]. *)
+
+val placement_sweep :
+  ?config:Driver.Run_config.t -> spec:Archspec.Spec.t ->
+  data:Workloads.Hdc.synthetic -> unit -> measurement list
+(** Measure the HDC kernel under every executable (score, select)
+    placement on [spec] — the placement axis of the design space.
+    Assignments run across the ambient {!Parallel} pool in the fixed
+    [Passes.Placement.enumerate] order; results (including the
+    returned top-1 indices behind each accuracy) are identical for
+    any jobs value. *)
 
 val knn :
   ?config:Driver.Run_config.t -> spec:Archspec.Spec.t ->

@@ -1,13 +1,22 @@
-(** Heterogeneous multi-kernel compilation and task-level parallelism
-    (Section II-C's RecSys scenario and the conclusions' heterogeneous
-    systems: "each stage executes different tasks on different banks in
-    parallel").
+(** Heterogeneous execution: multi-kernel task parallelism and
+    cost-model-driven placed runs (Section II-C's RecSys scenario and
+    the conclusions' heterogeneous systems: "each stage executes
+    different tasks on different banks in parallel").
 
-    A TorchScript source may define several kernels; each is compiled
-    against its own architecture specification (its own device), and a
-    batch of compiled kernels can be run concurrently: every kernel gets
-    its own simulator (its own banks), energies add, and the batch
-    latency is the maximum of the kernels' latencies. *)
+    Two layers:
+
+    - {b task parallelism}: a TorchScript source may define several
+      kernels; each is compiled against its own architecture
+      specification (its own device), and a batch of compiled kernels
+      runs concurrently — every kernel gets its own simulator (its own
+      banks), energies add, and the batch latency is the maximum of
+      the kernels' latencies;
+    - {b placed runs}: a single kernel's stage pipeline is split
+      across CAM, crossbar and host as decided by [Passes.Placement]
+      (or pinned by the run config), executed stage by stage with
+      explicit data movement, and every executable split reproduces
+      the all-CAM reference results bit for bit
+      (see docs/PLACEMENT.md). *)
 
 val compile_module :
   specs:(string * Archspec.Spec.t) list -> string -> Driver.compiled list
@@ -31,4 +40,102 @@ type outcome = {
 
 val run_concurrent : ?config:Driver.Run_config.t -> task list -> outcome
 (** The config applies to every task's run (each still gets its own
-    simulator). *)
+    simulator). Tasks fan out across the ambient [Parallel] pool —
+    one private simulator per task, results folded in task order, so
+    the outcome is byte-identical at every [--jobs] value. *)
+
+(** {1 Placed single-kernel runs} *)
+
+val stages_of_info : Driver.kernel_info -> Passes.Placement.stage list
+(** The two-stage (score, select) pipeline of a compiled top-k kernel. *)
+
+val executable_placed :
+  Driver.kernel_info -> binary:bool -> Passes.Placement.assignment -> bool
+(** Which model-legal assignments the runner can execute {e exactly}:
+    [(cam, cam)] always; [(cam, host)] only for the dot/cosine metrics
+    (the scores-form fusion patterns); [(xbar, host)] only for binary
+    dot-metric data (Hamming distances recovered as
+    [|q| + |s| - 2 q.s]); [(host, host)] always. *)
+
+type placed_result = {
+  pr_values : float array array;
+  pr_indices : int array array;
+  pr_assignment : Passes.Placement.assignment;
+  pr_placement : string;  (** e.g. ["score=cam select=host"] *)
+  pr_candidates : int;  (** executable assignments considered *)
+  pr_stage_costs :
+    (string * Passes.Placement.device * Passes.Placement.cost) list;
+  pr_movement : Passes.Placement.cost;
+  pr_moved_bytes : int;
+  pr_latency : float;  (** stages + movement *)
+  pr_energy : float;
+  pr_cam : Driver.run_result option;
+      (** the underlying CAM run when the score stage executed on CAM
+          (full run for all-CAM, scores run for a [(cam, host)] split) *)
+}
+
+val run_placed :
+  ?config:Driver.Run_config.t ->
+  Driver.compiled ->
+  queries:float array array ->
+  stored:float array array ->
+  placed_result
+(** Execute the kernel under [config.placement]: [`Cam] (default) is
+    the homogeneous reference, [`Fixed] pins the (score, select)
+    devices, [`Auto] lets [Passes.Placement.choose] pick under
+    [config.place_objective] among executable assignments. Results are
+    byte-identical across placements (tested). When the config carries
+    a profile collector the placement decision and per-device cost
+    breakdown are folded in ([Profile.placed]).
+    @raise Driver.Compile_error on a non-top-k kernel or a pinned
+    placement the runner cannot execute. *)
+
+(** {1 The RecSys pipeline}
+
+    GEMV feature projection, Euclidean similarity scoring, top-k
+    selection — three stages over three fabrics, the workload the
+    placement pass exists for. *)
+
+type recsys_stage = {
+  rs_stage : string;  (** "gemv" | "score" | "select" *)
+  rs_device : Passes.Placement.device;
+  rs_cost : Passes.Placement.cost;
+}
+
+type recsys_outcome = {
+  rc_assignment : Passes.Placement.assignment;
+  rc_placement : string;
+  rc_candidates : int;
+  rc_values : float array array;
+  rc_indices : int array array;
+  rc_accuracy : float;  (** top-1 against the generator's labels *)
+  rc_latency : float;
+  rc_energy : float;
+  rc_stages : recsys_stage list;
+  rc_movement : Passes.Placement.cost;
+  rc_moved_bytes : int;
+  rc_cam : Driver.run_result option;
+}
+
+val recsys_stages :
+  Workloads.Recsys.t -> k:int -> Passes.Placement.stage list
+
+val executable_recsys : Passes.Placement.assignment -> bool
+(** Every legal recsys assignment except [(_, cam, host)]: there is no
+    Euclidean scores-form fusion pattern, so the CAM cannot hand raw
+    distances back to the host. *)
+
+val run_recsys :
+  ?config:Driver.Run_config.t ->
+  spec:Archspec.Spec.t ->
+  data:Workloads.Recsys.t ->
+  k:int ->
+  ?assignment:Passes.Placement.assignment ->
+  unit ->
+  recsys_outcome
+(** Run the three-stage pipeline under [?assignment] when given,
+    otherwise under [config.placement] ([`Auto] searches with
+    [Passes.Placement.choose]). The CAM score stage forces an MCAM
+    cell (Euclidean needs multi-bit distances); results are identical
+    across all executable assignments (tested).
+    @raise Driver.Compile_error on a non-executable assignment. *)

@@ -59,6 +59,11 @@ let hdc_inference t ~queries ~dims ~classes =
   let tk = topk t ~rows:queries ~cols:classes ~k:1 ~elem_bytes:4 in
   add mm tk
 
+let similarity t ~queries ~stored ~dims =
+  let dist = matmul t ~m:queries ~k:dims ~n:stored ~elem_bytes:4 in
+  let post = elementwise t ~elems:(queries * stored) ~elem_bytes:4 in
+  add dist post
+
 let knn_inference t ~queries ~dims ~stored ~k =
   let dist = matmul t ~m:queries ~k:dims ~n:stored ~elem_bytes:4 in
   let sq = elementwise t ~elems:(queries * stored) ~elem_bytes:4 in

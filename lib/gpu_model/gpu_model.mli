@@ -39,5 +39,10 @@ val hdc_inference :
 (** End-to-end similarity + top-1 for the HDC benchmark (int32
     elements, as the paper's PyTorch implementation). *)
 
+val similarity : t -> queries:int -> stored:int -> dims:int -> cost
+(** Distance-matrix stage alone — the GEMV-shaped pass over the stored
+    rows plus the elementwise post-op, without the top-k reduction.
+    Prices a host-mapped Score stage for the placement cost model. *)
+
 val knn_inference :
   t -> queries:int -> dims:int -> stored:int -> k:int -> cost

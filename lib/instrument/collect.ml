@@ -6,6 +6,7 @@ type t = {
   table : (string, int) Hashtbl.t;
   mutable sim : Profile.sim option;
   mutable serve : Profile.serve option;
+  mutable placed : Profile.placed option;
 }
 
 let now () = Unix.gettimeofday ()
@@ -19,6 +20,7 @@ let create () =
     table = Hashtbl.create 16;
     sim = None;
     serve = None;
+    placed = None;
   }
 
 let record_pass t entry = t.rev_passes <- entry :: t.rev_passes
@@ -26,6 +28,7 @@ let set_frontend t s = t.frontend_s <- s
 let set_jobs t n = t.jobs <- max 1 n
 let set_sim t s = t.sim <- Some s
 let set_serve t s = t.serve <- Some s
+let set_placement t p = t.placed <- Some p
 
 let bump ?(n = 1) t name =
   Hashtbl.replace t.table name
@@ -46,6 +49,7 @@ let profile t =
     rewrites = counters t;
     sim = t.sim;
     serve = t.serve;
+    placed = t.placed;
   }
 
 (* ---- ambient collector ------------------------------------------------ *)

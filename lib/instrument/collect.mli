@@ -36,6 +36,10 @@ val set_serve : t -> Profile.serve -> unit
     serving-session section; [Serve.Session] calls this after every
     served batch. *)
 
+val set_placement : t -> Profile.placed -> unit
+(** Record the heterogeneous-placement decision and its per-device
+    cost breakdown; [Hetero] calls this for placed runs. *)
+
 val bump : ?n:int -> t -> string -> unit
 (** Increment a named counter (default by 1). *)
 

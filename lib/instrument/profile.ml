@@ -57,6 +57,17 @@ type serve = {
   shard_merge_wall_s : float;
 }
 
+type placed = {
+  placement : string;
+  place_objective : string;
+  candidates : int;
+  device_latency_s : (string * float) list;
+  device_energy_j : (string * float) list;
+  moved_bytes : int;
+  move_latency_s : float;
+  move_energy_j : float;
+}
+
 type t = {
   frontend_s : float;
   total_s : float;
@@ -65,6 +76,7 @@ type t = {
   rewrites : (string * int) list;
   sim : sim option;
   serve : serve option;
+  placed : placed option;
 }
 
 (* ---- JSON ------------------------------------------------------------- *)
@@ -212,6 +224,45 @@ let serve_of_json json =
     shard_merge_wall_s = opt_float "shard_merge_wall_s" json;
   }
 
+let fcounts_to_json counts =
+  Json.Assoc (List.map (fun (k, v) -> (k, Json.Float v)) counts)
+
+let fcounts_of_json json =
+  match json with
+  | Json.Assoc fields -> List.map (fun (k, v) -> (k, Json.get_float v)) fields
+  | _ -> failwith "Json: expected a float-counter object"
+
+let placed_to_json (p : placed) =
+  Json.Assoc
+    [
+      ("placement", Json.String p.placement);
+      ("objective", Json.String p.place_objective);
+      ("candidates", Json.Int p.candidates);
+      ("device_latency_s", fcounts_to_json p.device_latency_s);
+      ("device_energy_j", fcounts_to_json p.device_energy_j);
+      ("moved_bytes", Json.Int p.moved_bytes);
+      ("move_latency_s", Json.Float p.move_latency_s);
+      ("move_energy_j", Json.Float p.move_energy_j);
+    ]
+
+let placed_of_json json =
+  {
+    placement = Json.get_string (Json.member "placement" json);
+    place_objective = Json.get_string (Json.member "objective" json);
+    candidates = opt_int "candidates" json;
+    device_latency_s =
+      (match Json.member_opt "device_latency_s" json with
+      | Some j -> fcounts_of_json j
+      | None -> []);
+    device_energy_j =
+      (match Json.member_opt "device_energy_j" json with
+      | Some j -> fcounts_of_json j
+      | None -> []);
+    moved_bytes = opt_int "moved_bytes" json;
+    move_latency_s = opt_float "move_latency_s" json;
+    move_energy_j = opt_float "move_energy_j" json;
+  }
+
 let to_json t =
   Json.Assoc
     ([
@@ -225,10 +276,13 @@ let to_json t =
        ("rewrites", counts_to_json t.rewrites);
      ]
     @ (match t.sim with None -> [] | Some s -> [ ("sim", sim_to_json s) ])
+    @ (match t.serve with
+      | None -> []
+      | Some s -> [ ("serve", serve_to_json s) ])
     @
-    match t.serve with
+    match t.placed with
     | None -> []
-    | Some s -> [ ("serve", serve_to_json s) ])
+    | Some p -> [ ("placed", placed_to_json p) ])
 
 let of_json json =
   {
@@ -244,6 +298,8 @@ let of_json json =
     sim = Option.map sim_of_json (Json.member_opt "sim" json);
     (* absent in profiles written before the serving sessions *)
     serve = Option.map serve_of_json (Json.member_opt "serve" json);
+    (* absent in profiles written before heterogeneous placement *)
+    placed = Option.map placed_of_json (Json.member_opt "placed" json);
   }
 
 (* ---- the human-readable report ---------------------------------------- *)
@@ -350,4 +406,21 @@ let to_table t =
              s.shards s.rows_stored s.rows_free
              (fmt_duration s.shard_fanout_wall_s)
              (fmt_duration s.shard_merge_wall_s)));
+  (match t.placed with
+  | None -> ()
+  | Some p ->
+      let per_device counts =
+        String.concat ", "
+          (List.map (fun (dev, v) -> Printf.sprintf "%s %.3e" dev v) counts)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nplacement: %s (objective %s, %d candidates)\n\
+            \  latency by device: %s\n\
+            \  energy by device: %s\n\
+            \  movement: %d bytes, %.3e s, %.3e J\n"
+           p.placement p.place_objective p.candidates
+           (per_device p.device_latency_s)
+           (per_device p.device_energy_j)
+           p.moved_bytes p.move_latency_s p.move_energy_j));
   Buffer.contents buf

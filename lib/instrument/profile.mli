@@ -94,6 +94,21 @@ type serve = {
           stripped by the determinism diff *)
 }
 
+(** The heterogeneous-placement decision and its cost breakdown,
+    folded in by [Hetero] (see [docs/PLACEMENT.md]). *)
+type placed = {
+  placement : string;
+      (** the chosen assignment, e.g. ["gemv=xbar score=cam select=cam"] *)
+  place_objective : string;  (** "latency" | "energy" | "edp" *)
+  candidates : int;  (** legal assignments the chooser priced *)
+  device_latency_s : (string * float) list;
+      (** modeled latency summed per device, sorted by device name *)
+  device_energy_j : (string * float) list;
+  moved_bytes : int;  (** bytes crossing cut points *)
+  move_latency_s : float;
+  move_energy_j : float;
+}
+
 type t = {
   frontend_s : float;  (** TorchScript parse + emit time *)
   total_s : float;
@@ -108,6 +123,9 @@ type t = {
   serve : serve option;
       (** present only for serving sessions (defaults to [None] when
           parsing pre-serving profiles) *)
+  placed : placed option;
+      (** present only for placed (heterogeneous) runs (defaults to
+          [None] when parsing pre-placement profiles) *)
 }
 
 val to_json : t -> Json.t

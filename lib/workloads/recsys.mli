@@ -1,0 +1,31 @@
+(** Synthetic recommender pipeline (the paper's Section II-C scenario):
+    binary user feature vectors are projected through a binary item
+    matrix into interaction embeddings, then matched against projected
+    prototype users by similarity — a GEMV stage feeding a similarity
+    search, the natural customer for heterogeneous placement (the GEMV
+    belongs on the crossbar, the search on the CAM). *)
+
+type t = {
+  users : float array array;  (** [users x features], 0/1 queries *)
+  labels : int array;  (** ground-truth class per user *)
+  prototypes : float array array;  (** [classes x features], 0/1 *)
+  items : float array array;  (** [features x items] 0/1 projection *)
+}
+
+val generate :
+  ?seed:int ->
+  ?noise:float ->
+  users:int ->
+  features:int ->
+  items:int ->
+  classes:int ->
+  unit ->
+  t
+(** Each user is a prototype with a [noise] fraction (default 0.1) of
+    features flipped; deterministic in [seed]. *)
+
+val project : t -> float array array -> float array array
+(** [project t rows] multiplies [rows] ([m x features]) by the item
+    matrix, giving [m x items] embeddings. Exact integer arithmetic in
+    floats: bit-identical to the crossbar simulator's GEMV on the same
+    operands. *)
