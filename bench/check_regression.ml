@@ -176,7 +176,11 @@ let () =
                     (Printf.sprintf
                        "baseline %.6f, current %.6f (exact match required)"
                        b c))
-            [ "batch_fill"; "placement_latency_s"; "placement_energy_j" ];
+            [
+              "batch_fill"; "placement_latency_s"; "placement_energy_j";
+              "pre_latency_s"; "pre_energy_j"; "energy_per_inference_j";
+              "write_energy_j";
+            ];
           (* GC-pressure gate: banded, not exact, and only when the two
              runs used the same jobs count (see the header comment) and
              — for the sharded workload — the same shard count: the

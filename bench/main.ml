@@ -583,10 +583,16 @@ let accuracy () =
 
 (* ---- smoke: the fast machine-readable suite behind the CI gate -------- *)
 
-(* Small, deterministic workloads chosen to cover both kernels (HDC dot,
-   batched-KNN Euclidean) and three optimization targets in a few
-   seconds; bench/check_regression.ml diffs the emitted JSON against
-   bench/baseline.json. *)
+(* Small, deterministic workloads chosen to cover every execution
+   family of the workload registry (compiled kernels, direct device
+   workloads are covered by their own test suites, ACAM range search)
+   and three optimization targets in a few seconds;
+   bench/check_regression.ml diffs the emitted JSON against
+   bench/baseline.json. Workloads are resolved by name through
+   Workloads.Registry — the smoke suite holds no per-workload kernel
+   or data construction of its own. *)
+
+module Reg = Workloads.Registry
 
 let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
   section "smoke: fast deterministic suite (the CI regression gate)";
@@ -602,47 +608,48 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
   let jobs = Parallel.jobs pool in
   let wall_start = Instrument.Collect.now () in
   Printf.printf "jobs: %d\nprecompile: %b\n" jobs precompile;
-  let data =
-    Workloads.Hdc.synthetic ~seed:11 ~noise:0.15 ~dims:2048 ~n_classes:10
-      ~n_queries:64 ~bits:1 ()
+  (* the smoke shape of each registry workload: entry defaults with the
+     historical smoke-suite overrides *)
+  let hdc_shape =
+    { (Reg.find_exn "hdc").Reg.default_shape with
+      Reg.queries = 64; dims = 2048 }
   in
-  let knn_small =
-    lazy
-      (let ds =
-         Workloads.Dataset.pneumonia_like ~seed:17 ~n_features:256
-           ~samples_per_class:280 ()
-       in
-       let train, test =
-         Workloads.Dataset.split ~seed:21 ds ~train_fraction:0.94
-       in
-       let train =
-         {
-           train with
-           Workloads.Dataset.features = Array.sub train.features 0 512;
-           labels = Array.sub train.labels 0 512;
-         }
-       in
-       (train, Array.sub test.features 0 16, Array.sub test.labels 0 16))
+  (* the HDC data/kernel instance behind the serve and profile blocks
+     below (64 queries over 2048 dims, seed 11) *)
+  let hdc_base_instance ~q =
+    match (Reg.find_exn "hdc").Reg.exec with
+    | Reg.Kernel mk ->
+        mk
+          { hdc_shape with Reg.queries = q }
+          (Archspec.Spec.square 32 Archspec.Spec.Base)
+    | _ -> assert false
   in
-  let hdc opt =
-    C4cam.Dse.hdc ~config ~spec:(Archspec.Spec.square 32 opt) ~data ()
+  let data_wide = hdc_base_instance ~q:64 in
+  let measure ?(opt = Archspec.Spec.Base) name shape =
+    C4cam.Dse.measure ~config
+      ~spec:(Archspec.Spec.square 32 opt)
+      ~shape (Reg.find_exn name)
   in
   let workloads =
     [
-      ("hdc-32x32-base", hdc Archspec.Spec.Base);
-      ("hdc-32x32-power", hdc Archspec.Spec.Power);
-      ("hdc-32x32-density", hdc Archspec.Spec.Density);
+      ("hdc-32x32-base", measure "hdc" hdc_shape);
+      ("hdc-32x32-power", measure ~opt:Archspec.Spec.Power "hdc" hdc_shape);
+      ( "hdc-32x32-density",
+        measure ~opt:Archspec.Spec.Density "hdc" hdc_shape );
       ( "knn-32x32-base",
-        let train, queries, labels = Lazy.force knn_small in
-        C4cam.Dse.knn ~config
-          ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
-          ~train ~queries ~labels ~k:7 () );
+        measure "knn" (Reg.find_exn "knn").Reg.default_shape );
+      ( "mlp-32x32-base",
+        measure "mlp" (Reg.find_exn "mlp").Reg.default_shape );
+      ( "range-filter-32x32-base",
+        measure "range-filter" (Reg.find_exn "range-filter").Reg.default_shape
+      );
     ]
   in
   (* The DSE sweep workload: 12 candidate configurations evaluated
-     through Dse.hdc_sweep, i.e. across the domain pool when jobs > 1.
-     Its wall-clock is the speedup demonstrator; every simulated metric
-     and counter below must stay byte-identical for any jobs value. *)
+     through Dse.registry_sweep, i.e. across the domain pool when
+     jobs > 1. Its wall-clock is the speedup demonstrator; every
+     simulated metric and counter below must stay byte-identical for
+     any jobs value. *)
   let dse_specs =
     List.concat_map
       (fun side ->
@@ -652,7 +659,10 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
       [ 16; 32; 64 ]
   in
   let dse_start = Instrument.Collect.now () in
-  let dse_ms = C4cam.Dse.hdc_sweep ~config ~specs:dse_specs ~data () in
+  let dse_ms =
+    C4cam.Dse.registry_sweep ~config ~specs:dse_specs ~shape:hdc_shape
+      (Reg.find_exn "hdc")
+  in
   let dse_wall = Instrument.Collect.now () -. dse_start in
   let dse_workloads =
     List.map2
@@ -691,18 +701,21 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
   let serve_session, serve_stats, serve_accuracy =
     let q = 8 and n_batches = 8 in
     let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
-    let src = C4cam.Kernels.hdc_dot ~q ~dims:2048 ~classes:10 ~k:1 in
+    let src = (hdc_base_instance ~q).Reg.ki_source in
     let session =
-      Serve.Session.create ~config ~spec ~stored:data.stored src
+      Serve.Session.create ~config ~spec
+        ~stored:data_wide.Reg.ki_stored src
     in
     let correct = ref 0 in
     for i = 0 to n_batches - 1 do
       let r =
-        Serve.Session.query session (Array.sub data.queries (i * q) q)
+        Serve.Session.query session
+          (Array.sub data_wide.Reg.ki_queries (i * q) q)
       in
       Array.iteri
         (fun j (row : int array) ->
-          if row.(0) = data.query_labels.((i * q) + j) then incr correct)
+          if row.(0) = data_wide.Reg.ki_labels.((i * q) + j) then
+            incr correct)
         r.indices
     done;
     ( session,
@@ -728,9 +741,10 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
   let server_session, server_result, server_accuracy =
     let n_clients = 8 and per_client = 8 in
     let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
-    let src = C4cam.Kernels.hdc_dot ~q:8 ~dims:2048 ~classes:10 ~k:1 in
+    let src = (hdc_base_instance ~q:8).Reg.ki_source in
     let session =
-      Serve.Session.create ~config ~spec ~stored:data.stored src
+      Serve.Session.create ~config ~spec
+        ~stored:data_wide.Reg.ki_stored src
     in
     let server =
       Server.create
@@ -753,14 +767,14 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
              List.init n_clients (fun c ->
                  ( (j * n_clients) + c,
                    Server.submit clients.(c)
-                     [| data.queries.((j * n_clients) + c) |] ))))
+                     [| data_wide.Reg.ki_queries.((j * n_clients) + c) |] ))))
     in
     Server.resume server;
     let correct = ref 0 in
     List.iter
       (fun (row, tk) ->
         let r = Server.await tk in
-        if r.Server.r_indices.(0).(0) = data.query_labels.(row) then
+        if r.Server.r_indices.(0).(0) = data_wide.Reg.ki_labels.(row) then
           incr correct)
       tickets;
     Server.stop server;
@@ -846,6 +860,134 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
     (C4cam.Report.si_energy sharded_stats.session.Serve.Session.sim_energy_j)
     sharded_accuracy
     (String.sub sharded_digest 0 12);
+  (* The MLP serving workload (EXPERIMENTS.md X8): the layer-2
+     prototype-search kernel behind one persistent session, 3 batches
+     of 16 pre-encoded layer-1 codes — the prototype writes are charged
+     once, so energy per inference falls with every batch. The layer-1
+     TCAM pass (the registry entry's pre-stage) already paid for
+     encoding the query pool on the simulated device; its cost is
+     reported separately and folded into energy/inference. *)
+  let mlp_session, mlp_pre, mlp_accuracy, mlp_digest, mlp_served =
+    let q = 16 and n_batches = 3 in
+    let entry = Reg.find_exn "mlp" in
+    let mk =
+      match entry.Reg.exec with Reg.Kernel mk -> mk | _ -> assert false
+    in
+    let shape = { entry.Reg.default_shape with Reg.queries = q } in
+    let spec =
+      entry.Reg.fix_spec shape (Archspec.Spec.square 32 Archspec.Spec.Base)
+    in
+    let ki = mk shape spec in
+    (* a second instance only for its wider query pool; training is
+       deterministic in the data config, so codes and prototypes agree *)
+    let wide = mk { shape with Reg.queries = q * n_batches } spec in
+    let session =
+      Serve.Session.create ~config ~spec ~stored:ki.Reg.ki_stored
+        ki.Reg.ki_source
+    in
+    let buf = Buffer.create 1024 in
+    let correct = ref 0 in
+    for i = 0 to n_batches - 1 do
+      let r =
+        Serve.Session.query session
+          (Array.sub wide.Reg.ki_queries (i * q) q)
+      in
+      Array.iteri
+        (fun j (row : int array) ->
+          if row.(0) = wide.Reg.ki_labels.((i * q) + j) then incr correct;
+          Buffer.add_int64_be buf (Int64.of_int row.(0)))
+        r.indices
+    done;
+    ( session,
+      Option.get wide.Reg.ki_pre,
+      float_of_int !correct /. float_of_int (q * n_batches),
+      Digest.to_hex (Digest.string (Buffer.contents buf)),
+      q * n_batches )
+  in
+  let mlp_stats = Serve.Session.stats mlp_session in
+  Printf.printf
+    "serve-mlp-32x32-base: %d batches, %d inferences, latency %s, energy %s \
+     (layer-1 tcam %s, prototype writes %s once), %s/inference, accuracy \
+     %.4f, digest %s\n"
+    mlp_stats.Serve.Session.batches mlp_stats.queries_served
+    (C4cam.Report.si_time mlp_stats.sim_latency_s)
+    (C4cam.Report.si_energy mlp_stats.sim_energy_j)
+    (C4cam.Report.si_energy mlp_pre.Reg.pre_energy)
+    (C4cam.Report.si_energy mlp_stats.write_energy_j)
+    (C4cam.Report.si_energy
+       ((mlp_stats.sim_energy_j +. mlp_pre.Reg.pre_energy)
+       /. float_of_int mlp_served))
+    mlp_accuracy
+    (String.sub mlp_digest 0 12);
+  (* The range-store workload (EXPERIMENTS.md X9): the ACAM anomaly
+     filter served through Serve.Range_store across [shards] shards —
+     the box table is programmed once ([cam.write_range] replayed for
+     free on later batches), one box is widened mid-run (its owning
+     shard recharges just that row on the next batch), and every
+     answer is checked against the host oracle recomputed on the
+     mutated bounds. results_digest hashes every merged match id and
+     violation-count bit pattern and is shard- and jobs-invariant,
+     which the CI shard-determinism leg relies on. *)
+  let range_store, range_accuracy, range_digest =
+    let q = 16 and n_batches = 4 in
+    let entry = Reg.find_exn "range-filter" in
+    let mk =
+      match entry.Reg.exec with Reg.Range mk -> mk | _ -> assert false
+    in
+    let shape = { entry.Reg.default_shape with Reg.queries = q * n_batches } in
+    let ri = mk shape in
+    let store =
+      Serve.Range_store.create
+        ~config ~shards:(min shards shape.Reg.rows) ~q ~lo:ri.Reg.ri_lo
+        ~hi:ri.Reg.ri_hi ()
+    in
+    (* host-side copy of the bounds, mutated in lockstep with the
+       store, so the oracle below always reflects the live table *)
+    let lo = Array.map Array.copy ri.Reg.ri_lo
+    and hi = Array.map Array.copy ri.Reg.ri_hi in
+    let buf = Buffer.create 2048 in
+    let correct = ref 0 in
+    let serve_batch i =
+      let batch = Array.sub ri.Reg.ri_queries (i * q) q in
+      let r = Serve.Range_store.query store batch in
+      Array.iteri
+        (fun j m ->
+          if m = Workloads.Range_filter.oracle ~lo ~hi batch.(j) then
+            incr correct;
+          Buffer.add_int64_be buf (Int64.of_int m);
+          Buffer.add_int64_be buf
+            (Int64.bits_of_float r.Serve.Range_store.values.(j).(0)))
+        r.Serve.Range_store.matches
+    in
+    for i = 0 to 1 do
+      serve_batch i
+    done;
+    (* widen box 3 into a slab that catches more of the unit cube; the
+       owning shard reprograms (and recharges) that one row on the
+       next batch *)
+    let row = 3 in
+    lo.(row) <- Array.make shape.Reg.dims 0.1;
+    hi.(row) <- Array.make shape.Reg.dims 0.9;
+    Serve.Range_store.update_box store ~row ~lo:lo.(row) ~hi:hi.(row);
+    for i = 2 to n_batches - 1 do
+      serve_batch i
+    done;
+    ( store,
+      float_of_int !correct /. float_of_int (q * n_batches),
+      Digest.to_hex (Digest.string (Buffer.contents buf)) )
+  in
+  let range_stats = Serve.Range_store.stats range_store in
+  Printf.printf
+    "serve-range-filter-32x32-base: %d shards, %d boxes, %d batches, \
+     latency %s, energy %s (range writes %s), accuracy %.4f, digest %s\n"
+    (Serve.Range_store.shards range_store)
+    (Serve.Range_store.boxes range_store)
+    range_stats.Serve.Session.batches
+    (C4cam.Report.si_time range_stats.Serve.Session.sim_latency_s)
+    (C4cam.Report.si_energy range_stats.Serve.Session.sim_energy_j)
+    (C4cam.Report.si_energy range_stats.Serve.Session.write_energy_j)
+    range_accuracy
+    (String.sub range_digest 0 12);
   (* The placement workload: the three-stage RecSys pipeline (GEMV
      feature projection, Euclidean scoring, top-1 selection) placed by
      the Energy-objective cost model across crossbar, CAM and host,
@@ -919,13 +1061,14 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
   let c =
     C4cam.Driver.compile ~profile:collector
       ~spec:(Archspec.Spec.square 32 Archspec.Spec.Base)
-      (C4cam.Kernels.hdc_dot ~q:64 ~dims:2048 ~classes:10 ~k:1)
+      data_wide.Reg.ki_source
   in
   ignore
     (C4cam.Driver.run_cam
        ~config:
          { config with C4cam.Driver.Run_config.profile = Some collector }
-       c ~queries:data.queries ~stored:data.stored);
+       c ~queries:data_wide.Reg.ki_queries
+       ~stored:data_wide.Reg.ki_stored);
   let profile = Instrument.Collect.profile collector in
   Printf.printf "\n%s" (Instrument.Profile.to_table profile);
   match json with
@@ -1120,6 +1263,119 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
             ("shard_merge_wall_s", Instrument.Json.Float st.merge_wall_s);
           ]
       in
+      (* The MLP serving workload: standard gated fields plus the
+         pre-stage (layer-1 TCAM) cost and the amortized energy per
+         inference — all simulated, so pre_energy_j and
+         energy_per_inference_j are exact-gated alongside the digest
+         and accuracy. *)
+      let mlp_serve_json =
+        let s =
+          Camsim.Simulator.stats (Serve.Session.simulator mlp_session)
+        in
+        let st = mlp_stats in
+        Instrument.Json.Assoc
+          [
+            ("name", Instrument.Json.String "serve-mlp-32x32-base");
+            ( "config",
+              Instrument.Json.String
+                (C4cam.Dse.config_name
+                   (Archspec.Spec.square 32 Archspec.Spec.Base)) );
+            ("latency_s", Instrument.Json.Float st.sim_latency_s);
+            ("energy_j", Instrument.Json.Float st.sim_energy_j);
+            ( "power_w",
+              Instrument.Json.Float
+                (if st.sim_latency_s > 0. then
+                   st.sim_energy_j /. st.sim_latency_s
+                 else 0.) );
+            ( "edp_js",
+              Instrument.Json.Float (st.sim_energy_j *. st.sim_latency_s) );
+            ("accuracy", Instrument.Json.Float mlp_accuracy);
+            ("subarrays", Instrument.Json.Int s.n_subarrays);
+            ("banks", Instrument.Json.Int s.n_banks);
+            ("search_ops", Instrument.Json.Int s.n_search_ops);
+            ("query_cycles", Instrument.Json.Int s.n_query_cycles);
+            ("write_ops", Instrument.Json.Int s.n_write_ops);
+            ("kernel_binary", Instrument.Json.Int s.n_kernel_binary);
+            ("kernel_nibble", Instrument.Json.Int s.n_kernel_nibble);
+            ("kernel_generic", Instrument.Json.Int s.n_kernel_generic);
+            ("kernel_early_exit", Instrument.Json.Int s.n_kernel_early_exit);
+            ( "n_ops_executed",
+              Instrument.Json.Int
+                (List.fold_left
+                   (fun acc (_, n) -> acc + n)
+                   0 st.ops_executed) );
+            ("batches", Instrument.Json.Int st.batches);
+            ("queries_per_s", Instrument.Json.Float st.queries_per_s);
+            ("pre_latency_s", Instrument.Json.Float mlp_pre.Reg.pre_latency);
+            ("pre_energy_j", Instrument.Json.Float mlp_pre.Reg.pre_energy);
+            ( "energy_per_inference_j",
+              Instrument.Json.Float
+                ((st.sim_energy_j +. mlp_pre.Reg.pre_energy)
+                /. float_of_int mlp_served) );
+            ("results_digest", Instrument.Json.String mlp_digest);
+            ( "alloc_minor_words_per_query",
+              Instrument.Json.Float st.alloc_minor_words_per_query );
+          ]
+      in
+      (* The range-store workload: simulated metrics exact-gated for a
+         fixed shard count; results_digest is shard- and jobs-invariant
+         (the shard-determinism CI leg compares it across shard
+         counts), and accuracy is the host-oracle agreement across the
+         mid-run box mutation. *)
+      let range_json =
+        let st = range_stats in
+        let dev = Serve.Range_store.device_stats range_store in
+        Instrument.Json.Assoc
+          [
+            ( "name",
+              Instrument.Json.String "serve-range-filter-32x32-base" );
+            ( "config",
+              Instrument.Json.String
+                (C4cam.Dse.config_name
+                   (Archspec.Spec.square 32 Archspec.Spec.Base)) );
+            ( "latency_s",
+              Instrument.Json.Float st.Serve.Session.sim_latency_s );
+            ("energy_j", Instrument.Json.Float st.Serve.Session.sim_energy_j);
+            ( "power_w",
+              Instrument.Json.Float
+                (if st.Serve.Session.sim_latency_s > 0. then
+                   st.Serve.Session.sim_energy_j
+                   /. st.Serve.Session.sim_latency_s
+                 else 0.) );
+            ( "edp_js",
+              Instrument.Json.Float
+                (st.Serve.Session.sim_energy_j
+                *. st.Serve.Session.sim_latency_s) );
+            ("accuracy", Instrument.Json.Float range_accuracy);
+            ("subarrays", Instrument.Json.Int dev.Camsim.Stats.n_subarrays);
+            ("banks", Instrument.Json.Int dev.Camsim.Stats.n_banks);
+            ("search_ops", Instrument.Json.Int dev.Camsim.Stats.n_search_ops);
+            ( "query_cycles",
+              Instrument.Json.Int dev.Camsim.Stats.n_query_cycles );
+            ("write_ops", Instrument.Json.Int dev.Camsim.Stats.n_write_ops);
+            ( "kernel_binary",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_binary );
+            ( "kernel_nibble",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_nibble );
+            ( "kernel_generic",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_generic );
+            ( "kernel_early_exit",
+              Instrument.Json.Int dev.Camsim.Stats.n_kernel_early_exit );
+            ( "n_ops_executed",
+              Instrument.Json.Int
+                (List.fold_left
+                   (fun acc (_, n) -> acc + n)
+                   0 st.Serve.Session.ops_executed) );
+            ("batches", Instrument.Json.Int st.Serve.Session.batches);
+            ( "queries_per_s",
+              Instrument.Json.Float st.Serve.Session.queries_per_s );
+            ( "shards",
+              Instrument.Json.Int (Serve.Range_store.shards range_store) );
+            ( "write_energy_j",
+              Instrument.Json.Float st.Serve.Session.write_energy_j );
+            ("results_digest", Instrument.Json.String range_digest);
+          ]
+      in
       (* The placement workload: modeled split totals as the headline
          latency/energy (banded like every workload), the CAM score
          stage's activity counters (the score ran there under the
@@ -1192,7 +1448,14 @@ let smoke ?json ?jobs ?(shards = 4) ?(precompile = true) () =
             ( "workloads",
               Instrument.Json.List
                 (List.map workload_json workloads
-                @ [ serve_json; server_json; sharded_json; place_json ]) );
+                @ [
+                    serve_json;
+                    server_json;
+                    sharded_json;
+                    mlp_serve_json;
+                    range_json;
+                    place_json;
+                  ]) );
             ("compile", Instrument.Profile.to_json profile);
           ]
       in

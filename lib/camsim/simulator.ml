@@ -22,6 +22,12 @@ type serve_event =
       w_data : float array array;
       w_care : bool array array option;
     }
+  | Ev_write_range of {
+      r_id : id;
+      r_row_offset : int;
+      r_lo : float array array;
+      r_hi : float array array;
+    }
 
 type serve_mode =
   | Oneshot
@@ -153,7 +159,7 @@ let charge_overhead t level =
 let replayed_alloc t what pred =
   match next_event t with
   | Ev_alloc id when pred (node t id) -> id
-  | Ev_alloc _ | Ev_write _ ->
+  | Ev_alloc _ | Ev_write _ | Ev_write_range _ ->
       err "serve replay diverged at a %s allocation" what
 
 let alloc_bank t ~rows ~cols =
@@ -301,7 +307,8 @@ let replay_write t id ~row_offset ?care data =
         else incr i
       done;
       !cost
-  | Ev_write _ | Ev_alloc _ -> err "serve replay diverged at a write"
+  | Ev_write _ | Ev_alloc _ | Ev_write_range _ ->
+      err "serve replay diverged at a write"
 
 let write t id ~row_offset data =
   if serving t then replay_write t id ~row_offset data
@@ -335,6 +342,72 @@ let write_ternary t id ~row_offset ~care data =
              })
     | Oneshot | Replaying _ -> ());
     perform_write t id ~row_offset ~care data
+  end
+
+(* An ACAM range write programs two bound planes per cell (lower and
+   upper reference voltages), so it costs two plain writes of the same
+   geometry. Defects are not injected: the binary/multi-level flip
+   model of [inject_defects] has no analogue for analog bound pairs. *)
+let perform_write_range t id ~row_offset ~lo ~hi =
+  let sub = subarray t id in
+  Subarray.write_range sub ~row_offset ~lo ~hi;
+  if tracing t then
+    record t (Trace.Write { sub = id; rows = Array.length lo; row_offset });
+  let c = write_cost t (Array.length lo) in
+  let c = Energy_model.add c c in
+  t.sim_stats.e_write <- t.sim_stats.e_write +. c.energy;
+  t.sim_stats.n_write_ops <- t.sim_stats.n_write_ops + 1;
+  c
+
+(* Same incremental semantics as [replay_write]: only the row runs
+   whose bound pair changed are reprogrammed (and charged). *)
+let replay_write_range t id ~row_offset ~lo ~hi =
+  match next_event t with
+  | Ev_write_range w
+    when w.r_id = id
+         && w.r_row_offset = row_offset
+         && Array.length w.r_lo = Array.length lo ->
+      let n = Array.length lo in
+      let row_changed i = lo.(i) <> w.r_lo.(i) || hi.(i) <> w.r_hi.(i) in
+      let cost = ref Energy_model.zero in
+      let i = ref 0 in
+      while !i < n do
+        if row_changed !i then begin
+          let j = ref (!i + 1) in
+          while !j < n && row_changed !j do incr j done;
+          let len = !j - !i in
+          let c =
+            perform_write_range t id ~row_offset:(row_offset + !i)
+              ~lo:(Array.sub lo !i len) ~hi:(Array.sub hi !i len)
+          in
+          for r = !i to !j - 1 do
+            w.r_lo.(r) <- Array.copy lo.(r);
+            w.r_hi.(r) <- Array.copy hi.(r)
+          done;
+          cost := Energy_model.add !cost c;
+          i := !j
+        end
+        else incr i
+      done;
+      !cost
+  | Ev_write_range _ | Ev_write _ | Ev_alloc _ ->
+      err "serve replay diverged at a range write"
+
+let write_range t id ~row_offset ~lo ~hi =
+  if serving t then replay_write_range t id ~row_offset ~lo ~hi
+  else begin
+    (match t.serve with
+    | Recording _ ->
+        log_event t
+          (Ev_write_range
+             {
+               r_id = id;
+               r_row_offset = row_offset;
+               r_lo = Array.map Array.copy lo;
+               r_hi = Array.map Array.copy hi;
+             })
+    | Oneshot | Replaying _ -> ());
+    perform_write_range t id ~row_offset ~lo ~hi
   end
 
 (* [write_view] writes rows addressed by stride math over a flat
@@ -398,7 +471,8 @@ let replay_write_view t id ~row_offset ~rows ~cols data ~off ~rs ~cs =
         else incr i
       done;
       !cost
-  | Ev_write _ | Ev_alloc _ -> err "serve replay diverged at a write"
+  | Ev_write _ | Ev_alloc _ | Ev_write_range _ ->
+      err "serve replay diverged at a write"
 
 let write_view t id ~row_offset ~rows ~cols data ~off ~rs ~cs =
   if serving t then

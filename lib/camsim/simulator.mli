@@ -86,6 +86,16 @@ val write_ternary :
   Energy_model.cost
 (** TCAM write with explicit don't-care mask. *)
 
+val write_range :
+  t -> id -> row_offset:int -> lo:float array array ->
+  hi:float array array -> Energy_model.cost
+(** ACAM range write: each cell stores a [lo, hi] acceptance interval
+    (two bound planes, so the charge is double a plain write of the
+    same geometry). Write-path defect injection does not apply — the
+    digital flip model has no analogue for analog bound pairs. Replay
+    semantics match {!write}: an unchanged bound table serves every
+    batch for free; changed row runs are reprogrammed and charged. *)
+
 val write_view :
   t -> id -> row_offset:int -> rows:int -> cols:int -> float array ->
   off:int -> rs:int -> cs:int -> Energy_model.cost

@@ -156,6 +156,110 @@ let placement_sweep ?(config = Driver.Run_config.default)
         ~accuracy:(top1_accuracy pr.pr_indices data.query_labels))
     assignments
 
+(* ---- registry-driven measurement ---------------------------------------- *)
+
+let measurement_of_stats (spec : Archspec.Spec.t) ~latency ~energy ~accuracy
+    ~n_ops (s : Camsim.Stats.t) =
+  {
+    config = config_name spec;
+    latency;
+    energy;
+    power = (if latency > 0. then energy /. latency else 0.);
+    edp = energy *. latency;
+    accuracy;
+    subarrays = s.Camsim.Stats.n_subarrays;
+    banks = s.Camsim.Stats.n_banks;
+    search_ops = s.Camsim.Stats.n_search_ops;
+    query_cycles = s.Camsim.Stats.n_query_cycles;
+    write_ops = s.Camsim.Stats.n_write_ops;
+    kernel_binary = s.Camsim.Stats.n_kernel_binary;
+    kernel_nibble = s.Camsim.Stats.n_kernel_nibble;
+    kernel_generic = s.Camsim.Stats.n_kernel_generic;
+    kernel_early_exit = s.Camsim.Stats.n_kernel_early_exit;
+    n_ops_executed = n_ops;
+  }
+
+(* Fold a pre-stage (device work done while building the instance — the
+   MLP's layer-1 rule table) into a run's measurement: its simulated
+   time/energy and activity counters ride on top of the kernel run's. *)
+let add_pre (m : measurement) (pre : Workloads.Registry.pre_stage) =
+  let latency = m.latency +. pre.Workloads.Registry.pre_latency in
+  let energy = m.energy +. pre.Workloads.Registry.pre_energy in
+  let s = pre.Workloads.Registry.pre_stats in
+  {
+    m with
+    latency;
+    energy;
+    power = (if latency > 0. then energy /. latency else 0.);
+    edp = energy *. latency;
+    subarrays = m.subarrays + s.Camsim.Stats.n_subarrays;
+    banks = m.banks + s.Camsim.Stats.n_banks;
+    search_ops = m.search_ops + s.Camsim.Stats.n_search_ops;
+    query_cycles = m.query_cycles + s.Camsim.Stats.n_query_cycles;
+    write_ops = m.write_ops + s.Camsim.Stats.n_write_ops;
+    kernel_binary = m.kernel_binary + s.Camsim.Stats.n_kernel_binary;
+    kernel_nibble = m.kernel_nibble + s.Camsim.Stats.n_kernel_nibble;
+    kernel_generic = m.kernel_generic + s.Camsim.Stats.n_kernel_generic;
+    kernel_early_exit =
+      m.kernel_early_exit + s.Camsim.Stats.n_kernel_early_exit;
+  }
+
+let measure ?config ~(spec : Archspec.Spec.t)
+    ~(shape : Workloads.Registry.shape) (entry : Workloads.Registry.entry) =
+  let spec = entry.Workloads.Registry.fix_spec shape spec in
+  match entry.Workloads.Registry.exec with
+  | Workloads.Registry.Kernel mk ->
+      let ki = mk shape spec in
+      let compiled = Driver.compile ~spec ki.Workloads.Registry.ki_source in
+      let r =
+        Driver.run_cam ?config compiled
+          ~queries:ki.Workloads.Registry.ki_queries
+          ~stored:ki.Workloads.Registry.ki_stored
+      in
+      let preds = ki.Workloads.Registry.ki_predict r.indices in
+      let m =
+        measurement_of spec r
+          ~accuracy:
+            (Workloads.Registry.accuracy
+               ~expected:ki.Workloads.Registry.ki_labels preds)
+      in
+      Option.fold ~none:m ~some:(add_pre m) ki.Workloads.Registry.ki_pre
+  | Workloads.Registry.Direct run ->
+      let o = run shape spec in
+      (* the workload drove the simulator itself: energy and activity
+         counters come from its ledger; it has no latency model *)
+      measurement_of_stats spec ~latency:0.
+        ~energy:o.Workloads.Registry.do_energy
+        ~accuracy:o.Workloads.Registry.do_accuracy ~n_ops:0
+        o.Workloads.Registry.do_stats
+  | Workloads.Registry.Range mk ->
+      let ri = mk shape in
+      let compiled =
+        Acam.compile ~spec ~q:shape.Workloads.Registry.queries
+          ~boxes:shape.Workloads.Registry.rows
+          ~dims:shape.Workloads.Registry.dims
+      in
+      let r =
+        Acam.run ?config compiled ~lo:ri.Workloads.Registry.ri_lo
+          ~hi:ri.Workloads.Registry.ri_hi
+          ~queries:ri.Workloads.Registry.ri_queries
+      in
+      measurement_of_stats spec ~latency:r.Acam.latency
+        ~energy:r.Acam.energy
+        ~accuracy:
+          (Workloads.Registry.accuracy
+             ~expected:ri.Workloads.Registry.ri_expected r.Acam.matches)
+        ~n_ops:
+          (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Acam.ops_executed)
+        r.Acam.stats
+
+(* Same determinism argument as hdc_sweep: every candidate builds its
+   own instance, module and simulator, so the sweep fans out across the
+   ambient pool with index-positioned results. *)
+let registry_sweep ?config ~(specs : Archspec.Spec.t list)
+    ~(shape : Workloads.Registry.shape) (entry : Workloads.Registry.entry) =
+  Parallel.map_list (fun spec -> measure ?config ~spec ~shape entry) specs
+
 let knn ?config ~(spec : Archspec.Spec.t) ~(train : Workloads.Dataset.t)
     ~queries ~labels ~k () =
   let spec = { spec with cam_kind = Archspec.Spec.Mcam } in

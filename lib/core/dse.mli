@@ -64,6 +64,24 @@ val placement_sweep :
     returned top-1 indices behind each accuracy) are identical for
     any jobs value. *)
 
+val measure :
+  ?config:Driver.Run_config.t -> spec:Archspec.Spec.t ->
+  shape:Workloads.Registry.shape -> Workloads.Registry.entry -> measurement
+(** Measure any registry workload on one architecture, after applying
+    the entry's [fix_spec]. [Kernel] entries compile and run through
+    the normal driver (a pre-stage — the MLP's layer-1 device — folds
+    its simulated cost and counters into the result); [Direct] entries
+    report the workload's own simulator ledger (latency 0: they have
+    no interpreter latency model); [Range] entries execute through
+    {!Acam}. Accuracy is always against the workload's own oracle. *)
+
+val registry_sweep :
+  ?config:Driver.Run_config.t -> specs:Archspec.Spec.t list ->
+  shape:Workloads.Registry.shape -> Workloads.Registry.entry ->
+  measurement list
+(** {!measure} over candidate architectures across the ambient
+    {!Parallel} pool, results in [specs] order for any jobs value. *)
+
 val knn :
   ?config:Driver.Run_config.t -> spec:Archspec.Spec.t ->
   train:Workloads.Dataset.t ->

@@ -1,62 +1,4 @@
-let hdc_dot ~q ~dims ~classes ~k =
-  Printf.sprintf
-    {|
-def forward(input: Tensor[%d, %d], weight: Tensor[%d, %d]) -> Tensor:
-    others = weight.transpose(-2, -1)
-    scores = torch.matmul(input, others)
-    values, indices = torch.ops.aten.topk(scores, %d, largest=True)
-    return values, indices
-|}
-    q dims classes dims k
-
-let hdc_dot_paper =
-  {|
-def forward(input: Tensor[10, 8192], weight: Tensor[10, 8192]) -> Tensor:
-    others = weight.transpose(-2, -1)
-    matmul = torch.matmul(input, others)
-    values, indices = torch.ops.aten.topk(matmul, 1, largest=False)
-    return indices
-|}
-
-let hdc_dot_scores ~q ~dims ~classes =
-  Printf.sprintf
-    {|
-def forward(input: Tensor[%d, %d], weight: Tensor[%d, %d]) -> Tensor:
-    others = weight.transpose(-2, -1)
-    scores = torch.matmul(input, others)
-    return scores
-|}
-    q dims classes dims
-
-let knn_euclidean ~q ~dims ~n ~k =
-  Printf.sprintf
-    {|
-def forward(query: Tensor[%d, 1, %d], stored: Tensor[%d, %d]) -> Tensor:
-    diff = torch.sub(query, stored)
-    dist = torch.norm(diff, 2, -1)
-    values, indices = torch.topk(dist, %d, largest=False)
-    return values, indices
-|}
-    q dims n dims k
-
-let matmul ~m ~k ~n =
-  Printf.sprintf
-    {|
-def forward(inputs: Tensor[%d, %d], weights: Tensor[%d, %d]) -> Tensor:
-    product = torch.matmul(inputs, weights)
-    return product
-|}
-    m k k n
-
-let cosine_scores ~q ~dims ~n =
-  Printf.sprintf
-    {|
-def forward(query: Tensor[%d, %d], stored: Tensor[%d, %d]) -> Tensor:
-    nq = torch.norm(query, 2, -1)
-    ns = torch.norm(stored, 2, -1)
-    others = stored.transpose(-2, -1)
-    scores = torch.matmul(query, others)
-    sims = torch.div(scores, nq, ns)
-    return sims
-|}
-    q dims n dims
+(* Re-export: the templates moved into [Workloads.Kernels] so the
+   workload registry (which lives below this library) can own them.
+   Kept here so [C4cam.Kernels] call sites keep compiling. *)
+include Workloads.Kernels

@@ -5,6 +5,7 @@ let alloc_mat_name = "cam.alloc_mat"
 let alloc_array_name = "cam.alloc_array"
 let alloc_subarray_name = "cam.alloc_subarray"
 let write_value_name = "cam.write_value"
+let write_range_name = "cam.write_range"
 let search_name = "cam.search"
 let read_name = "cam.read"
 let merge_partial_name = "cam.merge_partial"
@@ -58,6 +59,9 @@ let alloc_subarray b arr =
 
 let write_value b sub data ~row_offset =
   Ir.Builder.op0 b ~operands:[ sub; data; row_offset ] write_value_name
+
+let write_range b sub ~lo ~hi ~row_offset =
+  Ir.Builder.op0 b ~operands:[ sub; lo; hi; row_offset ] write_range_name
 
 let search b sub queries ~kind ~metric ~row_offset ~rows ?threshold
     ?(batch_extra = false) () =
@@ -122,6 +126,15 @@ let verify_write op =
   operand_is op 1 is_memref "a memref" >>> fun () ->
   operand_is op 2 is_index "an index"
 
+let verify_write_range op =
+  operands op 4 >>> fun () ->
+  results op 0 >>> fun () ->
+  operand_is op 0 (is_handle "cam.subarray_id") "!cam.subarray_id"
+  >>> fun () ->
+  operand_is op 1 is_memref "a lo-bound memref" >>> fun () ->
+  operand_is op 2 is_memref "a hi-bound memref" >>> fun () ->
+  operand_is op 3 is_index "an index"
+
 let verify_search op =
   operands op 3 >>> fun () ->
   results op 0 >>> fun () ->
@@ -163,6 +176,8 @@ let register () =
     (verify_alloc "cam.array_id" "cam.subarray_id");
   reg "write_value" "program subarray rows with stored patterns"
     verify_write;
+  reg "write_range" "program ACAM range cells with [lo, hi] bounds"
+    verify_write_range;
   reg "search" "parallel associative search over active rows" verify_search;
   reg "read" "read per-row results of the last search" verify_read;
   reg "merge_partial" "accumulate partial distances into a buffer"

@@ -9,6 +9,7 @@ val alloc_mat_name : string
 val alloc_array_name : string
 val alloc_subarray_name : string
 val write_value_name : string
+val write_range_name : string
 val search_name : string
 val read_name : string
 val merge_partial_name : string
@@ -40,6 +41,14 @@ val write_value :
   Ir.Builder.t -> Ir.Value.t -> Ir.Value.t -> row_offset:Ir.Value.t -> unit
 (** [write_value b sub data ~row_offset] programs [rows(data)] rows of
     the subarray starting at the (dynamic) row offset. *)
+
+val write_range :
+  Ir.Builder.t -> Ir.Value.t -> lo:Ir.Value.t -> hi:Ir.Value.t ->
+  row_offset:Ir.Value.t -> unit
+(** [write_range b sub ~lo ~hi ~row_offset] programs ACAM range cells:
+    row [i] of the subarray accepts queries inside
+    [[lo.(i).(j), hi.(i).(j)]] per column. Searched with
+    [kind = Range], which senses per-row range-violation counts. *)
 
 val search :
   Ir.Builder.t -> Ir.Value.t -> Ir.Value.t -> kind:search_kind ->

@@ -860,6 +860,20 @@ and compile_op_inner cenv (op : Ir.Op.t) : cop =
         let row_offset = og ctx in
         let cost = Ops.cam_write (simx ctx) handle ~row_offset (dg ctx) in
         cost.Camsim.Energy_model.latency
+  | "cam.write_range" ->
+      let hg = use_handle cenv (opnd 0) in
+      let lg = use cenv (opnd 1) in
+      let gg = use cenv (opnd 2) in
+      let og = use_index cenv (opnd 3) in
+      fun ctx ->
+        let handle = hg ctx in
+        let lo = Rtval.to_rows (lg ctx) in
+        let hi = Rtval.to_rows (gg ctx) in
+        let row_offset = og ctx in
+        let cost =
+          Camsim.Simulator.write_range (simx ctx) handle ~row_offset ~lo ~hi
+        in
+        cost.Camsim.Energy_model.latency
   | "cam.search" ->
       let hg = use_handle cenv (opnd 0) in
       let qg = use cenv (opnd 1) in

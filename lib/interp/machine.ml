@@ -571,6 +571,15 @@ and exec_op st (op : Ir.Op.t) :
         Ops.cam_write (sim st) handle ~row_offset (operand st op 1)
       in
       (`Next, cost.Camsim.Energy_model.latency)
+  | "cam.write_range" ->
+      let handle = Rtval.as_handle (operand st op 0) in
+      let lo = Rtval.to_rows (operand st op 1) in
+      let hi = Rtval.to_rows (operand st op 2) in
+      let row_offset = Rtval.as_index (operand st op 3) in
+      let cost =
+        Camsim.Simulator.write_range (sim st) handle ~row_offset ~lo ~hi
+      in
+      (`Next, cost.Camsim.Energy_model.latency)
   | "cam.search" ->
       let handle = Rtval.as_handle (operand st op 0) in
       let queries = Ops.Qcache.rows_cached st.qcache (operand st op 1) in

@@ -1,0 +1,68 @@
+(** Serving the ACAM range-analytics workload: a pinned box table
+    behind the same record/replay amortization as {!Session}, with
+    optional sharding of the boxes across independent simulators.
+
+    {!create} builds one [C4cam.Acam] module per shard (a contiguous
+    slice of the box rows) and starts recording on each fresh
+    simulator; the first {!query} pays allocation and the
+    [cam.write_range] programming once, every later batch rewinds and
+    replays that setup for free and pays only for its searches.
+    {!update_box} mutates the pinned bound buffers in place — the next
+    batch's replay reprograms (and charges for) only the changed rows,
+    exactly like [Session.update_stored].
+
+    Determinism: results are byte-identical for any shard count — each
+    query's merged answer is the lexicographically least
+    (violations, global box id) candidate across shards, which
+    reproduces the single-subarray selection's lower-index tie-break —
+    and for any jobs value and either interpreter engine. *)
+
+type t
+
+exception Store_error of string
+
+type result = {
+  matches : int array;
+      (** per query row: matched global box id, or [-1] (anomaly) *)
+  values : float array array;  (** [rows x 1] best violation counts *)
+  indices : int array array;  (** [rows x 1] best global box ids *)
+  latency : float;  (** this batch's simulated time (slowest shard) *)
+  energy : float;  (** this batch's simulated energy delta, all shards *)
+}
+
+val create :
+  ?config:C4cam.Driver.Run_config.t -> ?shards:int ->
+  ?spec:Archspec.Spec.t -> q:int -> lo:float array array ->
+  hi:float array array -> unit -> t
+(** A store over the [boxes x dims] bound table, serving [q]-row query
+    batches. [spec] (default the 32x32 base square) is widened per
+    shard via [C4cam.Acam.fit_spec]; [shards] (default
+    [config.shards]) must not exceed the box count.
+    @raise Store_error on inconsistent bounds or a bad shard count. *)
+
+val query : t -> float array array -> result
+(** Serve one batch; the row count must be a positive multiple of [q].
+    @raise Store_error otherwise. *)
+
+val update_box : t -> row:int -> lo:float array -> hi:float array -> unit
+(** Replace one box's bounds in place; the owning shard reprograms the
+    changed row (charging for it) during its next batch.
+    @raise Store_error on a bad row index or width. *)
+
+val boxes : t -> int
+val dims : t -> int
+val shards : t -> int
+
+val stats : t -> Session.stats
+(** Session-shaped cumulative stats aggregated across shards (the
+    artifact-cache field is always [`Miss]: range modules are built
+    directly, not compiled from cached TorchScript). *)
+
+val device_stats : t -> Camsim.Stats.t
+(** The simulator activity ledger summed across shards — energies and
+    event counters; capacity fields add up the per-shard devices. *)
+
+val backend : t -> Backend.t
+(** Adapt the store to the concurrent server's scheduling interface:
+    replies carry the matched box id (or [-1]) per query row in
+    [indices] and the violation count in [values]. *)

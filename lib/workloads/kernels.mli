@@ -1,0 +1,33 @@
+(** TorchScript kernel templates for the paper's workloads. These are
+    real frontend inputs — the driver compiles them through the full
+    pipeline rather than constructing IR by hand. *)
+
+val hdc_dot : q:int -> dims:int -> classes:int -> k:int -> string
+(** The HDC dot-similarity kernel of Figure 4a (transpose, matmul,
+    topk): classify [q] query hypervectors against [classes] class
+    prototypes. [largest=True] — nearest class has the largest dot
+    product. *)
+
+val hdc_dot_paper : string
+(** The verbatim shapes of Figure 4a: 10 queries, 8192 dims, 10
+    classes, top-1 with [largest=False]. *)
+
+val hdc_dot_scores : q:int -> dims:int -> classes:int -> string
+(** The scores form of {!hdc_dot}: transpose and matmul only, returning
+    the full [q,classes] score matrix with no device-side selection.
+    The sharded store compiles its per-shard kernels from this form so
+    top-k selection can happen host-side in stable external-id order
+    (a device-side topk would tie-break on physical row slots, which
+    diverge from insertion order once freed slots are reused). *)
+
+val knn_euclidean : q:int -> dims:int -> n:int -> k:int -> string
+(** Batched KNN via the broadcast idiom: query [q,1,dims] minus stored
+    [n,dims], norm over the last dim, topk smallest. *)
+
+val matmul : m:int -> k:int -> n:int -> string
+(** A bare matrix product — the kernel shape the crossbar target
+    accepts (no search pattern, so Algorithm 1 leaves it alone). *)
+
+val cosine_scores : q:int -> dims:int -> n:int -> string
+(** The 6-op cosine pattern (norm, norm, transpose, matmul, fused div)
+    returning the full similarity matrix. *)

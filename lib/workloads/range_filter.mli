@@ -1,0 +1,51 @@
+(** ACAM range analytics: an anomaly filter (equivalently, an L-inf
+    similarity join) programmed into analog-CAM range cells.
+
+    Each stored row is an axis-aligned box — per column a [lo, hi]
+    acceptance interval. A range search senses, per (query, row), the
+    number of columns whose value falls outside the row's interval;
+    a zero count means the query lies inside the box. The filter
+    accepts a query when some box contains it (the first such box, in
+    row order, identifies the matching stored item — the
+    similarity-join reading) and flags it as an anomaly otherwise.
+
+    The whole module is host-side data generation plus the oracle; the
+    device path runs through [cam.write_range] / [`Range] search (see
+    [C4cam.Acam] and [Serve.Range_store]). *)
+
+type t = {
+  lo : float array array;  (** [boxes x dims] lower bounds *)
+  hi : float array array;  (** [boxes x dims] upper bounds *)
+  queries : float array array;  (** [n_queries x dims], values in [0,1] *)
+  expected : int array;
+      (** host oracle per query: the lowest row index whose box
+          contains it, or [-1] (anomaly) *)
+}
+
+val generate :
+  ?seed:int -> ?anomaly_fraction:float -> boxes:int -> dims:int ->
+  n_queries:int -> unit -> t
+(** Random boxes (centers away from the walls, per-dim half-widths in
+    [0.05, 0.2]); each query is either a point sampled uniformly inside
+    a random box or, with probability [anomaly_fraction] (default 0.3),
+    a uniform point in the unit cube. [expected] always comes from
+    {!oracle}, so an "anomalous" draw that lands inside some box counts
+    as a match — the oracle is the ground truth, not the draw.
+    Deterministic in [seed] (default 1). *)
+
+val oracle : lo:float array array -> hi:float array array ->
+  float array -> int
+(** The lowest row whose box contains the point, or [-1]. Bounds are
+    inclusive, matching the device's range cells. *)
+
+val decode : values:float array array -> indices:int array array ->
+  int array
+(** Decode a k=1 smallest-first selection over range-violation counts
+    (the device's output) into box ids: row [i] maps to
+    [indices.(i).(0)] when [values.(i).(0) = 0.] — some box matched —
+    and [-1] otherwise. Ties among zero-violation boxes break toward
+    the lower row index on both paths, so this equals {!oracle} on the
+    same boxes (differentially tested). *)
+
+val accuracy : expected:int array -> int array -> float
+(** Fraction of positions where the prediction equals [expected]. *)

@@ -1,0 +1,89 @@
+(** The workload registry: every application the repository can run,
+    as a first-class value — name, shape defaults, spec fixup, data
+    generation and the expected-results oracle in one record.
+
+    The CLI ([c4cam run/serve/sweep --workload NAME]) and the bench
+    harness resolve workloads by name here instead of hard-coding
+    per-workload match arms; {!Kernels} remains the implementation
+    detail that renders TorchScript sources for the compiled entries.
+
+    Three execution families cover the registered workloads:
+    - [Kernel]: a TorchScript source plus stored/query data and a
+      prediction decoder — executed by the caller through the normal
+      compile-and-run driver (optionally behind a serving session).
+      An optional {!pre_stage} carries the simulated cost of device
+      work done while building the instance (the MLP's layer-1 CAM).
+    - [Direct]: the workload drives the simulator itself (few-shot
+      episodes, decision-tree rule tables) and returns the finished
+      outcome.
+    - [Range]: an ACAM range-analytics instance — box table, queries
+      and the host oracle — executed through [C4cam.Acam] /
+      [Serve.Range_store] ([cam.write_range] + [`Range] search). *)
+
+type shape = {
+  queries : int;  (** query rows per execution *)
+  rows : int;  (** stored rows: classes, prototypes, neighbours, boxes *)
+  dims : int;  (** vector dimensionality / features *)
+  k : int;  (** selection (or vote) width *)
+  seed : int;
+}
+
+type pre_stage = {
+  pre_label : string;  (** e.g. ["mlp layer-1 tcam"] *)
+  pre_latency : float;  (** simulated seconds already spent *)
+  pre_energy : float;  (** simulated joules already spent *)
+  pre_stats : Camsim.Stats.t;
+}
+
+type kernel_instance = {
+  ki_source : string;  (** TorchScript, rendered by {!Kernels} *)
+  ki_stored : float array array;
+  ki_queries : float array array;
+  ki_labels : int array;  (** expected class per query row *)
+  ki_predict : int array array -> int array;
+      (** decode the driver's returned [indices] into class
+          predictions comparable against [ki_labels] *)
+  ki_pre : pre_stage option;
+}
+
+type direct_outcome = {
+  do_accuracy : float;
+  do_energy : float;  (** simulated joules *)
+  do_stats : Camsim.Stats.t;
+  do_queries : int;
+}
+
+type range_instance = {
+  ri_lo : float array array;  (** [rows x dims] box lower bounds *)
+  ri_hi : float array array;
+  ri_queries : float array array;
+  ri_expected : int array;  (** host oracle: box id or -1 *)
+}
+
+type exec =
+  | Kernel of (shape -> Archspec.Spec.t -> kernel_instance)
+  | Direct of (shape -> Archspec.Spec.t -> direct_outcome)
+  | Range of (shape -> range_instance)
+
+type entry = {
+  name : string;
+  summary : string;  (** one line for [--workload help] listings *)
+  default_shape : shape;
+  fix_spec : shape -> Archspec.Spec.t -> Archspec.Spec.t;
+      (** adjust a caller's spec to the workload's constraints (KNN
+          forces the multi-bit cell; range widens the subarray to the
+          box table) — callers apply it before compiling *)
+  exec : exec;
+}
+
+val all : entry list
+(** Every registered workload, stable order. *)
+
+val names : string list
+
+val find : string -> entry option
+val find_exn : string -> entry
+(** @raise Invalid_argument naming the known workloads. *)
+
+val accuracy : expected:int array -> int array -> float
+(** Fraction of agreeing positions (shared by every oracle). *)

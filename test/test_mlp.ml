@@ -1,0 +1,85 @@
+(* CAM-only MLP inference: layer 1 as a stacked DT2CAM rule table,
+   layer 2 as the bipolar HDC dot kernel. The CAM path must equal the
+   quantised software reference bit-for-bit, and both must stay within
+   the quantisation bound of the float model. *)
+
+open Workloads
+
+let bundle = lazy (Mlp.train ())
+
+let test_float_accuracy () =
+  let t = Lazy.force bundle in
+  let acc = Mlp.float_accuracy t in
+  Alcotest.(check bool)
+    (Printf.sprintf "float accuracy %.2f > 0.85" acc)
+    true (acc > 0.85)
+
+let test_quantized_within_bound () =
+  let t = Lazy.force bundle in
+  let fl = Mlp.float_accuracy t and q = Mlp.quantized_accuracy t in
+  Alcotest.(check bool)
+    (Printf.sprintf "quantised %.2f within 0.15 of float %.2f" q fl)
+    true (fl -. q <= 0.15)
+
+let test_layer1_cam_parity () =
+  (* The stacked rule table evaluates every neuron exactly like the
+     per-neuron software trees. *)
+  let t = Lazy.force bundle in
+  let dev = Mlp.layer1_device t in
+  let test = Mlp.test_set t in
+  let cam = Mlp.encode_cam t dev test.Dataset.features in
+  let soft = Mlp.codes_quantized t test.Dataset.features in
+  Alcotest.(check bool) "bipolar codes identical" true (cam = soft);
+  Alcotest.(check bool) "write + search charged" true
+    (Mlp.device_energy dev > 0. && Mlp.device_latency dev > 0.)
+
+let test_end_to_end_cam_parity () =
+  (* Full CAM pipeline: CAM layer-1 codes through the compiled layer-2
+     kernel must reproduce the quantised reference predictions. *)
+  let t = Lazy.force bundle in
+  let dev = Mlp.layer1_device t in
+  let test = Mlp.test_set t in
+  let q = min 16 (Dataset.n_samples test) in
+  let xs = Array.sub test.Dataset.features 0 q in
+  let codes = Mlp.encode_cam t dev xs in
+  let source = Mlp.layer2_source t ~q in
+  (* columns sized to the code width so the partitioner tiles evenly *)
+  let cfg = Mlp.config t in
+  let spec =
+    {
+      (Archspec.Spec.square 32 Archspec.Spec.Base) with
+      Archspec.Spec.cols = cfg.Mlp.hidden;
+    }
+  in
+  let compiled = C4cam.Driver.compile ~spec source in
+  let r =
+    C4cam.Driver.run_cam compiled ~queries:codes
+      ~stored:(Mlp.prototypes t)
+  in
+  let expected = Array.map (Mlp.predict_quantized t) xs in
+  let got = Array.map (fun (row : int array) -> row.(0)) r.C4cam.Driver.indices in
+  Alcotest.(check (array int)) "CAM = quantised reference" expected got
+
+let test_rule_table_shape () =
+  let t = Lazy.force bundle in
+  let cfg = Mlp.config t in
+  Alcotest.(check int) "width = features x (bins-1)"
+    (cfg.Mlp.features * (cfg.Mlp.bins - 1))
+    (Mlp.rule_width t);
+  Alcotest.(check bool) "at least one rule per neuron" true
+    (Mlp.total_rows t >= cfg.Mlp.hidden)
+
+let () =
+  Alcotest.run "mlp"
+    [
+      ( "mlp",
+        [
+          Alcotest.test_case "float accuracy" `Quick test_float_accuracy;
+          Alcotest.test_case "quantised bound" `Quick
+            test_quantized_within_bound;
+          Alcotest.test_case "layer-1 parity" `Quick test_layer1_cam_parity;
+          Alcotest.test_case "end-to-end parity" `Quick
+            test_end_to_end_cam_parity;
+          Alcotest.test_case "rule table shape" `Quick test_rule_table_shape;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* ACAM range analytics: the device path ([cam.write_range] + [`Range]
+   search through C4cam.Acam) differentially tested against the host
+   oracle across both interpreter engines and jobs values, plus the
+   serve-mode record/replay semantics of range writes. *)
+
+open Workloads
+
+let check_matches msg expected got =
+  Alcotest.(check (array int)) msg expected got
+
+(* ---- oracle / generator invariants ------------------------------------- *)
+
+let test_oracle_basics () =
+  let lo = [| [| 0.2; 0.2 |]; [| 0.1; 0.1 |] |] in
+  let hi = [| [| 0.4; 0.4 |]; [| 0.9; 0.9 |] |] in
+  (* inside both boxes: the lowest row wins *)
+  Alcotest.(check int) "lowest containing row" 0
+    (Range_filter.oracle ~lo ~hi [| 0.3; 0.3 |]);
+  (* bounds are inclusive on both ends *)
+  Alcotest.(check int) "lo bound inclusive" 0
+    (Range_filter.oracle ~lo ~hi [| 0.2; 0.2 |]);
+  Alcotest.(check int) "hi bound inclusive" 0
+    (Range_filter.oracle ~lo ~hi [| 0.4; 0.4 |]);
+  (* inside only the second box *)
+  Alcotest.(check int) "second box" 1
+    (Range_filter.oracle ~lo ~hi [| 0.8; 0.8 |]);
+  (* outside every box *)
+  Alcotest.(check int) "anomaly" (-1)
+    (Range_filter.oracle ~lo ~hi [| 0.95; 0.05 |])
+
+let test_generate_invariants () =
+  let w = Range_filter.generate ~seed:3 ~boxes:12 ~dims:6 ~n_queries:50 () in
+  Alcotest.(check int) "boxes" 12 (Array.length w.lo);
+  Alcotest.(check int) "queries" 50 (Array.length w.queries);
+  Array.iteri
+    (fun i q ->
+      Alcotest.(check int) "expected = oracle" w.expected.(i)
+        (Range_filter.oracle ~lo:w.lo ~hi:w.hi q);
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "query in unit cube" true
+            (v >= 0. && v <= 1.))
+        q)
+    w.queries;
+  Array.iteri
+    (fun r lo_r ->
+      Array.iteri
+        (fun c l ->
+          Alcotest.(check bool) "lo <= hi" true (l <= w.hi.(r).(c)))
+        lo_r)
+    w.lo;
+  let w' = Range_filter.generate ~seed:3 ~boxes:12 ~dims:6 ~n_queries:50 () in
+  Alcotest.(check bool) "deterministic in seed" true (w = w');
+  let anomalies =
+    Array.fold_left (fun n e -> if e < 0 then n + 1 else n) 0 w.expected
+  in
+  Alcotest.(check bool) "some matches and some anomalies" true
+    (anomalies > 0 && anomalies < Array.length w.expected)
+
+(* ---- differential: device vs oracle ------------------------------------ *)
+
+let run_device ~engine ~jobs (w : Range_filter.t) =
+  let boxes = Array.length w.lo in
+  let dims = Array.length w.lo.(0) in
+  let spec = C4cam.Acam.fit_spec ~boxes ~dims () in
+  let compiled =
+    C4cam.Acam.compile ~spec ~q:(Array.length w.queries) ~boxes ~dims
+  in
+  let config = C4cam.Driver.Run_config.(default |> with_engine engine) in
+  Parallel.run ~jobs (fun _pool ->
+      C4cam.Acam.run ~config compiled ~lo:w.lo ~hi:w.hi ~queries:w.queries)
+
+let test_differential () =
+  (* Randomized over seeds; every (engine, jobs) leg must equal the host
+     oracle exactly, and all legs must agree bit-for-bit on cost. *)
+  List.iter
+    (fun seed ->
+      let w =
+        Range_filter.generate ~seed ~boxes:24 ~dims:8 ~n_queries:64 ()
+      in
+      let legs =
+        List.map
+          (fun (engine, jobs) -> run_device ~engine ~jobs w)
+          [ (`Compiled, 1); (`Compiled, 4); (`Treewalk, 1); (`Treewalk, 4) ]
+      in
+      let base = List.hd legs in
+      List.iter
+        (fun (r : C4cam.Acam.result) ->
+          check_matches
+            (Printf.sprintf "seed %d: device = oracle" seed)
+            w.expected r.matches;
+          Alcotest.(check (float 0.)) "latency identical across legs"
+            base.C4cam.Acam.latency r.latency;
+          Alcotest.(check (float 0.)) "energy identical across legs"
+            base.C4cam.Acam.energy r.energy)
+        legs)
+    [ 1; 5; 11; 23 ]
+
+let test_accuracy_helper () =
+  let w = Range_filter.generate ~seed:9 ~boxes:16 ~dims:4 ~n_queries:40 () in
+  let r = run_device ~engine:`Compiled ~jobs:1 w in
+  Alcotest.(check (float 0.)) "device accuracy 1.0" 1.0
+    (Range_filter.accuracy ~expected:w.expected r.C4cam.Acam.matches)
+
+let test_geometry_errors () =
+  let w = Range_filter.generate ~seed:2 ~boxes:8 ~dims:4 ~n_queries:4 () in
+  let spec = C4cam.Acam.fit_spec ~boxes:8 ~dims:4 () in
+  Alcotest.check_raises "too many boxes"
+    (C4cam.Acam.Range_error
+       "box table of 64 rows exceeds the subarray's 32")
+    (fun () ->
+      ignore (C4cam.Acam.compile ~spec ~q:4 ~boxes:64 ~dims:4));
+  let compiled = C4cam.Acam.compile ~spec ~q:4 ~boxes:8 ~dims:4 in
+  Alcotest.check_raises "query arity"
+    (C4cam.Acam.Range_error "expected 4 query rows, got 2")
+    (fun () ->
+      ignore
+        (C4cam.Acam.run compiled ~lo:w.lo ~hi:w.hi
+           ~queries:(Array.sub w.queries 0 2)))
+
+(* ---- serve-mode record/replay of range writes --------------------------- *)
+
+let range_device () =
+  let spec = Archspec.Spec.square 32 Archspec.Spec.Base in
+  let sim = Camsim.Simulator.create spec in
+  (sim, spec)
+
+let build_and_search sim ~lo ~hi ~queries =
+  let bank = Camsim.Simulator.alloc_bank sim ~rows:32 ~cols:32 in
+  let mat = Camsim.Simulator.alloc_mat sim bank in
+  let arr = Camsim.Simulator.alloc_array sim mat in
+  let sub = Camsim.Simulator.alloc_subarray sim arr in
+  ignore (Camsim.Simulator.write_range sim sub ~row_offset:0 ~lo ~hi);
+  ignore
+    (Camsim.Simulator.search sim sub ~queries ~row_offset:0
+       ~rows:(Array.length lo) ~kind:`Range ~metric:`Hamming ());
+  Camsim.Simulator.read sim sub
+
+let test_replay_write_range () =
+  let w = Range_filter.generate ~seed:4 ~boxes:6 ~dims:5 ~n_queries:8 () in
+  let sim, _spec = range_device () in
+  Camsim.Simulator.start_recording sim;
+  let first = build_and_search sim ~lo:w.lo ~hi:w.hi ~queries:w.queries in
+  Camsim.Simulator.seal_recording sim;
+  let stats = Camsim.Simulator.stats sim in
+  let e_write_0 = stats.Camsim.Stats.e_write in
+  let writes_0 = stats.Camsim.Stats.n_write_ops in
+  (* Replay with unchanged bounds: the stored box table is free. *)
+  Camsim.Simulator.rewind sim;
+  let again = build_and_search sim ~lo:w.lo ~hi:w.hi ~queries:w.queries in
+  Alcotest.(check bool) "replay results identical" true (first = again);
+  Alcotest.(check (float 0.)) "unchanged bounds cost no write energy"
+    e_write_0 stats.Camsim.Stats.e_write;
+  Alcotest.(check int) "no write op charged" writes_0
+    stats.Camsim.Stats.n_write_ops;
+  (* Mutate one box: exactly that row run is reprogrammed and charged. *)
+  let lo' = Array.map Array.copy w.lo and hi' = Array.map Array.copy w.hi in
+  lo'.(2) <- Array.map (fun v -> v /. 2.) lo'.(2);
+  Camsim.Simulator.rewind sim;
+  let changed = build_and_search sim ~lo:lo' ~hi:hi' ~queries:w.queries in
+  Alcotest.(check bool) "changed bounds recharged" true
+    (stats.Camsim.Stats.e_write > e_write_0);
+  Alcotest.(check bool) "write op counted" true
+    (stats.Camsim.Stats.n_write_ops > writes_0);
+  (* And the replayed search reflects the new bounds. *)
+  let expect =
+    Array.map
+      (fun q -> Range_filter.oracle ~lo:lo' ~hi:hi' q)
+      w.queries
+  in
+  let got =
+    Array.map
+      (fun (row : float array) ->
+        let best = ref (-1) in
+        Array.iteri
+          (fun r v -> if v = 0. && !best < 0 then best := r)
+          row;
+        !best)
+      changed
+  in
+  check_matches "replayed search sees new bounds" expect got
+
+let test_range_write_double_charge () =
+  (* A range write programs two bound planes, so it costs exactly twice
+     the ternary write of the same geometry. *)
+  let w = Range_filter.generate ~seed:6 ~boxes:4 ~dims:6 ~n_queries:1 () in
+  let sim, _ = range_device () in
+  let bank = Camsim.Simulator.alloc_bank sim ~rows:32 ~cols:32 in
+  let mat = Camsim.Simulator.alloc_mat sim bank in
+  let arr = Camsim.Simulator.alloc_array sim mat in
+  let sub = Camsim.Simulator.alloc_subarray sim arr in
+  let c_range =
+    Camsim.Simulator.write_range sim sub ~row_offset:0 ~lo:w.lo ~hi:w.hi
+  in
+  let sim2, _ = range_device () in
+  let bank2 = Camsim.Simulator.alloc_bank sim2 ~rows:32 ~cols:32 in
+  let mat2 = Camsim.Simulator.alloc_mat sim2 bank2 in
+  let arr2 = Camsim.Simulator.alloc_array sim2 mat2 in
+  let sub2 = Camsim.Simulator.alloc_subarray sim2 arr2 in
+  let c_plain = Camsim.Simulator.write sim2 sub2 ~row_offset:0 w.lo in
+  Alcotest.(check (float 1e-12)) "double the plain write energy"
+    (2. *. c_plain.Camsim.Energy_model.energy)
+    c_range.Camsim.Energy_model.energy
+
+(* ---- the serving store -------------------------------------------------- *)
+
+let test_store_amortizes_writes () =
+  let w = Range_filter.generate ~seed:8 ~boxes:12 ~dims:6 ~n_queries:8 () in
+  let store = Serve.Range_store.create ~q:8 ~lo:w.lo ~hi:w.hi () in
+  let r1 = Serve.Range_store.query store w.queries in
+  check_matches "first batch = oracle" w.expected
+    r1.Serve.Range_store.matches;
+  let writes_1 = (Serve.Range_store.stats store).Serve.Session.write_ops in
+  let e_write_1 =
+    (Serve.Range_store.stats store).Serve.Session.write_energy_j
+  in
+  let r2 = Serve.Range_store.query store w.queries in
+  check_matches "second batch identical" r1.Serve.Range_store.matches
+    r2.Serve.Range_store.matches;
+  Alcotest.(check int) "box writes paid once" writes_1
+    (Serve.Range_store.stats store).Serve.Session.write_ops;
+  Alcotest.(check (float 0.)) "no extra write energy" e_write_1
+    (Serve.Range_store.stats store).Serve.Session.write_energy_j;
+  Alcotest.(check bool) "searches still charged" true
+    (r2.Serve.Range_store.energy > 0.)
+
+let test_store_shard_invariance () =
+  let w = Range_filter.generate ~seed:12 ~boxes:13 ~dims:5 ~n_queries:16 () in
+  let serve shards =
+    let store =
+      Serve.Range_store.create ~shards ~q:8 ~lo:w.lo ~hi:w.hi ()
+    in
+    let r = Serve.Range_store.query store w.queries in
+    (r.Serve.Range_store.matches, r.Serve.Range_store.values)
+  in
+  let m1, v1 = serve 1 in
+  check_matches "1 shard = oracle" w.expected m1;
+  List.iter
+    (fun shards ->
+      let m, v = serve shards in
+      check_matches
+        (Printf.sprintf "%d shards byte-identical" shards)
+        m1 m;
+      Alcotest.(check bool) "violation counts identical" true (v = v1))
+    [ 2; 3; 5 ]
+
+let test_store_update_box () =
+  let w = Range_filter.generate ~seed:14 ~boxes:9 ~dims:4 ~n_queries:8 () in
+  let store = Serve.Range_store.create ~shards:3 ~q:8 ~lo:w.lo ~hi:w.hi () in
+  ignore (Serve.Range_store.query store w.queries);
+  let writes = (Serve.Range_store.stats store).Serve.Session.write_ops in
+  (* widen box 4 to the whole cube: every query now matches some box *)
+  Serve.Range_store.update_box store ~row:4 ~lo:(Array.make 4 0.)
+    ~hi:(Array.make 4 1.);
+  let r = Serve.Range_store.query store w.queries in
+  Alcotest.(check bool) "changed row recharged" true
+    ((Serve.Range_store.stats store).Serve.Session.write_ops > writes);
+  let lo' = Array.map Array.copy w.lo and hi' = Array.map Array.copy w.hi in
+  lo'.(4) <- Array.make 4 0.;
+  hi'.(4) <- Array.make 4 1.;
+  let expect =
+    Array.map (fun q -> Range_filter.oracle ~lo:lo' ~hi:hi' q) w.queries
+  in
+  check_matches "updated store = updated oracle" expect
+    r.Serve.Range_store.matches
+
+let test_store_backend () =
+  let w = Range_filter.generate ~seed:15 ~boxes:6 ~dims:4 ~n_queries:4 () in
+  let store = Serve.Range_store.create ~q:4 ~lo:w.lo ~hi:w.hi () in
+  let b = Serve.Range_store.backend store in
+  Alcotest.(check int) "arity" 4 b.Serve.Backend.q;
+  Alcotest.(check int) "row width" 4 b.Serve.Backend.d;
+  let reply = b.Serve.Backend.query w.queries in
+  check_matches "backend reply carries box ids" w.expected
+    (Array.map (fun (row : int array) -> row.(0)) reply.Serve.Backend.indices);
+  let section = b.Serve.Backend.serve_section () in
+  Alcotest.(check int) "section counts the boxes" 6
+    section.Instrument.Profile.rows_stored;
+  Alcotest.(check int) "one batch" 1 section.Instrument.Profile.batches
+
+let () =
+  Alcotest.run "range"
+    [
+      ( "range",
+        [
+          Alcotest.test_case "oracle basics" `Quick test_oracle_basics;
+          Alcotest.test_case "generator invariants" `Quick
+            test_generate_invariants;
+          Alcotest.test_case "differential vs oracle" `Quick
+            test_differential;
+          Alcotest.test_case "accuracy helper" `Quick test_accuracy_helper;
+          Alcotest.test_case "geometry errors" `Quick test_geometry_errors;
+          Alcotest.test_case "replay range writes" `Quick
+            test_replay_write_range;
+          Alcotest.test_case "range write double charge" `Quick
+            test_range_write_double_charge;
+          Alcotest.test_case "store amortizes writes" `Quick
+            test_store_amortizes_writes;
+          Alcotest.test_case "store shard invariance" `Quick
+            test_store_shard_invariance;
+          Alcotest.test_case "store update box" `Quick test_store_update_box;
+          Alcotest.test_case "store backend" `Quick test_store_backend;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* The workload registry: every entry must instantiate and execute
+   end-to-end through the public driver surface the CLI/bench use —
+   Kernel entries through Driver.compile/run_cam, Direct entries
+   through their own simulator runs, Range entries through C4cam.Acam —
+   and agree with each workload's oracle. *)
+
+open Workloads
+
+let base32 = Archspec.Spec.square 32 Archspec.Spec.Base
+
+let run_kernel (e : Registry.entry) shape =
+  let spec = e.fix_spec shape base32 in
+  match e.exec with
+  | Registry.Kernel mk ->
+      let ki = mk shape spec in
+      let compiled = C4cam.Driver.compile ~spec ki.Registry.ki_source in
+      let r =
+        C4cam.Driver.run_cam compiled ~queries:ki.Registry.ki_queries
+          ~stored:ki.Registry.ki_stored
+      in
+      (ki, r)
+  | _ -> Alcotest.failf "%s is not a Kernel entry" e.Registry.name
+
+let test_names () =
+  Alcotest.(check (list string))
+    "stable registry names"
+    [ "hdc"; "knn"; "recsys"; "few-shot"; "decision-tree"; "mlp";
+      "range-filter" ]
+    Registry.names;
+  Alcotest.(check bool) "find hits" true (Registry.find "hdc" <> None);
+  Alcotest.(check bool) "find misses" true (Registry.find "nope" = None);
+  Alcotest.check_raises "find_exn lists known names"
+    (Invalid_argument
+       "unknown workload \"nope\" (known: hdc, knn, recsys, few-shot, \
+        decision-tree, mlp, range-filter)")
+    (fun () -> ignore (Registry.find_exn "nope"))
+
+let small_shape (e : Registry.entry) =
+  (* shrink the heavyweight defaults so the whole registry executes in
+     test time *)
+  match e.Registry.name with
+  | "hdc" -> { e.default_shape with Registry.queries = 8; dims = 256 }
+  | "knn" -> { e.default_shape with Registry.queries = 8; rows = 64 }
+  | "recsys" -> { e.default_shape with Registry.queries = 8; dims = 64 }
+  | _ -> e.default_shape
+
+let test_kernel_entries_execute () =
+  List.iter
+    (fun name ->
+      let e = Registry.find_exn name in
+      let shape = small_shape e in
+      let ki, r = run_kernel e shape in
+      let preds = ki.Registry.ki_predict r.C4cam.Driver.indices in
+      let acc = Registry.accuracy ~expected:ki.Registry.ki_labels preds in
+      Alcotest.(check int)
+        (name ^ ": one prediction per query")
+        shape.Registry.queries (Array.length preds);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: device accuracy %.2f > 0.6" name acc)
+        true (acc > 0.6);
+      Alcotest.(check bool)
+        (name ^ ": energy charged")
+        true
+        (r.C4cam.Driver.energy > 0.))
+    [ "hdc"; "knn"; "recsys" ]
+
+let test_mlp_entry () =
+  let e = Registry.find_exn "mlp" in
+  let shape = e.Registry.default_shape in
+  let ki, r = run_kernel e shape in
+  let preds = ki.Registry.ki_predict r.C4cam.Driver.indices in
+  let acc = Registry.accuracy ~expected:ki.Registry.ki_labels preds in
+  Alcotest.(check bool)
+    (Printf.sprintf "mlp CAM accuracy %.2f > 0.6" acc)
+    true (acc > 0.6);
+  (* The layer-1 device cost rides along as the pre-stage. *)
+  match ki.Registry.ki_pre with
+  | None -> Alcotest.fail "mlp must expose its layer-1 pre-stage"
+  | Some pre ->
+      Alcotest.(check string) "pre-stage label" "mlp layer-1 tcam"
+        pre.Registry.pre_label;
+      Alcotest.(check bool) "pre-stage charged" true
+        (pre.Registry.pre_energy > 0. && pre.Registry.pre_latency > 0.)
+
+let test_direct_entries () =
+  List.iter
+    (fun name ->
+      let e = Registry.find_exn name in
+      match e.Registry.exec with
+      | Registry.Direct run ->
+          let shape = e.Registry.default_shape in
+          let o = run shape (e.Registry.fix_spec shape base32) in
+          Alcotest.(check int)
+            (name ^ ": all queries classified")
+            shape.Registry.queries o.Registry.do_queries;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: accuracy %.2f > 0.6" name
+               o.Registry.do_accuracy)
+            true
+            (o.Registry.do_accuracy > 0.6);
+          Alcotest.(check bool)
+            (name ^ ": energy charged")
+            true
+            (o.Registry.do_energy > 0.)
+      | _ -> Alcotest.failf "%s is not a Direct entry" name)
+    [ "few-shot"; "decision-tree" ]
+
+let test_range_entry () =
+  let e = Registry.find_exn "range-filter" in
+  let shape = e.Registry.default_shape in
+  let ri =
+    match e.Registry.exec with
+    | Registry.Range mk -> mk shape
+    | _ -> Alcotest.fail "range-filter must be a Range entry"
+  in
+  Array.iteri
+    (fun i q ->
+      Alcotest.(check int) "expected = oracle"
+        ri.Registry.ri_expected.(i)
+        (Range_filter.oracle ~lo:ri.Registry.ri_lo ~hi:ri.Registry.ri_hi q))
+    ri.Registry.ri_queries;
+  (* And the device path reproduces the oracle through the fixed spec. *)
+  let spec = e.Registry.fix_spec shape base32 in
+  let compiled =
+    C4cam.Acam.compile ~spec ~q:shape.Registry.queries
+      ~boxes:shape.Registry.rows ~dims:shape.Registry.dims
+  in
+  let r =
+    C4cam.Acam.run compiled ~lo:ri.Registry.ri_lo ~hi:ri.Registry.ri_hi
+      ~queries:ri.Registry.ri_queries
+  in
+  Alcotest.(check (array int)) "device = oracle" ri.Registry.ri_expected
+    r.C4cam.Acam.matches
+
+let test_default_shapes_sane () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let s = e.Registry.default_shape in
+      Alcotest.(check bool)
+        (e.Registry.name ^ ": positive shape")
+        true
+        (s.Registry.queries > 0 && s.Registry.rows > 0
+        && s.Registry.dims > 0 && s.Registry.k > 0))
+    Registry.all
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "kernel entries" `Quick
+            test_kernel_entries_execute;
+          Alcotest.test_case "mlp entry" `Quick test_mlp_entry;
+          Alcotest.test_case "direct entries" `Quick test_direct_entries;
+          Alcotest.test_case "range entry" `Quick test_range_entry;
+          Alcotest.test_case "default shapes" `Quick
+            test_default_shapes_sane;
+        ] );
+    ]
